@@ -1,0 +1,121 @@
+#ifndef TKC_BENCH_BENCH_COMMON_H_
+#define TKC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datasets/registry.h"
+#include "graph/graph_stats.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/query_workload.h"
+
+/// \file bench_common.h
+/// Shared plumbing for the figure-reproduction benchmark binaries. Every
+/// binary accepts:
+///   --scale=F     global dataset size multiplier        (default 1.0)
+///   --queries=N   query ranges averaged per data point  (default 3)
+///   --limit=S     per-run time limit in seconds         (default 5.0)
+///   --datasets=A,B,C   restrict to a subset             (default: all)
+/// and environment fallbacks TKC_SCALE / TKC_QUERIES / TKC_LIMIT /
+/// TKC_DATASETS. Time-limited runs are reported as "DNF" ("did not
+/// finish"), mirroring the paper's 6-hour cutoff entries.
+
+namespace tkc::bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  uint32_t queries = 2;
+  double limit_seconds = 3.0;
+  std::vector<std::string> datasets;  // empty = all fourteen
+  uint64_t seed = 42;
+};
+
+inline BenchConfig ParseBenchConfig(int argc, char** argv) {
+  BenchConfig config;
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "flag error: %s\n",
+                 flags_or.status().ToString().c_str());
+    return config;
+  }
+  const Flags& flags = *flags_or;
+  config.scale = flags.GetDouble("scale", config.scale);
+  config.queries =
+      static_cast<uint32_t>(flags.GetInt("queries", config.queries));
+  config.limit_seconds = flags.GetDouble("limit", config.limit_seconds);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string list = flags.GetString("datasets", "");
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > pos) config.datasets.push_back(list.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return config;
+}
+
+/// A generated dataset with its statistics and workload (lazy container).
+struct PreparedDataset {
+  std::string name;
+  TemporalGraph graph;
+  GraphStats stats;
+};
+
+/// Generates one registry dataset and computes its Table III stats.
+inline StatusOr<PreparedDataset> Prepare(const std::string& name,
+                                         double scale) {
+  auto graph = GenerateByName(name, scale);
+  if (!graph.ok()) return graph.status();
+  PreparedDataset d;
+  d.name = name;
+  d.graph = std::move(graph).value();
+  d.stats = ComputeGraphStats(d.graph);
+  return d;
+}
+
+/// Names selected by the config (all fourteen when unrestricted).
+inline std::vector<std::string> SelectedDatasets(const BenchConfig& config) {
+  if (!config.datasets.empty()) return config.datasets;
+  std::vector<std::string> names;
+  for (const auto& spec : TableIIISpecs(config.scale)) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+/// Builds the workload for one dataset at the given fractions; returns an
+/// empty vector (and prints a note) when no valid ranges exist.
+inline std::vector<Query> MakeQueries(const PreparedDataset& d,
+                                      const BenchConfig& config,
+                                      double k_fraction,
+                                      double range_fraction) {
+  WorkloadSpec spec;
+  spec.k_fraction = k_fraction;
+  spec.range_fraction = range_fraction;
+  spec.num_queries = config.queries;
+  spec.seed = config.seed;
+  auto queries = GenerateQueries(d.graph, d.stats.kmax, spec);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "note: %s (k=%.0f%%, range=%.0f%%): %s\n",
+                 d.name.c_str(), k_fraction * 100, range_fraction * 100,
+                 queries.status().ToString().c_str());
+    return {};
+  }
+  return std::move(queries).value();
+}
+
+/// Formats an aggregate runtime cell: seconds, or DNF on timeout/error.
+inline std::string TimeCell(const AggregateOutcome& agg) {
+  if (!agg.completed) return "DNF";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", agg.avg_seconds);
+  return buf;
+}
+
+}  // namespace tkc::bench
+
+#endif  // TKC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// Reproduces Figure 6: average running time of OTCD, CoreTime, EnumBase
+// and Enum on all fourteen datasets under default parameters (k = 30% kmax,
+// range = 10% tmax). Paper shape:
+//   * Enum beats OTCD by 2-4 orders of magnitude and EnumBase by 1-3;
+//   * OTCD fails to finish (DNF) on several timestamp-rich datasets;
+//   * CoreTime is a small fraction of Enum's total on timestamp-rich
+//     datasets and a large fraction on WK/PL/YT (few timestamps).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace tkc;
+  using namespace tkc::bench;
+  BenchConfig config = ParseBenchConfig(argc, argv);
+
+  std::printf(
+      "=== Figure 6: avg running time, seconds (k=30%% kmax, range=10%% "
+      "tmax, %u queries, limit %.1fs) ===\n",
+      config.queries, config.limit_seconds);
+  TextTable table;
+  table.SetHeader(
+      {"Dataset", "OTCD", "CoreTime", "EnumBase", "Enum", "Enum speedup vs OTCD"});
+  for (const std::string& name : SelectedDatasets(config)) {
+    auto prepared = Prepare(name, config.scale);
+    if (!prepared.ok()) continue;
+    std::vector<Query> queries = MakeQueries(*prepared, config, 0.30, 0.10);
+    if (queries.empty()) {
+      table.AddRow({name, "n/a", "n/a", "n/a", "n/a", "n/a"});
+      continue;
+    }
+    AggregateOutcome otcd = RunAlgorithmOnQueries(
+        AlgorithmKind::kOtcd, prepared->graph, queries, config.limit_seconds);
+    AggregateOutcome coretime =
+        RunAlgorithmOnQueries(AlgorithmKind::kCoreTime, prepared->graph,
+                              queries, config.limit_seconds);
+    AggregateOutcome base =
+        RunAlgorithmOnQueries(AlgorithmKind::kEnumBase, prepared->graph,
+                              queries, config.limit_seconds);
+    AggregateOutcome enum_out = RunAlgorithmOnQueries(
+        AlgorithmKind::kEnum, prepared->graph, queries, config.limit_seconds);
+    std::string speedup = "n/a";
+    if (otcd.completed && enum_out.completed && enum_out.avg_seconds > 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0fx",
+                    otcd.avg_seconds / enum_out.avg_seconds);
+      speedup = buf;
+    } else if (!otcd.completed && enum_out.completed) {
+      speedup = ">limit";
+    }
+    table.AddRow({name, TimeCell(otcd), TimeCell(coretime), TimeCell(base),
+                  TimeCell(enum_out), speedup});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): Enum 2-4 orders faster than OTCD; OTCD DNF "
+      "on several timestamp-rich datasets; CoreTime a small share of Enum "
+      "except on WK/PL/YT.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Disease-outbreak monitoring scenario from the paper's introduction:
+// contacts between individuals form a temporal graph, and transmission
+// clusters "emerge and dissipate rapidly over short and irregular
+// timeframes". Exhaustive temporal k-core enumeration finds every fleeting
+// high-risk cluster — including ones no fixed window would isolate — so
+// health authorities can reconstruct transmission chains.
+//
+// The example simulates two weeks of proximity contacts with household
+// background mixing plus two super-spreading gatherings, then enumerates
+// all temporal 3-cores and ranks clusters by contact intensity.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/sinks.h"
+#include "core/temporal_kcore.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tkc;
+
+constexpr uint32_t kPeople = 300;
+constexpr uint32_t kHours = 14 * 24;  // two weeks at hourly resolution
+
+TemporalGraph BuildContactNetwork() {
+  Rng rng(7);
+  TemporalGraphBuilder builder;
+  builder.EnsureVertexCount(kPeople);
+  // Household mixing: partition into households of 3-5; members contact
+  // each other a few times per day.
+  VertexId person = 0;
+  while (person < kPeople) {
+    uint32_t size = 3 + static_cast<uint32_t>(rng.NextBounded(3));
+    VertexId first = person;
+    VertexId last = std::min<VertexId>(kPeople, person + size);
+    for (uint32_t day = 0; day < 14; ++day) {
+      for (VertexId a = first; a < last; ++a) {
+        for (VertexId b = a + 1; b < last; ++b) {
+          if (rng.NextBool(0.5)) {
+            builder.AddEdge(a, b, day * 24 + 1 + rng.NextBounded(24));
+          }
+        }
+      }
+    }
+    person = last;
+  }
+  // Random community contacts.
+  for (uint32_t i = 0; i < 4000; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(kPeople));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(kPeople));
+    if (a == b) continue;
+    builder.AddEdge(a, b, 1 + rng.NextBounded(kHours));
+  }
+  // Two super-spreading gatherings: ~20 attendees in a 3-hour window.
+  for (uint32_t gathering = 0; gathering < 2; ++gathering) {
+    uint32_t start_hour = gathering == 0 ? 3 * 24 + 19 : 9 * 24 + 14;
+    std::set<VertexId> attendees;
+    while (attendees.size() < 20) {
+      attendees.insert(static_cast<VertexId>(rng.NextBounded(kPeople)));
+    }
+    std::vector<VertexId> list(attendees.begin(), attendees.end());
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        if (rng.NextBool(0.55)) {
+          builder.AddEdge(list[i], list[j],
+                          start_hour + rng.NextBounded(3));
+        }
+      }
+    }
+  }
+  return std::move(builder.Build()).value();
+}
+
+}  // namespace
+
+int main() {
+  TemporalGraph graph = BuildContactNetwork();
+  std::printf("contact network: %u people, %u contacts, %u distinct hours\n",
+              graph.num_vertices(), graph.num_edges(),
+              graph.num_timestamps());
+
+  const uint32_t k = 3;  // clusters where everyone met >= 3 others
+  CountingSink counter;
+  QueryStats stats;
+  Status status = RunTemporalKCoreQuery(graph, k, graph.FullRange(),
+                                        &counter, {}, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%llu temporal %u-cores enumerated in %.4fs\n\n",
+              static_cast<unsigned long long>(counter.num_cores()), k,
+              stats.total_seconds);
+
+  // Second pass with a callback sink: keep the clusters confined to short
+  // TTIs (<= 6 hours) — the fleeting high-risk events.
+  struct Cluster {
+    Window tti;
+    size_t contacts;
+    std::set<VertexId> people;
+  };
+  std::vector<Cluster> fleeting;
+  CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
+    if (tti.Length() > 6) return;
+    Cluster c;
+    c.tti = tti;
+    c.contacts = edges.size();
+    for (EdgeId e : edges) {
+      c.people.insert(graph.edge(e).u);
+      c.people.insert(graph.edge(e).v);
+    }
+    fleeting.push_back(std::move(c));
+  });
+  status = RunTemporalKCoreQuery(graph, k, graph.FullRange(), &sink);
+  if (!status.ok()) {
+    std::fprintf(stderr, "second pass failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::sort(fleeting.begin(), fleeting.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.contacts > b.contacts;
+            });
+  std::printf("fleeting high-risk clusters (TTI <= 6 hours), top 8 by "
+              "contact count:\n");
+  for (size_t i = 0; i < fleeting.size() && i < 8; ++i) {
+    const Cluster& c = fleeting[i];
+    uint32_t day = (c.tti.start - 1) / 24 + 1;
+    std::printf(
+        "  day %2u, hours [%u..%u]: %zu people, %zu contacts (quarantine "
+        "candidates)\n",
+        day, c.tti.start, c.tti.end, c.people.size(), c.contacts);
+  }
+  if (fleeting.empty()) {
+    std::printf("  none found (unexpected for this synthetic scenario)\n");
+  }
+  return 0;
+}

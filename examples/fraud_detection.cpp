@@ -1,0 +1,165 @@
+// Anti-money-laundering scenario from the paper's introduction: in a bank
+// transaction network (accounts = vertices, transfers = temporal edges),
+// smurfing rings appear as dense subgraphs confined to short, unpredictable
+// time windows. Enumerating ALL temporal k-cores over a monitoring range
+// surfaces every such ring regardless of when exactly it operated — a
+// single-window query would miss rings that straddle the window boundary.
+//
+// The analytic signature of a ring is density *within a short Tightest
+// Time Interval*: background traffic also accumulates k-cores, but only
+// over long TTIs (weeks of unrelated transfers). The example synthesizes a
+// year of transactions with three planted rings, enumerates all temporal
+// k-cores, and reports the short-TTI ones.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/sinks.h"
+#include "core/temporal_kcore.h"
+#include "graph/temporal_graph.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tkc;
+
+struct PlantedRing {
+  std::vector<VertexId> members;
+  Window days;  // raw day range of the ring's activity
+};
+
+// `accounts` accounts trading randomly over `days` days, plus three
+// smurfing rings — small account groups transacting pairwise within a few
+// days.
+TemporalGraph BuildTransactionNetwork(uint32_t accounts, uint32_t days,
+                                      uint32_t background_txns,
+                                      std::vector<PlantedRing>* rings) {
+  Rng rng(2024);
+  TemporalGraphBuilder builder;
+  builder.EnsureVertexCount(accounts);
+  for (uint32_t i = 0; i < background_txns; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(accounts));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(accounts));
+    if (a == b) continue;
+    builder.AddEdge(a, b, 1 + rng.NextBounded(days));
+  }
+  const struct {
+    uint32_t size, start, span;
+  } kRings[] = {{6, days / 6, 4}, {8, days / 2, 6}, {5, (4 * days) / 5, 3}};
+  for (const auto& r : kRings) {
+    PlantedRing ring;
+    std::set<VertexId> members;
+    while (members.size() < r.size) {
+      members.insert(static_cast<VertexId>(rng.NextBounded(accounts)));
+    }
+    ring.members.assign(members.begin(), members.end());
+    ring.days = Window{r.start, r.start + r.span - 1};
+    for (size_t i = 0; i < ring.members.size(); ++i) {
+      for (size_t j = i + 1; j < ring.members.size(); ++j) {
+        uint32_t reps = 1 + static_cast<uint32_t>(rng.NextBounded(2));
+        for (uint32_t rep = 0; rep < reps; ++rep) {
+          builder.AddEdge(ring.members[i], ring.members[j],
+                          r.start + rng.NextBounded(r.span));
+        }
+      }
+    }
+    rings->push_back(std::move(ring));
+  }
+  return std::move(builder.Build()).value();
+}
+
+}  // namespace
+
+int main() {
+  std::vector<PlantedRing> planted;
+  TemporalGraph graph =
+      BuildTransactionNetwork(/*accounts=*/400, /*days=*/365,
+                              /*background_txns=*/6000, &planted);
+  std::printf("transaction network: %u accounts, %u transfers, %u days\n",
+              graph.num_vertices(), graph.num_edges(),
+              graph.num_timestamps());
+
+  // Monitor the whole year for rings of minimum internal degree 4 whose
+  // entire activity fits inside two weeks (raw days).
+  const uint32_t k = 4;
+  const uint64_t kMaxRingDays = 14;
+
+  struct Detection {
+    Window raw_days;
+    std::set<VertexId> accounts;
+    size_t transfers;
+  };
+  std::vector<Detection> detections;
+  uint64_t total_cores = 0;
+  CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
+    ++total_cores;
+    uint64_t raw_lo = graph.RawTimestamp(tti.start);
+    uint64_t raw_hi = graph.RawTimestamp(tti.end);
+    if (raw_hi - raw_lo + 1 > kMaxRingDays) return;  // background-scale TTI
+    Detection d;
+    d.raw_days = Window{static_cast<Timestamp>(raw_lo),
+                        static_cast<Timestamp>(raw_hi)};
+    d.transfers = edges.size();
+    for (EdgeId e : edges) {
+      d.accounts.insert(graph.edge(e).u);
+      d.accounts.insert(graph.edge(e).v);
+    }
+    detections.push_back(std::move(d));
+  });
+  QueryStats stats;
+  Status status =
+      RunTemporalKCoreQuery(graph, k, graph.FullRange(), &sink, {}, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "enumerated %llu temporal %u-cores in %.4fs; %zu have ring-scale "
+      "TTIs (<= %llu days)\n\n",
+      static_cast<unsigned long long>(total_cores), k, stats.total_seconds,
+      detections.size(), static_cast<unsigned long long>(kMaxRingDays));
+
+  // Deduplicate by account set, keep the tightest window per set.
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.raw_days.Length() < b.raw_days.Length();
+            });
+  std::set<std::set<VertexId>> seen;
+  std::printf("suspicious rings (dense short-lived transfer groups):\n");
+  for (const Detection& d : detections) {
+    if (!seen.insert(d.accounts).second) continue;
+    std::printf("  days [%3u..%3u] (%llu days): %zu accounts, %zu transfers:",
+                d.raw_days.start, d.raw_days.end,
+                static_cast<unsigned long long>(d.raw_days.Length()),
+                d.accounts.size(), d.transfers);
+    size_t printed = 0;
+    for (VertexId v : d.accounts) {
+      if (++printed > 10) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" %u", v);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nplanted ring recovery:\n");
+  for (size_t i = 0; i < planted.size(); ++i) {
+    const PlantedRing& ring = planted[i];
+    bool recovered = false;
+    for (const Detection& d : detections) {
+      bool all_in = true;
+      for (VertexId m : ring.members) all_in &= d.accounts.count(m) > 0;
+      if (all_in) {
+        recovered = true;
+        break;
+      }
+    }
+    std::printf("  ring %zu (%zu members, days %u-%u): %s\n", i + 1,
+                ring.members.size(), ring.days.start, ring.days.end,
+                recovered ? "RECOVERED" : "missed");
+  }
+  return 0;
+}

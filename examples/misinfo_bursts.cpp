@@ -1,0 +1,148 @@
+// Misinformation-campaign detection scenario from the paper's
+// introduction: coordinated campaigns "unfold in bursts over varying time
+// scales", and the burst windows are unknown in advance. This example
+// compares the exhaustive time-range k-core query against fixed-window
+// scanning, showing why enumerating ALL windows matters: fixed windows
+// systematically miss bursts that straddle their boundaries.
+//
+// It also demonstrates the lower-level two-phase API (explicit CoreTime
+// phase, then Enum over the skyline) for tooling that wants to reuse the
+// skyline across analyses.
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/enum_algorithm.h"
+#include "core/sinks.h"
+#include "datasets/generators.h"
+#include "graph/temporal_graph.h"
+#include "graph/window_peeler.h"
+#include "util/rng.h"
+#include "vct/vct_builder.h"
+
+namespace {
+
+using namespace tkc;
+
+constexpr uint32_t kAccounts = 500;
+constexpr uint32_t kMinutes = 2000;
+
+// Interaction network with one coordinated amplification burst placed to
+// straddle a fixed-window boundary.
+TemporalGraph BuildInteractionNetwork(std::vector<VertexId>* bot_ring,
+                                      Window* burst) {
+  Rng rng(99);
+  TemporalGraphBuilder builder;
+  builder.EnsureVertexCount(kAccounts);
+  for (uint32_t i = 0; i < 4000; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(kAccounts));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(kAccounts));
+    if (a == b) continue;
+    builder.AddEdge(a, b, 1 + rng.NextBounded(kMinutes));
+  }
+  // The bot ring: 10 accounts, pairwise interactions within 40 minutes
+  // centered on a 500-minute boundary (minutes 980..1020).
+  *burst = Window{980, 1020};
+  std::set<VertexId> ring;
+  while (ring.size() < 10) {
+    ring.insert(static_cast<VertexId>(rng.NextBounded(kAccounts)));
+  }
+  bot_ring->assign(ring.begin(), ring.end());
+  for (size_t i = 0; i < bot_ring->size(); ++i) {
+    for (size_t j = i + 1; j < bot_ring->size(); ++j) {
+      builder.AddEdge((*bot_ring)[i], (*bot_ring)[j],
+                      burst->start + rng.NextBounded(burst->Length()));
+    }
+  }
+  return std::move(builder.Build()).value();
+}
+
+bool ContainsRing(const TemporalGraph& g, const std::vector<bool>& in_core,
+                  const std::vector<VertexId>& ring) {
+  for (VertexId v : ring) {
+    if (!in_core[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<VertexId> bot_ring;
+  Window burst;
+  TemporalGraph graph = BuildInteractionNetwork(&bot_ring, &burst);
+  const uint32_t k = 8;
+  std::printf("interaction network: %u accounts, %u interactions over %u "
+              "minutes\n",
+              graph.num_vertices(), graph.num_edges(),
+              graph.num_timestamps());
+  std::printf("planted bot ring: %zu accounts active in minutes [%u..%u]\n\n",
+              bot_ring.size(), burst.start, burst.end);
+
+  // --- Fixed-window scan (what a naive pipeline would do). -------------
+  // Fixed windows can at best say "the ring is somewhere in this 500-minute
+  // block, mixed into whatever k-core the block happens to have"; they give
+  // no activity interval, and blocks missing part of the burst dilute it.
+  std::printf("fixed 500-minute window scan for %u-cores:\n", k);
+  for (Timestamp start = 1; start + 499 <= graph.num_timestamps();
+       start += 500) {
+    Window w{start, start + 499};
+    std::vector<bool> in_core = ComputeWindowCoreVertices(graph, k, w);
+    size_t core_size = 0;
+    for (bool b : in_core) core_size += b;
+    bool hit = ContainsRing(graph, in_core, bot_ring);
+    std::printf("  minutes [%4llu..%4llu]: %s (window core: %zu accounts, "
+                "no activity interval)\n",
+                static_cast<unsigned long long>(graph.RawTimestamp(w.start)),
+                static_cast<unsigned long long>(graph.RawTimestamp(w.end)),
+                hit ? "ring present" : "ring not visible", core_size);
+  }
+
+  // --- Exhaustive time-range query via the two-phase API. --------------
+  std::printf("\nexhaustive time-range %u-core enumeration:\n", k);
+  VctBuildResult built = BuildVctAndEcs(graph, k, graph.FullRange());
+  std::printf("  CoreTime phase: |VCT|=%llu, |ECS|=%llu\n",
+              static_cast<unsigned long long>(built.vct.size()),
+              static_cast<unsigned long long>(built.ecs.size()));
+  bool found = false;
+  Window detected{0, 0};
+  uint64_t cores_seen = 0;
+  CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
+    ++cores_seen;
+    // Only burst-scale cores are candidate campaigns; skipping long-TTI
+    // cores up front keeps the analysis cost proportional to the candidates
+    // rather than to |R|.
+    if (tti.Length() > 60) return;
+    std::set<VertexId> vertices;
+    for (EdgeId e : edges) {
+      vertices.insert(graph.edge(e).u);
+      vertices.insert(graph.edge(e).v);
+    }
+    bool all = true;
+    for (VertexId v : bot_ring) all &= vertices.count(v) > 0;
+    if (all && (!found || tti.Length() < detected.Length())) {
+      found = true;
+      detected = tti;
+    }
+  });
+  Status status = EnumerateFromEcs(built.ecs, &sink);
+  if (!status.ok()) {
+    std::fprintf(stderr, "enumeration failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("  %llu distinct cores enumerated\n",
+              static_cast<unsigned long long>(cores_seen));
+  if (found) {
+    std::printf(
+        "  -> bot ring DETECTED with tightest activity window minutes "
+        "[%llu..%llu] (planted: [%u..%u])\n",
+        static_cast<unsigned long long>(graph.RawTimestamp(detected.start)),
+        static_cast<unsigned long long>(graph.RawTimestamp(detected.end)),
+        burst.start, burst.end);
+  } else {
+    std::printf("  -> ring not detected (unexpected)\n");
+  }
+  return 0;
+}

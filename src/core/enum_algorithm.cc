@@ -1,0 +1,153 @@
+#include "core/enum_algorithm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+namespace {
+
+/// One minimal core window prepared for the linked-list scan.
+struct WindowNode {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  Timestamp active = 0;
+  EdgeId edge = 0;
+};
+
+}  // namespace
+
+Status EnumerateFromEcs(const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
+                        EnumStats* stats, const Deadline& deadline) {
+  const Window range = ecs.range();
+  const Timestamp ts_first = range.start;
+  const Timestamp ts_last = range.end;
+  const uint32_t t_slots = ts_last - ts_first + 1;
+
+  // ---- Prepare nodes: active times (Alg. 5 lines 1-4) + end-time sort. ----
+  const uint32_t n_windows = static_cast<uint32_t>(ecs.size());
+  std::vector<WindowNode> nodes;
+  nodes.reserve(n_windows);
+  ecs.ForEachWindow([&](EdgeId e, const Window& w) {
+    WindowNode node;
+    node.start = w.start;
+    node.end = w.end;
+    node.edge = e;
+    // Active time: Ts for the edge's first window, predecessor.start + 1
+    // afterwards (windows per edge arrive in increasing start order).
+    if (!nodes.empty() && nodes.back().edge == e) {
+      node.active = nodes.back().start + 1;
+    } else {
+      node.active = ts_first;
+    }
+    nodes.push_back(node);
+  });
+
+  // Counting sort by end time (Alg. 5 line 8) — keeps O(|ECS| + tmax).
+  std::vector<uint32_t> end_sorted(n_windows);
+  {
+    std::vector<uint32_t> count(t_slots + 1, 0);
+    for (const WindowNode& n : nodes) ++count[n.end - ts_first + 1];
+    for (uint32_t i = 1; i <= t_slots; ++i) count[i] += count[i - 1];
+    for (uint32_t i = 0; i < n_windows; ++i) {
+      end_sorted[count[nodes[i].end - ts_first]++] = i;
+    }
+  }
+
+  // Ba / Bs buckets (lines 5-11) as CSR over time slots, filled in
+  // end-sorted order so each bucket is itself end-sorted.
+  std::vector<uint32_t> ba_offsets(t_slots + 1, 0), ba_items(n_windows);
+  std::vector<uint32_t> bs_offsets(t_slots + 1, 0), bs_items(n_windows);
+  {
+    for (const WindowNode& n : nodes) {
+      ++ba_offsets[n.active - ts_first + 1];
+      ++bs_offsets[n.start - ts_first + 1];
+    }
+    for (uint32_t i = 1; i <= t_slots; ++i) {
+      ba_offsets[i] += ba_offsets[i - 1];
+      bs_offsets[i] += bs_offsets[i - 1];
+    }
+    std::vector<uint32_t> ba_cursor(ba_offsets.begin(), ba_offsets.end() - 1);
+    std::vector<uint32_t> bs_cursor(bs_offsets.begin(), bs_offsets.end() - 1);
+    for (uint32_t idx : end_sorted) {
+      ba_items[ba_cursor[nodes[idx].active - ts_first]++] = idx;
+      bs_items[bs_cursor[nodes[idx].start - ts_first]++] = idx;
+    }
+  }
+
+  // ---- Doubly linked list over node indices; sentinel head = n_windows. ----
+  const uint32_t kHead = n_windows;
+  const uint32_t kNil = n_windows + 1;
+  std::vector<uint32_t> next(n_windows + 2), prev(n_windows + 2);
+  next[kHead] = kNil;
+  prev[kHead] = kNil;
+
+  if (stats != nullptr) {
+    stats->windows = n_windows;
+    stats->peak_memory_bytes =
+        ApproxVectorBytes(nodes) + ApproxVectorBytes(end_sorted) +
+        ApproxVectorBytes(ba_offsets) + ApproxVectorBytes(ba_items) +
+        ApproxVectorBytes(bs_offsets) + ApproxVectorBytes(bs_items) +
+        ApproxVectorBytes(next) + ApproxVectorBytes(prev);
+  }
+
+  std::vector<EdgeId> accumulated;  // R of AS-Output, reused across starts
+
+  // ---- Main loop over start times (Alg. 5 lines 13-24). ----
+  for (Timestamp t = ts_first; t <= ts_last; ++t) {
+    if (deadline.Expired()) {
+      return Status::Timeout("Enum exceeded its deadline");
+    }
+    const uint32_t slot = t - ts_first;
+    // Delete windows whose start time has fallen behind (lines 14-16).
+    if (t > ts_first) {
+      for (uint32_t i = bs_offsets[slot - 1]; i < bs_offsets[slot]; ++i) {
+        uint32_t w = bs_items[i];
+        next[prev[w]] = next[w];
+        if (next[w] != kNil) prev[next[w]] = prev[w];
+        if (stats != nullptr) ++stats->list_deletions;
+      }
+    }
+    // Insert windows activating now, single forward cursor (lines 17-22).
+    {
+      uint32_t h = kHead;
+      for (uint32_t i = ba_offsets[slot]; i < ba_offsets[slot + 1]; ++i) {
+        uint32_t w = ba_items[i];
+        while (next[h] != kNil && nodes[next[h]].end < nodes[w].end) {
+          h = next[h];
+        }
+        // Insert w between h and next[h].
+        next[w] = next[h];
+        prev[w] = h;
+        if (next[h] != kNil) prev[next[h]] = w;
+        next[h] = w;
+        h = w;
+        if (stats != nullptr) ++stats->list_insertions;
+      }
+    }
+    // No minimal core window starts here => no TTI starts here (Lemma 4).
+    if (bs_offsets[slot] == bs_offsets[slot + 1]) continue;
+
+    // ---- AS-Output (Algorithm 4). ----
+    accumulated.clear();
+    bool valid = false;
+    for (uint32_t w = next[kHead]; w != kNil; w = next[w]) {
+      accumulated.push_back(nodes[w].edge);
+      if (nodes[w].start == t) valid = true;
+      if (!valid) continue;
+      uint32_t nxt = next[w];
+      if (nxt != kNil && nodes[nxt].end == nodes[w].end) continue;
+      sink->OnCore(Window{t, nodes[w].end}, accumulated);
+      if (stats != nullptr) {
+        ++stats->num_cores;
+        stats->result_size_edges += accumulated.size();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tkc

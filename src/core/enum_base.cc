@@ -1,0 +1,148 @@
+#include "core/enum_base.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+namespace {
+
+// Dedup table: 64-bit digest -> canonical edge lists with that digest
+// (kStoreFullCores) or bare digests (kFingerprintOnly).
+class DedupTable {
+ public:
+  explicit DedupTable(EnumBaseDedup mode) : mode_(mode) {}
+
+  // Returns true if the core is new (and records it).
+  bool Insert(const SetHash128& hash, std::span<const EdgeId> edges) {
+    uint64_t digest = hash.Digest64();
+    if (mode_ == EnumBaseDedup::kFingerprintOnly) {
+      auto [it, inserted] = seen_.try_emplace(digest);
+      (void)it;
+      return inserted;
+    }
+    std::vector<EdgeId> canonical(edges.begin(), edges.end());
+    std::sort(canonical.begin(), canonical.end());
+    auto [it, inserted] = full_.try_emplace(digest);
+    if (!inserted) {
+      for (const auto& existing : it->second) {
+        if (existing == canonical) return false;
+      }
+    }
+    stored_bytes_ += canonical.size() * sizeof(EdgeId);
+    it->second.push_back(std::move(canonical));
+    return true;
+  }
+
+  uint64_t ApproxBytes() const {
+    // Hash-table entry overhead estimated at 64 bytes per bucket entry.
+    if (mode_ == EnumBaseDedup::kFingerprintOnly) return seen_.size() * 64;
+    return full_.size() * 64 + stored_bytes_;
+  }
+
+ private:
+  EnumBaseDedup mode_;
+  std::unordered_map<uint64_t, char> seen_;
+  std::unordered_map<uint64_t, std::vector<std::vector<EdgeId>>> full_;
+  uint64_t stored_bytes_ = 0;
+};
+
+}  // namespace
+
+Status EnumerateFromEcsBase(const TemporalGraph& g,
+                            const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
+                            EnumBaseDedup dedup, EnumBaseStats* stats,
+                            const Deadline& deadline) {
+  const Window range = ecs.range();
+  const Timestamp ts_first = range.start;
+  const Timestamp ts_last = range.end;
+  const uint32_t t_slots = ts_last - ts_first + 1;
+
+  DedupTable table(dedup);
+
+  // Per-edge cursor into its skyline: first window with start >= ts. The
+  // cursor only moves forward as ts increases (skyline starts ascend).
+  const uint32_t n_edges = ecs.num_edges();
+  std::vector<uint32_t> cursor(n_edges, 0);
+
+  // B[te] buckets rebuilt per start time (Alg. 3 line 3), as CSR.
+  std::vector<uint32_t> bucket_count(t_slots + 1);
+  std::vector<uint32_t> bucket_offset(t_slots + 1);
+  std::vector<EdgeId> bucket_items;
+
+  std::vector<EdgeId> core_edges;  // the accumulated C of Alg. 3
+  uint64_t transient_peak = 0;
+
+  for (Timestamp ts = ts_first; ts <= ts_last; ++ts) {
+    if (deadline.Expired()) {
+      return Status::Timeout("EnumBase exceeded its deadline");
+    }
+    // ---- Bucket construction (lines 3-6). ----
+    std::fill(bucket_count.begin(), bucket_count.end(), 0);
+    for (uint32_t le = 0; le < n_edges; ++le) {
+      auto windows = ecs.WindowsOf(ecs.first_edge() + le);
+      uint32_t& c = cursor[le];
+      while (c < windows.size() && windows[c].start < ts) ++c;
+      if (c == windows.size()) continue;
+      ++bucket_count[windows[c].end - ts_first];
+    }
+    bucket_offset[0] = 0;
+    for (uint32_t i = 0; i < t_slots; ++i) {
+      bucket_offset[i + 1] = bucket_offset[i] + bucket_count[i];
+    }
+    bucket_items.resize(bucket_offset[t_slots]);
+    {
+      std::vector<uint32_t> fill(bucket_offset.begin(),
+                                 bucket_offset.end() - 1);
+      for (uint32_t le = 0; le < n_edges; ++le) {
+        auto windows = ecs.WindowsOf(ecs.first_edge() + le);
+        uint32_t c = cursor[le];
+        if (c == windows.size()) continue;
+        bucket_items[fill[windows[c].end - ts_first]++] =
+            ecs.first_edge() + le;
+      }
+    }
+
+    // ---- End-time sweep (lines 7-12). ----
+    core_edges.clear();
+    SetHash128 core_hash;
+    Window tti{kInfTime, 0};  // TTI = [min edge time, max edge time] of C
+    for (Timestamp te = ts; te <= ts_last; ++te) {
+      if (stats != nullptr) ++stats->windows_scanned;
+      uint32_t slot = te - ts_first;
+      if (bucket_offset[slot] == bucket_offset[slot + 1]) continue;  // line 9
+      for (uint32_t i = bucket_offset[slot]; i < bucket_offset[slot + 1];
+           ++i) {
+        EdgeId e = bucket_items[i];
+        core_edges.push_back(e);
+        core_hash.Add(e);
+        Timestamp et = g.edge(e).t;
+        tti.start = std::min(tti.start, et);
+        tti.end = std::max(tti.end, et);
+      }
+      if (!table.Insert(core_hash, core_edges)) {  // line 11
+        if (stats != nullptr) ++stats->duplicate_hits;
+        continue;
+      }
+      sink->OnCore(tti, core_edges);
+      if (stats != nullptr) {
+        ++stats->num_cores;
+        stats->result_size_edges += core_edges.size();
+      }
+    }
+    transient_peak = std::max(
+        transient_peak, ApproxVectorBytes(bucket_items) +
+                            ApproxVectorBytes(core_edges) +
+                            ApproxVectorBytes(bucket_count) * 2 +
+                            ApproxVectorBytes(cursor) + table.ApproxBytes());
+  }
+  if (stats != nullptr) stats->peak_memory_bytes = transient_peak;
+  return Status::OK();
+}
+
+}  // namespace tkc

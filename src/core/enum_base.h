@@ -1,0 +1,52 @@
+#ifndef TKC_CORE_ENUM_BASE_H_
+#define TKC_CORE_ENUM_BASE_H_
+
+#include <cstdint>
+
+#include "core/sinks.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+#include "util/timer.h"
+#include "vct/ecs.h"
+
+/// \file enum_base.h
+/// The paper's baseline EnumBase (Algorithm 3): for every start time ts,
+/// bucket each edge's first minimal core window with start >= ts by its end
+/// time (Lemma 3), then sweep end times accumulating the core and emit it
+/// unless an identical core was emitted before. The duplicate check uses a
+/// hash table over previously produced cores — O(tmax^2) window scans in
+/// the worst case, and memory grows with the number of distinct cores.
+
+namespace tkc {
+
+/// How EnumBase remembers previously emitted cores.
+enum class EnumBaseDedup {
+  /// Store each core's full canonical edge list (what the paper's baseline
+  /// does — this is why Figure 12 shows EnumBase as the most memory-hungry
+  /// algorithm). Collisions are resolved exactly.
+  kStoreFullCores,
+  /// Store only 128-bit fingerprints (ablation mode: trades certainty
+  /// ~2^-128 for memory).
+  kFingerprintOnly,
+};
+
+/// Counters reported by EnumBase.
+struct EnumBaseStats {
+  uint64_t num_cores = 0;
+  uint64_t result_size_edges = 0;   ///< |R|
+  uint64_t windows_scanned = 0;     ///< (ts, te) pairs visited
+  uint64_t duplicate_hits = 0;      ///< cores recomputed then discarded
+  uint64_t peak_memory_bytes = 0;   ///< logical bytes incl. the dedup table
+};
+
+/// Runs Algorithm 3 over a previously built skyline. `g` must be the graph
+/// the skyline was built from (it supplies edge timestamps for TTIs).
+Status EnumerateFromEcsBase(const TemporalGraph& g,
+                            const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
+                            EnumBaseDedup dedup = EnumBaseDedup::kStoreFullCores,
+                            EnumBaseStats* stats = nullptr,
+                            const Deadline& deadline = Deadline());
+
+}  // namespace tkc
+
+#endif  // TKC_CORE_ENUM_BASE_H_

@@ -1,0 +1,47 @@
+#include "core/naive_enumerator.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/window_peeler.h"
+#include "util/hash.h"
+
+namespace tkc {
+
+Status EnumerateNaive(const TemporalGraph& g, uint32_t k, Window range,
+                      CoreSink* sink, const Deadline& deadline) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (range.start < 1 || range.end > g.num_timestamps() ||
+      range.start > range.end) {
+    return Status::InvalidArgument("query range outside the graph's time span");
+  }
+
+  // digest -> canonical edge lists (exact collision resolution).
+  std::unordered_map<uint64_t, std::vector<std::vector<EdgeId>>> seen;
+
+  for (Timestamp ts = range.start; ts <= range.end; ++ts) {
+    if (deadline.Expired()) {
+      return Status::Timeout("naive enumeration exceeded its deadline");
+    }
+    for (Timestamp te = ts; te <= range.end; ++te) {
+      WindowCore core = ComputeWindowCore(g, k, Window{ts, te});
+      if (core.Empty()) continue;
+      SetHash128 h;
+      for (EdgeId e : core.edges) h.Add(e);
+      auto& bucket = seen[h.Digest64()];
+      bool duplicate = false;
+      for (const auto& existing : bucket) {
+        if (existing == core.edges) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bucket.push_back(core.edges);
+      sink->OnCore(core.tti, core.edges);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tkc

@@ -1,0 +1,27 @@
+#ifndef TKC_CORE_NAIVE_ENUMERATOR_H_
+#define TKC_CORE_NAIVE_ENUMERATOR_H_
+
+#include <cstdint>
+
+#include "core/sinks.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+/// \file naive_enumerator.h
+/// Ground-truth enumerator: peel the temporal k-core of every window
+/// [ts,te] within the query range from scratch and deduplicate by exact
+/// edge set. O(tmax^2 * m) — usable only on small inputs, but it depends on
+/// nothing except the peeler, so it is the oracle the whole test suite
+/// trusts. Emits cores with their exact TTI (min/max edge time).
+
+namespace tkc {
+
+/// Enumerates all distinct temporal k-cores of `g` within `range` by brute
+/// force. Returns InvalidArgument for k < 1 or a range outside the graph.
+Status EnumerateNaive(const TemporalGraph& g, uint32_t k, Window range,
+                      CoreSink* sink, const Deadline& deadline = Deadline());
+
+}  // namespace tkc
+
+#endif  // TKC_CORE_NAIVE_ENUMERATOR_H_

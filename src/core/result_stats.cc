@@ -1,0 +1,84 @@
+#include "core/result_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tkc {
+
+int Log2Histogram::BucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - __builtin_clzll(value);  // bucket b holds [2^(b-1), 2^b - 1]
+}
+
+void Log2Histogram::Add(uint64_t value) {
+  ++buckets_[BucketOf(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+uint64_t Log2Histogram::ApproxQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b <= 64; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      return b == 0 ? 0 : (b >= 64 ? ~0ULL : (1ULL << b) - 1);
+    }
+  }
+  return max_;
+}
+
+std::string Log2Histogram::ToString() const {
+  std::string out;
+  char line[96];
+  for (int b = 0; b <= 64; ++b) {
+    if (buckets_[b] == 0) continue;
+    uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
+    uint64_t hi = b == 0 ? 0 : (1ULL << b) - 1;
+    std::snprintf(line, sizeof(line), "  [%llu..%llu] %llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(buckets_[b]));
+    out += line;
+  }
+  return out;
+}
+
+Timestamp StatsSink::BusiestStart() const {
+  auto it = std::max_element(cores_per_start_.begin(), cores_per_start_.end());
+  if (it == cores_per_start_.end()) return range_.start;
+  return range_.start + static_cast<Timestamp>(it - cores_per_start_.begin());
+}
+
+std::string StatsSink::Report() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "cores: %llu, |R|: %llu edges, mean core size: %.1f, "
+                "p50 size <= %llu, max size: %llu\n",
+                static_cast<unsigned long long>(num_cores_),
+                static_cast<unsigned long long>(total_edges_),
+                core_size_.mean(),
+                static_cast<unsigned long long>(core_size_.ApproxQuantile(0.5)),
+                static_cast<unsigned long long>(core_size_.max()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "TTI length: mean %.1f, p50 <= %llu, max %llu; busiest start "
+                "time: %u\n",
+                tti_length_.mean(),
+                static_cast<unsigned long long>(
+                    tti_length_.ApproxQuantile(0.5)),
+                static_cast<unsigned long long>(tti_length_.max()),
+                BusiestStart());
+  out += buf;
+  out += "core size histogram (log2 buckets):\n";
+  out += core_size_.ToString();
+  return out;
+}
+
+}  // namespace tkc

@@ -1,0 +1,90 @@
+#ifndef TKC_CORE_RESULT_STATS_H_
+#define TKC_CORE_RESULT_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sinks.h"
+#include "util/common.h"
+
+/// \file result_stats.h
+/// Streaming summarization of an enumeration's result set. Real analyses
+/// over millions of cores (Figures 9-11 territory) cannot materialize
+/// results; this sink accumulates the distributions analysts actually look
+/// at — core sizes, TTI lengths, cores per start time — in O(1) memory per
+/// core.
+
+namespace tkc {
+
+/// Log2-bucketed histogram of uint64 samples.
+class Log2Histogram {
+ public:
+  void Add(uint64_t value);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Smallest v such that >= fraction q of samples are <= v, up to bucket
+  /// resolution (upper bucket bound).
+  uint64_t ApproxQuantile(double q) const;
+
+  /// One line per non-empty bucket: "[lo..hi] count".
+  std::string ToString() const;
+
+ private:
+  static int BucketOf(uint64_t value);
+
+  uint64_t buckets_[65] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+/// CoreSink computing result-set statistics without materialization.
+class StatsSink : public CoreSink {
+ public:
+  /// `range` is the query range (start-time slots for the per-start count).
+  explicit StatsSink(Window range)
+      : range_(range), cores_per_start_(range.Length(), 0) {}
+
+  void OnCore(Window tti, std::span<const EdgeId> edges) override {
+    ++num_cores_;
+    total_edges_ += edges.size();
+    core_size_.Add(edges.size());
+    tti_length_.Add(tti.Length());
+    ++cores_per_start_[tti.start - range_.start];
+  }
+
+  uint64_t num_cores() const { return num_cores_; }
+  uint64_t result_size_edges() const { return total_edges_; }
+  const Log2Histogram& core_size_histogram() const { return core_size_; }
+  const Log2Histogram& tti_length_histogram() const { return tti_length_; }
+  /// Cores whose TTI starts at each slot of the query range.
+  const std::vector<uint64_t>& cores_per_start() const {
+    return cores_per_start_;
+  }
+  /// Start time (absolute) with the most cores; range.start when empty.
+  Timestamp BusiestStart() const;
+
+  /// Multi-line human-readable report.
+  std::string Report() const;
+
+ private:
+  Window range_;
+  uint64_t num_cores_ = 0;
+  uint64_t total_edges_ = 0;
+  Log2Histogram core_size_;
+  Log2Histogram tti_length_;
+  std::vector<uint64_t> cores_per_start_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_CORE_RESULT_STATS_H_

@@ -1,0 +1,24 @@
+#include "core/sinks.h"
+
+#include <algorithm>
+
+namespace tkc {
+
+void CollectingSink::OnCore(Window tti, std::span<const EdgeId> edges) {
+  CoreResult r;
+  r.tti = tti;
+  r.edges.assign(edges.begin(), edges.end());
+  std::sort(r.edges.begin(), r.edges.end());
+  cores_.push_back(std::move(r));
+}
+
+void CollectingSink::SortCanonically() {
+  std::sort(cores_.begin(), cores_.end(),
+            [](const CoreResult& a, const CoreResult& b) {
+              if (a.tti.start != b.tti.start) return a.tti.start < b.tti.start;
+              if (a.tti.end != b.tti.end) return a.tti.end < b.tti.end;
+              return a.edges < b.edges;
+            });
+}
+
+}  // namespace tkc

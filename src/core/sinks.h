@@ -1,0 +1,122 @@
+#ifndef TKC_CORE_SINKS_H_
+#define TKC_CORE_SINKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file sinks.h
+/// Result consumers for temporal k-core enumeration. Every enumeration
+/// algorithm streams each *distinct* temporal k-core exactly once into a
+/// CoreSink; the sink decides whether to count, collect, fingerprint or
+/// forward it. Streaming keeps Enum's O(|R|) bound honest: the algorithm
+/// never stores the result set unless the sink chooses to.
+
+namespace tkc {
+
+/// One materialized temporal k-core.
+struct CoreResult {
+  /// The core's Tightest Time Interval W(C) (Definition 3).
+  Window tti;
+  /// Global EdgeIds of the core, sorted ascending (canonical form).
+  std::vector<EdgeId> edges;
+
+  friend bool operator==(const CoreResult& a, const CoreResult& b) {
+    return a.tti == b.tti && a.edges == b.edges;
+  }
+};
+
+/// Interface implemented by result consumers.
+///
+/// OnCore is called once per distinct temporal k-core with its TTI and edge
+/// set. The span is only valid during the call and its edge order is
+/// algorithm-specific (sinks needing a canonical form must sort a copy).
+class CoreSink {
+ public:
+  virtual ~CoreSink() = default;
+  virtual void OnCore(Window tti, std::span<const EdgeId> edges) = 0;
+};
+
+/// Counts cores and the total result size |R| (sum of core edge counts).
+class CountingSink : public CoreSink {
+ public:
+  void OnCore(Window tti, std::span<const EdgeId> edges) override {
+    (void)tti;
+    ++num_cores_;
+    total_edges_ += edges.size();
+    max_core_edges_ = std::max<uint64_t>(max_core_edges_, edges.size());
+  }
+
+  uint64_t num_cores() const { return num_cores_; }
+  /// The paper's |R|: total number of edges across all resulting cores.
+  uint64_t result_size_edges() const { return total_edges_; }
+  uint64_t max_core_edges() const { return max_core_edges_; }
+
+  void Reset() { num_cores_ = 0, total_edges_ = 0, max_core_edges_ = 0; }
+
+ private:
+  uint64_t num_cores_ = 0;
+  uint64_t total_edges_ = 0;
+  uint64_t max_core_edges_ = 0;
+};
+
+/// Materializes every core in canonical (sorted-edge) form.
+class CollectingSink : public CoreSink {
+ public:
+  void OnCore(Window tti, std::span<const EdgeId> edges) override;
+
+  const std::vector<CoreResult>& cores() const { return cores_; }
+  std::vector<CoreResult>& mutable_cores() { return cores_; }
+
+  /// Sorts collected cores by (tti.start, tti.end, edges) so two sinks
+  /// filled by different algorithms compare equal iff the result sets match.
+  void SortCanonically();
+
+ private:
+  std::vector<CoreResult> cores_;
+};
+
+/// Order-independent fingerprint of the *set of cores*, for cheap
+/// cross-algorithm equivalence checks on large results.
+class FingerprintSink : public CoreSink {
+ public:
+  void OnCore(Window tti, std::span<const EdgeId> edges) override {
+    SetHash128 core_hash;
+    core_hash.Add(HashCombine(tti.start, tti.end));
+    for (EdgeId e : edges) core_hash.Add(0x100000000ULL + e);
+    fingerprint_.Add(core_hash.Digest64());
+    ++num_cores_;
+    total_edges_ += edges.size();
+  }
+
+  uint64_t digest() const { return fingerprint_.Digest64(); }
+  uint64_t num_cores() const { return num_cores_; }
+  uint64_t result_size_edges() const { return total_edges_; }
+
+ private:
+  SetHash128 fingerprint_;
+  uint64_t num_cores_ = 0;
+  uint64_t total_edges_ = 0;
+};
+
+/// Adapts a lambda / std::function to the CoreSink interface.
+class CallbackSink : public CoreSink {
+ public:
+  using Callback = std::function<void(Window, std::span<const EdgeId>)>;
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+
+  void OnCore(Window tti, std::span<const EdgeId> edges) override {
+    cb_(tti, edges);
+  }
+
+ private:
+  Callback cb_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_CORE_SINKS_H_

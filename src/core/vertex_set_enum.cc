@@ -1,0 +1,22 @@
+#include "core/vertex_set_enum.h"
+
+#include "core/temporal_kcore.h"
+
+namespace tkc {
+
+StatusOr<std::vector<VertexSetResult>> EnumerateVertexSets(
+    const TemporalGraph& g, uint32_t k, Window range) {
+  std::vector<VertexSetResult> results;
+  VertexSetDedupSink sink(
+      g, [&](Window tti, std::span<const VertexId> vertices) {
+        VertexSetResult r;
+        r.tti = tti;
+        r.vertices.assign(vertices.begin(), vertices.end());
+        results.push_back(std::move(r));
+      });
+  Status status = RunTemporalKCoreQuery(g, k, range, &sink);
+  if (!status.ok()) return status;
+  return results;
+}
+
+}  // namespace tkc

@@ -1,0 +1,181 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tkc {
+
+TemporalGraph GenerateSynthetic(const SyntheticSpec& spec) {
+  TKC_CHECK_GE(spec.num_vertices, 4u);
+  TKC_CHECK_GE(spec.num_edges, 1u);
+  TKC_CHECK_GE(spec.num_timestamps, 1u);
+
+  Rng rng(spec.seed);
+  TemporalGraphBuilder builder;
+  builder.SetDeduplicateExact(true);
+  builder.EnsureVertexCount(spec.num_vertices);
+
+  // Degree-biased endpoint pool (classic preferential-attachment trick:
+  // every emitted endpoint is appended, so sampling the pool is sampling
+  // proportional to degree).
+  std::vector<VertexId> pool;
+  pool.reserve(spec.num_edges * 2);
+  // Emitted pairs, for recurring-interaction sampling.
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(spec.num_edges);
+
+  auto pick_endpoint = [&]() -> VertexId {
+    if (!pool.empty() && rng.NextBool(spec.pa_alpha)) {
+      return pool[rng.NextBounded(pool.size())];
+    }
+    return static_cast<VertexId>(rng.NextBounded(spec.num_vertices));
+  };
+
+  // Raw time of the i-th generated edge: edges are spread over
+  // [1, num_timestamps] in generation order (the graph "grows over time"),
+  // matching how interaction datasets are collected.
+  auto time_of = [&](uint32_t i) -> uint64_t {
+    return 1 + static_cast<uint64_t>(i) * spec.num_timestamps /
+                   std::max<uint32_t>(spec.num_edges, 1);
+  };
+
+  // A burst is a planted clique: `burst_group` random vertices pairwise
+  // connected within `burst_span` consecutive timestamps, guaranteeing a
+  // (group-1)-core confined to a short window — the fleeting cohesive
+  // subgraphs (misinformation bursts, outbreak clusters) the paper's
+  // motivating scenarios describe. The expected fraction of edges emitted
+  // through bursts is `burstiness`.
+  const uint32_t group = std::min<uint32_t>(
+      std::max<uint32_t>(spec.burst_group, 3),
+      std::max<uint32_t>(4, spec.num_vertices / 2));
+  const uint32_t clique_edges = group * (group - 1) / 2;
+  const double burst_open_prob =
+      spec.burstiness > 0 ? spec.burstiness / clique_edges : 0.0;
+
+  std::vector<VertexId> burst_members;
+  uint32_t emitted = 0;
+  while (emitted < spec.num_edges) {
+    const uint64_t now = time_of(emitted);
+    if (burst_open_prob > 0 && rng.NextBool(burst_open_prob) &&
+        spec.num_edges - emitted > clique_edges) {
+      // Emit a whole burst clique anchored at the current time.
+      burst_members.clear();
+      while (burst_members.size() < group) {
+        VertexId v = static_cast<VertexId>(rng.NextBounded(spec.num_vertices));
+        if (std::find(burst_members.begin(), burst_members.end(), v) ==
+            burst_members.end()) {
+          burst_members.push_back(v);
+        }
+      }
+      const uint32_t span = std::max<uint32_t>(spec.burst_span, 1);
+      for (size_t i = 0; i < burst_members.size(); ++i) {
+        for (size_t j = i + 1; j < burst_members.size(); ++j) {
+          uint64_t t = std::min<uint64_t>(now + rng.NextBounded(span),
+                                          spec.num_timestamps);
+          builder.AddEdge(burst_members[i], burst_members[j], t);
+          pairs.emplace_back(burst_members[i], burst_members[j]);
+          pool.push_back(burst_members[i]);
+          pool.push_back(burst_members[j]);
+          ++emitted;
+        }
+      }
+      continue;
+    }
+    VertexId u, v;
+    if (!pairs.empty() && rng.NextBool(spec.repeat_prob)) {
+      // Re-emit a previous pair at the current time. Sampling uniformly
+      // over emitted edges biases toward already-frequent pairs, matching
+      // the heavy-tailed contact frequencies of real interaction data.
+      auto [pu, pv] = pairs[rng.NextBounded(pairs.size())];
+      u = pu;
+      v = pv;
+    } else {
+      u = pick_endpoint();
+      v = pick_endpoint();
+      if (u == v) continue;  // AddEdge would drop it; retry without counting
+    }
+    builder.AddEdge(u, v, now);
+    pairs.emplace_back(u, v);
+    pool.push_back(u);
+    pool.push_back(v);
+    ++emitted;
+  }
+  auto graph = builder.Build();
+  TKC_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TemporalGraph GenerateUniformRandom(uint32_t num_vertices, uint32_t num_edges,
+                                    uint32_t num_timestamps, uint64_t seed) {
+  TKC_CHECK_GE(num_vertices, 2u);
+  TKC_CHECK_GE(num_edges, 1u);
+  TKC_CHECK_GE(num_timestamps, 1u);
+  Rng rng(seed);
+  TemporalGraphBuilder builder;
+  builder.EnsureVertexCount(num_vertices);
+  uint32_t emitted = 0;
+  while (emitted < num_edges) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    builder.AddEdge(u, v, 1 + rng.NextBounded(num_timestamps));
+    ++emitted;
+  }
+  auto graph = builder.Build();
+  TKC_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TemporalGraph GeneratePlantedClique(uint32_t num_vertices,
+                                    uint32_t clique_size, Window window,
+                                    uint32_t num_timestamps,
+                                    uint32_t noise_edges, uint64_t seed) {
+  TKC_CHECK_GE(clique_size, 3u);
+  TKC_CHECK_LE(clique_size, num_vertices);
+  TKC_CHECK(window.start >= 1 && window.start <= window.end &&
+            window.end <= num_timestamps);
+  Rng rng(seed);
+  TemporalGraphBuilder builder;
+  builder.EnsureVertexCount(num_vertices);
+  // Clique members are vertices 0..clique_size-1; each pair gets one edge
+  // at a uniform time inside the planted window.
+  for (VertexId u = 0; u < clique_size; ++u) {
+    for (VertexId v = u + 1; v < clique_size; ++v) {
+      builder.AddEdge(u, v,
+                      window.start + rng.NextBounded(window.Length()));
+    }
+  }
+  uint32_t emitted = 0;
+  while (emitted < noise_edges) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(num_vertices));
+    if (u == v) continue;
+    builder.AddEdge(u, v, 1 + rng.NextBounded(num_timestamps));
+    ++emitted;
+  }
+  auto graph = builder.Build();
+  TKC_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+TemporalGraph PaperExampleGraph() {
+  // Figure 1 / Table II edge list: (u, v, t) with vertices v1..v9 -> 1..9.
+  static constexpr struct {
+    VertexId u, v;
+    uint64_t t;
+  } kEdges[] = {
+      {2, 9, 1}, {1, 4, 2}, {2, 3, 2}, {1, 2, 3}, {2, 4, 3},
+      {3, 9, 4}, {4, 8, 4}, {1, 6, 5}, {1, 7, 5}, {2, 8, 5},
+      {6, 7, 5}, {1, 3, 6}, {3, 5, 6}, {1, 5, 7},
+  };
+  TemporalGraphBuilder builder;
+  builder.EnsureVertexCount(10);
+  for (const auto& e : kEdges) builder.AddEdge(e.u, e.v, e.t);
+  auto graph = builder.Build();
+  TKC_CHECK(graph.ok());
+  return std::move(graph).value();
+}
+
+}  // namespace tkc

@@ -1,0 +1,44 @@
+#ifndef TKC_DATASETS_REGISTRY_H_
+#define TKC_DATASETS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+/// \file registry.h
+/// The benchmark dataset registry: fourteen synthetic stand-ins mirroring
+/// the paper's Table III (FB, BO, CM, EM, MC, MO, AU, LR, EN, SU, WT, WK,
+/// PL, YT), scaled down ~100x so the whole evaluation reruns on a laptop.
+/// Each stand-in preserves its original's defining regime:
+///   * |E|/|V| ratio (which drives core density / kmax),
+///   * tmax relative to |E| — the axis the paper's analysis hinges on:
+///     FB..WT have tmax ≈ |E| (every edge its own timestamp) while WK, PL
+///     and YT have tmax ≪ |E| (hundreds to thousands of edges per
+///     timestamp),
+///   * burstiness, so that time-range queries contain temporal k-cores.
+/// A global size multiplier (--scale / TKC_SCALE) rescales every dataset.
+
+namespace tkc {
+
+/// Returns the specs of all fourteen Table III stand-ins at `scale` (1.0 =
+/// default laptop scale, ~0.01x of the paper's sizes).
+std::vector<SyntheticSpec> TableIIISpecs(double scale = 1.0);
+
+/// Returns the spec for one dataset by short name ("CM", "WT", ...).
+StatusOr<SyntheticSpec> SpecByName(const std::string& name,
+                                   double scale = 1.0);
+
+/// Generates the dataset by short name.
+StatusOr<TemporalGraph> GenerateByName(const std::string& name,
+                                       double scale = 1.0);
+
+/// The four datasets the paper's parameter sweeps use (Figures 7, 8, 10,
+/// 11): CollegeMsg, Email, WikiTalk, ProsperLoans.
+std::vector<std::string> SweepDatasetNames();
+
+}  // namespace tkc
+
+#endif  // TKC_DATASETS_REGISTRY_H_

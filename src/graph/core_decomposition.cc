@@ -1,0 +1,72 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+#include "util/bucket_queue.h"
+#include "util/check.h"
+
+namespace tkc {
+
+std::vector<VertexId> CoreDecompositionResult::KCoreVertices(
+    uint32_t k) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < core_numbers.size(); ++v) {
+    if (core_numbers[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+SimpleProjection BuildSimpleProjection(const TemporalGraph& g, Window window) {
+  // Collect undirected pairs in the window, dedup, expand to CSR.
+  auto edges = g.EdgesInWindow(window);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(edges.size());
+  for (const TemporalEdge& e : edges) pairs.emplace_back(e.u, e.v);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  SimpleProjection p;
+  p.num_vertices = g.num_vertices();
+  p.offsets.assign(p.num_vertices + 1, 0);
+  for (const auto& [u, v] : pairs) {
+    ++p.offsets[u + 1];
+    ++p.offsets[v + 1];
+  }
+  for (size_t i = 1; i < p.offsets.size(); ++i) {
+    p.offsets[i] += p.offsets[i - 1];
+  }
+  p.neighbors.resize(p.offsets.back());
+  std::vector<uint32_t> cursor(p.offsets.begin(), p.offsets.end() - 1);
+  for (const auto& [u, v] : pairs) {
+    p.neighbors[cursor[u]++] = v;
+    p.neighbors[cursor[v]++] = u;
+  }
+  return p;
+}
+
+CoreDecompositionResult DecomposeCores(const TemporalGraph& g, Window window) {
+  SimpleProjection p = BuildSimpleProjection(g, window);
+
+  std::vector<uint32_t> degrees(p.num_vertices);
+  for (VertexId v = 0; v < p.num_vertices; ++v) degrees[v] = p.Degree(v);
+
+  BucketQueue queue(degrees);
+  CoreDecompositionResult result;
+  result.core_numbers.assign(p.num_vertices, 0);
+
+  uint32_t current_core = 0;
+  while (!queue.Empty()) {
+    VertexId v = queue.PopMin();
+    current_core = std::max(current_core, queue.LastPoppedDegree());
+    result.core_numbers[v] = current_core;
+    for (VertexId w : p.NeighborsOf(v)) {
+      if (queue.Contains(w) && queue.DegreeOf(w) > current_core) {
+        queue.DecrementDegree(w);
+      }
+    }
+  }
+  result.kmax = current_core;
+  return result;
+}
+
+}  // namespace tkc

@@ -1,0 +1,59 @@
+#ifndef TKC_GRAPH_CORE_DECOMPOSITION_H_
+#define TKC_GRAPH_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/common.h"
+
+/// \file core_decomposition.h
+/// Classic O(m) core decomposition (Batagelj–Zaveršnik bucket peeling) of
+/// the *static simple projection* of a temporal graph over a time window:
+/// parallel temporal edges collapse to one static edge, and a vertex's degree
+/// counts distinct neighbors. Used to compute each dataset's `kmax` (Table
+/// III) and as the peeling substrate for OTCD and the reference enumerator.
+
+namespace tkc {
+
+/// Result of a core decomposition.
+struct CoreDecompositionResult {
+  /// core_number[v] = largest k such that v belongs to the k-core.
+  /// Vertices with no edge in the window have core number 0.
+  std::vector<uint32_t> core_numbers;
+  /// Maximum core number over all vertices (the paper's kmax).
+  uint32_t kmax = 0;
+
+  /// Vertices belonging to the k-core (core_number >= k), ascending.
+  std::vector<VertexId> KCoreVertices(uint32_t k) const;
+};
+
+/// Decomposes the simple projection of `g` over `window`.
+CoreDecompositionResult DecomposeCores(const TemporalGraph& g, Window window);
+
+/// Decomposes the simple projection of `g` over its full time range.
+inline CoreDecompositionResult DecomposeCores(const TemporalGraph& g) {
+  return DecomposeCores(g, g.FullRange());
+}
+
+/// A static simple graph distilled from a temporal window: CSR adjacency
+/// with parallel edges collapsed. Exposed for reuse by peeling routines.
+struct SimpleProjection {
+  VertexId num_vertices = 0;
+  std::vector<uint32_t> offsets;     // size n+1
+  std::vector<VertexId> neighbors;   // distinct neighbors per vertex
+
+  uint32_t Degree(VertexId u) const { return offsets[u + 1] - offsets[u]; }
+  std::span<const VertexId> NeighborsOf(VertexId u) const {
+    return {neighbors.data() + offsets[u], neighbors.data() + offsets[u + 1]};
+  }
+  /// Total directed adjacency entries (2x undirected simple edge count).
+  size_t NumDirectedEdges() const { return neighbors.size(); }
+};
+
+/// Builds the deduplicated static projection of `g` over `window`.
+SimpleProjection BuildSimpleProjection(const TemporalGraph& g, Window window);
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_CORE_DECOMPOSITION_H_

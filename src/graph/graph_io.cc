@@ -1,0 +1,120 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tkc {
+
+namespace {
+
+// Parses one whitespace-separated unsigned integer starting at *p; advances
+// *p past it. Returns false if no digits found.
+bool ParseU64(const char** p, const char* end, uint64_t* out) {
+  const char* s = *p;
+  while (s < end && (*s == ' ' || *s == '\t' || *s == '\r')) ++s;
+  if (s >= end || *s < '0' || *s > '9') return false;
+  uint64_t v = 0;
+  while (s < end && *s >= '0' && *s <= '9') {
+    v = v * 10 + static_cast<uint64_t>(*s - '0');
+    ++s;
+  }
+  *p = s;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<TemporalGraph> ParseSnapText(const std::string& text,
+                                      const SnapLoadOptions& options) {
+  TemporalGraphBuilder builder;
+  builder.SetDeduplicateExact(options.deduplicate_exact);
+
+  const char* p = text.data();
+  const char* end = p + text.size();
+  size_t line_no = 0;
+  while (p < end) {
+    ++line_no;
+    const char* line_end = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<size_t>(end - p)));
+    if (line_end == nullptr) line_end = end;
+    const char* cursor = p;
+    // Skip leading whitespace to find comments / blank lines.
+    while (cursor < line_end &&
+           (*cursor == ' ' || *cursor == '\t' || *cursor == '\r')) {
+      ++cursor;
+    }
+    if (cursor == line_end || *cursor == '#' || *cursor == '%') {
+      p = line_end + 1;
+      continue;
+    }
+    uint64_t u = 0, v = 0, t = 0;
+    bool ok = ParseU64(&cursor, line_end, &u) &&
+              ParseU64(&cursor, line_end, &v) &&
+              ParseU64(&cursor, line_end, &t);
+    if (!ok) {
+      if (options.strict) {
+        return Status::Corruption("malformed edge at line " +
+                                  std::to_string(line_no));
+      }
+      p = line_end + 1;
+      continue;
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      return Status::OutOfRange("vertex id exceeds 32 bits at line " +
+                                std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v), t);
+    p = line_end + 1;
+  }
+  if (builder.PendingEdges() == 0) {
+    return Status::InvalidArgument("no edges found in input");
+  }
+  return builder.Build();
+}
+
+StatusOr<TemporalGraph> LoadSnapFile(const std::string& path,
+                                     const SnapLoadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failure on '" + path + "'");
+  }
+  return ParseSnapText(buf.str(), options);
+}
+
+std::string ToSnapText(const TemporalGraph& g) {
+  std::string out;
+  out.reserve(static_cast<size_t>(g.num_edges()) * 16);
+  char line[64];
+  for (const TemporalEdge& e : g.edges()) {
+    int n = std::snprintf(line, sizeof(line), "%u %u %llu\n", e.u, e.v,
+                          static_cast<unsigned long long>(g.RawTimestamp(e.t)));
+    out.append(line, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+Status SaveSnapFile(const TemporalGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::string text = ToSnapText(g);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) {
+    return Status::IOError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace tkc

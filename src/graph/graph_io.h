@@ -1,0 +1,42 @@
+#ifndef TKC_GRAPH_GRAPH_IO_H_
+#define TKC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+/// \file graph_io.h
+/// Loading and saving temporal graphs in the SNAP temporal-network text
+/// format: one edge per line, `SRC DST UNIXTS` separated by whitespace
+/// (tabs or spaces), '#' and '%' lines are comments. This is the format of
+/// the paper's datasets (CollegeMsg.txt, email-Eu-core-temporal.txt, ...).
+
+namespace tkc {
+
+/// Options controlling parsing.
+struct SnapLoadOptions {
+  /// Merge edges identical in (u, v, t) (default on, matching the paper's
+  /// simple-graph-per-timestamp convention).
+  bool deduplicate_exact = true;
+  /// If true, lines with fewer than 3 fields are an error; otherwise skipped.
+  bool strict = true;
+};
+
+/// Parses a SNAP-format temporal edge list from a string.
+StatusOr<TemporalGraph> ParseSnapText(const std::string& text,
+                                      const SnapLoadOptions& options = {});
+
+/// Loads a SNAP-format temporal edge list from a file.
+StatusOr<TemporalGraph> LoadSnapFile(const std::string& path,
+                                     const SnapLoadOptions& options = {});
+
+/// Writes `g` in SNAP format (raw timestamps) to `path`.
+Status SaveSnapFile(const TemporalGraph& g, const std::string& path);
+
+/// Serializes `g` to SNAP text (raw timestamps).
+std::string ToSnapText(const TemporalGraph& g);
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_GRAPH_IO_H_

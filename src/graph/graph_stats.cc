@@ -1,0 +1,46 @@
+#include "graph/graph_stats.h"
+
+#include <cstdio>
+
+#include "graph/core_decomposition.h"
+
+namespace tkc {
+
+GraphStats ComputeGraphStats(const TemporalGraph& g) {
+  GraphStats s;
+  s.num_edges = g.num_edges();
+  s.num_timestamps = g.num_timestamps();
+
+  SimpleProjection p = BuildSimpleProjection(g, g.FullRange());
+  uint64_t active_vertices = 0;
+  uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < p.num_vertices; ++v) {
+    uint32_t d = p.Degree(v);
+    if (d > 0) {
+      ++active_vertices;
+      degree_sum += d;
+    }
+  }
+  s.num_vertices = active_vertices;
+  s.avg_degree =
+      active_vertices == 0
+          ? 0.0
+          : static_cast<double>(degree_sum) / static_cast<double>(active_vertices);
+
+  CoreDecompositionResult cores = DecomposeCores(g);
+  s.kmax = cores.kmax;
+  return s;
+}
+
+std::string FormatGraphStats(const std::string& name, const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: |V|=%llu |E|=%llu tmax=%llu kmax=%u avg_deg=%.2f",
+                name.c_str(), static_cast<unsigned long long>(s.num_vertices),
+                static_cast<unsigned long long>(s.num_edges),
+                static_cast<unsigned long long>(s.num_timestamps), s.kmax,
+                s.avg_degree);
+  return buf;
+}
+
+}  // namespace tkc

@@ -1,0 +1,34 @@
+#ifndef TKC_GRAPH_GRAPH_STATS_H_
+#define TKC_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/temporal_graph.h"
+#include "util/common.h"
+
+/// \file graph_stats.h
+/// Dataset statistics in the shape of the paper's Table III: |V|, |E|,
+/// tmax (distinct timestamps) and kmax (maximum core number of the static
+/// simple projection over the full time range).
+
+namespace tkc {
+
+/// Table III row for one dataset.
+struct GraphStats {
+  uint64_t num_vertices = 0;       // |V| counting only vertices with edges
+  uint64_t num_edges = 0;          // |E| temporal edges
+  uint64_t num_timestamps = 0;     // tmax
+  uint32_t kmax = 0;               // max core number
+  double avg_degree = 0.0;         // average distinct-neighbor degree
+};
+
+/// Computes full statistics (includes an O(m) core decomposition).
+GraphStats ComputeGraphStats(const TemporalGraph& g);
+
+/// One-line human-readable rendering.
+std::string FormatGraphStats(const std::string& name, const GraphStats& s);
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,152 @@
+#include "graph/temporal_graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+void TemporalGraphBuilder::AddEdge(VertexId u, VertexId v, uint64_t raw_time) {
+  if (u == v) return;  // self-loops never contribute a neighbor
+  if (u > v) std::swap(u, v);
+  raw_edges_.push_back(RawEdge{u, v, raw_time});
+}
+
+void TemporalGraphBuilder::EnsureVertexCount(VertexId n) {
+  min_vertex_count_ = std::max(min_vertex_count_, n);
+}
+
+StatusOr<TemporalGraph> TemporalGraphBuilder::Build() {
+  if (raw_edges_.empty()) {
+    return Status::InvalidArgument("temporal graph has no edges");
+  }
+
+  // 1. Compact timestamps: sorted distinct raw values -> 1..T.
+  std::vector<uint64_t> raw_times;
+  raw_times.reserve(raw_edges_.size());
+  for (const RawEdge& e : raw_edges_) raw_times.push_back(e.raw_t);
+  std::sort(raw_times.begin(), raw_times.end());
+  raw_times.erase(std::unique(raw_times.begin(), raw_times.end()),
+                  raw_times.end());
+
+  TemporalGraph g;
+  g.raw_of_compact_ = raw_times;
+
+  // 2. Materialize edges with compacted times; sort by (t, u, v).
+  g.edges_.reserve(raw_edges_.size());
+  VertexId max_vertex = 0;
+  for (const RawEdge& e : raw_edges_) {
+    auto it = std::lower_bound(raw_times.begin(), raw_times.end(), e.raw_t);
+    Timestamp t = static_cast<Timestamp>(it - raw_times.begin()) + 1;
+    g.edges_.push_back(TemporalEdge{e.u, e.v, t});
+    max_vertex = std::max(max_vertex, e.v);
+  }
+  raw_edges_.clear();
+  raw_edges_.shrink_to_fit();
+
+  std::sort(g.edges_.begin(), g.edges_.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  if (dedup_exact_) {
+    g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end()),
+                   g.edges_.end());
+  }
+  if (g.edges_.size() > static_cast<size_t>(kInvalidEdge)) {
+    return Status::OutOfRange("too many edges for 32-bit EdgeId");
+  }
+
+  g.num_vertices_ = std::max<VertexId>(max_vertex + 1, min_vertex_count_);
+
+  // 3. Per-timestamp offsets over the sorted edge array.
+  const Timestamp T = g.num_timestamps();
+  g.time_offsets_.assign(T + 2, 0);
+  for (const TemporalEdge& e : g.edges_) ++g.time_offsets_[e.t + 1];
+  for (size_t i = 1; i < g.time_offsets_.size(); ++i) {
+    g.time_offsets_[i] += g.time_offsets_[i - 1];
+  }
+
+  // 4. CSR adjacency sorted by (time, neighbor): two directed copies.
+  g.adj_offsets_.assign(g.num_vertices_ + 1, 0);
+  for (const TemporalEdge& e : g.edges_) {
+    ++g.adj_offsets_[e.u + 1];
+    ++g.adj_offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i < g.adj_offsets_.size(); ++i) {
+    g.adj_offsets_[i] += g.adj_offsets_[i - 1];
+  }
+  g.adj_.resize(g.adj_offsets_.back());
+  std::vector<uint32_t> cursor(g.adj_offsets_.begin(),
+                               g.adj_offsets_.end() - 1);
+  // Edges are already (t, u, v)-sorted, so appending in edge order leaves
+  // each vertex's slice sorted by time (ties by insertion order).
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const TemporalEdge& e = g.edges_[id];
+    g.adj_[cursor[e.u]++] = AdjEntry{e.v, e.t, id};
+    g.adj_[cursor[e.v]++] = AdjEntry{e.u, e.t, id};
+  }
+
+  return g;
+}
+
+std::pair<EdgeId, EdgeId> TemporalGraph::EdgeIdRangeAtTime(Timestamp t) const {
+  TKC_DCHECK(t >= 1 && t <= num_timestamps());
+  return {time_offsets_[t], time_offsets_[t + 1]};
+}
+
+std::span<const TemporalEdge> TemporalGraph::EdgesAtTime(Timestamp t) const {
+  auto [lo, hi] = EdgeIdRangeAtTime(t);
+  return {edges_.data() + lo, edges_.data() + hi};
+}
+
+std::pair<EdgeId, EdgeId> TemporalGraph::EdgeIdRangeInWindow(Window w) const {
+  if (w.start > w.end || w.start > num_timestamps()) return {0, 0};
+  Timestamp lo_t = std::max<Timestamp>(w.start, 1);
+  Timestamp hi_t = std::min<Timestamp>(w.end, num_timestamps());
+  if (lo_t > hi_t) return {0, 0};
+  return {time_offsets_[lo_t], time_offsets_[hi_t + 1]};
+}
+
+std::span<const TemporalEdge> TemporalGraph::EdgesInWindow(Window w) const {
+  auto [lo, hi] = EdgeIdRangeInWindow(w);
+  return {edges_.data() + lo, edges_.data() + hi};
+}
+
+std::span<const AdjEntry> TemporalGraph::Neighbors(VertexId u) const {
+  TKC_DCHECK(u < num_vertices_);
+  return {adj_.data() + adj_offsets_[u], adj_.data() + adj_offsets_[u + 1]};
+}
+
+std::span<const AdjEntry> TemporalGraph::NeighborsInWindow(VertexId u,
+                                                           Window w) const {
+  auto all = Neighbors(u);
+  auto lo = std::lower_bound(
+      all.begin(), all.end(), w.start,
+      [](const AdjEntry& a, Timestamp t) { return a.time < t; });
+  auto hi = std::upper_bound(
+      lo, all.end(), w.end,
+      [](Timestamp t, const AdjEntry& a) { return t < a.time; });
+  return {lo, hi};
+}
+
+uint64_t TemporalGraph::RawTimestamp(Timestamp t) const {
+  TKC_DCHECK(t >= 1 && t <= num_timestamps());
+  return raw_of_compact_[t - 1];
+}
+
+Timestamp TemporalGraph::CompactTimestampFloor(uint64_t raw) const {
+  auto it = std::upper_bound(raw_of_compact_.begin(), raw_of_compact_.end(),
+                             raw);
+  return static_cast<Timestamp>(it - raw_of_compact_.begin());
+}
+
+uint64_t TemporalGraph::MemoryUsageBytes() const {
+  return ApproxVectorBytes(edges_) + ApproxVectorBytes(time_offsets_) +
+         ApproxVectorBytes(adj_offsets_) + ApproxVectorBytes(adj_) +
+         ApproxVectorBytes(raw_of_compact_);
+}
+
+}  // namespace tkc

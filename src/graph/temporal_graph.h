@@ -1,0 +1,161 @@
+#ifndef TKC_GRAPH_TEMPORAL_GRAPH_H_
+#define TKC_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+/// \file temporal_graph.h
+/// The in-memory temporal graph: an undirected multigraph whose edges carry
+/// timestamps. This is the substrate every algorithm in the library runs on.
+///
+/// Representation (all built once by TemporalGraphBuilder::Build):
+///  * `edges_` — all temporal edges sorted by (time, u, v). EdgeId is the
+///    index into this array, so "the edges of window [ts,te]" is a contiguous
+///    span, recoverable in O(1) from `time_offsets_`.
+///  * per-vertex CSR adjacency sorted by time — "the neighbors of u within
+///    [ts,te]" is a contiguous slice found by binary search.
+///  * timestamps are compacted to `1..num_timestamps()` preserving order
+///    (the paper's convention); the raw values are retained for reporting.
+///
+/// Multi-edges: parallel edges (same endpoints, different timestamps) are
+/// first-class citizens — each is a distinct temporal edge with its own
+/// EdgeId, matching the "easily extended for multiple edges" remark in the
+/// paper. Exact duplicates (same endpoints AND timestamp) are deduplicated
+/// by default. Self-loops are dropped (they never contribute a neighbor).
+
+namespace tkc {
+
+/// One undirected temporal edge. Endpoints are normalized so u < v.
+struct TemporalEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Timestamp t = 0;
+
+  friend bool operator==(const TemporalEdge& a, const TemporalEdge& b) {
+    return a.u == b.u && a.v == b.v && a.t == b.t;
+  }
+};
+
+/// One entry of a vertex's time-sorted adjacency list.
+struct AdjEntry {
+  VertexId neighbor = 0;
+  Timestamp time = 0;
+  EdgeId edge = 0;
+};
+
+class TemporalGraph;
+
+/// Accumulates edges and produces an immutable TemporalGraph.
+class TemporalGraphBuilder {
+ public:
+  TemporalGraphBuilder() = default;
+
+  /// Adds one undirected edge with a *raw* (uncompacted) timestamp.
+  /// Orientation does not matter; self-loops are silently dropped.
+  void AddEdge(VertexId u, VertexId v, uint64_t raw_time);
+
+  /// Forces the vertex count to at least `n` (for graphs with isolated
+  /// vertices that never appear on an edge).
+  void EnsureVertexCount(VertexId n);
+
+  /// If true (default), edges identical in (u, v, raw_time) are merged.
+  void SetDeduplicateExact(bool dedup) { dedup_exact_ = dedup; }
+
+  /// Number of edges added so far (before dedup).
+  size_t PendingEdges() const { return raw_edges_.size(); }
+
+  /// Finalizes: compacts timestamps, sorts, builds CSR. The builder is left
+  /// empty and reusable. Fails if no edges were added.
+  StatusOr<TemporalGraph> Build();
+
+ private:
+  struct RawEdge {
+    VertexId u, v;
+    uint64_t raw_t;
+  };
+  std::vector<RawEdge> raw_edges_;
+  VertexId min_vertex_count_ = 0;
+  bool dedup_exact_ = true;
+};
+
+/// Immutable temporal graph. Copyable (it is a value type of plain vectors),
+/// but large instances should be passed by const reference.
+class TemporalGraph {
+ public:
+  TemporalGraph() = default;
+
+  // --- global shape ---------------------------------------------------
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+  /// Number of distinct (compacted) timestamps; timestamps run 1..this.
+  Timestamp num_timestamps() const {
+    return static_cast<Timestamp>(raw_of_compact_.size());
+  }
+  /// The full time range [1, num_timestamps()].
+  Window FullRange() const { return Window{1, num_timestamps()}; }
+
+  // --- edges ----------------------------------------------------------
+
+  const TemporalEdge& edge(EdgeId e) const { return edges_[e]; }
+  std::span<const TemporalEdge> edges() const { return edges_; }
+
+  /// Edges with compacted time exactly `t` (contiguous, possibly empty).
+  std::span<const TemporalEdge> EdgesAtTime(Timestamp t) const;
+
+  /// EdgeIds [first, last) of edges with time exactly `t`.
+  std::pair<EdgeId, EdgeId> EdgeIdRangeAtTime(Timestamp t) const;
+
+  /// All edges whose time lies in `[w.start, w.end]` (contiguous span).
+  std::span<const TemporalEdge> EdgesInWindow(Window w) const;
+
+  /// EdgeIds [first, last) of edges within the window.
+  std::pair<EdgeId, EdgeId> EdgeIdRangeInWindow(Window w) const;
+
+  // --- adjacency ------------------------------------------------------
+
+  /// All temporal adjacency entries of `u`, sorted by (time, neighbor).
+  std::span<const AdjEntry> Neighbors(VertexId u) const;
+
+  /// Adjacency entries of `u` whose edge time lies within `w`.
+  /// O(log deg(u)) to locate; the result is contiguous.
+  std::span<const AdjEntry> NeighborsInWindow(VertexId u, Window w) const;
+
+  /// Number of temporal adjacency entries of `u` (counts parallel edges).
+  uint32_t TemporalDegree(VertexId u) const {
+    return adj_offsets_[u + 1] - adj_offsets_[u];
+  }
+
+  // --- timestamps -----------------------------------------------------
+
+  /// Raw (original) timestamp value of compacted time `t` (1-based).
+  uint64_t RawTimestamp(Timestamp t) const;
+
+  /// Largest compacted timestamp whose raw value is <= `raw`, or 0 if all
+  /// raw timestamps exceed `raw`.
+  Timestamp CompactTimestampFloor(uint64_t raw) const;
+
+  // --- misc -----------------------------------------------------------
+
+  /// Approximate heap bytes held by this graph.
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  friend class TemporalGraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  std::vector<TemporalEdge> edges_;          // sorted by (t, u, v)
+  std::vector<uint32_t> time_offsets_;       // size T+2: first edge of each t
+  std::vector<uint32_t> adj_offsets_;        // size n+1
+  std::vector<AdjEntry> adj_;                // per-vertex, sorted by (t, nbr)
+  std::vector<uint64_t> raw_of_compact_;     // size T: raw value of t-1
+};
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_TEMPORAL_GRAPH_H_

@@ -1,0 +1,114 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+
+namespace tkc {
+
+namespace {
+
+// Shared core: rebuild a graph from a filtered edge set, optionally
+// relabeling vertices through `vertex_map` (kInvalidVertex = drop edge).
+StatusOr<ExtractedGraph> BuildFromEdges(
+    const TemporalGraph& g, EdgeId first, EdgeId last,
+    const std::vector<VertexId>* vertex_map,
+    const std::vector<VertexId>* source_vertex) {
+  TemporalGraphBuilder builder;
+  // Exact duplicates were already resolved (or deliberately kept) in the
+  // source; never re-deduplicate so edge multiplicity survives transforms.
+  builder.SetDeduplicateExact(false);
+  ExtractedGraph out;
+  for (EdgeId e = first; e < last; ++e) {
+    const TemporalEdge& edge = g.edge(e);
+    VertexId u = edge.u, v = edge.v;
+    if (vertex_map != nullptr) {
+      u = (*vertex_map)[edge.u];
+      v = (*vertex_map)[edge.v];
+      if (u == kInvalidVertex || v == kInvalidVertex) continue;
+    }
+    builder.AddEdge(u, v, g.RawTimestamp(edge.t));
+    out.source_edge.push_back(e);
+  }
+  auto built = builder.Build();
+  if (!built.ok()) {
+    return Status::InvalidArgument("extraction selects no edges");
+  }
+  out.graph = std::move(built).value();
+  if (source_vertex != nullptr) {
+    out.source_vertex = *source_vertex;
+  } else {
+    out.source_vertex.resize(out.graph.num_vertices());
+    for (VertexId v = 0; v < out.graph.num_vertices(); ++v) {
+      out.source_vertex[v] = v;
+    }
+  }
+  // The builder sorts by (time, u, v); the source edges were iterated in
+  // the same order and AddEdge preserves endpoints, so source_edge indexes
+  // align with derived EdgeIds as long as the relative order is stable.
+  // Builder sorting is stable for our insert order because we insert in
+  // (time, u, v) order already — except vertex relabeling can reorder
+  // (u, v) within a timestamp. Re-derive the mapping robustly instead.
+  if (vertex_map != nullptr) {
+    // Rebuild mapping: match derived edges to source edges by
+    // (raw time, relabeled endpoints) using a cursor per timestamp.
+    std::vector<std::pair<TemporalEdge, EdgeId>> sources;
+    sources.reserve(out.source_edge.size());
+    for (EdgeId e : out.source_edge) {
+      const TemporalEdge& edge = g.edge(e);
+      VertexId u = (*vertex_map)[edge.u], v = (*vertex_map)[edge.v];
+      if (u > v) std::swap(u, v);
+      sources.push_back({TemporalEdge{u, v, edge.t}, e});
+    }
+    std::sort(sources.begin(), sources.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first.t != b.first.t) return a.first.t < b.first.t;
+                if (a.first.u != b.first.u) return a.first.u < b.first.u;
+                if (a.first.v != b.first.v) return a.first.v < b.first.v;
+                return a.second < b.second;
+              });
+    std::vector<EdgeId> remapped(sources.size());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      remapped[i] = sources[i].second;
+    }
+    out.source_edge = std::move(remapped);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<ExtractedGraph> ExtractWindow(const TemporalGraph& g, Window window) {
+  if (window.start < 1 || window.start > window.end ||
+      window.end > g.num_timestamps()) {
+    return Status::InvalidArgument("window outside the graph's time span");
+  }
+  auto [first, last] = g.EdgeIdRangeInWindow(window);
+  if (first == last) {
+    return Status::InvalidArgument("window contains no edges");
+  }
+  return BuildFromEdges(g, first, last, nullptr, nullptr);
+}
+
+StatusOr<ExtractedGraph> InduceOnVertices(const TemporalGraph& g,
+                                          std::span<const VertexId> vertices) {
+  std::vector<VertexId> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::vector<VertexId> map(g.num_vertices(), kInvalidVertex);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= g.num_vertices()) {
+      return Status::InvalidArgument("vertex id outside the graph");
+    }
+    map[sorted[i]] = static_cast<VertexId>(i);
+  }
+  return BuildFromEdges(g, 0, g.num_edges(), &map, &sorted);
+}
+
+StatusOr<ExtractedGraph> CompactVertexIds(const TemporalGraph& g) {
+  std::vector<VertexId> active;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!g.Neighbors(v).empty()) active.push_back(v);
+  }
+  return InduceOnVertices(g, active);
+}
+
+}  // namespace tkc

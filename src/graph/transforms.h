@@ -1,0 +1,46 @@
+#ifndef TKC_GRAPH_TRANSFORMS_H_
+#define TKC_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+
+/// \file transforms.h
+/// Graph-to-graph transformations used by pipelines around the query
+/// engine: materializing a time window as a standalone graph (with the
+/// mapping back to the original), inducing on a vertex subset (e.g. an
+/// enumerated core's vertices for visualization), and relabeling vertices
+/// densely.
+
+namespace tkc {
+
+/// A derived graph plus the provenance mapping back to its source.
+struct ExtractedGraph {
+  TemporalGraph graph;
+  /// original EdgeId of each derived edge (index = derived EdgeId).
+  std::vector<EdgeId> source_edge;
+  /// original VertexId of each derived vertex (index = derived VertexId);
+  /// identity when vertices were not relabeled.
+  std::vector<VertexId> source_vertex;
+};
+
+/// Materializes the projected graph G[window] as a standalone graph with
+/// freshly compacted timestamps. Queries on the extract over its full range
+/// are equivalent to queries on the source over `window` (tested).
+/// Fails when the window contains no edges.
+StatusOr<ExtractedGraph> ExtractWindow(const TemporalGraph& g, Window window);
+
+/// Induces on a vertex subset: keeps edges with BOTH endpoints in
+/// `vertices`, relabels vertices densely in sorted order. Fails when the
+/// induced graph has no edges.
+StatusOr<ExtractedGraph> InduceOnVertices(const TemporalGraph& g,
+                                          std::span<const VertexId> vertices);
+
+/// Relabels vertices densely, dropping isolated ids (useful after loading
+/// SNAP files with sparse id spaces). Always succeeds on non-empty graphs.
+StatusOr<ExtractedGraph> CompactVertexIds(const TemporalGraph& g);
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_TRANSFORMS_H_

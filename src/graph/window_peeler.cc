@@ -1,0 +1,66 @@
+#include "graph/window_peeler.h"
+
+#include <algorithm>
+
+#include "graph/core_decomposition.h"
+#include "util/check.h"
+
+namespace tkc {
+
+std::vector<bool> ComputeWindowCoreVertices(const TemporalGraph& g, uint32_t k,
+                                            Window window) {
+  TKC_CHECK_GE(k, 1u);
+  SimpleProjection p = BuildSimpleProjection(g, window);
+
+  std::vector<uint32_t> degree(p.num_vertices);
+  std::vector<bool> alive(p.num_vertices, false);
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < p.num_vertices; ++v) {
+    degree[v] = p.Degree(v);
+    if (degree[v] > 0) alive[v] = true;
+    if (alive[v] && degree[v] < k) stack.push_back(v);
+  }
+  // Threshold peeling: repeatedly delete vertices with degree < k.
+  std::vector<bool> queued(p.num_vertices, false);
+  for (VertexId v : stack) queued[v] = true;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    if (!alive[v]) continue;
+    alive[v] = false;
+    for (VertexId w : p.NeighborsOf(v)) {
+      if (!alive[w]) continue;
+      if (--degree[w] < k && !queued[w]) {
+        queued[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return alive;
+}
+
+WindowCore ComputeWindowCore(const TemporalGraph& g, uint32_t k,
+                             Window window) {
+  WindowCore core;
+  core.in_core = ComputeWindowCoreVertices(g, k, window);
+
+  auto [first, last] = g.EdgeIdRangeInWindow(window);
+  for (EdgeId id = first; id < last; ++id) {
+    const TemporalEdge& e = g.edge(id);
+    if (core.in_core[e.u] && core.in_core[e.v]) {
+      core.edges.push_back(id);
+    }
+  }
+  if (!core.edges.empty()) {
+    core.tti.start = g.edge(core.edges.front()).t;
+    core.tti.end = g.edge(core.edges.back()).t;
+  } else {
+    // No edge survived: also clear any stray vertex flags (there can be
+    // none — a core vertex has k >= 1 surviving neighbors — but keep the
+    // representation canonical).
+    std::fill(core.in_core.begin(), core.in_core.end(), false);
+  }
+  return core;
+}
+
+}  // namespace tkc

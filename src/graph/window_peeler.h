@@ -1,0 +1,46 @@
+#ifndef TKC_GRAPH_WINDOW_PEELER_H_
+#define TKC_GRAPH_WINDOW_PEELER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/common.h"
+
+/// \file window_peeler.h
+/// From-scratch computation of the temporal k-core of a single window
+/// (Definition 2): peel vertices with fewer than k distinct neighbors in
+/// G[ts,te] until fixpoint; the core's edge set is every temporal edge of the
+/// window whose endpoints both survive. This is the ground-truth primitive
+/// behind the naive reference enumerator and many tests; OTCD uses its own
+/// incremental structures instead.
+
+namespace tkc {
+
+/// The temporal k-core of one window.
+struct WindowCore {
+  /// in_core[v] — vertex membership (size = num_vertices).
+  std::vector<bool> in_core;
+  /// Edge ids of the core, ascending (== sorted by time, then endpoints).
+  std::vector<EdgeId> edges;
+  /// The tightest time interval W(C): [min edge time, max edge time].
+  /// Undefined (Valid()==false) when the core is empty.
+  Window tti{0, 0};
+
+  bool Empty() const { return edges.empty(); }
+};
+
+/// Computes the temporal k-core of `g` restricted to `window`.
+/// `k` must be >= 1 (k=0 would make every vertex a core member and the
+/// problem degenerate; the public API validates this).
+WindowCore ComputeWindowCore(const TemporalGraph& g, uint32_t k,
+                             Window window);
+
+/// Computes only the vertex membership of the temporal k-core (cheaper when
+/// edges are not needed).
+std::vector<bool> ComputeWindowCoreVertices(const TemporalGraph& g, uint32_t k,
+                                            Window window);
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_WINDOW_PEELER_H_

@@ -1,0 +1,452 @@
+#include "otcd/otcd.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+namespace {
+
+uint64_t PairKeyOf(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Mutable core state for one row scan (copied from the row base).
+struct CoreState {
+  std::vector<uint8_t> in_core;   // per local vertex
+  std::vector<uint32_t> degree;   // distinct live neighbors, per local vertex
+  std::vector<uint32_t> pair_lo;  // first live index into pair_times
+  std::vector<uint32_t> pair_hi;  // one past last live index
+  std::vector<uint32_t> cnt_t;    // live edges per time slot
+  // Doubly linked list of live local edge ids in time order, so a core's
+  // edge set is emitted in O(|C|) (the paper's OTCD maintains the core
+  // subgraph explicitly). Sentinel head at index num_edges, nil after it.
+  std::vector<uint32_t> live_next;
+  std::vector<uint32_t> live_prev;
+  uint64_t num_live = 0;          // total live edges
+
+  uint64_t ApproxBytes() const {
+    return ApproxVectorBytes(in_core) + ApproxVectorBytes(degree) +
+           ApproxVectorBytes(pair_lo) + ApproxVectorBytes(pair_hi) +
+           ApproxVectorBytes(cnt_t) + ApproxVectorBytes(live_next) +
+           ApproxVectorBytes(live_prev) + sizeof(num_live);
+  }
+};
+
+// Immutable per-query context: local ids, pair structure, per-edge lookups.
+class OtcdContext {
+ public:
+  OtcdContext(const TemporalGraph& g, Window range) : g_(g), range_(range) {
+    std::tie(first_edge_, last_edge_) = g.EdgeIdRangeInWindow(range);
+    auto edges = g.EdgesInWindow(range);
+
+    // Local vertex ids.
+    verts_.reserve(edges.size() * 2);
+    for (const TemporalEdge& e : edges) {
+      verts_.push_back(e.u);
+      verts_.push_back(e.v);
+    }
+    std::sort(verts_.begin(), verts_.end());
+    verts_.erase(std::unique(verts_.begin(), verts_.end()), verts_.end());
+
+    // Pair ids.
+    std::vector<uint64_t> keys;
+    keys.reserve(edges.size());
+    for (const TemporalEdge& e : edges) keys.push_back(PairKeyOf(e.u, e.v));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    pair_keys_ = std::move(keys);
+
+    // Per-edge precomputed lookups.
+    const uint32_t m = num_edges();
+    edge_pair_.resize(m);
+    edge_lu_.resize(m);
+    edge_lv_.resize(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      const TemporalEdge& e = edges[i];
+      edge_pair_[i] = PairIdOf(e.u, e.v);
+      edge_lu_[i] = LocalOf(e.u);
+      edge_lv_[i] = LocalOf(e.v);
+    }
+
+    // Per-pair sorted time lists (edges arrive time-sorted, cursor fill
+    // keeps each pair's list ascending).
+    const uint32_t np = num_pairs();
+    pt_offsets_.assign(np + 1, 0);
+    for (uint32_t i = 0; i < m; ++i) ++pt_offsets_[edge_pair_[i] + 1];
+    for (uint32_t i = 1; i <= np; ++i) pt_offsets_[i] += pt_offsets_[i - 1];
+    pair_times_.resize(m);
+    pair_edge_.resize(m);
+    {
+      std::vector<uint32_t> cursor(pt_offsets_.begin(), pt_offsets_.end() - 1);
+      for (uint32_t i = 0; i < m; ++i) {
+        uint32_t p = edge_pair_[i];
+        pair_times_[cursor[p]] = edges[i].t;
+        pair_edge_[cursor[p]++] = first_edge_ + i;
+      }
+    }
+
+    // Per-pair endpoint local ids.
+    pair_lu_.resize(np);
+    pair_lv_.resize(np);
+    for (uint32_t p = 0; p < np; ++p) {
+      pair_lu_[p] = LocalOf(static_cast<VertexId>(pair_keys_[p] >> 32));
+      pair_lv_[p] = LocalOf(static_cast<VertexId>(pair_keys_[p] & 0xffffffffu));
+    }
+
+    // Per-vertex incident pair CSR.
+    vp_offsets_.assign(num_verts() + 1, 0);
+    for (uint32_t p = 0; p < np; ++p) {
+      ++vp_offsets_[pair_lu_[p] + 1];
+      ++vp_offsets_[pair_lv_[p] + 1];
+    }
+    for (size_t i = 1; i < vp_offsets_.size(); ++i) {
+      vp_offsets_[i] += vp_offsets_[i - 1];
+    }
+    vp_pair_.resize(vp_offsets_.back());
+    vp_other_.resize(vp_offsets_.back());
+    {
+      std::vector<uint32_t> cursor(vp_offsets_.begin(), vp_offsets_.end() - 1);
+      for (uint32_t p = 0; p < np; ++p) {
+        vp_pair_[cursor[pair_lu_[p]]] = p;
+        vp_other_[cursor[pair_lu_[p]]++] = pair_lv_[p];
+        vp_pair_[cursor[pair_lv_[p]]] = p;
+        vp_other_[cursor[pair_lv_[p]]++] = pair_lu_[p];
+      }
+    }
+  }
+
+  const TemporalGraph& graph() const { return g_; }
+  Window range() const { return range_; }
+  uint32_t num_verts() const { return static_cast<uint32_t>(verts_.size()); }
+  uint32_t num_pairs() const {
+    return static_cast<uint32_t>(pair_keys_.size());
+  }
+  uint32_t num_edges() const { return last_edge_ - first_edge_; }
+  EdgeId first_edge() const { return first_edge_; }
+
+  uint32_t LocalOf(VertexId v) const {
+    auto it = std::lower_bound(verts_.begin(), verts_.end(), v);
+    TKC_DCHECK(it != verts_.end() && *it == v);
+    return static_cast<uint32_t>(it - verts_.begin());
+  }
+  uint32_t PairIdOf(VertexId u, VertexId v) const {
+    auto it = std::lower_bound(pair_keys_.begin(), pair_keys_.end(),
+                               PairKeyOf(u, v));
+    TKC_DCHECK(it != pair_keys_.end());
+    return static_cast<uint32_t>(it - pair_keys_.begin());
+  }
+
+  // Per-edge lookups (edge id is LOCAL: global - first_edge).
+  uint32_t EdgePair(uint32_t le) const { return edge_pair_[le]; }
+  uint32_t EdgeLu(uint32_t le) const { return edge_lu_[le]; }
+  uint32_t EdgeLv(uint32_t le) const { return edge_lv_[le]; }
+
+  // Per-pair accessors.
+  uint32_t PairTimesBegin(uint32_t p) const { return pt_offsets_[p]; }
+  uint32_t PairTimesEnd(uint32_t p) const { return pt_offsets_[p + 1]; }
+  Timestamp PairTimeAt(uint32_t i) const { return pair_times_[i]; }
+  EdgeId PairEdgeAt(uint32_t i) const { return pair_edge_[i]; }
+  uint32_t PairLu(uint32_t p) const { return pair_lu_[p]; }
+  uint32_t PairLv(uint32_t p) const { return pair_lv_[p]; }
+
+  // Incident pairs of a local vertex.
+  std::pair<uint32_t, uint32_t> VertexPairRange(uint32_t lv) const {
+    return {vp_offsets_[lv], vp_offsets_[lv + 1]};
+  }
+  uint32_t IncidentPair(uint32_t i) const { return vp_pair_[i]; }
+  uint32_t IncidentOther(uint32_t i) const { return vp_other_[i]; }
+
+  uint64_t ApproxBytes() const {
+    return ApproxVectorBytes(verts_) + ApproxVectorBytes(pair_keys_) +
+           ApproxVectorBytes(edge_pair_) + ApproxVectorBytes(edge_lu_) +
+           ApproxVectorBytes(edge_lv_) + ApproxVectorBytes(pt_offsets_) +
+           ApproxVectorBytes(pair_times_) + ApproxVectorBytes(pair_edge_) +
+           ApproxVectorBytes(pair_lu_) + ApproxVectorBytes(pair_lv_) +
+           ApproxVectorBytes(vp_offsets_) + ApproxVectorBytes(vp_pair_) +
+           ApproxVectorBytes(vp_other_);
+  }
+
+ private:
+  const TemporalGraph& g_;
+  Window range_;
+  EdgeId first_edge_ = 0, last_edge_ = 0;
+  std::vector<VertexId> verts_;
+  std::vector<uint64_t> pair_keys_;
+  std::vector<uint32_t> edge_pair_, edge_lu_, edge_lv_;
+  std::vector<uint32_t> pt_offsets_;
+  std::vector<Timestamp> pair_times_;
+  std::vector<EdgeId> pair_edge_;
+  std::vector<uint32_t> pair_lu_, pair_lv_;
+  std::vector<uint32_t> vp_offsets_, vp_pair_, vp_other_;
+};
+
+// The peeler mutating a CoreState.
+class Peeler {
+ public:
+  Peeler(const OtcdContext& ctx, uint32_t k) : ctx_(ctx), k_(k) {}
+
+  // Unlinks a local edge id from the live-edge list.
+  void UnlinkEdge(CoreState* s, uint32_t le) {
+    s->live_next[s->live_prev[le]] = s->live_next[le];
+    uint32_t nxt = s->live_next[le];
+    if (nxt != ctx_.num_edges() + 1) s->live_prev[nxt] = s->live_prev[le];
+  }
+
+  // Kills pair p's remaining live edges (updates cnt_t / num_live / list).
+  void KillPairEdges(CoreState* s, uint32_t p) {
+    for (uint32_t i = s->pair_lo[p]; i < s->pair_hi[p]; ++i) {
+      --s->cnt_t[ctx_.PairTimeAt(i) - ctx_.range().start];
+      --s->num_live;
+      UnlinkEdge(s, ctx_.PairEdgeAt(i) - ctx_.first_edge());
+    }
+    s->pair_hi[p] = s->pair_lo[p];
+  }
+
+  void MaybeEnqueue(CoreState* s, uint32_t lv) {
+    if (s->in_core[lv] && s->degree[lv] < k_) stack_.push_back(lv);
+  }
+
+  // Cascade-removes every queued vertex with degree < k.
+  void Cascade(CoreState* s) {
+    while (!stack_.empty()) {
+      uint32_t lu = stack_.back();
+      stack_.pop_back();
+      if (!s->in_core[lu] || s->degree[lu] >= k_) continue;
+      s->in_core[lu] = 0;
+      auto [b, e] = ctx_.VertexPairRange(lu);
+      for (uint32_t i = b; i < e; ++i) {
+        uint32_t p = ctx_.IncidentPair(i);
+        if (s->pair_lo[p] == s->pair_hi[p]) continue;  // already dead
+        KillPairEdges(s, p);
+        uint32_t lw = ctx_.IncidentOther(i);
+        if (s->in_core[lw]) {
+          --s->degree[lw];
+          MaybeEnqueue(s, lw);
+        }
+      }
+    }
+  }
+
+  // Deletes all window edges timestamped `t`, from the right (t is the
+  // current maximum live time) or the left (t is the minimum); then peels.
+  enum class Side { kRight, kLeft };
+  void DeleteEdgesAtTime(CoreState* s, Timestamp t, Side side) {
+    auto [lo, hi] = ctx_.graph().EdgeIdRangeAtTime(t);
+    for (EdgeId e = lo; e < hi; ++e) {
+      uint32_t le = e - ctx_.first_edge();
+      uint32_t p = ctx_.EdgePair(le);
+      if (s->pair_lo[p] == s->pair_hi[p]) continue;  // pair already dead
+      // Unlink by slice position (not by `le`): with exact-duplicate edges
+      // several ids share (u,v,t), and the slice position is what uniquely
+      // identifies the live instance being removed.
+      if (side == Side::kRight) {
+        TKC_DCHECK(ctx_.PairTimeAt(s->pair_hi[p] - 1) == t);
+        --s->pair_hi[p];
+        UnlinkEdge(s, ctx_.PairEdgeAt(s->pair_hi[p]) - ctx_.first_edge());
+      } else {
+        TKC_DCHECK(ctx_.PairTimeAt(s->pair_lo[p]) == t);
+        UnlinkEdge(s, ctx_.PairEdgeAt(s->pair_lo[p]) - ctx_.first_edge());
+        ++s->pair_lo[p];
+      }
+      --s->cnt_t[t - ctx_.range().start];
+      --s->num_live;
+      if (s->pair_lo[p] == s->pair_hi[p]) {
+        uint32_t lu = ctx_.EdgeLu(le), lv = ctx_.EdgeLv(le);
+        TKC_DCHECK(s->in_core[lu] && s->in_core[lv]);
+        --s->degree[lu];
+        --s->degree[lv];
+        MaybeEnqueue(s, lu);
+        MaybeEnqueue(s, lv);
+      }
+    }
+    Cascade(s);
+  }
+
+  // Builds the base core of the widest window [range.start, range.end].
+  void InitializeBase(CoreState* s) {
+    const Window range = ctx_.range();
+    const uint32_t nv = ctx_.num_verts();
+    const uint32_t np = ctx_.num_pairs();
+    s->in_core.assign(nv, 1);
+    s->degree.assign(nv, 0);
+    s->pair_lo.resize(np);
+    s->pair_hi.resize(np);
+    for (uint32_t p = 0; p < np; ++p) {
+      s->pair_lo[p] = ctx_.PairTimesBegin(p);
+      s->pair_hi[p] = ctx_.PairTimesEnd(p);
+      ++s->degree[ctx_.PairLu(p)];
+      ++s->degree[ctx_.PairLv(p)];
+    }
+    s->cnt_t.assign(range.end - range.start + 1, 0);
+    s->num_live = ctx_.num_edges();
+    for (uint32_t le = 0; le < ctx_.num_edges(); ++le) {
+      ++s->cnt_t[ctx_.graph().edge(ctx_.first_edge() + le).t - range.start];
+    }
+    // Live-edge list: all window edges in id (== time) order.
+    const uint32_t m = ctx_.num_edges();
+    const uint32_t head = m, nil = m + 1;
+    s->live_next.resize(m + 2);
+    s->live_prev.resize(m + 2);
+    for (uint32_t le = 0; le < m; ++le) {
+      s->live_next[le] = le + 1 < m ? le + 1 : nil;
+      s->live_prev[le] = le > 0 ? le - 1 : head;
+    }
+    s->live_next[head] = m > 0 ? 0 : nil;
+    s->live_prev[head] = nil;
+    for (uint32_t lv = 0; lv < nv; ++lv) MaybeEnqueue(s, lv);
+    Cascade(s);
+  }
+
+ private:
+  const OtcdContext& ctx_;
+  const uint32_t k_;
+  std::vector<uint32_t> stack_;
+};
+
+// Sorted, merged pruned-interval list for one row.
+class PrunedRow {
+ public:
+  explicit PrunedRow(std::vector<std::pair<Timestamp, Timestamp>> raw) {
+    std::sort(raw.begin(), raw.end());
+    for (const auto& iv : raw) {
+      if (!merged_.empty() && iv.first <= merged_.back().second + 1) {
+        merged_.back().second = std::max(merged_.back().second, iv.second);
+      } else {
+        merged_.push_back(iv);
+      }
+    }
+  }
+
+  bool Contains(Timestamp t) const {
+    auto it = std::upper_bound(
+        merged_.begin(), merged_.end(), t,
+        [](Timestamp x, const auto& iv) { return x < iv.first; });
+    return it != merged_.begin() && (it - 1)->second >= t;
+  }
+
+ private:
+  std::vector<std::pair<Timestamp, Timestamp>> merged_;
+};
+
+}  // namespace
+
+Status RunOtcd(const TemporalGraph& g, uint32_t k, Window range,
+               CoreSink* sink, const OtcdOptions& options, OtcdStats* stats) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (range.start < 1 || range.end > g.num_timestamps() ||
+      range.start > range.end) {
+    return Status::InvalidArgument("query range outside the graph's time span");
+  }
+  if (sink == nullptr) return Status::InvalidArgument("sink must not be null");
+
+  auto [first_edge, last_edge] = g.EdgeIdRangeInWindow(range);
+  if (first_edge == last_edge) return Status::OK();  // empty window
+
+  OtcdContext ctx(g, range);
+  Peeler peeler(ctx, k);
+
+  CoreState base;
+  peeler.InitializeBase(&base);
+
+  const uint32_t t_slots = range.end - range.start + 1;
+  // Pruned intervals per row, appended by earlier rows' rectangles.
+  std::vector<std::vector<std::pair<Timestamp, Timestamp>>> pruned_raw(
+      t_slots);
+  uint64_t pruned_marks_bytes = 0;
+
+  // Dedup fingerprints of emitted cores.
+  std::unordered_set<uint64_t> emitted;
+
+  std::vector<EdgeId> out_edges;
+  CoreState work;
+  uint64_t peak_bytes = ctx.ApproxBytes() + base.ApproxBytes();
+
+  for (Timestamp ts = range.start; ts <= range.end; ++ts) {
+    if (options.deadline.Expired()) {
+      return Status::Timeout("OTCD exceeded its deadline");
+    }
+    // Advance the row base to the core of [ts, range.end].
+    if (ts > range.start) {
+      peeler.DeleteEdgesAtTime(&base, ts - 1, Peeler::Side::kLeft);
+    }
+    if (base.num_live == 0) break;  // all narrower windows are empty too
+
+    PrunedRow pruned(std::move(pruned_raw[ts - range.start]));
+    pruned_raw[ts - range.start].clear();
+
+    work = base;  // row working copy
+    peak_bytes = std::max(
+        peak_bytes, ctx.ApproxBytes() + base.ApproxBytes() +
+                        work.ApproxBytes() + pruned_marks_bytes +
+                        emitted.size() * 16);
+
+    Timestamp te = range.end;
+    Timestamp min_t = ts, max_t = te;
+    while (work.num_live > 0) {
+      if (stats != nullptr) ++stats->cells_visited;
+      // TTI of the current core: [min live time, max live time].
+      while (work.cnt_t[max_t - range.start] == 0) --max_t;
+      while (work.cnt_t[min_t - range.start] == 0) ++min_t;
+      const Window tti{min_t, max_t};
+      if (stats != nullptr) stats->cells_skipped_by_por += te - max_t;
+
+      bool suppressed = false;
+      if (options.cross_row_pruning && pruned.Contains(max_t)) {
+        suppressed = true;  // rectangle of an earlier row covers this core
+        if (stats != nullptr) ++stats->outputs_pruned;
+      }
+      if (!suppressed) {
+        // Materialize the core: walk the live-edge list, O(|C|).
+        out_edges.clear();
+        SetHash128 h;
+        const uint32_t nil = ctx.num_edges() + 1;
+        for (uint32_t le = work.live_next[ctx.num_edges()]; le != nil;
+             le = work.live_next[le]) {
+          EdgeId e = ctx.first_edge() + le;
+          out_edges.push_back(e);
+          h.Add(e);
+        }
+        TKC_DCHECK(out_edges.size() == work.num_live);
+        if (emitted.insert(h.Digest64()).second) {
+          sink->OnCore(tti, out_edges);
+          if (stats != nullptr) {
+            ++stats->num_cores;
+            stats->result_size_edges += out_edges.size();
+          }
+        } else if (stats != nullptr) {
+          ++stats->duplicate_hits;
+        }
+      }
+      // Cross-row rectangle marks: rows (ts, tti.start] share this core on
+      // end times [tti.end, te].
+      if (options.cross_row_pruning && tti.start > ts) {
+        for (Timestamp r = ts + 1; r <= tti.start; ++r) {
+          pruned_raw[r - range.start].emplace_back(tti.end, te);
+          pruned_marks_bytes += sizeof(std::pair<Timestamp, Timestamp>);
+        }
+      }
+      // PoR: all end times in [tti.end, te] share this core; the next
+      // distinct core needs te < tti.end.
+      if (tti.end <= ts) break;  // cannot shrink below the start time
+      peeler.DeleteEdgesAtTime(&work, tti.end, Peeler::Side::kRight);
+      te = tti.end - 1;
+      max_t = std::min(max_t, te);
+      if (min_t > max_t) break;
+    }
+  }
+  if (stats != nullptr) {
+    stats->peak_memory_bytes =
+        std::max(peak_bytes, ctx.ApproxBytes() + base.ApproxBytes() +
+                                 work.ApproxBytes() + pruned_marks_bytes +
+                                 emitted.size() * 16);
+  }
+  return Status::OK();
+}
+
+}  // namespace tkc

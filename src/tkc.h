@@ -1,0 +1,49 @@
+#ifndef TKC_TKC_H_
+#define TKC_TKC_H_
+
+/// \file tkc.h
+/// Umbrella header for the tkc library: temporal k-core enumeration
+/// (EDBT'26 "Accelerating K-Core Computation in Temporal Graphs") plus the
+/// substrates it is built on. Include this for everything, or pick the
+/// individual headers below to keep compile times down.
+
+// Foundation.
+#include "util/common.h"     // VertexId / EdgeId / Timestamp / Window
+#include "util/status.h"     // Status / StatusOr
+#include "util/timer.h"      // WallTimer / Deadline
+
+// Temporal graph substrate.
+#include "graph/temporal_graph.h"     // TemporalGraph + builder
+#include "graph/graph_io.h"           // SNAP-format load/save
+#include "graph/core_decomposition.h" // static core numbers / kmax
+#include "graph/window_peeler.h"      // single-window temporal k-core
+#include "graph/graph_stats.h"        // Table III statistics
+#include "graph/transforms.h"         // window extraction / induction
+
+// CoreTime phase: indexes.
+#include "vct/vct_index.h"        // Vertex Core Time index (VCT)
+#include "vct/ecs.h"              // Edge Core Window Skyline (ECS)
+#include "vct/vct_builder.h"      // efficient builder (Algorithm 2)
+#include "vct/naive_vct_builder.h"// reference builder + core-time sweep
+#include "vct/historical_core.h"  // single-window queries from the indexes
+#include "vct/phc_index.h"        // multi-k PHC index
+#include "vct/index_io.h"         // index (de)serialization
+
+// Enumeration phase.
+#include "core/sinks.h"            // CoreSink and implementations
+#include "core/enum_algorithm.h"   // Enum (Algorithm 5 + AS-Output)
+#include "core/enum_base.h"        // EnumBase (Algorithm 3)
+#include "core/naive_enumerator.h" // brute-force oracle
+#include "core/temporal_kcore.h"   // one-call public API
+#include "core/vertex_set_enum.h"  // vertex-set enumeration extension
+#include "core/result_stats.h"     // streaming result summarization
+
+// Baseline.
+#include "otcd/otcd.h"  // OTCD (Algorithm 1, VLDB'23 state of the art)
+
+// Evaluation support.
+#include "datasets/generators.h"      // synthetic temporal graphs
+#include "datasets/registry.h"        // Table III stand-ins
+#include "workload/query_workload.h"  // paper-protocol workloads
+
+#endif  // TKC_TKC_H_

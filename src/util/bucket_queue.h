@@ -1,0 +1,119 @@
+#ifndef TKC_UTIL_BUCKET_QUEUE_H_
+#define TKC_UTIL_BUCKET_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/common.h"
+
+/// \file bucket_queue.h
+/// The classic O(n + m) bucket structure behind linear-time core
+/// decomposition (Batagelj & Zaveršnik). Vertices are kept sorted by their
+/// current degree in a flat array with per-degree bucket boundaries; a degree
+/// decrement is an O(1) swap of the vertex to the front of its bucket.
+
+namespace tkc {
+
+/// Degree-bucketed vertex ordering for peeling algorithms.
+///
+/// Usage:
+///   BucketQueue q(degrees);
+///   while (!q.Empty()) {
+///     VertexId v = q.PopMin();             // vertex of minimum degree
+///     for (neighbor w of v still in q) q.DecrementDegree(w);
+///   }
+class BucketQueue {
+ public:
+  /// Builds the structure over all vertices `0..degrees.size()-1`.
+  explicit BucketQueue(const std::vector<uint32_t>& degrees) {
+    Reset(degrees);
+  }
+
+  BucketQueue() = default;
+
+  /// Rebuilds over a fresh degree array (counting sort, O(n + max_degree)).
+  void Reset(const std::vector<uint32_t>& degrees) {
+    const size_t n = degrees.size();
+    degree_.assign(degrees.begin(), degrees.end());
+    uint32_t max_degree = 0;
+    for (uint32_t d : degrees) max_degree = std::max(max_degree, d);
+    bucket_start_.assign(max_degree + 2, 0);
+    for (uint32_t d : degrees) ++bucket_start_[d + 1];
+    for (size_t i = 1; i < bucket_start_.size(); ++i) {
+      bucket_start_[i] += bucket_start_[i - 1];
+    }
+    order_.resize(n);
+    position_.resize(n);
+    std::vector<uint32_t> cursor(bucket_start_.begin(),
+                                 bucket_start_.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      uint32_t pos = cursor[degrees[v]]++;
+      order_[pos] = v;
+      position_[v] = pos;
+    }
+    head_ = 0;
+  }
+
+  bool Empty() const { return head_ >= order_.size(); }
+
+  /// Number of vertices still enqueued.
+  size_t Size() const { return order_.size() - head_; }
+
+  /// Degree of the minimum-degree vertex currently enqueued.
+  uint32_t MinDegree() const {
+    TKC_DCHECK(!Empty());
+    return degree_[order_[head_]];
+  }
+
+  /// Removes and returns a vertex of minimum current degree.
+  VertexId PopMin() {
+    TKC_DCHECK(!Empty());
+    VertexId v = order_[head_];
+    ++head_;
+    popped_degree_ = degree_[v];
+    return v;
+  }
+
+  /// Degree value the most recent PopMin() returned its vertex with.
+  uint32_t LastPoppedDegree() const { return popped_degree_; }
+
+  /// True iff `v` has not been popped yet.
+  bool Contains(VertexId v) const { return position_[v] >= head_; }
+
+  uint32_t DegreeOf(VertexId v) const { return degree_[v]; }
+
+  /// Decrements the degree of an enqueued vertex by one, in O(1).
+  /// The vertex must still be in the queue and have degree > the degree of
+  /// the last popped vertex is NOT required — clamping at the current
+  /// minimum keeps the peel order correct (standard core-decomposition trick).
+  void DecrementDegree(VertexId v) {
+    TKC_DCHECK(Contains(v));
+    uint32_t d = degree_[v];
+    if (d == 0) return;
+    // Swap v with the first vertex of its bucket, then shrink the bucket.
+    uint32_t bucket_first =
+        std::max(bucket_start_[d], static_cast<uint32_t>(head_));
+    VertexId other = order_[bucket_first];
+    uint32_t pv = position_[v];
+    order_[bucket_first] = v;
+    order_[pv] = other;
+    position_[v] = bucket_first;
+    position_[other] = pv;
+    bucket_start_[d] = bucket_first + 1;
+    degree_[v] = d - 1;
+  }
+
+ private:
+  std::vector<uint32_t> degree_;        // current degree per vertex
+  std::vector<uint32_t> bucket_start_;  // first order_ index of each degree
+  std::vector<VertexId> order_;         // vertices sorted by current degree
+  std::vector<uint32_t> position_;      // inverse of order_
+  size_t head_ = 0;                     // first not-yet-popped order_ index
+  uint32_t popped_degree_ = 0;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_BUCKET_QUEUE_H_

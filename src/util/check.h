@@ -1,0 +1,49 @@
+#ifndef TKC_UTIL_CHECK_H_
+#define TKC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Always-on invariant checking macros (RocksDB/Abseil-style). A failed check
+/// indicates a bug inside the library, never a recoverable user error, so the
+/// process aborts with a source location. Use tkc::Status for user errors.
+
+namespace tkc::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "TKC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tkc::internal
+
+/// Aborts the process if `cond` is false. Enabled in all build modes.
+#define TKC_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::tkc::internal::CheckFailed(__FILE__, __LINE__, #cond);  \
+    }                                                           \
+  } while (0)
+
+/// Binary comparison checks with both operand values evaluated once.
+#define TKC_CHECK_OP(op, a, b) TKC_CHECK((a)op(b))
+#define TKC_CHECK_EQ(a, b) TKC_CHECK_OP(==, a, b)
+#define TKC_CHECK_NE(a, b) TKC_CHECK_OP(!=, a, b)
+#define TKC_CHECK_LT(a, b) TKC_CHECK_OP(<, a, b)
+#define TKC_CHECK_LE(a, b) TKC_CHECK_OP(<=, a, b)
+#define TKC_CHECK_GT(a, b) TKC_CHECK_OP(>, a, b)
+#define TKC_CHECK_GE(a, b) TKC_CHECK_OP(>=, a, b)
+
+/// Debug-only check (compiled out under NDEBUG). Use on hot paths.
+#ifdef NDEBUG
+#define TKC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define TKC_DCHECK(cond) TKC_CHECK(cond)
+#endif
+
+#endif  // TKC_UTIL_CHECK_H_

@@ -1,0 +1,65 @@
+#ifndef TKC_UTIL_COMMON_H_
+#define TKC_UTIL_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+/// \file common.h
+/// Fundamental type aliases and sentinels shared across the tkc library.
+
+namespace tkc {
+
+/// Identifier of a vertex. Vertices are dense integers `0..num_vertices-1`.
+using VertexId = uint32_t;
+
+/// Identifier of a temporal edge: the index of the edge in the graph's
+/// time-sorted edge array. Parallel edges (same endpoints, different
+/// timestamps) have distinct EdgeIds.
+using EdgeId = uint32_t;
+
+/// A compacted timestamp. The graph loader maps raw timestamps to the dense
+/// range `1..num_timestamps()` preserving order (the paper's convention of
+/// "a continuous set of integers starting from 1").
+using Timestamp = uint32_t;
+
+/// Sentinel meaning "never" / "+infinity" for core times and window ends.
+inline constexpr Timestamp kInfTime = std::numeric_limits<Timestamp>::max();
+
+/// Sentinel for an invalid vertex.
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for an invalid edge.
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// An inclusive time window `[start, end]`.
+struct Window {
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  friend bool operator==(const Window& a, const Window& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+  friend bool operator!=(const Window& a, const Window& b) { return !(a == b); }
+
+  /// True iff this window is fully contained in `outer` (possibly equal).
+  bool ContainedIn(const Window& outer) const {
+    return outer.start <= start && end <= outer.end;
+  }
+
+  /// True iff this window is a *strict* sub-window of `outer`.
+  bool StrictlyContainedIn(const Window& outer) const {
+    return ContainedIn(outer) && *this != outer;
+  }
+
+  /// Number of timestamps covered (end - start + 1); 0 for empty windows.
+  uint64_t Length() const {
+    return end >= start ? static_cast<uint64_t>(end) - start + 1 : 0;
+  }
+
+  bool Valid() const { return start >= 1 && start <= end && end != kInfTime; }
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_COMMON_H_

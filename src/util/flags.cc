@@ -1,0 +1,88 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <cctype>
+
+namespace tkc {
+
+namespace {
+
+std::string EnvKeyFor(const std::string& key) {
+  std::string env = "TKC_";
+  for (char c : key) {
+    if (c == '-') {
+      env += '_';
+    } else {
+      env += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  return env;
+}
+
+}  // namespace
+
+StatusOr<Flags> Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& key) const {
+  if (values_.count(key) > 0) return true;
+  return std::getenv(EnvKeyFor(key).c_str()) != nullptr;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& def) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) return it->second;
+  const char* env = std::getenv(EnvKeyFor(key).c_str());
+  if (env != nullptr) return env;
+  return def;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t def) const {
+  std::string s = GetString(key, "");
+  if (s.empty()) return def;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return def;
+  return static_cast<int64_t>(v);
+}
+
+double Flags::GetDouble(const std::string& key, double def) const {
+  std::string s = GetString(key, "");
+  if (s.empty()) return def;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return def;
+  return v;
+}
+
+bool Flags::GetBool(const std::string& key, bool def) const {
+  std::string s = GetString(key, "");
+  if (s.empty()) return def;
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return def;
+}
+
+}  // namespace tkc

@@ -1,0 +1,50 @@
+#ifndef TKC_UTIL_FLAGS_H_
+#define TKC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file flags.h
+/// A tiny `--key=value` command-line / environment-variable parser used by
+/// the benchmark and example binaries. Not a general-purpose flags library —
+/// just enough to make every binary configurable without external deps.
+
+namespace tkc {
+
+/// Parsed command-line flags plus TKC_* environment overrides.
+class Flags {
+ public:
+  /// Parses `--key=value` and `--key value` pairs; bare tokens become
+  /// positional arguments. Unknown keys are allowed (callers validate).
+  static StatusOr<Flags> Parse(int argc, char** argv);
+
+  /// Looks up a string flag; falls back to environment variable
+  /// `TKC_<UPPERCASED KEY>` and then to `def`.
+  std::string GetString(const std::string& key, const std::string& def) const;
+
+  /// Integer flag with fallback; returns `def` on missing or unparsable.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+
+  /// Floating-point flag with fallback.
+  double GetDouble(const std::string& key, double def) const;
+
+  /// Boolean flag: "1/true/yes/on" are true, "0/false/no/off" false.
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// True iff the flag was given on the command line or in the environment.
+  bool Has(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_FLAGS_H_

@@ -1,0 +1,52 @@
+#include "util/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tkc {
+
+namespace {
+
+// Parses "<Key>:   <value> kB" lines from /proc/self/status.
+uint64_t ReadProcStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t value_kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + key_len + 1, " %llu", &kb) == 1) {
+        value_kb = static_cast<uint64_t>(kb);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return value_kb;
+}
+
+}  // namespace
+
+uint64_t ReadVmHWMBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+uint64_t ReadVmRSSBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+const char* FormatHumanBytes(uint64_t bytes, char* buf, int buf_size) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    std::snprintf(buf, buf_size, "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, buf_size, "%.2f %s", v, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace tkc

@@ -1,0 +1,73 @@
+#ifndef TKC_UTIL_MEM_H_
+#define TKC_UTIL_MEM_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file mem.h
+/// Memory accounting for the Figure 12 reproduction. Two complementary
+/// mechanisms:
+///
+///  * MemoryCounter — deterministic *logical* accounting. Each algorithm
+///    reports the bytes held by its major data structures via
+///    `ApproxVectorBytes` and records its peak. This is what the memory
+///    benchmark reports by default: it is reproducible and isolates the
+///    algorithm's own footprint from allocator slack.
+///  * ReadVmHWMBytes / ReadVmRSSBytes — the process-level truth from
+///    /proc/self/status, reported alongside for context.
+
+namespace tkc {
+
+/// Bytes held by a std::vector's heap allocation (capacity, not size).
+template <typename T>
+uint64_t ApproxVectorBytes(const std::vector<T>& v) {
+  return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+
+/// Tracks current and peak logical bytes for one algorithm run.
+class MemoryCounter {
+ public:
+  /// Adds `bytes` to the current footprint and updates the peak.
+  void Add(uint64_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Releases `bytes` from the current footprint.
+  void Sub(uint64_t bytes) { current_ = bytes > current_ ? 0 : current_ - bytes; }
+
+  /// Replaces the current footprint (used when a structure is re-measured).
+  void SetCurrent(uint64_t bytes) {
+    current_ = bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  uint64_t current_bytes() const { return current_; }
+  uint64_t peak_bytes() const { return peak_; }
+
+  void Reset() { current_ = 0, peak_ = 0; }
+
+ private:
+  uint64_t current_ = 0;
+  uint64_t peak_ = 0;
+};
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 if
+/// /proc/self/status is unavailable.
+uint64_t ReadVmHWMBytes();
+
+/// Current resident set size of this process in bytes (VmRSS), or 0.
+uint64_t ReadVmRSSBytes();
+
+/// Formats a byte count as a human-readable string ("1.5 GB", "320 KB").
+struct HumanBytes {
+  explicit HumanBytes(uint64_t b) : bytes(b) {}
+  uint64_t bytes;
+};
+
+/// Renders HumanBytes; declared here, defined in mem.cc.
+const char* FormatHumanBytes(uint64_t bytes, char* buf, int buf_size);
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_MEM_H_

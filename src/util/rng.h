@@ -1,0 +1,92 @@
+#ifndef TKC_UTIL_RNG_H_
+#define TKC_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+/// \file rng.h
+/// Deterministic, seedable random number generation. All synthetic datasets
+/// and workloads in the library are reproducible from a 64-bit seed; we do
+/// not use std::mt19937 because its state size and speed are both worse and
+/// its stream is not guaranteed stable across standard library versions for
+/// the distributions layered on top.
+
+namespace tkc {
+
+/// SplitMix64: used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x = SplitMix64(x + 0x9e3779b97f4a7c15ULL);
+      word = x;
+    }
+    // Avoid the all-zero state (impossible via SplitMix64, but be explicit).
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) using Lemire's multiply-shift rejection method.
+  uint64_t NextBounded(uint64_t bound) {
+    TKC_DCHECK(bound > 0);
+    // 128-bit multiply keeps the distribution exactly uniform.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    TKC_DCHECK(lo <= hi);
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_RNG_H_

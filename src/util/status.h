@@ -1,0 +1,137 @@
+#ifndef TKC_UTIL_STATUS_H_
+#define TKC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+/// \file status.h
+/// Minimal Status / StatusOr error-handling vocabulary (RocksDB/Abseil
+/// style). Library entry points that can fail on *user input* (bad files,
+/// invalid parameters) return Status or StatusOr<T>; internal invariant
+/// violations use TKC_CHECK instead. No exceptions cross the public API.
+
+namespace tkc {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kCorruption,
+  kTimeout,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return MyThing{...};`.
+  StatusOr(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+
+  /// Implicit from a non-OK status: `return Status::InvalidArgument(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    TKC_CHECK(!status_.ok());  // OK without a value is meaningless.
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; it is a bug (CHECK failure) to call these when !ok().
+  const T& value() const& {
+    TKC_CHECK(has_value_);
+    return value_;
+  }
+  T& value() & {
+    TKC_CHECK(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    TKC_CHECK(has_value_);
+    return std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define TKC_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::tkc::Status _tkc_status = (expr);      \
+    if (!_tkc_status.ok()) return _tkc_status; \
+  } while (0)
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_STATUS_H_

@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <algorithm>
+
+#include "util/mem.h"
+
+namespace tkc {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::CellSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+std::string TextTable::Cell(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string TextTable::CellBytes(uint64_t bytes) {
+  char buf[32];
+  return FormatHumanBytes(bytes, buf, sizeof(buf));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  append_row(out, header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void TextTable::Print() const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace tkc

@@ -1,0 +1,45 @@
+#ifndef TKC_UTIL_TABLE_H_
+#define TKC_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Column-aligned plain-text table printer. The figure-reproduction
+/// benchmarks print one table per paper figure with the same rows/series the
+/// paper reports; this keeps their output uniform and diff-friendly.
+
+namespace tkc {
+
+/// Builds and renders an aligned table.
+class TextTable {
+ public:
+  /// Sets the column headers; defines the column count.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count (short rows
+  /// are padded with empty cells).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(double v, int precision = 4);
+  static std::string CellSci(double v);  // scientific, for log-scale figures
+  static std::string Cell(uint64_t v);
+  static std::string CellBytes(uint64_t bytes);
+
+  /// Renders with 2-space gutters and a dash underline beneath the header.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_TABLE_H_

@@ -1,0 +1,71 @@
+#ifndef TKC_UTIL_TIMER_H_
+#define TKC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file timer.h
+/// Wall-clock timing and cooperative deadlines. Long-running algorithms
+/// (OTCD in particular) accept a Deadline and return Status::Timeout when it
+/// expires, mirroring the paper's 6-hour experiment cutoff.
+
+namespace tkc {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time after which cooperative algorithms should abort.
+/// A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : unlimited_(true) {}
+
+  /// Expires `seconds` from now.
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// True once the deadline has passed. Cheap enough to poll every few
+  /// thousand iterations; callers on hot loops should stride their polls.
+  bool Expired() const {
+    return !unlimited_ && Clock::now() >= deadline_;
+  }
+
+  bool unlimited() const { return unlimited_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool unlimited_ = true;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_TIMER_H_

@@ -1,0 +1,71 @@
+#include "vct/ecs.h"
+
+#include "util/check.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+uint32_t EdgeCoreWindowSkyline::LocalId(EdgeId e) const {
+  TKC_DCHECK(e >= first_edge_ && e < last_edge_);
+  return e - first_edge_;
+}
+
+EdgeCoreWindowSkyline EdgeCoreWindowSkyline::FromEmissions(
+    EdgeId first_edge, EdgeId last_edge, Window range,
+    std::span<const std::pair<EdgeId, Window>> emissions) {
+  TKC_CHECK_LE(first_edge, last_edge);
+  EdgeCoreWindowSkyline ecs;
+  ecs.range_ = range;
+  ecs.first_edge_ = first_edge;
+  ecs.last_edge_ = last_edge;
+  const uint32_t n = last_edge - first_edge;
+  ecs.offsets_.assign(n + 1, 0);
+  for (const auto& [e, w] : emissions) {
+    (void)w;
+    TKC_DCHECK(e >= first_edge && e < last_edge);
+    ++ecs.offsets_[e - first_edge + 1];
+  }
+  for (size_t i = 1; i < ecs.offsets_.size(); ++i) {
+    ecs.offsets_[i] += ecs.offsets_[i - 1];
+  }
+  ecs.windows_.resize(emissions.size());
+  std::vector<uint32_t> cursor(ecs.offsets_.begin(), ecs.offsets_.end() - 1);
+  for (const auto& [e, w] : emissions) {
+    ecs.windows_[cursor[e - first_edge]++] = w;
+  }
+#ifndef NDEBUG
+  // Skyline property per edge: strictly increasing starts and ends, all
+  // windows inside the query range.
+  for (EdgeId e = first_edge; e < last_edge; ++e) {
+    auto ws = ecs.WindowsOf(e);
+    for (size_t i = 0; i < ws.size(); ++i) {
+      TKC_DCHECK(ws[i].start >= range.start && ws[i].end <= range.end);
+      TKC_DCHECK(ws[i].start <= ws[i].end);
+      if (i > 0) {
+        TKC_DCHECK(ws[i - 1].start < ws[i].start);
+        TKC_DCHECK(ws[i - 1].end < ws[i].end);
+      }
+    }
+  }
+#endif
+  return ecs;
+}
+
+uint64_t EdgeCoreWindowSkyline::MemoryUsageBytes() const {
+  return ApproxVectorBytes(offsets_) + ApproxVectorBytes(windows_);
+}
+
+std::string EdgeCoreWindowSkyline::DebugString(EdgeId e) const {
+  std::string out;
+  for (const Window& w : WindowsOf(e)) {
+    if (!out.empty()) out += ' ';
+    out += '[';
+    out += std::to_string(w.start);
+    out += ',';
+    out += std::to_string(w.end);
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace tkc

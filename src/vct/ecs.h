@@ -1,0 +1,80 @@
+#ifndef TKC_VCT_ECS_H_
+#define TKC_VCT_ECS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file ecs.h
+/// The Edge Core Window Skyline (ECS, Definition 5 / Table II): for each
+/// temporal edge e of the query window, the set of its *minimal core
+/// windows* — inclusion-minimal windows [t1,t2] such that e belongs to the
+/// temporal k-core of G[t1,t2]. Per edge the windows form a skyline: sorted
+/// by start they have strictly increasing starts AND strictly increasing
+/// ends (otherwise one would contain another).
+///
+/// Storage is CSR over the contiguous EdgeId range of the query window, so
+/// lookups are O(1) and the whole structure is two flat arrays.
+
+namespace tkc {
+
+/// Immutable per-query ECS.
+class EdgeCoreWindowSkyline {
+ public:
+  EdgeCoreWindowSkyline() = default;
+
+  /// Builds from flat (edge, window) emissions, where `edge` is a GLOBAL
+  /// EdgeId within [first_edge, last_edge). Emissions for one edge must be
+  /// in increasing start order; across edges any order.
+  static EdgeCoreWindowSkyline FromEmissions(
+      EdgeId first_edge, EdgeId last_edge, Window range,
+      std::span<const std::pair<EdgeId, Window>> emissions);
+
+  /// Query range the skyline was built for.
+  Window range() const { return range_; }
+
+  /// Global EdgeId range [first_edge, last_edge) covered.
+  EdgeId first_edge() const { return first_edge_; }
+  EdgeId last_edge() const { return last_edge_; }
+  uint32_t num_edges() const { return last_edge_ - first_edge_; }
+
+  /// Minimal core windows of edge `e` (global id), ascending by start.
+  /// Empty iff e is in no k-core of any window within the range.
+  std::span<const Window> WindowsOf(EdgeId e) const {
+    uint32_t local = LocalId(e);
+    return {windows_.data() + offsets_[local],
+            windows_.data() + offsets_[local + 1]};
+  }
+
+  /// Total number of minimal core windows — the paper's |ECS|.
+  uint64_t size() const { return windows_.size(); }
+
+  /// Calls fn(edge_id, window) for every window, grouped by edge.
+  template <typename Fn>
+  void ForEachWindow(Fn&& fn) const {
+    for (EdgeId e = first_edge_; e < last_edge_; ++e) {
+      for (const Window& w : WindowsOf(e)) fn(e, w);
+    }
+  }
+
+  uint64_t MemoryUsageBytes() const;
+
+  /// Debug rendering of one edge's windows, e.g. "[2,3] [3,5]".
+  std::string DebugString(EdgeId e) const;
+
+ private:
+  uint32_t LocalId(EdgeId e) const;
+
+  Window range_{0, 0};
+  EdgeId first_edge_ = 0;
+  EdgeId last_edge_ = 0;
+  std::vector<uint32_t> offsets_;  // size num_edges()+1
+  std::vector<Window> windows_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_VCT_ECS_H_

@@ -1,0 +1,49 @@
+#include "vct/historical_core.h"
+
+#include "util/check.h"
+
+namespace tkc {
+
+bool VertexInHistoricalCore(const VertexCoreTimeIndex& vct, VertexId u,
+                            Window window) {
+  TKC_DCHECK(window.ContainedIn(vct.range()));
+  return vct.CoreTimeAt(u, window.start) <= window.end;
+}
+
+bool EdgeInHistoricalCore(const EdgeCoreWindowSkyline& ecs, EdgeId e,
+                          Window window) {
+  TKC_DCHECK(window.ContainedIn(ecs.range()));
+  // Skyline windows are sorted by start; the first with start >= ts has the
+  // smallest end among those, so checking it suffices (Lemma 3 + skyline
+  // monotonicity).
+  for (const Window& w : ecs.WindowsOf(e)) {
+    if (w.start >= window.start) return w.end <= window.end;
+  }
+  return false;
+}
+
+std::vector<VertexId> HistoricalCoreVertices(const VertexCoreTimeIndex& vct,
+                                             Window window) {
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < vct.num_vertices(); ++u) {
+    if (!vct.EntriesOf(u).empty() && VertexInHistoricalCore(vct, u, window)) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> HistoricalCoreEdges(const EdgeCoreWindowSkyline& ecs,
+                                        const TemporalGraph& g,
+                                        Window window) {
+  std::vector<EdgeId> out;
+  auto [lo, hi] = g.EdgeIdRangeInWindow(window);
+  lo = std::max(lo, ecs.first_edge());
+  hi = std::min(hi, ecs.last_edge());
+  for (EdgeId e = lo; e < hi; ++e) {
+    if (EdgeInHistoricalCore(ecs, e, window)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace tkc

@@ -1,0 +1,50 @@
+#ifndef TKC_VCT_HISTORICAL_CORE_H_
+#define TKC_VCT_HISTORICAL_CORE_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/common.h"
+#include "vct/ecs.h"
+#include "vct/vct_index.h"
+
+/// \file historical_core.h
+/// Single-window ("historical", Yu et al. VLDB'21) k-core queries answered
+/// from the per-query indexes instead of peeling:
+///
+///  * from the VCT index — a vertex u is in the k-core of G[ts,te] iff
+///    CT_ts(u) <= te (Definition 4), so membership is one binary search;
+///  * from the ECS — an edge e is in the k-core of G[ts,te] iff one of its
+///    minimal core windows is contained in [ts,te] (Lemma 3).
+///
+/// These give downstream code O(log) point lookups and output-sensitive
+/// single-window cores once a query range has been indexed, and they are
+/// strong consistency oracles for the test suite (index vs peeling).
+
+namespace tkc {
+
+/// True iff `u` is in the temporal k-core of G[window.start, window.end],
+/// answered from the index. `window` must lie inside vct.range().
+bool VertexInHistoricalCore(const VertexCoreTimeIndex& vct, VertexId u,
+                            Window window);
+
+/// True iff edge `e` (which must lie in ecs' edge range) is in the temporal
+/// k-core of the window, answered from the skyline (Lemma 3).
+bool EdgeInHistoricalCore(const EdgeCoreWindowSkyline& ecs, EdgeId e,
+                          Window window);
+
+/// The vertex set of the k-core of one window, from the index:
+/// all u with CT_{window.start}(u) <= window.end. O(n log) over indexed
+/// vertices.
+std::vector<VertexId> HistoricalCoreVertices(const VertexCoreTimeIndex& vct,
+                                             Window window);
+
+/// The edge set of the k-core of one window, from the skyline. Output-
+/// sensitive up to a scan of the window's edge-id range.
+std::vector<EdgeId> HistoricalCoreEdges(const EdgeCoreWindowSkyline& ecs,
+                                        const TemporalGraph& g,
+                                        Window window);
+
+}  // namespace tkc
+
+#endif  // TKC_VCT_HISTORICAL_CORE_H_

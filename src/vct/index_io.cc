@@ -1,0 +1,238 @@
+#include "vct/index_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tkc {
+
+namespace {
+
+constexpr uint32_t kVctMagic = 0x56434b54;  // "TKCV" little-endian
+constexpr uint32_t kEcsMagic = 0x45434b54;  // "TKCE"
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+// Sequential reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on '" + path + "'");
+  *out = buf.str();
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot create '" + path + "': " +
+                           std::strerror(errno));
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeVctIndex(const VertexCoreTimeIndex& index) {
+  std::string out;
+  PutU32(&out, kVctMagic);
+  PutU32(&out, kVersion);
+  PutU32(&out, index.range().start);
+  PutU32(&out, index.range().end);
+  PutU32(&out, index.num_vertices());
+  PutU64(&out, index.size());
+  for (VertexId v = 0; v < index.num_vertices(); ++v) {
+    auto entries = index.EntriesOf(v);
+    PutU32(&out, static_cast<uint32_t>(entries.size()));
+    for (const VctEntry& e : entries) {
+      PutU32(&out, e.start);
+      PutU32(&out, e.core_time);
+    }
+  }
+  return out;
+}
+
+StatusOr<VertexCoreTimeIndex> DeserializeVctIndex(const std::string& bytes) {
+  Reader reader(bytes);
+  uint32_t magic, version, rs, re, num_vertices;
+  uint64_t total;
+  if (!reader.ReadU32(&magic) || magic != kVctMagic) {
+    return Status::Corruption("bad VCT magic");
+  }
+  if (!reader.ReadU32(&version) || version != kVersion) {
+    return Status::Corruption("unsupported VCT version");
+  }
+  if (!reader.ReadU32(&rs) || !reader.ReadU32(&re) ||
+      !reader.ReadU32(&num_vertices) || !reader.ReadU64(&total)) {
+    return Status::Corruption("truncated VCT header");
+  }
+  if (rs < 1 || rs > re || re == kInfTime) {
+    return Status::Corruption("invalid VCT range");
+  }
+  std::vector<std::pair<VertexId, VctEntry>> emissions;
+  emissions.reserve(total);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    uint32_t count;
+    if (!reader.ReadU32(&count)) return Status::Corruption("truncated VCT");
+    Timestamp prev_start = 0;
+    Timestamp prev_ct = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      VctEntry e;
+      if (!reader.ReadU32(&e.start) || !reader.ReadU32(&e.core_time)) {
+        return Status::Corruption("truncated VCT entries");
+      }
+      if (e.start < rs || e.start > re) {
+        return Status::Corruption("VCT entry start outside range");
+      }
+      if (i > 0 && (e.start <= prev_start || e.core_time <= prev_ct)) {
+        return Status::Corruption("VCT entries not strictly increasing");
+      }
+      if (e.core_time != kInfTime &&
+          (e.core_time < e.start || e.core_time > re)) {
+        return Status::Corruption("VCT core time outside range");
+      }
+      prev_start = e.start;
+      prev_ct = e.core_time;
+      emissions.push_back({v, e});
+    }
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in VCT");
+  if (emissions.size() != total) {
+    return Status::Corruption("VCT entry count mismatch");
+  }
+  return VertexCoreTimeIndex::FromEmissions(num_vertices, Window{rs, re},
+                                            emissions);
+}
+
+std::string SerializeEcs(const EdgeCoreWindowSkyline& ecs) {
+  std::string out;
+  PutU32(&out, kEcsMagic);
+  PutU32(&out, kVersion);
+  PutU32(&out, ecs.range().start);
+  PutU32(&out, ecs.range().end);
+  PutU32(&out, ecs.first_edge());
+  PutU32(&out, ecs.last_edge());
+  PutU64(&out, ecs.size());
+  for (EdgeId e = ecs.first_edge(); e < ecs.last_edge(); ++e) {
+    auto windows = ecs.WindowsOf(e);
+    PutU32(&out, static_cast<uint32_t>(windows.size()));
+    for (const Window& w : windows) {
+      PutU32(&out, w.start);
+      PutU32(&out, w.end);
+    }
+  }
+  return out;
+}
+
+StatusOr<EdgeCoreWindowSkyline> DeserializeEcs(const std::string& bytes) {
+  Reader reader(bytes);
+  uint32_t magic, version, rs, re, first_edge, last_edge;
+  uint64_t total;
+  if (!reader.ReadU32(&magic) || magic != kEcsMagic) {
+    return Status::Corruption("bad ECS magic");
+  }
+  if (!reader.ReadU32(&version) || version != kVersion) {
+    return Status::Corruption("unsupported ECS version");
+  }
+  if (!reader.ReadU32(&rs) || !reader.ReadU32(&re) ||
+      !reader.ReadU32(&first_edge) || !reader.ReadU32(&last_edge) ||
+      !reader.ReadU64(&total)) {
+    return Status::Corruption("truncated ECS header");
+  }
+  if (rs < 1 || rs > re || re == kInfTime || first_edge > last_edge) {
+    return Status::Corruption("invalid ECS header fields");
+  }
+  std::vector<std::pair<EdgeId, Window>> emissions;
+  emissions.reserve(total);
+  for (EdgeId e = first_edge; e < last_edge; ++e) {
+    uint32_t count;
+    if (!reader.ReadU32(&count)) return Status::Corruption("truncated ECS");
+    Window prev{0, 0};
+    for (uint32_t i = 0; i < count; ++i) {
+      Window w;
+      if (!reader.ReadU32(&w.start) || !reader.ReadU32(&w.end)) {
+        return Status::Corruption("truncated ECS windows");
+      }
+      if (w.start < rs || w.end > re || w.start > w.end) {
+        return Status::Corruption("ECS window outside range");
+      }
+      if (i > 0 && (w.start <= prev.start || w.end <= prev.end)) {
+        return Status::Corruption("ECS windows violate skyline order");
+      }
+      prev = w;
+      emissions.push_back({e, w});
+    }
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in ECS");
+  if (emissions.size() != total) {
+    return Status::Corruption("ECS window count mismatch");
+  }
+  return EdgeCoreWindowSkyline::FromEmissions(first_edge, last_edge,
+                                              Window{rs, re}, emissions);
+}
+
+Status SaveVctIndex(const VertexCoreTimeIndex& index,
+                    const std::string& path) {
+  return WriteFile(path, SerializeVctIndex(index));
+}
+
+StatusOr<VertexCoreTimeIndex> LoadVctIndex(const std::string& path) {
+  std::string bytes;
+  TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  return DeserializeVctIndex(bytes);
+}
+
+Status SaveEcs(const EdgeCoreWindowSkyline& ecs, const std::string& path) {
+  return WriteFile(path, SerializeEcs(ecs));
+}
+
+StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path) {
+  std::string bytes;
+  TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  return DeserializeEcs(bytes);
+}
+
+}  // namespace tkc

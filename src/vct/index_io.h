@@ -1,0 +1,42 @@
+#ifndef TKC_VCT_INDEX_IO_H_
+#define TKC_VCT_INDEX_IO_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "vct/ecs.h"
+#include "vct/vct_index.h"
+
+/// \file index_io.h
+/// Binary (de)serialization of the per-query indexes, so expensive CoreTime
+/// phases can be computed once and reused across analysis sessions — the
+/// same operational pattern as persisting the PHC index in Yu et al.
+///
+/// Format: little-endian, versioned, with magic tags ("TKCV" / "TKCE"), a
+/// fixed header and the raw CSR arrays. Loads validate magic, version and
+/// structural invariants (offset monotonicity, window sanity) and return
+/// Status::Corruption on malformed input rather than crashing.
+
+namespace tkc {
+
+/// Serializes a VCT index to a byte string.
+std::string SerializeVctIndex(const VertexCoreTimeIndex& index);
+
+/// Parses a VCT index; Corruption on any structural violation.
+StatusOr<VertexCoreTimeIndex> DeserializeVctIndex(const std::string& bytes);
+
+/// Serializes an ECS to a byte string.
+std::string SerializeEcs(const EdgeCoreWindowSkyline& ecs);
+
+/// Parses an ECS; Corruption on any structural violation.
+StatusOr<EdgeCoreWindowSkyline> DeserializeEcs(const std::string& bytes);
+
+/// File convenience wrappers.
+Status SaveVctIndex(const VertexCoreTimeIndex& index, const std::string& path);
+StatusOr<VertexCoreTimeIndex> LoadVctIndex(const std::string& path);
+Status SaveEcs(const EdgeCoreWindowSkyline& ecs, const std::string& path);
+StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path);
+
+}  // namespace tkc
+
+#endif  // TKC_VCT_INDEX_IO_H_

@@ -1,0 +1,270 @@
+#include "vct/naive_vct_builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+namespace {
+
+uint64_t PairKey(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Index of `key` in the sorted `keys` array; the key must be present.
+uint32_t PairIdOf(const std::vector<uint64_t>& keys, uint64_t key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  TKC_DCHECK(it != keys.end() && *it == key);
+  return static_cast<uint32_t>(it - keys.begin());
+}
+
+// Index of `v` in the sorted `verts` array; must be present.
+uint32_t LocalIdOf(const std::vector<VertexId>& verts, VertexId v) {
+  auto it = std::lower_bound(verts.begin(), verts.end(), v);
+  TKC_DCHECK(it != verts.end() && *it == v);
+  return static_cast<uint32_t>(it - verts.begin());
+}
+
+}  // namespace
+
+void CoreTimeSweep(const TemporalGraph& g, uint32_t k, Timestamp ts,
+                   Timestamp te_max, std::vector<Timestamp>* out,
+                   SweepScratch* scratch) {
+  TKC_CHECK_GE(k, 1u);
+  TKC_CHECK_LE(ts, te_max);
+  out->assign(g.num_vertices(), kInfTime);
+
+  SweepScratch& s = *scratch;
+  const Window window{ts, te_max};
+  auto edges = g.EdgesInWindow(window);
+  if (edges.empty()) return;
+
+  // --- Local vertex ids over the window's endpoints. -------------------
+  s.verts.clear();
+  for (const TemporalEdge& e : edges) {
+    s.verts.push_back(e.u);
+    s.verts.push_back(e.v);
+  }
+  std::sort(s.verts.begin(), s.verts.end());
+  s.verts.erase(std::unique(s.verts.begin(), s.verts.end()), s.verts.end());
+  const uint32_t nv = static_cast<uint32_t>(s.verts.size());
+
+  // --- Distinct vertex pairs with live parallel-edge counts. -----------
+  s.pair_keys.clear();
+  for (const TemporalEdge& e : edges) s.pair_keys.push_back(PairKey(e.u, e.v));
+  std::sort(s.pair_keys.begin(), s.pair_keys.end());
+  s.pair_live.assign(s.pair_keys.size(), 0);  // counted below, post-unique
+  {
+    // Unique with counts.
+    size_t write = 0;
+    for (size_t read = 0; read < s.pair_keys.size();) {
+      size_t run = read;
+      while (run < s.pair_keys.size() && s.pair_keys[run] == s.pair_keys[read])
+        ++run;
+      s.pair_keys[write] = s.pair_keys[read];
+      s.pair_live[write] = static_cast<uint32_t>(run - read);
+      ++write;
+      read = run;
+    }
+    s.pair_keys.resize(write);
+    s.pair_live.resize(write);
+  }
+  const uint32_t np = static_cast<uint32_t>(s.pair_keys.size());
+
+  // --- CSR of incident pairs per local vertex. --------------------------
+  s.vp_offsets.assign(nv + 1, 0);
+  for (uint32_t p = 0; p < np; ++p) {
+    VertexId u = static_cast<VertexId>(s.pair_keys[p] >> 32);
+    VertexId v = static_cast<VertexId>(s.pair_keys[p] & 0xffffffffu);
+    ++s.vp_offsets[LocalIdOf(s.verts, u) + 1];
+    ++s.vp_offsets[LocalIdOf(s.verts, v) + 1];
+  }
+  for (size_t i = 1; i < s.vp_offsets.size(); ++i) {
+    s.vp_offsets[i] += s.vp_offsets[i - 1];
+  }
+  s.vp_pair.resize(s.vp_offsets.back());
+  s.vp_other.resize(s.vp_offsets.back());
+  {
+    std::vector<uint32_t> cursor(s.vp_offsets.begin(), s.vp_offsets.end() - 1);
+    for (uint32_t p = 0; p < np; ++p) {
+      uint32_t lu = LocalIdOf(
+          s.verts, static_cast<VertexId>(s.pair_keys[p] >> 32));
+      uint32_t lv = LocalIdOf(
+          s.verts, static_cast<VertexId>(s.pair_keys[p] & 0xffffffffu));
+      s.vp_pair[cursor[lu]] = p;
+      s.vp_other[cursor[lu]++] = lv;
+      s.vp_pair[cursor[lv]] = p;
+      s.vp_other[cursor[lv]++] = lu;
+    }
+  }
+
+  // --- Initial peel of the widest window [ts, te_max]. ------------------
+  s.degree.assign(nv, 0);
+  for (uint32_t lu = 0; lu < nv; ++lu) {
+    s.degree[lu] = s.vp_offsets[lu + 1] - s.vp_offsets[lu];
+  }
+  s.in_core.assign(nv, 1);
+  s.queued.assign(nv, 0);
+  s.stack.clear();
+  for (uint32_t lu = 0; lu < nv; ++lu) {
+    if (s.degree[lu] < k) {
+      s.queued[lu] = 1;
+      s.stack.push_back(lu);
+    }
+  }
+  // Removes local vertex `lu` from the current core, assigning core time
+  // `ct_value`, and cascades.
+  auto cascade = [&](Timestamp ct_value) {
+    while (!s.stack.empty()) {
+      uint32_t lu = s.stack.back();
+      s.stack.pop_back();
+      if (!s.in_core[lu]) continue;
+      s.in_core[lu] = 0;
+      (*out)[s.verts[lu]] = ct_value;
+      for (uint32_t i = s.vp_offsets[lu]; i < s.vp_offsets[lu + 1]; ++i) {
+        uint32_t p = s.vp_pair[i];
+        if (s.pair_live[p] == 0) continue;
+        s.pair_live[p] = 0;
+        uint32_t lw = s.vp_other[i];
+        if (!s.in_core[lw]) continue;
+        if (--s.degree[lw] < k && !s.queued[lw]) {
+          s.queued[lw] = 1;
+          s.stack.push_back(lw);
+        }
+      }
+    }
+  };
+  cascade(kInfTime);  // vertices outside the core of the widest window
+
+  // --- Decremental deletion of the latest timestamp, te_max .. ts+1. ----
+  for (Timestamp te = te_max; te > ts; --te) {
+    for (const TemporalEdge& e : g.EdgesAtTime(te)) {
+      uint32_t p = PairIdOf(s.pair_keys, PairKey(e.u, e.v));
+      if (s.pair_live[p] == 0) continue;  // endpoint already peeled
+      if (--s.pair_live[p] != 0) continue;  // parallel edge still live
+      uint32_t lu = LocalIdOf(s.verts, e.u);
+      uint32_t lv = LocalIdOf(s.verts, e.v);
+      TKC_DCHECK(s.in_core[lu] && s.in_core[lv]);
+      if (--s.degree[lu] < k && !s.queued[lu]) {
+        s.queued[lu] = 1;
+        s.stack.push_back(lu);
+      }
+      if (--s.degree[lv] < k && !s.queued[lv]) {
+        s.queued[lv] = 1;
+        s.stack.push_back(lv);
+      }
+    }
+    // Vertices peeled now are in the core of [ts,te] but not [ts,te-1].
+    cascade(te);
+  }
+
+  // Survivors are in the core of the single-timestamp window [ts, ts].
+  for (uint32_t lu = 0; lu < nv; ++lu) {
+    if (s.in_core[lu]) (*out)[s.verts[lu]] = ts;
+  }
+}
+
+VctBuildResult BuildVctAndEcsNaive(const TemporalGraph& g, uint32_t k,
+                                   Window range) {
+  TKC_CHECK(range.start >= 1 && range.end <= g.num_timestamps() &&
+            range.start <= range.end);
+  VctBuildResult result;
+
+  const auto [first_edge, last_edge] = g.EdgeIdRangeInWindow(range);
+  SweepScratch scratch;
+  std::vector<Timestamp> ct, prev_ct;
+  std::vector<std::pair<VertexId, VctEntry>> vct_emissions;
+  std::vector<std::pair<EdgeId, Window>> ecs_emissions;
+
+  // Edge core times (ect) for live edges, indexed locally.
+  std::vector<Timestamp> ect(last_edge - first_edge, kInfTime);
+
+  auto max3 = [](Timestamp a, Timestamp b, Timestamp c) {
+    return std::max(a, std::max(b, c));
+  };
+
+  // Vertices ever appearing in the window (for the diff loop).
+  std::vector<VertexId> window_verts;
+  for (const TemporalEdge& e : g.EdgesInWindow(range)) {
+    window_verts.push_back(e.u);
+    window_verts.push_back(e.v);
+  }
+  std::sort(window_verts.begin(), window_verts.end());
+  window_verts.erase(std::unique(window_verts.begin(), window_verts.end()),
+                     window_verts.end());
+
+  for (Timestamp s = range.start; s <= range.end; ++s) {
+    CoreTimeSweep(g, k, s, range.end, &ct, &scratch);
+
+    if (s == range.start) {
+      for (VertexId v : window_verts) {
+        if (ct[v] != kInfTime) {
+          vct_emissions.push_back({v, VctEntry{s, ct[v]}});
+        }
+      }
+      for (EdgeId e = first_edge; e < last_edge; ++e) {
+        const TemporalEdge& te = g.edge(e);
+        ect[e - first_edge] = max3(ct[te.u], ct[te.v], te.t);
+      }
+    } else {
+      // Vertex diffs -> VCT entries (record changes, including -> inf).
+      for (VertexId v : window_verts) {
+        if (ct[v] != prev_ct[v]) {
+          TKC_DCHECK(prev_ct[v] != kInfTime);  // monotone: inf stays inf
+          vct_emissions.push_back({v, VctEntry{s, ct[v]}});
+        }
+      }
+      // Edges that left the window at this transition: time == s-1.
+      auto [lo, hi] = g.EdgeIdRangeAtTime(s - 1);
+      for (EdgeId e = std::max(lo, first_edge); e < std::min(hi, last_edge);
+           ++e) {
+        if (ect[e - first_edge] != kInfTime) {
+          ecs_emissions.push_back({e, Window{s - 1, ect[e - first_edge]}});
+          ect[e - first_edge] = kInfTime;
+        }
+      }
+      // Re-derive edge core times of all live edges (time >= s).
+      auto [live_lo, live_hi] = g.EdgeIdRangeInWindow(Window{s, range.end});
+      for (EdgeId e = live_lo; e < live_hi; ++e) {
+        const TemporalEdge& te = g.edge(e);
+        Timestamp now = max3(ct[te.u], ct[te.v], te.t);
+        Timestamp& old = ect[e - first_edge];
+        if (now != old) {
+          TKC_DCHECK(now > old);
+          if (old != kInfTime) {
+            ecs_emissions.push_back({e, Window{s - 1, old}});
+          }
+          old = now;
+        }
+      }
+    }
+    prev_ct = ct;
+  }
+
+  // Final flush: live edges at the last start time (time == range.end).
+  {
+    auto [lo, hi] = g.EdgeIdRangeAtTime(range.end);
+    for (EdgeId e = std::max(lo, first_edge); e < std::min(hi, last_edge);
+         ++e) {
+      if (ect[e - first_edge] != kInfTime) {
+        ecs_emissions.push_back({e, Window{range.end, ect[e - first_edge]}});
+      }
+    }
+  }
+
+  result.peak_memory_bytes =
+      ApproxVectorBytes(ct) + ApproxVectorBytes(prev_ct) +
+      ApproxVectorBytes(ect) + ApproxVectorBytes(vct_emissions) +
+      ApproxVectorBytes(ecs_emissions);
+  result.vct = VertexCoreTimeIndex::FromEmissions(g.num_vertices(), range,
+                                                  vct_emissions);
+  result.ecs = EdgeCoreWindowSkyline::FromEmissions(first_edge, last_edge,
+                                                    range, ecs_emissions);
+  result.peak_memory_bytes +=
+      result.vct.MemoryUsageBytes() + result.ecs.MemoryUsageBytes();
+  return result;
+}
+
+}  // namespace tkc

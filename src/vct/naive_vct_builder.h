@@ -1,0 +1,61 @@
+#ifndef TKC_VCT_NAIVE_VCT_BUILDER_H_
+#define TKC_VCT_NAIVE_VCT_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/common.h"
+#include "vct/ecs.h"
+#include "vct/vct_index.h"
+
+/// \file naive_vct_builder.h
+/// The straightforward O(tmax * m) VCT/ECS construction: run an independent
+/// decremental core-time sweep for every start time and diff consecutive
+/// results. It is the correctness reference for the efficient builder
+/// (vct_builder.h) and a perfectly usable algorithm on graphs with few
+/// distinct timestamps.
+///
+/// The single-start sweep is exposed because the efficient builder uses it
+/// to bootstrap ts = Ts, and because it is the cleanest ground-truth oracle
+/// for core times in tests.
+
+namespace tkc {
+
+/// Reusable scratch for CoreTimeSweep (avoids reallocation across starts).
+struct SweepScratch {
+  std::vector<VertexId> verts;            // sorted distinct endpoints
+  std::vector<uint64_t> pair_keys;        // sorted distinct (u<<32|v) keys
+  std::vector<uint32_t> pair_live;        // live parallel-edge count per pair
+  std::vector<uint32_t> vp_offsets;       // CSR: incident pairs per local vtx
+  std::vector<uint32_t> vp_pair;          // pair id of each incident entry
+  std::vector<uint32_t> vp_other;         // other endpoint (local id)
+  std::vector<uint32_t> degree;           // distinct-neighbor degree, local
+  std::vector<uint8_t> in_core;           // local
+  std::vector<uint8_t> queued;            // local
+  std::vector<VertexId> stack;
+};
+
+/// Computes CT_ts(v) for every vertex v of `g`, over windows [ts, te_max]:
+/// out[v] = earliest te in [ts, te_max] with v in the k-core of G[ts,te],
+/// or kInfTime. `out` is resized to g.num_vertices().
+/// Cost: O(m_w log m_w) where m_w = edges in [ts, te_max].
+void CoreTimeSweep(const TemporalGraph& g, uint32_t k, Timestamp ts,
+                   Timestamp te_max, std::vector<Timestamp>* out,
+                   SweepScratch* scratch);
+
+/// Result of a VCT/ECS construction (shared with the efficient builder).
+struct VctBuildResult {
+  VertexCoreTimeIndex vct;
+  EdgeCoreWindowSkyline ecs;
+  /// Logical peak bytes of the builder's transient state + outputs.
+  uint64_t peak_memory_bytes = 0;
+};
+
+/// Builds VCT and ECS for (g, k, range) with one sweep per start time.
+VctBuildResult BuildVctAndEcsNaive(const TemporalGraph& g, uint32_t k,
+                                   Window range);
+
+}  // namespace tkc
+
+#endif  // TKC_VCT_NAIVE_VCT_BUILDER_H_

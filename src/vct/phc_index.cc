@@ -1,0 +1,70 @@
+#include "vct/phc_index.h"
+
+#include <algorithm>
+
+#include "graph/core_decomposition.h"
+#include "util/check.h"
+#include "vct/vct_builder.h"
+
+namespace tkc {
+
+StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
+                                   uint32_t max_k) {
+  if (range.start < 1 || range.start > range.end ||
+      range.end > g.num_timestamps()) {
+    return Status::InvalidArgument(
+        "query range must satisfy 1 <= Ts <= Te <= num_timestamps");
+  }
+  PhcIndex index;
+  index.range_ = range;
+  uint32_t kmax = DecomposeCores(g, range).kmax;
+  if (max_k > 0) kmax = std::min(kmax, max_k);
+  index.slices_.reserve(kmax);
+  for (uint32_t k = 1; k <= kmax; ++k) {
+    index.slices_.push_back(BuildVctAndEcs(g, k, range).vct);
+  }
+  return index;
+}
+
+const VertexCoreTimeIndex& PhcIndex::Slice(uint32_t k) const {
+  TKC_CHECK(k >= 1 && k <= slices_.size());
+  return slices_[k - 1];
+}
+
+Timestamp PhcIndex::CoreTimeAt(VertexId u, Timestamp ts, uint32_t k) const {
+  if (k == 0 || k > slices_.size()) return kInfTime;
+  return slices_[k - 1].CoreTimeAt(u, ts);
+}
+
+bool PhcIndex::VertexInCore(VertexId u, Window window, uint32_t k) const {
+  TKC_DCHECK(window.ContainedIn(range_));
+  return CoreTimeAt(u, window.start, k) <= window.end;
+}
+
+uint32_t PhcIndex::HistoricalCoreNumber(VertexId u, Window window) const {
+  // Membership is monotone: in the k-core implies in the (k-1)-core.
+  uint32_t lo = 0, hi = max_k();
+  while (lo < hi) {
+    uint32_t mid = (lo + hi + 1) / 2;
+    if (VertexInCore(u, window, mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+uint64_t PhcIndex::size() const {
+  uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice.size();
+  return total;
+}
+
+uint64_t PhcIndex::MemoryUsageBytes() const {
+  uint64_t total = 0;
+  for (const auto& slice : slices_) total += slice.MemoryUsageBytes();
+  return total;
+}
+
+}  // namespace tkc

@@ -1,0 +1,62 @@
+#ifndef TKC_VCT_PHC_INDEX_H_
+#define TKC_VCT_PHC_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "util/status.h"
+#include "vct/vct_index.h"
+
+/// \file phc_index.h
+/// The full PHC index of Yu et al. (VLDB'21), of which the paper's VCT is
+/// the single-k slice: vertex core times for *every* k from 1 to the
+/// window's kmax, supporting historical k-core queries with the k given at
+/// query time. Construction runs the per-k builder for each k — the slices
+/// are independent, and per-slice cost O(|VCT_k|·deg_avg) shrinks quickly
+/// with k, so the total is dominated by the small-k slices exactly as in
+/// the original paper's analysis.
+
+namespace tkc {
+
+/// Immutable multi-k core-time index over one query range.
+class PhcIndex {
+ public:
+  /// Builds slices for k = 1..min(kmax(range), max_k). max_k == 0 means
+  /// "up to kmax". Fails on an invalid range.
+  static StatusOr<PhcIndex> Build(const TemporalGraph& g, Window range,
+                                  uint32_t max_k = 0);
+
+  Window range() const { return range_; }
+
+  /// Largest k with a slice (the window's kmax, or the build cap).
+  uint32_t max_k() const { return static_cast<uint32_t>(slices_.size()); }
+
+  /// The VCT slice for `k` (1 <= k <= max_k()).
+  const VertexCoreTimeIndex& Slice(uint32_t k) const;
+
+  /// CT^k_ts(u): core time of u for start ts at cohesion k. Returns
+  /// kInfTime when k exceeds max_k() (no such core exists in the range).
+  Timestamp CoreTimeAt(VertexId u, Timestamp ts, uint32_t k) const;
+
+  /// True iff u is in the k-core of G[window.start, window.end].
+  bool VertexInCore(VertexId u, Window window, uint32_t k) const;
+
+  /// Largest k such that u is in the k-core of the window (0 if none) —
+  /// the "historical core number", by binary search over slices (core
+  /// membership is monotone decreasing in k).
+  uint32_t HistoricalCoreNumber(VertexId u, Window window) const;
+
+  /// Total entries across all slices.
+  uint64_t size() const;
+
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  Window range_{0, 0};
+  std::vector<VertexCoreTimeIndex> slices_;  // index k-1
+};
+
+}  // namespace tkc
+
+#endif  // TKC_VCT_PHC_INDEX_H_

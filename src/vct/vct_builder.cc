@@ -1,0 +1,214 @@
+#include "vct/vct_builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+namespace {
+
+Timestamp Max3(Timestamp a, Timestamp b, Timestamp c) {
+  return std::max(a, std::max(b, c));
+}
+
+// Worklist fixpoint engine advancing core times across start times.
+class CoreTimeAdvancer {
+ public:
+  CoreTimeAdvancer(const TemporalGraph& g, uint32_t k, Window range,
+                   VctBuildStats* stats)
+      : g_(g), k_(k), range_(range), stats_(stats) {
+    ct_.reserve(g.num_vertices());
+    SweepScratch scratch;
+    CoreTimeSweep(g_, k_, range_.start, range_.end, &ct_, &scratch);
+    in_queue_.assign(g.num_vertices(), 0);
+    seen_epoch_.assign(g.num_vertices(), 0);
+    changed_epoch_.assign(g.num_vertices(), 0);
+  }
+
+  const std::vector<Timestamp>& core_times() const { return ct_; }
+
+  /// Advances from start time `s` to `s+1`; fills `changed` with the
+  /// vertices whose core time increased (each once).
+  void Advance(Timestamp s, std::vector<VertexId>* changed) {
+    changed->clear();
+    ++epoch_;
+    const Timestamp next = s + 1;
+    // Seeds: endpoints of edges leaving the window (time == s) whose core
+    // time can still move (finite).
+    for (const TemporalEdge& e : g_.EdgesAtTime(s)) {
+      Push(e.u);
+      Push(e.v);
+    }
+    while (!queue_.empty()) {
+      VertexId u = queue_.back();
+      queue_.pop_back();
+      in_queue_[u] = 0;
+      Timestamp now = Phi(u, next);
+      if (stats_ != nullptr) ++stats_->fixpoint_recomputations;
+      if (now <= ct_[u]) continue;
+      ct_[u] = now;
+      if (changed_epoch_[u] != epoch_) {
+        changed_epoch_[u] = epoch_;
+        changed->push_back(u);
+      }
+      if (stats_ != nullptr) ++stats_->core_time_changes;
+      // A neighbor's Φ depends on ct_[u]; wake all window neighbors.
+      for (const AdjEntry& a :
+           g_.NeighborsInWindow(u, Window{next, range_.end})) {
+        Push(a.neighbor);
+      }
+    }
+  }
+
+ private:
+  void Push(VertexId v) {
+    if (in_queue_[v] || ct_[v] == kInfTime) return;  // inf never increases
+    in_queue_[v] = 1;
+    queue_.push_back(v);
+    if (stats_ != nullptr) ++stats_->worklist_pushes;
+  }
+
+  // Φ(u) at start `from`: k-th smallest over distinct neighbors v of
+  // max(ct_[v], earliest edge time of (u,v) >= from).
+  Timestamp Phi(VertexId u, Timestamp from) {
+    ++phi_epoch_;
+    vals_.clear();
+    for (const AdjEntry& a :
+         g_.NeighborsInWindow(u, Window{from, range_.end})) {
+      if (seen_epoch_[a.neighbor] == phi_epoch_) continue;  // dedup: first
+      seen_epoch_[a.neighbor] = phi_epoch_;  // occurrence == earliest time
+      Timestamp cv = ct_[a.neighbor];
+      vals_.push_back(cv == kInfTime ? kInfTime : std::max(cv, a.time));
+    }
+    if (vals_.size() < k_) return kInfTime;
+    std::nth_element(vals_.begin(), vals_.begin() + (k_ - 1), vals_.end());
+    return vals_[k_ - 1];
+  }
+
+  const TemporalGraph& g_;
+  const uint32_t k_;
+  const Window range_;
+  VctBuildStats* stats_;
+
+  std::vector<Timestamp> ct_;
+  std::vector<uint8_t> in_queue_;
+  std::vector<VertexId> queue_;
+  std::vector<uint32_t> seen_epoch_;
+  std::vector<uint32_t> changed_epoch_;
+  std::vector<Timestamp> vals_;
+  uint32_t epoch_ = 0;
+  uint32_t phi_epoch_ = 0;
+};
+
+}  // namespace
+
+VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
+                                       Window range, VctBuildStats* stats) {
+  TKC_CHECK_GE(k, 1u);
+  TKC_CHECK(range.start >= 1 && range.end <= g.num_timestamps() &&
+            range.start <= range.end);
+
+  VctBuildResult result;
+  const auto [first_edge, last_edge] = g.EdgeIdRangeInWindow(range);
+
+  CoreTimeAdvancer advancer(g, k, range, stats);
+  const std::vector<Timestamp>& ct = advancer.core_times();
+
+  std::vector<std::pair<VertexId, VctEntry>> vct_emissions;
+  std::vector<std::pair<EdgeId, Window>> ecs_emissions;
+
+  // Initial VCT entries and edge core times at start Ts (Alg. 2 lines 2-4).
+  std::vector<Timestamp> ect(last_edge - first_edge, kInfTime);
+  {
+    // Distinct window endpoints, ascending, for ordered initial emissions.
+    std::vector<VertexId> verts;
+    for (const TemporalEdge& e : g.EdgesInWindow(range)) {
+      verts.push_back(e.u);
+      verts.push_back(e.v);
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    for (VertexId v : verts) {
+      if (ct[v] != kInfTime) {
+        vct_emissions.push_back({v, VctEntry{range.start, ct[v]}});
+      }
+    }
+  }
+  for (EdgeId e = first_edge; e < last_edge; ++e) {
+    const TemporalEdge& te = g.edge(e);
+    if (ct[te.u] != kInfTime && ct[te.v] != kInfTime) {
+      ect[e - first_edge] = Max3(ct[te.u], ct[te.v], te.t);
+    }
+  }
+
+  // Main loop over start-time transitions s -> s+1 (Alg. 2 lines 5-11).
+  std::vector<VertexId> changed;
+  for (Timestamp s = range.start; s < range.end; ++s) {
+    // (1) Edges leaving the window (time == s): their last minimal core
+    //     window, if any, is [s, ect] (their core time becomes infinite).
+    {
+      auto [lo, hi] = g.EdgeIdRangeAtTime(s);
+      for (EdgeId e = lo; e < hi; ++e) {
+        Timestamp& old = ect[e - first_edge];
+        if (old != kInfTime) {
+          ecs_emissions.push_back({e, Window{s, old}});
+          old = kInfTime;
+        }
+      }
+    }
+    // (2) Advance vertex core times to start s+1.
+    advancer.Advance(s, &changed);
+    // (3) Lemma 1 + Lemma 2: refresh edge core times around changed
+    //     vertices; an increase emits the edge's previous minimal window.
+    for (VertexId u : changed) {
+      vct_emissions.push_back({u, VctEntry{s + 1, ct[u]}});
+      for (const AdjEntry& a :
+           g.NeighborsInWindow(u, Window{s + 1, range.end})) {
+        Timestamp cu = ct[u];
+        Timestamp cv = ct[a.neighbor];
+        Timestamp now = (cu == kInfTime || cv == kInfTime)
+                            ? kInfTime
+                            : Max3(cu, cv, a.time);
+        Timestamp& old = ect[a.edge - first_edge];
+        if (now > old) {
+          if (old != kInfTime) {
+            ecs_emissions.push_back({a.edge, Window{s, old}});
+          }
+          old = now;
+        }
+      }
+    }
+  }
+  // Final flush: edges still live at start Te (necessarily time == Te).
+  {
+    auto [lo, hi] = g.EdgeIdRangeAtTime(range.end);
+    for (EdgeId e = lo; e < hi; ++e) {
+      if (ect[e - first_edge] != kInfTime) {
+        ecs_emissions.push_back({e, Window{range.end, ect[e - first_edge]}});
+      }
+    }
+  }
+
+  // VCT emissions are appended per-transition, hence per-vertex they are in
+  // increasing start order, as FromEmissions requires.
+  result.peak_memory_bytes = ApproxVectorBytes(ect) +
+                             ApproxVectorBytes(vct_emissions) +
+                             ApproxVectorBytes(ecs_emissions) +
+                             g.num_vertices() * 13ull;  // advancer state
+  result.vct = VertexCoreTimeIndex::FromEmissions(g.num_vertices(), range,
+                                                  vct_emissions);
+  result.ecs = EdgeCoreWindowSkyline::FromEmissions(first_edge, last_edge,
+                                                    range, ecs_emissions);
+  result.peak_memory_bytes +=
+      result.vct.MemoryUsageBytes() + result.ecs.MemoryUsageBytes();
+  return result;
+}
+
+VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k,
+                              Window range) {
+  return BuildVctAndEcsWithStats(g, k, range, nullptr);
+}
+
+}  // namespace tkc

@@ -1,0 +1,80 @@
+#include "vct/vct_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/mem.h"
+
+namespace tkc {
+
+VertexCoreTimeIndex VertexCoreTimeIndex::FromEmissions(
+    VertexId num_vertices, Window range,
+    std::span<const std::pair<VertexId, VctEntry>> emissions) {
+  VertexCoreTimeIndex index;
+  index.range_ = range;
+  index.offsets_.assign(num_vertices + 1, 0);
+  for (const auto& [v, entry] : emissions) {
+    (void)entry;
+    TKC_DCHECK(v < num_vertices);
+    ++index.offsets_[v + 1];
+  }
+  for (size_t i = 1; i < index.offsets_.size(); ++i) {
+    index.offsets_[i] += index.offsets_[i - 1];
+  }
+  index.entries_.resize(emissions.size());
+  std::vector<uint32_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (const auto& [v, entry] : emissions) {
+    index.entries_[cursor[v]++] = entry;
+  }
+#ifndef NDEBUG
+  // Per-vertex entries must be strictly increasing in start and have
+  // non-decreasing core times (monotonicity of CT in ts).
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    auto es = index.EntriesOf(v);
+    for (size_t i = 1; i < es.size(); ++i) {
+      TKC_DCHECK(es[i - 1].start < es[i].start);
+      TKC_DCHECK(es[i - 1].core_time <= es[i].core_time);
+    }
+  }
+#endif
+  return index;
+}
+
+Timestamp VertexCoreTimeIndex::CoreTimeAt(VertexId u, Timestamp ts) const {
+  TKC_DCHECK(ts >= range_.start && ts <= range_.end);
+  auto entries = EntriesOf(u);
+  // Last entry with start <= ts.
+  auto it = std::upper_bound(
+      entries.begin(), entries.end(), ts,
+      [](Timestamp t, const VctEntry& e) { return t < e.start; });
+  if (it == entries.begin()) return kInfTime;
+  return (it - 1)->core_time;
+}
+
+uint64_t VertexCoreTimeIndex::num_indexed_vertices() const {
+  uint64_t count = 0;
+  for (size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] > offsets_[i - 1]) ++count;
+  }
+  return count;
+}
+
+uint64_t VertexCoreTimeIndex::MemoryUsageBytes() const {
+  return ApproxVectorBytes(offsets_) + ApproxVectorBytes(entries_);
+}
+
+std::string VertexCoreTimeIndex::DebugString(VertexId u) const {
+  std::string out;
+  for (const VctEntry& e : EntriesOf(u)) {
+    if (!out.empty()) out += ' ';
+    out += '[';
+    out += std::to_string(e.start);
+    out += ',';
+    out += e.core_time == kInfTime ? "inf" : std::to_string(e.core_time);
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace tkc

@@ -1,0 +1,82 @@
+#ifndef TKC_VCT_VCT_INDEX_H_
+#define TKC_VCT_VCT_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file vct_index.h
+/// The Vertex Core Time index (VCT, Definition 4 / Table I): for a fixed k
+/// and query range [Ts,Te], the core time CT_ts(u) is the earliest end time
+/// te such that u belongs to the temporal k-core of G[ts,te]. Core times are
+/// non-decreasing in ts, so the index stores, per vertex, the breakpoints
+/// (start, core_time): "from this start time on (until the next breakpoint),
+/// the vertex's core time is core_time". kInfTime encodes "never again in a
+/// k-core" — the paper's [ts, ∞] entries.
+///
+/// This is exactly the k-slice of the PHC index of Yu et al. (VLDB'21) that
+/// the paper calls VCT.
+
+namespace tkc {
+
+/// One breakpoint of a vertex's core-time function.
+struct VctEntry {
+  Timestamp start = 0;      ///< first start time with this core time
+  Timestamp core_time = 0;  ///< CT_start(u); kInfTime when never in a core
+
+  friend bool operator==(const VctEntry& a, const VctEntry& b) {
+    return a.start == b.start && a.core_time == b.core_time;
+  }
+};
+
+/// Immutable per-query VCT index (CSR over vertices).
+class VertexCoreTimeIndex {
+ public:
+  VertexCoreTimeIndex() = default;
+
+  /// Builds from flat (vertex, entry) emissions. Emissions for one vertex
+  /// must be in increasing `start` order; across vertices any order is fine.
+  static VertexCoreTimeIndex FromEmissions(
+      VertexId num_vertices, Window range,
+      std::span<const std::pair<VertexId, VctEntry>> emissions);
+
+  /// The query range this index was built for.
+  Window range() const { return range_; }
+
+  /// Breakpoints of vertex `u` (possibly empty: u is in no k-core of any
+  /// window inside the range).
+  std::span<const VctEntry> EntriesOf(VertexId u) const {
+    return {entries_.data() + offsets_[u], entries_.data() + offsets_[u + 1]};
+  }
+
+  /// CT_ts(u): the core time of `u` for start time `ts` (must lie within the
+  /// query range). Returns kInfTime when u is in no core for this start.
+  Timestamp CoreTimeAt(VertexId u, Timestamp ts) const;
+
+  /// Total number of index entries — the paper's |VCT|.
+  uint64_t size() const { return entries_.size(); }
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of vertices with at least one entry.
+  uint64_t num_indexed_vertices() const;
+
+  uint64_t MemoryUsageBytes() const;
+
+  /// Debug rendering of one vertex's entries, e.g. "[1,3] [3,5] [7,inf]".
+  std::string DebugString(VertexId u) const;
+
+ private:
+  Window range_{0, 0};
+  std::vector<uint32_t> offsets_;  // size n+1
+  std::vector<VctEntry> entries_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_VCT_VCT_INDEX_H_

@@ -1,0 +1,98 @@
+#include "util/bucket_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tkc {
+namespace {
+
+TEST(BucketQueueTest, PopsInDegreeOrder) {
+  std::vector<uint32_t> degrees = {3, 1, 2, 0, 2};
+  BucketQueue q(degrees);
+  std::vector<uint32_t> popped_degrees;
+  while (!q.Empty()) {
+    VertexId v = q.PopMin();
+    popped_degrees.push_back(q.LastPoppedDegree());
+    (void)v;
+  }
+  EXPECT_TRUE(std::is_sorted(popped_degrees.begin(), popped_degrees.end()));
+  EXPECT_EQ(popped_degrees.front(), 0u);
+  EXPECT_EQ(popped_degrees.back(), 3u);
+}
+
+TEST(BucketQueueTest, SizeAndContains) {
+  std::vector<uint32_t> degrees = {1, 1, 1};
+  BucketQueue q(degrees);
+  EXPECT_EQ(q.Size(), 3u);
+  VertexId v = q.PopMin();
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_FALSE(q.Contains(v));
+}
+
+TEST(BucketQueueTest, DecrementMovesVertexEarlier) {
+  std::vector<uint32_t> degrees = {5, 5, 5, 0};
+  BucketQueue q(degrees);
+  q.DecrementDegree(2);
+  q.DecrementDegree(2);
+  EXPECT_EQ(q.DegreeOf(2), 3u);
+  EXPECT_EQ(q.PopMin(), 3u);  // degree 0 first
+  EXPECT_EQ(q.PopMin(), 2u);  // then the twice-decremented vertex
+}
+
+TEST(BucketQueueTest, DecrementAtZeroIsNoop) {
+  std::vector<uint32_t> degrees = {0, 2};
+  BucketQueue q(degrees);
+  q.DecrementDegree(0);
+  EXPECT_EQ(q.DegreeOf(0), 0u);
+}
+
+TEST(BucketQueueTest, SingleVertex) {
+  std::vector<uint32_t> degrees = {4};
+  BucketQueue q(degrees);
+  EXPECT_EQ(q.MinDegree(), 4u);
+  EXPECT_EQ(q.PopMin(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BucketQueueTest, ResetReusesStructure) {
+  std::vector<uint32_t> first = {2, 1};
+  BucketQueue q(first);
+  q.PopMin();
+  std::vector<uint32_t> second = {0, 3, 1};
+  q.Reset(second);
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.PopMin(), 0u);
+}
+
+// Simulated peel: decrementing arbitrary still-enqueued vertices must keep
+// the pop sequence sorted by the *effective* degree at pop time.
+TEST(BucketQueueTest, RandomizedDecrementsKeepMonotonePops) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint32_t n = 30;
+    std::vector<uint32_t> degrees(n);
+    for (auto& d : degrees) d = static_cast<uint32_t>(rng.NextBounded(10));
+    BucketQueue q(degrees);
+    uint32_t last = 0;
+    while (!q.Empty()) {
+      // Random decrements on random vertices above the current min.
+      for (int i = 0; i < 3; ++i) {
+        VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+        if (q.Contains(v) && q.DegreeOf(v) > q.MinDegree()) {
+          q.DecrementDegree(v);
+        }
+      }
+      q.PopMin();
+      uint32_t d = q.LastPoppedDegree();
+      EXPECT_GE(d + 1, last == 0 ? 1 : last);  // non-decreasing up to ties
+      last = std::max(last, d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tkc

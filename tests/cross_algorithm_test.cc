@@ -1,0 +1,153 @@
+// The library's central property suite: on randomized temporal graphs, all
+// four enumeration engines (naive oracle, Enum, EnumBase, OTCD) must produce
+// exactly the same set of distinct temporal k-cores with the same TTIs.
+// Parameterized over graph shapes, k values and query ranges.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sinks.h"
+#include "core/temporal_kcore.h"
+#include "datasets/generators.h"
+#include "otcd/otcd.h"
+
+namespace tkc {
+namespace {
+
+struct CaseSpec {
+  uint32_t num_vertices;
+  uint32_t num_edges;
+  uint32_t num_timestamps;
+  uint32_t k;
+  uint64_t seed;
+};
+
+void PrintTo(const CaseSpec& c, std::ostream* os) {
+  *os << "n=" << c.num_vertices << " m=" << c.num_edges
+      << " T=" << c.num_timestamps << " k=" << c.k << " seed=" << c.seed;
+}
+
+class CrossAlgorithmTest : public ::testing::TestWithParam<CaseSpec> {};
+
+std::vector<CoreResult> RunAndCollect(EnumMethod method,
+                                      const TemporalGraph& g, uint32_t k,
+                                      Window range) {
+  CollectingSink sink;
+  QueryOptions options;
+  options.enum_method = method;
+  Status s = RunTemporalKCoreQuery(g, k, range, &sink, options);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  sink.SortCanonically();
+  return sink.cores();
+}
+
+std::vector<CoreResult> RunOtcdAndCollect(const TemporalGraph& g, uint32_t k,
+                                          Window range) {
+  CollectingSink sink;
+  Status s = RunOtcd(g, k, range, &sink);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  sink.SortCanonically();
+  return sink.cores();
+}
+
+TEST_P(CrossAlgorithmTest, AllAlgorithmsAgreeOnFullRange) {
+  const CaseSpec& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.num_vertices, c.num_edges,
+                                          c.num_timestamps, c.seed);
+  Window range = g.FullRange();
+
+  auto oracle = RunAndCollect(EnumMethod::kNaive, g, c.k, range);
+  auto enum_cores = RunAndCollect(EnumMethod::kEnum, g, c.k, range);
+  auto base_cores = RunAndCollect(EnumMethod::kEnumBase, g, c.k, range);
+  auto otcd_cores = RunOtcdAndCollect(g, c.k, range);
+
+  EXPECT_EQ(enum_cores, oracle) << "Enum differs from the oracle";
+  EXPECT_EQ(base_cores, oracle) << "EnumBase differs from the oracle";
+  EXPECT_EQ(otcd_cores, oracle) << "OTCD differs from the oracle";
+}
+
+TEST_P(CrossAlgorithmTest, AllAlgorithmsAgreeOnSubRanges) {
+  const CaseSpec& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.num_vertices, c.num_edges,
+                                          c.num_timestamps, c.seed);
+  const Timestamp tmax = g.num_timestamps();
+  // Three deterministic sub-ranges: early, middle, late thirds (clamped).
+  std::vector<Window> ranges;
+  if (tmax >= 3) {
+    Timestamp third = tmax / 3;
+    ranges.push_back(Window{1, std::max<Timestamp>(1, third)});
+    ranges.push_back(Window{third + 1, std::min<Timestamp>(tmax, 2 * third)});
+    ranges.push_back(Window{2 * third + 1, tmax});
+  } else {
+    ranges.push_back(g.FullRange());
+  }
+  for (const Window& range : ranges) {
+    if (range.start > range.end) continue;
+    auto oracle = RunAndCollect(EnumMethod::kNaive, g, c.k, range);
+    auto enum_cores = RunAndCollect(EnumMethod::kEnum, g, c.k, range);
+    auto base_cores = RunAndCollect(EnumMethod::kEnumBase, g, c.k, range);
+    auto otcd_cores = RunOtcdAndCollect(g, c.k, range);
+    EXPECT_EQ(enum_cores, oracle)
+        << "Enum differs on range [" << range.start << "," << range.end << "]";
+    EXPECT_EQ(base_cores, oracle)
+        << "EnumBase differs on range [" << range.start << "," << range.end
+        << "]";
+    EXPECT_EQ(otcd_cores, oracle)
+        << "OTCD differs on range [" << range.start << "," << range.end << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparseGraphs, CrossAlgorithmTest,
+    ::testing::Values(CaseSpec{12, 40, 10, 2, 1}, CaseSpec{12, 40, 10, 2, 2},
+                      CaseSpec{12, 40, 10, 3, 3}, CaseSpec{20, 60, 15, 2, 4},
+                      CaseSpec{20, 60, 15, 3, 5}, CaseSpec{20, 60, 8, 2, 6},
+                      CaseSpec{8, 30, 30, 2, 7}, CaseSpec{8, 30, 30, 2, 8}));
+
+INSTANTIATE_TEST_SUITE_P(
+    DenseGraphs, CrossAlgorithmTest,
+    ::testing::Values(CaseSpec{10, 90, 12, 3, 11}, CaseSpec{10, 90, 12, 4, 12},
+                      CaseSpec{10, 90, 12, 5, 13}, CaseSpec{15, 120, 20, 4, 14},
+                      CaseSpec{15, 120, 20, 5, 15},
+                      CaseSpec{15, 120, 6, 4, 16}));
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiEdgeHeavy, CrossAlgorithmTest,
+    ::testing::Values(CaseSpec{6, 80, 15, 2, 21}, CaseSpec{6, 80, 15, 3, 22},
+                      CaseSpec{5, 60, 10, 3, 23}, CaseSpec{5, 60, 4, 2, 24},
+                      CaseSpec{4, 40, 8, 2, 25}));
+
+INSTANTIATE_TEST_SUITE_P(
+    K1Degenerate, CrossAlgorithmTest,
+    ::testing::Values(CaseSpec{10, 30, 10, 1, 31}, CaseSpec{6, 20, 20, 1, 32}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SingleTimestampAndTiny, CrossAlgorithmTest,
+    ::testing::Values(CaseSpec{8, 25, 1, 2, 41}, CaseSpec{8, 25, 2, 2, 42},
+                      CaseSpec{4, 6, 3, 2, 43}, CaseSpec{3, 3, 3, 2, 44}));
+
+// Bursty generator graphs (planted dense episodes) — closest to the paper's
+// motivating workloads.
+TEST(CrossAlgorithmBurstyTest, SyntheticGeneratorAgrees) {
+  SyntheticSpec spec;
+  spec.name = "test";
+  spec.num_vertices = 24;
+  spec.num_edges = 260;
+  spec.num_timestamps = 40;
+  spec.burstiness = 0.5;
+  spec.burst_group = 8;
+  spec.burst_span = 5;
+  spec.seed = 99;
+  TemporalGraph g = GenerateSynthetic(spec);
+  for (uint32_t k : {2u, 3u, 4u}) {
+    auto oracle = RunAndCollect(EnumMethod::kNaive, g, k, g.FullRange());
+    auto enum_cores = RunAndCollect(EnumMethod::kEnum, g, k, g.FullRange());
+    auto otcd_cores = RunOtcdAndCollect(g, k, g.FullRange());
+    EXPECT_EQ(enum_cores, oracle) << "k=" << k;
+    EXPECT_EQ(otcd_cores, oracle) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace tkc

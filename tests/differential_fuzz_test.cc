@@ -1,0 +1,102 @@
+// Randomized differential testing at breadth: many small random graphs of
+// varied shapes, each checked Enum-vs-oracle by fingerprint over every
+// (k, sub-range) combination in a grid. This is the wide net behind the
+// targeted suites — any disagreement pinpoints (seed, shape, k, range).
+
+#include <gtest/gtest.h>
+
+#include "core/sinks.h"
+#include "core/temporal_kcore.h"
+#include "datasets/generators.h"
+#include "otcd/otcd.h"
+#include "util/rng.h"
+
+namespace tkc {
+namespace {
+
+struct FuzzShape {
+  uint32_t max_n, max_m, max_t;
+};
+
+class DifferentialFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+uint64_t FingerprintOf(EnumMethod method, const TemporalGraph& g, uint32_t k,
+                       Window range) {
+  FingerprintSink sink;
+  QueryOptions options;
+  options.enum_method = method;
+  Status s = RunTemporalKCoreQuery(g, k, range, &sink, options);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return sink.digest();
+}
+
+TEST_P(DifferentialFuzzTest, EnumMatchesOracleEverywhere) {
+  auto [shape_id, batch] = GetParam();
+  const FuzzShape shapes[] = {{8, 30, 6}, {12, 50, 12}, {20, 70, 24},
+                              {5, 40, 10}, {30, 90, 8}};
+  const FuzzShape& shape = shapes[shape_id];
+  // Each batch covers 5 random graphs.
+  for (int i = 0; i < 5; ++i) {
+    uint64_t seed = static_cast<uint64_t>(shape_id) * 1000 +
+                    static_cast<uint64_t>(batch) * 10 + i + 1;
+    Rng rng(seed * 7919);
+    uint32_t n = 3 + static_cast<uint32_t>(rng.NextBounded(shape.max_n - 2));
+    uint32_t m = 4 + static_cast<uint32_t>(rng.NextBounded(shape.max_m - 3));
+    uint32_t T = 1 + static_cast<uint32_t>(rng.NextBounded(shape.max_t));
+    TemporalGraph g = GenerateUniformRandom(std::max(n, 2u), m, T, seed);
+    Timestamp tmax = g.num_timestamps();
+    // Grid: k in {1,2,3}, ranges full/halves.
+    std::vector<Window> ranges = {g.FullRange()};
+    if (tmax >= 2) {
+      ranges.push_back(Window{1, tmax / 2});
+      ranges.push_back(Window{tmax / 2 + 1, tmax});
+    }
+    for (uint32_t k : {1u, 2u, 3u}) {
+      for (const Window& range : ranges) {
+        if (range.start > range.end) continue;
+        uint64_t oracle = FingerprintOf(EnumMethod::kNaive, g, k, range);
+        uint64_t enum_fp = FingerprintOf(EnumMethod::kEnum, g, k, range);
+        ASSERT_EQ(enum_fp, oracle)
+            << "seed=" << seed << " n=" << n << " m=" << m << " T=" << T
+            << " k=" << k << " range=[" << range.start << "," << range.end
+            << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DifferentialFuzzTest,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 4)));
+
+// A second fuzz axis: OTCD against Enum on bursty synthetic graphs (the
+// workload OTCD's pruning is most exercised by).
+TEST(DifferentialFuzzOtcdTest, OtcdMatchesEnumOnBurstyGraphs) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SyntheticSpec spec;
+    spec.name = "fuzz";
+    spec.num_vertices = 16 + static_cast<uint32_t>(seed);
+    spec.num_edges = 150 + 20 * static_cast<uint32_t>(seed);
+    spec.num_timestamps = 25 + 3 * static_cast<uint32_t>(seed);
+    spec.burstiness = 0.4;
+    spec.burst_group = 7;
+    spec.burst_span = 4;
+    spec.seed = seed;
+    TemporalGraph g = GenerateSynthetic(spec);
+    for (uint32_t k : {2u, 3u, 4u}) {
+      FingerprintSink enum_sink, otcd_sink;
+      QueryOptions options;
+      ASSERT_TRUE(
+          RunTemporalKCoreQuery(g, k, g.FullRange(), &enum_sink, options)
+              .ok());
+      ASSERT_TRUE(RunOtcd(g, k, g.FullRange(), &otcd_sink).ok());
+      ASSERT_EQ(enum_sink.digest(), otcd_sink.digest())
+          << "seed=" << seed << " k=" << k;
+      ASSERT_EQ(enum_sink.num_cores(), otcd_sink.num_cores());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tkc

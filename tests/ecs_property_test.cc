@@ -1,0 +1,125 @@
+// Semantic property tests of the Edge Core Window Skyline against direct
+// window peeling (Definition 5): each listed window is a *minimal* core
+// window of its edge, and coverage is complete (Lemma 3: an edge is in the
+// core of [a,b] iff some skyline window fits inside [a,b]).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/window_peeler.h"
+#include "vct/vct_builder.h"
+
+namespace tkc {
+namespace {
+
+bool EdgeInCoreOf(const TemporalGraph& g, uint32_t k, Window w, EdgeId e) {
+  WindowCore core = ComputeWindowCore(g, k, w);
+  return std::binary_search(core.edges.begin(), core.edges.end(), e);
+}
+
+struct EcsCase {
+  uint32_t n, m, T, k;
+  uint64_t seed;
+};
+
+void PrintTo(const EcsCase& c, std::ostream* os) {
+  *os << "n=" << c.n << " m=" << c.m << " T=" << c.T << " k=" << c.k
+      << " seed=" << c.seed;
+}
+
+class EcsPropertyTest : public ::testing::TestWithParam<EcsCase> {};
+
+TEST_P(EcsPropertyTest, WindowsAreCoreWindows) {
+  const EcsCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  VctBuildResult built = BuildVctAndEcs(g, c.k, g.FullRange());
+  built.ecs.ForEachWindow([&](EdgeId e, const Window& w) {
+    EXPECT_TRUE(EdgeInCoreOf(g, c.k, w, e))
+        << "edge " << e << " not in core of its skyline window [" << w.start
+        << "," << w.end << "]";
+  });
+}
+
+TEST_P(EcsPropertyTest, WindowsAreMinimal) {
+  const EcsCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  VctBuildResult built = BuildVctAndEcs(g, c.k, g.FullRange());
+  built.ecs.ForEachWindow([&](EdgeId e, const Window& w) {
+    // Shrinking from either side must drop the edge from the core.
+    if (w.start < w.end) {
+      EXPECT_FALSE(EdgeInCoreOf(g, c.k, Window{w.start + 1, w.end}, e))
+          << "window [" << w.start << "," << w.end << "] of edge " << e
+          << " is not left-minimal";
+      EXPECT_FALSE(EdgeInCoreOf(g, c.k, Window{w.start, w.end - 1}, e))
+          << "window [" << w.start << "," << w.end << "] of edge " << e
+          << " is not right-minimal";
+    }
+  });
+}
+
+TEST_P(EcsPropertyTest, CoverageIsComplete) {
+  // Lemma 3 in both directions, sampled over all windows of small graphs.
+  const EcsCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  Window range = g.FullRange();
+  VctBuildResult built = BuildVctAndEcs(g, c.k, range);
+  for (Timestamp a = range.start; a <= range.end; a += 2) {
+    for (Timestamp b = a; b <= range.end; b += 2) {
+      WindowCore core = ComputeWindowCore(g, c.k, Window{a, b});
+      for (EdgeId e = built.ecs.first_edge(); e < built.ecs.last_edge();
+           ++e) {
+        bool in_core =
+            std::binary_search(core.edges.begin(), core.edges.end(), e);
+        bool has_window = false;
+        for (const Window& w : built.ecs.WindowsOf(e)) {
+          if (w.ContainedIn(Window{a, b})) {
+            has_window = true;
+            break;
+          }
+        }
+        EXPECT_EQ(in_core, has_window)
+            << "edge " << e << " window [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, EcsPropertyTest,
+    ::testing::Values(EcsCase{10, 45, 8, 2, 1}, EcsCase{10, 45, 8, 3, 2},
+                      EcsCase{14, 70, 12, 2, 3}, EcsCase{14, 70, 12, 3, 4},
+                      EcsCase{8, 50, 16, 2, 5}, EcsCase{6, 36, 6, 2, 6},
+                      EcsCase{12, 60, 10, 1, 7}));
+
+TEST(EcsQueryRangeTest, SkylineRespectsRangeBoundaries) {
+  // Windows never extend outside the query range even when wider cores
+  // exist in the full graph.
+  TemporalGraph g = GenerateUniformRandom(14, 90, 20, 17);
+  Window range{5, 15};
+  VctBuildResult built = BuildVctAndEcs(g, 2, range);
+  built.ecs.ForEachWindow([&](EdgeId e, const Window& w) {
+    (void)e;
+    EXPECT_GE(w.start, range.start);
+    EXPECT_LE(w.end, range.end);
+  });
+  // Every edge in the skyline's id range lies within the query window.
+  for (EdgeId e = built.ecs.first_edge(); e < built.ecs.last_edge(); ++e) {
+    EXPECT_GE(g.edge(e).t, range.start);
+    EXPECT_LE(g.edge(e).t, range.end);
+  }
+}
+
+TEST(EcsEdgeTimeTest, WindowsContainTheirEdgeTimestamp) {
+  // A minimal core window of (u,v,t) must contain t itself.
+  TemporalGraph g = GenerateUniformRandom(12, 80, 14, 23);
+  VctBuildResult built = BuildVctAndEcs(g, 2, g.FullRange());
+  built.ecs.ForEachWindow([&](EdgeId e, const Window& w) {
+    EXPECT_GE(g.edge(e).t, w.start) << "edge " << e;
+    EXPECT_LE(g.edge(e).t, w.end) << "edge " << e;
+  });
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,85 @@
+#include "vct/ecs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tkc {
+namespace {
+
+EdgeCoreWindowSkyline MakeSkyline() {
+  // Edges 10..13 (global ids); edge 10 has two windows, 12 has one.
+  std::vector<std::pair<EdgeId, Window>> emissions = {
+      {10, {1, 4}}, {10, {2, 6}}, {12, {3, 5}},
+  };
+  return EdgeCoreWindowSkyline::FromEmissions(10, 14, Window{1, 8}, emissions);
+}
+
+TEST(EcsTest, WindowsOf) {
+  auto ecs = MakeSkyline();
+  EXPECT_EQ(ecs.WindowsOf(10).size(), 2u);
+  EXPECT_EQ(ecs.WindowsOf(11).size(), 0u);
+  EXPECT_EQ(ecs.WindowsOf(12).size(), 1u);
+  EXPECT_EQ(ecs.WindowsOf(13).size(), 0u);
+  EXPECT_EQ(ecs.size(), 3u);
+  EXPECT_EQ(ecs.num_edges(), 4u);
+  EXPECT_EQ(ecs.first_edge(), 10u);
+  EXPECT_EQ(ecs.last_edge(), 14u);
+}
+
+TEST(EcsTest, WindowContents) {
+  auto ecs = MakeSkyline();
+  EXPECT_EQ(ecs.WindowsOf(10)[0], (Window{1, 4}));
+  EXPECT_EQ(ecs.WindowsOf(10)[1], (Window{2, 6}));
+  EXPECT_EQ(ecs.WindowsOf(12)[0], (Window{3, 5}));
+}
+
+TEST(EcsTest, ForEachWindowVisitsAllGroupedByEdge) {
+  auto ecs = MakeSkyline();
+  std::vector<std::pair<EdgeId, Window>> visited;
+  ecs.ForEachWindow([&](EdgeId e, const Window& w) {
+    visited.push_back({e, w});
+  });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0].first, 10u);
+  EXPECT_EQ(visited[1].first, 10u);
+  EXPECT_EQ(visited[2].first, 12u);
+}
+
+TEST(EcsTest, DebugString) {
+  auto ecs = MakeSkyline();
+  EXPECT_EQ(ecs.DebugString(10), "[1,4] [2,6]");
+  EXPECT_EQ(ecs.DebugString(11), "");
+}
+
+TEST(EcsTest, EmptySkyline) {
+  auto ecs = EdgeCoreWindowSkyline::FromEmissions(
+      0, 0, Window{1, 1}, std::span<const std::pair<EdgeId, Window>>());
+  EXPECT_EQ(ecs.size(), 0u);
+  EXPECT_EQ(ecs.num_edges(), 0u);
+}
+
+TEST(EcsTest, RangeStored) {
+  auto ecs = MakeSkyline();
+  EXPECT_EQ(ecs.range(), (Window{1, 8}));
+}
+
+TEST(EcsTest, MemoryUsagePositive) {
+  auto ecs = MakeSkyline();
+  EXPECT_GT(ecs.MemoryUsageBytes(), 0u);
+}
+
+TEST(EcsTest, InterleavedEmissionsGroupCorrectly) {
+  std::vector<std::pair<EdgeId, Window>> emissions = {
+      {5, {1, 2}}, {3, {1, 3}}, {5, {3, 4}}, {4, {2, 5}}, {5, {5, 7}},
+  };
+  auto ecs = EdgeCoreWindowSkyline::FromEmissions(3, 6, Window{1, 8},
+                                                  emissions);
+  EXPECT_EQ(ecs.WindowsOf(5).size(), 3u);
+  EXPECT_EQ(ecs.WindowsOf(5)[2], (Window{5, 7}));
+  EXPECT_EQ(ecs.WindowsOf(3).size(), 1u);
+  EXPECT_EQ(ecs.WindowsOf(4).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace tkc {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  auto parsed = Flags::Parse(static_cast<int>(args.size()),
+                             const_cast<char**>(args.data()));
+  EXPECT_TRUE(parsed.ok());
+  return std::move(parsed).value();
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = ParseArgs({"--scale=2.5", "--name=CM"});
+  EXPECT_EQ(f.GetString("name", ""), "CM");
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 0), 2.5);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = ParseArgs({"--queries", "7"});
+  EXPECT_EQ(f.GetInt("queries", 0), 7);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags f = ParseArgs({"--verbose"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseArgs({"input.txt", "--k=3", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(FlagsTest, DefaultsWhenMissing) {
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.GetInt("missing", -5), -5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(f.GetBool("missing", true));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, MalformedIntFallsBackToDefault) {
+  Flags f = ParseArgs({"--k=abc"});
+  EXPECT_EQ(f.GetInt("k", 9), 9);
+}
+
+TEST(FlagsTest, BoolSpellings) {
+  Flags f = ParseArgs({"--a=yes", "--b=off", "--c=1", "--d=false"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(FlagsTest, EnvironmentFallback) {
+  ::setenv("TKC_FROM_ENV", "321", 1);
+  Flags f = ParseArgs({});
+  EXPECT_EQ(f.GetInt("from-env", 0), 321);
+  EXPECT_TRUE(f.Has("from-env"));
+  ::unsetenv("TKC_FROM_ENV");
+}
+
+TEST(FlagsTest, CommandLineBeatsEnvironment) {
+  ::setenv("TKC_SCALE", "9", 1);
+  Flags f = ParseArgs({"--scale=2"});
+  EXPECT_EQ(f.GetInt("scale", 0), 2);
+  ::unsetenv("TKC_SCALE");
+}
+
+TEST(FlagsTest, BareDoubleDashIsError) {
+  std::vector<const char*> args = {"prog", "--"};
+  auto parsed = Flags::Parse(2, const_cast<char**>(args.data()));
+  EXPECT_FALSE(parsed.ok());
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,139 @@
+#include "datasets/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/core_decomposition.h"
+#include "graph/graph_stats.h"
+#include "graph/window_peeler.h"
+
+namespace tkc {
+namespace {
+
+TEST(GenerateSyntheticTest, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 30;
+  spec.num_edges = 300;
+  spec.num_timestamps = 50;
+  spec.seed = 7;
+  TemporalGraph a = GenerateSynthetic(spec);
+  TemporalGraph b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) EXPECT_EQ(a.edge(e), b.edge(e));
+}
+
+TEST(GenerateSyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 30;
+  spec.num_edges = 300;
+  spec.num_timestamps = 50;
+  spec.seed = 1;
+  TemporalGraph a = GenerateSynthetic(spec);
+  spec.seed = 2;
+  TemporalGraph b = GenerateSynthetic(spec);
+  bool any_diff = a.num_edges() != b.num_edges();
+  for (EdgeId e = 0; !any_diff && e < a.num_edges(); ++e) {
+    any_diff = !(a.edge(e) == b.edge(e));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GenerateSyntheticTest, RespectsSizeTargets) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 50;
+  spec.num_edges = 500;
+  spec.num_timestamps = 100;
+  spec.seed = 3;
+  TemporalGraph g = GenerateSynthetic(spec);
+  // Dedup can only shrink the edge count, and not by much.
+  EXPECT_LE(g.num_edges(), 500u);
+  EXPECT_GE(g.num_edges(), 400u);
+  EXPECT_LE(g.num_timestamps(), 100u);
+  EXPECT_LE(g.num_vertices(), 50u);
+}
+
+TEST(GenerateSyntheticTest, PreferentialAttachmentCreatesDenseCore) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 100;
+  spec.num_edges = 2000;
+  spec.num_timestamps = 2000;
+  spec.pa_alpha = 0.85;
+  spec.seed = 11;
+  TemporalGraph g = GenerateSynthetic(spec);
+  CoreDecompositionResult cores = DecomposeCores(g);
+  // A uniform graph with this density would have kmax near 2m/n = 40 only
+  // under extreme concentration; PA should comfortably exceed 8.
+  EXPECT_GE(cores.kmax, 8u);
+}
+
+TEST(GenerateSyntheticTest, BurstsPlantTemporalCores) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 60;
+  spec.num_edges = 900;
+  spec.num_timestamps = 300;
+  spec.burstiness = 0.5;
+  spec.burst_group = 10;
+  spec.burst_span = 8;
+  spec.seed = 13;
+  TemporalGraph g = GenerateSynthetic(spec);
+  // Some window of ~1/8 of the time axis must contain a 3-core.
+  bool found = false;
+  Timestamp tmax = g.num_timestamps();
+  Timestamp len = std::max<Timestamp>(1, tmax / 8);
+  for (Timestamp s = 1; s + len - 1 <= tmax && !found; s += len / 2 + 1) {
+    found = !ComputeWindowCore(g, 3, Window{s, s + len - 1}).Empty();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GenerateUniformRandomTest, ShapeAndDeterminism) {
+  TemporalGraph a = GenerateUniformRandom(20, 100, 10, 5);
+  TemporalGraph b = GenerateUniformRandom(20, 100, 10, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_LE(a.num_timestamps(), 10u);
+  EXPECT_EQ(a.num_vertices(), 20u);
+}
+
+// The planted window is in RAW time; peeling works in compacted time, so
+// map the raw bounds through the graph's timestamp table.
+Window CompactWindow(const TemporalGraph& g, uint64_t raw_lo,
+                     uint64_t raw_hi) {
+  Timestamp lo = g.CompactTimestampFloor(raw_lo - 1) + 1;
+  Timestamp hi = g.CompactTimestampFloor(raw_hi);
+  return Window{lo, hi};
+}
+
+TEST(GeneratePlantedCliqueTest, CliqueIsATemporalCore) {
+  TemporalGraph g =
+      GeneratePlantedClique(40, 6, Window{10, 20}, 100, 120, 17);
+  // The 6-clique inside raw [10,20] gives every member 5 in-window
+  // neighbors.
+  WindowCore core = ComputeWindowCore(g, 5, CompactWindow(g, 10, 20));
+  EXPECT_FALSE(core.Empty());
+  for (VertexId v = 0; v < 6; ++v) EXPECT_TRUE(core.in_core[v]) << v;
+}
+
+TEST(GeneratePlantedCliqueTest, CliqueAbsentOutsideWindow) {
+  TemporalGraph g =
+      GeneratePlantedClique(40, 6, Window{50, 60}, 100, 60, 19);
+  Window before = CompactWindow(g, 1, 49);
+  if (before.start <= before.end) {
+    EXPECT_TRUE(ComputeWindowCore(g, 5, before).Empty());
+  }
+}
+
+TEST(PaperExampleGraphTest, MatchesFigure1) {
+  TemporalGraph g = PaperExampleGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_edges, 14u);
+  EXPECT_EQ(stats.num_timestamps, 7u);
+  EXPECT_EQ(stats.num_vertices, 9u);  // v1..v9 all have edges
+  EXPECT_EQ(stats.kmax, 2u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,108 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "datasets/generators.h"
+
+namespace tkc {
+namespace {
+
+TEST(ParseSnapTextTest, BasicEdges) {
+  auto g = ParseSnapText("1 2 100\n2 3 200\n1 3 100\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->num_timestamps(), 2u);
+}
+
+TEST(ParseSnapTextTest, CommentsAndBlankLines) {
+  auto g = ParseSnapText(
+      "# SNAP header\n% konect header\n\n   \n1 2 10\n# trailing\n2 3 20\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ParseSnapTextTest, TabsAndMultipleSpaces) {
+  auto g = ParseSnapText("1\t2\t10\n2   3   20\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ParseSnapTextTest, MissingNewlineAtEof) {
+  auto g = ParseSnapText("1 2 10\n2 3 20");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ParseSnapTextTest, MalformedLineStrict) {
+  auto g = ParseSnapText("1 2 10\n1 2\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseSnapTextTest, MalformedLineLenient) {
+  SnapLoadOptions options;
+  options.strict = false;
+  auto g = ParseSnapText("1 2 10\njunk line\n2 3 20\n", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ParseSnapTextTest, EmptyInputIsError) {
+  auto g = ParseSnapText("# only comments\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(ParseSnapTextTest, SelfLoopsSkipped) {
+  auto g = ParseSnapText("1 1 10\n1 2 10\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(ParseSnapTextTest, HugeVertexIdRejected) {
+  auto g = ParseSnapText("4294967295 1 10\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseSnapTextTest, DedupOptionRespected) {
+  SnapLoadOptions options;
+  options.deduplicate_exact = false;
+  auto g = ParseSnapText("1 2 10\n2 1 10\n", options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(SnapRoundTripTest, SaveAndLoadPreservesGraph) {
+  TemporalGraph original = PaperExampleGraph();
+  std::string path = ::testing::TempDir() + "/tkc_roundtrip.txt";
+  ASSERT_TRUE(SaveSnapFile(original, path).ok());
+  auto loaded = LoadSnapFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_edges(), original.num_edges());
+  ASSERT_EQ(loaded->num_timestamps(), original.num_timestamps());
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(loaded->edge(e), original.edge(e)) << "edge " << e;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapRoundTripTest, RawTimestampsPreserved) {
+  auto g = ParseSnapText("0 1 1000000\n1 2 2000000\n");
+  ASSERT_TRUE(g.ok());
+  std::string text = ToSnapText(*g);
+  EXPECT_NE(text.find("1000000"), std::string::npos);
+  EXPECT_NE(text.find("2000000"), std::string::npos);
+}
+
+TEST(LoadSnapFileTest, MissingFileIsIOError) {
+  auto g = LoadSnapFile("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,100 @@
+// Tests of the historical (single-window) core queries answered from the
+// VCT/ECS indexes against the from-scratch window peeler.
+
+#include "vct/historical_core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/window_peeler.h"
+#include "util/rng.h"
+#include "vct/vct_builder.h"
+
+namespace tkc {
+namespace {
+
+TEST(HistoricalCoreTest, PaperExampleMembership) {
+  TemporalGraph g = PaperExampleGraph();
+  VctBuildResult built = BuildVctAndEcs(g, 2, g.FullRange());
+  // From Example 2: v1 joins the 2-core at window [1,3].
+  EXPECT_FALSE(VertexInHistoricalCore(built.vct, 1, Window{1, 2}));
+  EXPECT_TRUE(VertexInHistoricalCore(built.vct, 1, Window{1, 3}));
+  EXPECT_TRUE(VertexInHistoricalCore(built.vct, 1, Window{1, 7}));
+  // v5's core time at ts=1 is 7.
+  EXPECT_FALSE(VertexInHistoricalCore(built.vct, 5, Window{1, 6}));
+  EXPECT_TRUE(VertexInHistoricalCore(built.vct, 5, Window{1, 7}));
+}
+
+TEST(HistoricalCoreTest, VerticesMatchPeelerOnAllWindows) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(14, 80, 10, seed);
+    VctBuildResult built = BuildVctAndEcs(g, 2, g.FullRange());
+    for (Timestamp a = 1; a <= g.num_timestamps(); ++a) {
+      for (Timestamp b = a; b <= g.num_timestamps(); ++b) {
+        std::vector<bool> oracle =
+            ComputeWindowCoreVertices(g, 2, Window{a, b});
+        std::vector<VertexId> expected;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          if (oracle[v]) expected.push_back(v);
+        }
+        EXPECT_EQ(HistoricalCoreVertices(built.vct, Window{a, b}), expected)
+            << "seed " << seed << " window [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+TEST(HistoricalCoreTest, EdgesMatchPeelerOnSampledWindows) {
+  Rng rng(5);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(12, 70, 12, seed);
+    VctBuildResult built = BuildVctAndEcs(g, 2, g.FullRange());
+    for (int i = 0; i < 30; ++i) {
+      Timestamp a =
+          1 + static_cast<Timestamp>(rng.NextBounded(g.num_timestamps()));
+      Timestamp b =
+          1 + static_cast<Timestamp>(rng.NextBounded(g.num_timestamps()));
+      if (a > b) std::swap(a, b);
+      WindowCore oracle = ComputeWindowCore(g, 2, Window{a, b});
+      EXPECT_EQ(HistoricalCoreEdges(built.ecs, g, Window{a, b}),
+                oracle.edges)
+          << "seed " << seed << " window [" << a << "," << b << "]";
+    }
+  }
+}
+
+TEST(HistoricalCoreTest, SubRangeIndexAnswersItsWindows) {
+  TemporalGraph g = GenerateUniformRandom(14, 90, 16, 11);
+  Window range{4, 12};
+  VctBuildResult built = BuildVctAndEcs(g, 2, range);
+  for (Timestamp a = range.start; a <= range.end; ++a) {
+    for (Timestamp b = a; b <= range.end; ++b) {
+      std::vector<bool> oracle = ComputeWindowCoreVertices(g, 2, Window{a, b});
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        bool indexed = !built.vct.EntriesOf(v).empty() &&
+                       VertexInHistoricalCore(built.vct, v, Window{a, b});
+        EXPECT_EQ(indexed, static_cast<bool>(oracle[v]))
+            << "v=" << v << " window [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+TEST(HistoricalCoreTest, EdgeMembershipAgreesWithVertexMembership) {
+  TemporalGraph g = GenerateUniformRandom(12, 60, 10, 17);
+  VctBuildResult built = BuildVctAndEcs(g, 2, g.FullRange());
+  Window w{3, 8};
+  for (EdgeId e = built.ecs.first_edge(); e < built.ecs.last_edge(); ++e) {
+    const TemporalEdge& edge = g.edge(e);
+    bool edge_in = EdgeInHistoricalCore(built.ecs, e, w);
+    bool endpoints_in = edge.t >= w.start && edge.t <= w.end &&
+                        VertexInHistoricalCore(built.vct, edge.u, w) &&
+                        VertexInHistoricalCore(built.vct, edge.v, w);
+    EXPECT_EQ(edge_in, endpoints_in) << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace tkc

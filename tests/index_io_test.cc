@@ -1,0 +1,142 @@
+// Round-trip and corruption-handling tests of the index serialization.
+
+#include "vct/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "datasets/generators.h"
+#include "vct/vct_builder.h"
+
+namespace tkc {
+namespace {
+
+VctBuildResult BuildExample() {
+  return BuildVctAndEcs(PaperExampleGraph(), 2, Window{1, 7});
+}
+
+void ExpectVctEqual(const VertexCoreTimeIndex& a,
+                    const VertexCoreTimeIndex& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.range(), b.range());
+  ASSERT_EQ(a.size(), b.size());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    auto ea = a.EntriesOf(v), eb = b.EntriesOf(v);
+    ASSERT_EQ(ea.size(), eb.size()) << v;
+    for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+  }
+}
+
+void ExpectEcsEqual(const EdgeCoreWindowSkyline& a,
+                    const EdgeCoreWindowSkyline& b) {
+  ASSERT_EQ(a.first_edge(), b.first_edge());
+  ASSERT_EQ(a.last_edge(), b.last_edge());
+  ASSERT_EQ(a.range(), b.range());
+  ASSERT_EQ(a.size(), b.size());
+  for (EdgeId e = a.first_edge(); e < a.last_edge(); ++e) {
+    auto wa = a.WindowsOf(e), wb = b.WindowsOf(e);
+    ASSERT_EQ(wa.size(), wb.size()) << e;
+    for (size_t i = 0; i < wa.size(); ++i) EXPECT_EQ(wa[i], wb[i]);
+  }
+}
+
+TEST(IndexIoTest, VctRoundTripBytes) {
+  VctBuildResult built = BuildExample();
+  std::string bytes = SerializeVctIndex(built.vct);
+  auto loaded = DeserializeVctIndex(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectVctEqual(built.vct, *loaded);
+}
+
+TEST(IndexIoTest, EcsRoundTripBytes) {
+  VctBuildResult built = BuildExample();
+  std::string bytes = SerializeEcs(built.ecs);
+  auto loaded = DeserializeEcs(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectEcsEqual(built.ecs, *loaded);
+}
+
+TEST(IndexIoTest, RoundTripRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(20, 150, 18, seed);
+    VctBuildResult built = BuildVctAndEcs(g, 3, Window{3, 15});
+    auto vct = DeserializeVctIndex(SerializeVctIndex(built.vct));
+    ASSERT_TRUE(vct.ok());
+    ExpectVctEqual(built.vct, *vct);
+    auto ecs = DeserializeEcs(SerializeEcs(built.ecs));
+    ASSERT_TRUE(ecs.ok());
+    ExpectEcsEqual(built.ecs, *ecs);
+  }
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  VctBuildResult built = BuildExample();
+  std::string vct_path = ::testing::TempDir() + "/tkc_index.vct";
+  std::string ecs_path = ::testing::TempDir() + "/tkc_index.ecs";
+  ASSERT_TRUE(SaveVctIndex(built.vct, vct_path).ok());
+  ASSERT_TRUE(SaveEcs(built.ecs, ecs_path).ok());
+  auto vct = LoadVctIndex(vct_path);
+  ASSERT_TRUE(vct.ok());
+  ExpectVctEqual(built.vct, *vct);
+  auto ecs = LoadEcs(ecs_path);
+  ASSERT_TRUE(ecs.ok());
+  ExpectEcsEqual(built.ecs, *ecs);
+  std::remove(vct_path.c_str());
+  std::remove(ecs_path.c_str());
+}
+
+TEST(IndexIoTest, BadMagicRejected) {
+  std::string bytes = SerializeVctIndex(BuildExample().vct);
+  bytes[0] ^= 0xFF;
+  auto loaded = DeserializeVctIndex(bytes);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  // VCT bytes are not an ECS.
+  auto as_ecs = DeserializeEcs(SerializeVctIndex(BuildExample().vct));
+  EXPECT_EQ(as_ecs.status().code(), StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, TruncationRejected) {
+  std::string vct_bytes = SerializeVctIndex(BuildExample().vct);
+  std::string ecs_bytes = SerializeEcs(BuildExample().ecs);
+  for (size_t cut : {size_t{3}, size_t{10}, vct_bytes.size() - 1}) {
+    auto loaded = DeserializeVctIndex(vct_bytes.substr(0, cut));
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << cut;
+  }
+  for (size_t cut : {size_t{5}, size_t{16}, ecs_bytes.size() - 2}) {
+    auto loaded = DeserializeEcs(ecs_bytes.substr(0, cut));
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption) << cut;
+  }
+}
+
+TEST(IndexIoTest, TrailingGarbageRejected) {
+  std::string bytes = SerializeEcs(BuildExample().ecs);
+  bytes += "junk";
+  EXPECT_EQ(DeserializeEcs(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, CorruptOrderingRejected) {
+  // Flip an entry's core time to break monotonicity: locate the first
+  // vertex with >= 2 entries and swap its two entry payloads.
+  VctBuildResult built = BuildExample();
+  std::string bytes = SerializeVctIndex(built.vct);
+  // Header: 4*5 + 8 = 28 bytes; vertex blocks follow. Vertex 0 has no
+  // entries (count 0), vertex 1 has 4. Corrupt by writing a huge start in
+  // the first entry of the first non-empty vertex: offset 28 (v0 count) +4
+  // (v1 count) = 32 -> first entry start at 32.
+  uint32_t huge = 0xFFFFFFFE;
+  std::memcpy(bytes.data() + 36, &huge, 4);
+  EXPECT_EQ(DeserializeVctIndex(bytes).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(IndexIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadVctIndex("/nonexistent/x.vct").status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(LoadEcs("/nonexistent/x.ecs").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace tkc

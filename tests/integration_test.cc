@@ -1,0 +1,85 @@
+// End-to-end integration: registry dataset -> workload -> all algorithms,
+// at reduced scale, verifying cross-algorithm fingerprint equality (too
+// large for the CollectingSink comparisons of cross_algorithm_test).
+
+#include <gtest/gtest.h>
+
+#include "core/sinks.h"
+#include "core/temporal_kcore.h"
+#include "datasets/registry.h"
+#include "graph/graph_stats.h"
+#include "otcd/otcd.h"
+#include "workload/query_workload.h"
+
+namespace tkc {
+namespace {
+
+class IntegrationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IntegrationTest, RegistryDatasetEndToEnd) {
+  // Scale 0.05 keeps each dataset a few thousand edges at most.
+  auto graph = GenerateByName(GetParam(), 0.05);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  GraphStats stats = ComputeGraphStats(*graph);
+  ASSERT_GE(stats.kmax, 2u);
+
+  WorkloadSpec spec;
+  spec.num_queries = 2;
+  spec.range_fraction = 0.10;
+  spec.seed = 7;
+  auto queries = GenerateQueries(*graph, stats.kmax, spec);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  for (const Query& q : *queries) {
+    FingerprintSink enum_sink, base_sink, otcd_sink;
+    QueryOptions enum_opts, base_opts;
+    base_opts.enum_method = EnumMethod::kEnumBase;
+    ASSERT_TRUE(
+        RunTemporalKCoreQuery(*graph, q.k, q.range, &enum_sink, enum_opts)
+            .ok());
+    ASSERT_TRUE(
+        RunTemporalKCoreQuery(*graph, q.k, q.range, &base_sink, base_opts)
+            .ok());
+    ASSERT_TRUE(RunOtcd(*graph, q.k, q.range, &otcd_sink).ok());
+    EXPECT_GT(enum_sink.num_cores(), 0u);
+    EXPECT_EQ(enum_sink.digest(), base_sink.digest())
+        << GetParam() << " k=" << q.k << " range [" << q.range.start << ","
+        << q.range.end << "]";
+    EXPECT_EQ(enum_sink.digest(), otcd_sink.digest())
+        << GetParam() << " k=" << q.k << " range [" << q.range.start << ","
+        << q.range.end << "]";
+  }
+}
+
+// All 14 at reduced scale would be slow in CI; exercise a representative
+// cross-regime subset (small, dense, many-timestamps, few-timestamps).
+INSTANTIATE_TEST_SUITE_P(Datasets, IntegrationTest,
+                         ::testing::Values("FB", "CM", "EM", "WK", "PL"));
+
+TEST(IntegrationScaleTest, MediumGraphEnumVsEnumBase) {
+  // A single larger run: ~20k edges, verifying the pipeline at a size where
+  // the naive oracle is no longer feasible.
+  auto graph = GenerateByName("CM", 3.0);
+  ASSERT_TRUE(graph.ok());
+  GraphStats stats = ComputeGraphStats(*graph);
+  WorkloadSpec spec;
+  spec.num_queries = 1;
+  spec.range_fraction = 0.10;
+  auto queries = GenerateQueries(*graph, stats.kmax, spec);
+  ASSERT_TRUE(queries.ok());
+  const Query& q = (*queries)[0];
+
+  FingerprintSink enum_sink, base_sink;
+  QueryOptions base_opts;
+  base_opts.enum_method = EnumMethod::kEnumBase;
+  ASSERT_TRUE(
+      RunTemporalKCoreQuery(*graph, q.k, q.range, &enum_sink, {}).ok());
+  ASSERT_TRUE(
+      RunTemporalKCoreQuery(*graph, q.k, q.range, &base_sink, base_opts)
+          .ok());
+  EXPECT_EQ(enum_sink.digest(), base_sink.digest());
+  EXPECT_EQ(enum_sink.num_cores(), base_sink.num_cores());
+}
+
+}  // namespace
+}  // namespace tkc

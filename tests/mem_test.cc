@@ -1,0 +1,73 @@
+#include "util/mem.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tkc {
+namespace {
+
+TEST(MemoryCounterTest, TracksPeak) {
+  MemoryCounter c;
+  c.Add(100);
+  c.Add(50);
+  EXPECT_EQ(c.current_bytes(), 150u);
+  EXPECT_EQ(c.peak_bytes(), 150u);
+  c.Sub(120);
+  EXPECT_EQ(c.current_bytes(), 30u);
+  EXPECT_EQ(c.peak_bytes(), 150u);
+  c.Add(10);
+  EXPECT_EQ(c.peak_bytes(), 150u);
+}
+
+TEST(MemoryCounterTest, SubClampsAtZero) {
+  MemoryCounter c;
+  c.Add(10);
+  c.Sub(100);
+  EXPECT_EQ(c.current_bytes(), 0u);
+}
+
+TEST(MemoryCounterTest, SetCurrentUpdatesPeak) {
+  MemoryCounter c;
+  c.SetCurrent(500);
+  EXPECT_EQ(c.peak_bytes(), 500u);
+  c.SetCurrent(100);
+  EXPECT_EQ(c.current_bytes(), 100u);
+  EXPECT_EQ(c.peak_bytes(), 500u);
+}
+
+TEST(MemoryCounterTest, Reset) {
+  MemoryCounter c;
+  c.Add(42);
+  c.Reset();
+  EXPECT_EQ(c.current_bytes(), 0u);
+  EXPECT_EQ(c.peak_bytes(), 0u);
+}
+
+TEST(ApproxVectorBytesTest, UsesCapacity) {
+  std::vector<uint64_t> v;
+  v.reserve(100);
+  EXPECT_EQ(ApproxVectorBytes(v), 100 * sizeof(uint64_t));
+}
+
+TEST(ProcStatusTest, VmReadersReturnPlausibleValues) {
+  // VmRSS should exceed 1 MB for a gtest process. VmHWM is absent on some
+  // sandboxed kernels; 0 is the documented "unavailable" value.
+  uint64_t rss = ReadVmRSSBytes();
+  EXPECT_GT(rss, 1u << 20);
+  uint64_t hwm = ReadVmHWMBytes();
+  if (hwm == 0) {
+    GTEST_SKIP() << "VmHWM not exposed by this kernel";
+  }
+  EXPECT_GE(hwm, rss / 2);
+}
+
+TEST(FormatHumanBytesTest, Units) {
+  char buf[32];
+  EXPECT_STREQ(FormatHumanBytes(100, buf, sizeof(buf)), "100 B");
+  EXPECT_STREQ(FormatHumanBytes(1536, buf, sizeof(buf)), "1.50 KB");
+  EXPECT_STREQ(FormatHumanBytes(5ull << 20, buf, sizeof(buf)), "5.00 MB");
+}
+
+}  // namespace
+}  // namespace tkc

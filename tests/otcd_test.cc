@@ -1,0 +1,134 @@
+// Direct tests of the OTCD baseline: pruning on/off equivalence, TTI
+// exactness, pruning statistics, deadline handling, and input validation.
+
+#include "otcd/otcd.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/sinks.h"
+#include "datasets/generators.h"
+#include "graph/window_peeler.h"
+
+namespace tkc {
+namespace {
+
+TEST(OtcdTest, PruningOnOffAgree) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(14, 90, 14, seed);
+    CollectingSink with, without;
+    OtcdOptions on, off;
+    off.cross_row_pruning = false;
+    ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &with, on).ok());
+    ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &without, off).ok());
+    with.SortCanonically();
+    without.SortCanonically();
+    EXPECT_EQ(with.cores(), without.cores()) << "seed " << seed;
+  }
+}
+
+TEST(OtcdTest, TtiIsExactEdgeSpanAndCoreMatchesPeeler) {
+  TemporalGraph g = GenerateUniformRandom(14, 100, 12, 5);
+  CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
+    Timestamp lo = kInfTime, hi = 0;
+    for (EdgeId e : edges) {
+      lo = std::min(lo, g.edge(e).t);
+      hi = std::max(hi, g.edge(e).t);
+    }
+    EXPECT_EQ(tti, (Window{lo, hi}));
+    WindowCore core = ComputeWindowCore(g, 2, tti);
+    std::vector<EdgeId> sorted(edges.begin(), edges.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(core.edges, sorted);
+  });
+  ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &sink).ok());
+}
+
+TEST(OtcdTest, NoDuplicateOutputs) {
+  TemporalGraph g = GenerateUniformRandom(12, 90, 16, 9);
+  std::set<std::vector<EdgeId>> seen;
+  CallbackSink sink([&](Window, std::span<const EdgeId> edges) {
+    std::vector<EdgeId> sorted(edges.begin(), edges.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(seen.insert(sorted).second);
+  });
+  ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &sink).ok());
+}
+
+TEST(OtcdTest, StatsAccounting) {
+  TemporalGraph g = GenerateUniformRandom(14, 110, 14, 11);
+  CountingSink sink;
+  OtcdStats stats;
+  ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &sink, {}, &stats).ok());
+  EXPECT_EQ(stats.num_cores, sink.num_cores());
+  EXPECT_EQ(stats.result_size_edges, sink.result_size_edges());
+  EXPECT_GT(stats.cells_visited, 0u);
+  EXPECT_GT(stats.peak_memory_bytes, 0u);
+}
+
+TEST(OtcdTest, PruningReducesWork) {
+  // On bursty graphs (heavy core overlap across windows), cross-row marks
+  // must suppress some outputs that the dedup set would otherwise catch.
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 18;
+  spec.num_edges = 240;
+  spec.num_timestamps = 40;
+  spec.burstiness = 0.5;
+  spec.burst_group = 8;
+  spec.seed = 13;
+  TemporalGraph g = GenerateSynthetic(spec);
+  OtcdStats with, without;
+  CountingSink s1, s2;
+  OtcdOptions on, off;
+  off.cross_row_pruning = false;
+  ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &s1, on, &with).ok());
+  ASSERT_TRUE(RunOtcd(g, 2, g.FullRange(), &s2, off, &without).ok());
+  EXPECT_EQ(s1.num_cores(), s2.num_cores());
+  // With pruning, duplicate work shifts from dedup hits to pruned outputs.
+  EXPECT_LE(with.duplicate_hits, without.duplicate_hits);
+}
+
+TEST(OtcdTest, EmptyWindowReturnsNothing) {
+  TemporalGraph g = PaperExampleGraph();
+  CountingSink sink;
+  // k too large for any core.
+  ASSERT_TRUE(RunOtcd(g, 6, g.FullRange(), &sink).ok());
+  EXPECT_EQ(sink.num_cores(), 0u);
+}
+
+TEST(OtcdTest, InputValidation) {
+  TemporalGraph g = PaperExampleGraph();
+  CountingSink sink;
+  EXPECT_EQ(RunOtcd(g, 0, g.FullRange(), &sink).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunOtcd(g, 2, Window{0, 3}, &sink).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunOtcd(g, 2, Window{3, 99}, &sink).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunOtcd(g, 2, Window{5, 3}, &sink).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunOtcd(g, 2, g.FullRange(), nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OtcdTest, ExpiredDeadlineReturnsTimeout) {
+  TemporalGraph g = GenerateUniformRandom(20, 200, 30, 17);
+  CountingSink sink;
+  OtcdOptions options;
+  options.deadline = Deadline::AfterSeconds(-1.0);
+  EXPECT_EQ(RunOtcd(g, 2, g.FullRange(), &sink, options).code(),
+            StatusCode::kTimeout);
+}
+
+TEST(OtcdTest, PaperExampleRange14) {
+  TemporalGraph g = PaperExampleGraph();
+  CollectingSink sink;
+  ASSERT_TRUE(RunOtcd(g, 2, Window{1, 4}, &sink).ok());
+  EXPECT_EQ(sink.cores().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tkc

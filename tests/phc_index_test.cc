@@ -1,0 +1,107 @@
+// Tests of the multi-k PHC index against per-window peeling and the
+// single-k builders.
+
+#include "vct/phc_index.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generators.h"
+#include "graph/core_decomposition.h"
+#include "graph/window_peeler.h"
+#include "vct/vct_builder.h"
+
+namespace tkc {
+namespace {
+
+TEST(PhcIndexTest, SlicesMatchSingleKBuilders) {
+  TemporalGraph g = PaperExampleGraph();
+  auto index = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->max_k(), 2u);  // the example's kmax
+  for (uint32_t k = 1; k <= index->max_k(); ++k) {
+    VertexCoreTimeIndex expected = BuildVctAndEcs(g, k, g.FullRange()).vct;
+    const VertexCoreTimeIndex& slice = index->Slice(k);
+    ASSERT_EQ(slice.size(), expected.size()) << "k=" << k;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto a = slice.EntriesOf(v), b = expected.EntriesOf(v);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(PhcIndexTest, MembershipMatchesPeelerAcrossK) {
+  TemporalGraph g = GenerateUniformRandom(14, 90, 10, 3);
+  auto index = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(index.ok());
+  for (uint32_t k = 1; k <= index->max_k(); ++k) {
+    for (Timestamp a = 1; a <= g.num_timestamps(); a += 2) {
+      for (Timestamp b = a; b <= g.num_timestamps(); b += 2) {
+        std::vector<bool> oracle =
+            ComputeWindowCoreVertices(g, k, Window{a, b});
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          EXPECT_EQ(index->VertexInCore(v, Window{a, b}, k),
+                    static_cast<bool>(oracle[v]))
+              << "k=" << k << " window [" << a << "," << b << "] v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(PhcIndexTest, HistoricalCoreNumberMatchesDecomposition) {
+  TemporalGraph g = GenerateUniformRandom(12, 80, 10, 7);
+  auto index = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(index.ok());
+  for (Timestamp a = 1; a <= g.num_timestamps(); a += 3) {
+    for (Timestamp b = a; b <= g.num_timestamps(); b += 3) {
+      CoreDecompositionResult cores = DecomposeCores(g, Window{a, b});
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(index->HistoricalCoreNumber(v, Window{a, b}),
+                  cores.core_numbers[v])
+            << "window [" << a << "," << b << "] v=" << v;
+      }
+    }
+  }
+}
+
+TEST(PhcIndexTest, KBeyondMaxIsInfinity) {
+  TemporalGraph g = PaperExampleGraph();
+  auto index = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->CoreTimeAt(1, 1, index->max_k() + 1), kInfTime);
+  EXPECT_EQ(index->CoreTimeAt(1, 1, 0), kInfTime);
+  EXPECT_FALSE(index->VertexInCore(1, g.FullRange(), index->max_k() + 5));
+}
+
+TEST(PhcIndexTest, MaxKCapRespected) {
+  TemporalGraph g = GenerateUniformRandom(14, 120, 8, 9);
+  auto full = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(full.ok());
+  if (full->max_k() < 2) GTEST_SKIP() << "graph too sparse";
+  auto capped = PhcIndex::Build(g, g.FullRange(), 2);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->max_k(), 2u);
+  EXPECT_LT(capped->size(), full->size());
+}
+
+TEST(PhcIndexTest, InvalidRangeRejected) {
+  TemporalGraph g = PaperExampleGraph();
+  EXPECT_FALSE(PhcIndex::Build(g, Window{0, 3}).ok());
+  EXPECT_FALSE(PhcIndex::Build(g, Window{3, 99}).ok());
+}
+
+TEST(PhcIndexTest, SizeAndMemoryAggregate) {
+  TemporalGraph g = GenerateUniformRandom(12, 70, 10, 11);
+  auto index = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(index.ok());
+  uint64_t total = 0;
+  for (uint32_t k = 1; k <= index->max_k(); ++k) {
+    total += index->Slice(k).size();
+  }
+  EXPECT_EQ(index->size(), total);
+  EXPECT_GT(index->MemoryUsageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,73 @@
+#include "datasets/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph_stats.h"
+
+namespace tkc {
+namespace {
+
+TEST(RegistryTest, FourteenDatasets) {
+  auto specs = TableIIISpecs();
+  ASSERT_EQ(specs.size(), 14u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_EQ(names.size(), 14u);
+  for (const char* expected : {"FB", "BO", "CM", "EM", "MC", "MO", "AU", "LR",
+                               "EN", "SU", "WT", "WK", "PL", "YT"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(RegistryTest, SpecByNameFindsAndRejects) {
+  EXPECT_TRUE(SpecByName("CM").ok());
+  EXPECT_TRUE(SpecByName("YT").ok());
+  auto missing = SpecByName("XX");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, ScaleRescalesSizes) {
+  auto small = SpecByName("CM", 0.5).value();
+  auto base = SpecByName("CM", 1.0).value();
+  EXPECT_LT(small.num_edges, base.num_edges);
+  EXPECT_NEAR(static_cast<double>(small.num_edges) / base.num_edges, 0.5,
+              0.05);
+}
+
+TEST(RegistryTest, TimestampRegimesPreserved) {
+  // FB..WT regime: tmax within a small factor of |E|; WK/PL/YT regime:
+  // tmax orders of magnitude below |E|.
+  auto cm = SpecByName("CM").value();
+  EXPECT_GE(cm.num_timestamps * 2, cm.num_edges);
+  auto yt = SpecByName("YT").value();
+  EXPECT_LE(yt.num_timestamps * 100, yt.num_edges);
+  auto pl = SpecByName("PL").value();
+  EXPECT_LE(pl.num_timestamps * 100, pl.num_edges);
+}
+
+TEST(RegistryTest, GenerateByNameWorksAtTinyScale) {
+  auto g = GenerateByName("FB", 0.2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->num_edges(), 100u);
+  GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_GE(stats.kmax, 2u) << "stand-in must have a non-trivial core";
+}
+
+TEST(RegistryTest, SweepDatasetsExist) {
+  for (const std::string& name : SweepDatasetNames()) {
+    EXPECT_TRUE(SpecByName(name).ok()) << name;
+  }
+}
+
+TEST(RegistryTest, SeedsDifferAcrossDatasets) {
+  auto specs = TableIIISpecs();
+  std::set<uint64_t> seeds;
+  for (const auto& s : specs) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), specs.size());
+}
+
+}  // namespace
+}  // namespace tkc

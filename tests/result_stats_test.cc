@@ -1,0 +1,92 @@
+#include "core/result_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "core/temporal_kcore.h"
+#include "datasets/generators.h"
+
+namespace tkc {
+namespace {
+
+TEST(Log2HistogramTest, BasicAccumulation) {
+  Log2Histogram h;
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(100);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+}
+
+TEST(Log2HistogramTest, ZeroValue) {
+  Log2Histogram h;
+  h.Add(0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+}
+
+TEST(Log2HistogramTest, QuantilesWithinBucketResolution) {
+  Log2Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Add(i);
+  // p50 is 500 -> bucket [512..1023] or [256..511]; upper bound must be
+  // >= the true quantile and within 2x.
+  uint64_t p50 = h.ApproxQuantile(0.5);
+  EXPECT_GE(p50, 500u);
+  EXPECT_LE(p50, 1023u);
+  uint64_t p99 = h.ApproxQuantile(0.99);
+  EXPECT_GE(p99, 990u);
+}
+
+TEST(Log2HistogramTest, EmptyHistogram) {
+  Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+  EXPECT_EQ(h.ToString(), "");
+}
+
+TEST(Log2HistogramTest, ToStringListsBuckets) {
+  Log2Histogram h;
+  h.Add(3);
+  h.Add(3);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("[2..3] 2"), std::string::npos) << s;
+}
+
+TEST(StatsSinkTest, AccumulatesFromRealEnumeration) {
+  TemporalGraph g = GenerateUniformRandom(15, 110, 14, 5);
+  Window range = g.FullRange();
+  StatsSink stats(range);
+  ASSERT_TRUE(RunTemporalKCoreQuery(g, 2, range, &stats).ok());
+  CountingSink counter;
+  ASSERT_TRUE(RunTemporalKCoreQuery(g, 2, range, &counter).ok());
+  EXPECT_EQ(stats.num_cores(), counter.num_cores());
+  EXPECT_EQ(stats.result_size_edges(), counter.result_size_edges());
+  EXPECT_EQ(stats.core_size_histogram().count(), counter.num_cores());
+  EXPECT_EQ(stats.core_size_histogram().max(), counter.max_core_edges());
+  // Per-start counts sum to the total.
+  uint64_t sum = 0;
+  for (uint64_t c : stats.cores_per_start()) sum += c;
+  EXPECT_EQ(sum, counter.num_cores());
+  EXPECT_GE(stats.BusiestStart(), range.start);
+  EXPECT_LE(stats.BusiestStart(), range.end);
+  EXPECT_FALSE(stats.Report().empty());
+}
+
+TEST(StatsSinkTest, PaperExample) {
+  TemporalGraph g = PaperExampleGraph();
+  StatsSink stats(Window{1, 4});
+  ASSERT_TRUE(RunTemporalKCoreQuery(g, 2, Window{1, 4}, &stats).ok());
+  EXPECT_EQ(stats.num_cores(), 2u);
+  EXPECT_EQ(stats.result_size_edges(), 9u);
+  EXPECT_EQ(stats.core_size_histogram().min(), 3u);
+  EXPECT_EQ(stats.core_size_histogram().max(), 6u);
+  EXPECT_EQ(stats.tti_length_histogram().min(), 2u);  // TTI [2,3]
+  EXPECT_EQ(stats.tti_length_histogram().max(), 4u);  // TTI [1,4]
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,94 @@
+#include "core/sinks.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tkc {
+namespace {
+
+TEST(CountingSinkTest, CountsCoresAndEdges) {
+  CountingSink sink;
+  std::vector<EdgeId> a = {1, 2, 3}, b = {4, 5};
+  sink.OnCore(Window{1, 2}, a);
+  sink.OnCore(Window{2, 3}, b);
+  EXPECT_EQ(sink.num_cores(), 2u);
+  EXPECT_EQ(sink.result_size_edges(), 5u);
+  EXPECT_EQ(sink.max_core_edges(), 3u);
+  sink.Reset();
+  EXPECT_EQ(sink.num_cores(), 0u);
+}
+
+TEST(CollectingSinkTest, CanonicalizesEdgeOrder) {
+  CollectingSink sink;
+  std::vector<EdgeId> unsorted = {9, 3, 7};
+  sink.OnCore(Window{1, 5}, unsorted);
+  ASSERT_EQ(sink.cores().size(), 1u);
+  EXPECT_EQ(sink.cores()[0].edges, (std::vector<EdgeId>{3, 7, 9}));
+  EXPECT_EQ(sink.cores()[0].tti, (Window{1, 5}));
+}
+
+TEST(CollectingSinkTest, SortCanonicallyOrdersByTtiThenEdges) {
+  CollectingSink sink;
+  std::vector<EdgeId> a = {5}, b = {1}, c = {2};
+  sink.OnCore(Window{3, 4}, a);
+  sink.OnCore(Window{1, 2}, b);
+  sink.OnCore(Window{1, 4}, c);
+  sink.SortCanonically();
+  EXPECT_EQ(sink.cores()[0].tti, (Window{1, 2}));
+  EXPECT_EQ(sink.cores()[1].tti, (Window{1, 4}));
+  EXPECT_EQ(sink.cores()[2].tti, (Window{3, 4}));
+}
+
+TEST(FingerprintSinkTest, OrderIndependentAcrossCores) {
+  FingerprintSink x, y;
+  std::vector<EdgeId> a = {1, 2}, b = {3};
+  x.OnCore(Window{1, 2}, a);
+  x.OnCore(Window{2, 3}, b);
+  y.OnCore(Window{2, 3}, b);
+  y.OnCore(Window{1, 2}, a);
+  EXPECT_EQ(x.digest(), y.digest());
+  EXPECT_EQ(x.num_cores(), 2u);
+  EXPECT_EQ(x.result_size_edges(), 3u);
+}
+
+TEST(FingerprintSinkTest, TtiMatters) {
+  FingerprintSink x, y;
+  std::vector<EdgeId> a = {1, 2};
+  x.OnCore(Window{1, 2}, a);
+  y.OnCore(Window{1, 3}, a);
+  EXPECT_NE(x.digest(), y.digest());
+}
+
+TEST(FingerprintSinkTest, EdgeSetMatters) {
+  FingerprintSink x, y;
+  std::vector<EdgeId> a = {1, 2}, b = {1, 3};
+  x.OnCore(Window{1, 2}, a);
+  y.OnCore(Window{1, 2}, b);
+  EXPECT_NE(x.digest(), y.digest());
+}
+
+TEST(CallbackSinkTest, ForwardsCalls) {
+  int calls = 0;
+  CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
+    ++calls;
+    EXPECT_EQ(tti.start, 1u);
+    EXPECT_EQ(edges.size(), 2u);
+  });
+  std::vector<EdgeId> a = {10, 20};
+  sink.OnCore(Window{1, 9}, a);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CoreResultTest, EqualityComparesTtiAndEdges) {
+  CoreResult a{{1, 2}, {3, 4}};
+  CoreResult b{{1, 2}, {3, 4}};
+  CoreResult c{{1, 3}, {3, 4}};
+  CoreResult d{{1, 2}, {3, 5}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace tkc

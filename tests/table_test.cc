@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tkc {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"Dataset", "Time(s)"});
+  t.AddRow({"FB", "0.12"});
+  t.AddRow({"WikiTalk", "34.5"});
+  std::string s = t.ToString();
+  // Header and both rows present, underline between.
+  EXPECT_NE(s.find("Dataset"), std::string::npos);
+  EXPECT_NE(s.find("WikiTalk"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Column alignment: "0.12" appears at the same column as "Time(s)".
+  size_t header_col = s.find("Time(s)") - 0;
+  size_t row_col = s.find("0.12");
+  std::string first_line = s.substr(0, s.find('\n'));
+  EXPECT_EQ(header_col % (first_line.size() + 1),
+            s.rfind('\n', row_col) == std::string::npos
+                ? row_col
+                : row_col - s.rfind('\n', row_col) - 1);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TextTableTest, CellFormatters) {
+  EXPECT_EQ(TextTable::Cell(uint64_t{12345}), "12345");
+  EXPECT_EQ(TextTable::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::CellSci(12345.0), "1.234e+04");
+  EXPECT_EQ(TextTable::Cell(std::string("x")), "x");
+}
+
+TEST(TextTableTest, CellBytesHumanReadable) {
+  EXPECT_EQ(TextTable::CellBytes(512), "512 B");
+  EXPECT_EQ(TextTable::CellBytes(2048), "2.00 KB");
+  EXPECT_EQ(TextTable::CellBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(TextTableTest, EmptyTableHasHeaderOnly) {
+  TextTable t;
+  t.SetHeader({"only"});
+  std::string s = t.ToString();
+  EXPECT_EQ(s.find("only"), 0u);
+}
+
+}  // namespace
+}  // namespace tkc

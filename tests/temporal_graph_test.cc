@@ -1,0 +1,192 @@
+#include "graph/temporal_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datasets/generators.h"
+#include "util/rng.h"
+
+namespace tkc {
+namespace {
+
+TemporalGraph SmallGraph() {
+  TemporalGraphBuilder b;
+  b.AddEdge(0, 1, 100);
+  b.AddEdge(1, 2, 200);
+  b.AddEdge(2, 0, 200);
+  b.AddEdge(0, 1, 400);  // parallel edge, later time
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(TemporalGraphBuilderTest, EmptyGraphIsError) {
+  TemporalGraphBuilder b;
+  auto g = b.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TemporalGraphBuilderTest, SelfLoopsDropped) {
+  TemporalGraphBuilder b;
+  b.AddEdge(3, 3, 1);
+  b.AddEdge(0, 1, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(TemporalGraphBuilderTest, ExactDuplicatesDedupedByDefault) {
+  TemporalGraphBuilder b;
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(1, 0, 5);  // same undirected edge, same time
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(TemporalGraphBuilderTest, ExactDuplicatesKeptWhenDisabled) {
+  TemporalGraphBuilder b;
+  b.SetDeduplicateExact(false);
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(1, 0, 5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(TemporalGraphTest, TimestampCompaction) {
+  TemporalGraph g = SmallGraph();
+  EXPECT_EQ(g.num_timestamps(), 3u);  // raw {100,200,400} -> {1,2,3}
+  EXPECT_EQ(g.RawTimestamp(1), 100u);
+  EXPECT_EQ(g.RawTimestamp(2), 200u);
+  EXPECT_EQ(g.RawTimestamp(3), 400u);
+}
+
+TEST(TemporalGraphTest, CompactTimestampFloor) {
+  TemporalGraph g = SmallGraph();
+  EXPECT_EQ(g.CompactTimestampFloor(99), 0u);   // before all
+  EXPECT_EQ(g.CompactTimestampFloor(100), 1u);  // exact
+  EXPECT_EQ(g.CompactTimestampFloor(150), 1u);  // between
+  EXPECT_EQ(g.CompactTimestampFloor(400), 3u);
+  EXPECT_EQ(g.CompactTimestampFloor(99999), 3u);
+}
+
+TEST(TemporalGraphTest, EdgesSortedByTime) {
+  TemporalGraph g = SmallGraph();
+  for (EdgeId e = 1; e < g.num_edges(); ++e) {
+    EXPECT_LE(g.edge(e - 1).t, g.edge(e).t);
+  }
+}
+
+TEST(TemporalGraphTest, EndpointsNormalized) {
+  TemporalGraph g = SmallGraph();
+  for (const TemporalEdge& e : g.edges()) EXPECT_LT(e.u, e.v);
+}
+
+TEST(TemporalGraphTest, EdgesAtTime) {
+  TemporalGraph g = SmallGraph();
+  EXPECT_EQ(g.EdgesAtTime(1).size(), 1u);
+  EXPECT_EQ(g.EdgesAtTime(2).size(), 2u);
+  EXPECT_EQ(g.EdgesAtTime(3).size(), 1u);
+}
+
+TEST(TemporalGraphTest, EdgesInWindowSpans) {
+  TemporalGraph g = SmallGraph();
+  EXPECT_EQ(g.EdgesInWindow(Window{1, 3}).size(), 4u);
+  EXPECT_EQ(g.EdgesInWindow(Window{2, 2}).size(), 2u);
+  EXPECT_EQ(g.EdgesInWindow(Window{2, 3}).size(), 3u);
+  EXPECT_EQ(g.EdgesInWindow(Window{4, 9}).size(), 0u);
+}
+
+TEST(TemporalGraphTest, NeighborsSortedByTime) {
+  TemporalGraph g = SmallGraph();
+  auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);  // (1,t1), (2,t2), (1,t3)
+  EXPECT_TRUE(std::is_sorted(
+      n0.begin(), n0.end(),
+      [](const AdjEntry& a, const AdjEntry& b) { return a.time < b.time; }));
+}
+
+TEST(TemporalGraphTest, NeighborsInWindowSlice) {
+  TemporalGraph g = SmallGraph();
+  auto slice = g.NeighborsInWindow(0, Window{2, 3});
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0].time, 2u);
+  EXPECT_EQ(slice[1].time, 3u);
+  EXPECT_EQ(g.NeighborsInWindow(0, Window{5, 9}).size(), 0u);
+}
+
+TEST(TemporalGraphTest, AdjacencyEdgeIdsConsistent) {
+  TemporalGraph g = SmallGraph();
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (const AdjEntry& a : g.Neighbors(u)) {
+      const TemporalEdge& e = g.edge(a.edge);
+      EXPECT_EQ(e.t, a.time);
+      EXPECT_TRUE((e.u == u && e.v == a.neighbor) ||
+                  (e.v == u && e.u == a.neighbor));
+    }
+  }
+}
+
+TEST(TemporalGraphTest, EnsureVertexCountCreatesIsolatedVertices) {
+  TemporalGraphBuilder b;
+  b.AddEdge(0, 1, 1);
+  b.EnsureVertexCount(10);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 10u);
+  EXPECT_EQ(g->Neighbors(9).size(), 0u);
+}
+
+TEST(TemporalGraphTest, WindowIdRangesMatchSpans) {
+  TemporalGraph g = GenerateUniformRandom(20, 200, 15, 7);
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    Timestamp a = 1 + static_cast<Timestamp>(rng.NextBounded(15));
+    Timestamp b = 1 + static_cast<Timestamp>(rng.NextBounded(15));
+    if (a > b) std::swap(a, b);
+    auto [lo, hi] = g.EdgeIdRangeInWindow(Window{a, b});
+    auto span = g.EdgesInWindow(Window{a, b});
+    EXPECT_EQ(hi - lo, span.size());
+    for (EdgeId e = lo; e < hi; ++e) {
+      EXPECT_GE(g.edge(e).t, a);
+      EXPECT_LE(g.edge(e).t, b);
+    }
+    // Edges outside [lo,hi) are outside the window.
+    if (lo > 0) EXPECT_LT(g.edge(lo - 1).t, a);
+    if (hi < g.num_edges()) EXPECT_GT(g.edge(hi).t, b);
+  }
+}
+
+TEST(TemporalGraphTest, AdjacencyCoversAllEdgesTwice) {
+  TemporalGraph g = GenerateUniformRandom(15, 120, 10, 11);
+  size_t total = 0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    total += g.Neighbors(u).size();
+  }
+  EXPECT_EQ(total, 2u * g.num_edges());
+}
+
+TEST(TemporalGraphTest, MemoryUsagePositive) {
+  TemporalGraph g = SmallGraph();
+  EXPECT_GT(g.MemoryUsageBytes(), 0u);
+}
+
+TEST(WindowTest, ContainmentHelpers) {
+  Window outer{2, 8}, inner{3, 8}, same{2, 8}, disjoint{9, 10};
+  EXPECT_TRUE(inner.ContainedIn(outer));
+  EXPECT_TRUE(same.ContainedIn(outer));
+  EXPECT_TRUE(inner.StrictlyContainedIn(outer));
+  EXPECT_FALSE(same.StrictlyContainedIn(outer));
+  EXPECT_FALSE(disjoint.ContainedIn(outer));
+  EXPECT_EQ(outer.Length(), 7u);
+  EXPECT_TRUE(outer.Valid());
+  EXPECT_FALSE((Window{0, 5}).Valid());
+  EXPECT_FALSE((Window{5, 4}).Valid());
+}
+
+}  // namespace
+}  // namespace tkc

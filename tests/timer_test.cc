@@ -1,0 +1,51 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tkc {
+namespace {
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double s = timer.ElapsedSeconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_GE(timer.ElapsedNanos(), 15'000'000u);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline d = Deadline::AfterSeconds(60);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, PastDeadlineExpired) {
+  Deadline d = Deadline::AfterSeconds(-0.001);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterSleep) {
+  Deadline d = Deadline::AfterSeconds(0.01);
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(d.Expired());
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,147 @@
+#include "graph/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sinks.h"
+#include "core/temporal_kcore.h"
+#include "datasets/generators.h"
+#include "graph/window_peeler.h"
+
+namespace tkc {
+namespace {
+
+TEST(ExtractWindowTest, BasicExtraction) {
+  TemporalGraph g = PaperExampleGraph();
+  auto extracted = ExtractWindow(g, Window{2, 4});
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->graph.num_edges(), 6u);  // edges at t=2,3,4
+  EXPECT_EQ(extracted->graph.num_timestamps(), 3u);  // recompacted to 1..3
+  // Raw timestamps preserved through extraction.
+  EXPECT_EQ(extracted->graph.RawTimestamp(1), 2u);
+  EXPECT_EQ(extracted->graph.RawTimestamp(3), 4u);
+}
+
+TEST(ExtractWindowTest, SourceEdgeMappingIsFaithful) {
+  TemporalGraph g = GenerateUniformRandom(15, 100, 12, 3);
+  auto extracted = ExtractWindow(g, Window{4, 9});
+  ASSERT_TRUE(extracted.ok());
+  ASSERT_EQ(extracted->source_edge.size(), extracted->graph.num_edges());
+  for (EdgeId e = 0; e < extracted->graph.num_edges(); ++e) {
+    const TemporalEdge& derived = extracted->graph.edge(e);
+    const TemporalEdge& source = g.edge(extracted->source_edge[e]);
+    EXPECT_EQ(derived.u, source.u);
+    EXPECT_EQ(derived.v, source.v);
+    EXPECT_EQ(extracted->graph.RawTimestamp(derived.t),
+              g.RawTimestamp(source.t));
+  }
+}
+
+TEST(ExtractWindowTest, QueriesOnExtractMatchSubRangeQueries) {
+  // The key contract: enumerating on the extracted window over its full
+  // range equals enumerating on the source over the window.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(12, 80, 12, seed);
+    Window window{3, 9};
+    auto extracted = ExtractWindow(g, window);
+    if (!extracted.ok()) continue;
+
+    CollectingSink source_sink, extract_sink;
+    ASSERT_TRUE(
+        RunTemporalKCoreQuery(g, 2, window, &source_sink).ok());
+    ASSERT_TRUE(RunTemporalKCoreQuery(extracted->graph, 2,
+                                      extracted->graph.FullRange(),
+                                      &extract_sink)
+                    .ok());
+    // Map extracted results back to source edge ids and compare.
+    auto remap = [&](CollectingSink& sink) {
+      std::vector<std::vector<EdgeId>> cores;
+      for (const CoreResult& core : sink.cores()) {
+        std::vector<EdgeId> ids;
+        for (EdgeId e : core.edges) ids.push_back(extracted->source_edge[e]);
+        std::sort(ids.begin(), ids.end());
+        cores.push_back(std::move(ids));
+      }
+      std::sort(cores.begin(), cores.end());
+      return cores;
+    };
+    std::vector<std::vector<EdgeId>> source_cores;
+    for (const CoreResult& core : source_sink.cores()) {
+      source_cores.push_back(core.edges);
+    }
+    std::sort(source_cores.begin(), source_cores.end());
+    EXPECT_EQ(remap(extract_sink), source_cores) << "seed " << seed;
+  }
+}
+
+TEST(ExtractWindowTest, InvalidWindows) {
+  TemporalGraph g = PaperExampleGraph();
+  EXPECT_FALSE(ExtractWindow(g, Window{0, 3}).ok());
+  EXPECT_FALSE(ExtractWindow(g, Window{5, 3}).ok());
+  EXPECT_FALSE(ExtractWindow(g, Window{3, 99}).ok());
+}
+
+TEST(InduceOnVerticesTest, KeepsOnlyInternalEdges) {
+  TemporalGraph g = PaperExampleGraph();
+  // Induce on the Figure 2 core vertices {1,2,4}.
+  std::vector<VertexId> vertices = {1, 2, 4};
+  auto induced = InduceOnVertices(g, vertices);
+  ASSERT_TRUE(induced.ok());
+  // Edges among {1,2,4}: (1,4,2), (1,2,3), (2,4,3).
+  EXPECT_EQ(induced->graph.num_edges(), 3u);
+  EXPECT_EQ(induced->graph.num_vertices(), 3u);
+  EXPECT_EQ(induced->source_vertex.size(), 3u);
+  EXPECT_EQ(induced->source_vertex[0], 1u);
+  EXPECT_EQ(induced->source_vertex[2], 4u);
+}
+
+TEST(InduceOnVerticesTest, MappingBackIsConsistent) {
+  TemporalGraph g = GenerateUniformRandom(20, 120, 10, 7);
+  std::vector<VertexId> vertices = {1, 3, 5, 7, 9, 11, 13};
+  auto induced = InduceOnVertices(g, vertices);
+  if (!induced.ok()) GTEST_SKIP() << "no internal edges for this seed";
+  for (EdgeId e = 0; e < induced->graph.num_edges(); ++e) {
+    const TemporalEdge& derived = induced->graph.edge(e);
+    const TemporalEdge& source = g.edge(induced->source_edge[e]);
+    EXPECT_EQ(induced->source_vertex[derived.u], source.u);
+    EXPECT_EQ(induced->source_vertex[derived.v], source.v);
+    EXPECT_EQ(induced->graph.RawTimestamp(derived.t),
+              g.RawTimestamp(source.t));
+  }
+}
+
+TEST(InduceOnVerticesTest, OutOfRangeVertexRejected) {
+  TemporalGraph g = PaperExampleGraph();
+  std::vector<VertexId> vertices = {1, 2, 99};
+  EXPECT_FALSE(InduceOnVertices(g, vertices).ok());
+}
+
+TEST(CompactVertexIdsTest, DropsIsolatedIds) {
+  TemporalGraphBuilder b;
+  b.AddEdge(5, 90, 1);
+  b.AddEdge(90, 200, 2);
+  b.EnsureVertexCount(1000);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto compacted = CompactVertexIds(*g);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted->graph.num_vertices(), 3u);
+  EXPECT_EQ(compacted->graph.num_edges(), 2u);
+  EXPECT_EQ(compacted->source_vertex,
+            (std::vector<VertexId>{5, 90, 200}));
+}
+
+TEST(TransformsTest, ExtractPreservesMultiplicity) {
+  TemporalGraphBuilder b;
+  b.SetDeduplicateExact(false);
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(0, 1, 5);
+  b.AddEdge(1, 2, 6);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto extracted = ExtractWindow(*g, g->FullRange());
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->graph.num_edges(), 3u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,196 @@
+// Equivalence and property tests for the efficient VCT/ECS builder against
+// the naive per-start builder, across randomized graphs, k values and query
+// ranges. This is the correctness backbone of the CoreTime phase.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/generators.h"
+#include "vct/naive_vct_builder.h"
+#include "vct/vct_builder.h"
+
+namespace tkc {
+namespace {
+
+void ExpectSameVct(const VertexCoreTimeIndex& a, const VertexCoreTimeIndex& b,
+                   const std::string& label) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices()) << label;
+  EXPECT_EQ(a.size(), b.size()) << label;
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    auto ea = a.EntriesOf(v);
+    auto eb = b.EntriesOf(v);
+    ASSERT_EQ(ea.size(), eb.size()) << label << " vertex " << v << "\n  fast: "
+                                    << a.DebugString(v)
+                                    << "\n  naive: " << b.DebugString(v);
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i], eb[i]) << label << " vertex " << v;
+    }
+  }
+}
+
+void ExpectSameEcs(const EdgeCoreWindowSkyline& a,
+                   const EdgeCoreWindowSkyline& b, const std::string& label) {
+  ASSERT_EQ(a.first_edge(), b.first_edge()) << label;
+  ASSERT_EQ(a.last_edge(), b.last_edge()) << label;
+  EXPECT_EQ(a.size(), b.size()) << label;
+  for (EdgeId e = a.first_edge(); e < a.last_edge(); ++e) {
+    auto wa = a.WindowsOf(e);
+    auto wb = b.WindowsOf(e);
+    ASSERT_EQ(wa.size(), wb.size())
+        << label << " edge " << e << "\n  fast: " << a.DebugString(e)
+        << "\n  naive: " << b.DebugString(e);
+    for (size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_EQ(wa[i], wb[i]) << label << " edge " << e;
+    }
+  }
+}
+
+struct BuilderCase {
+  uint32_t n, m, T, k;
+  uint64_t seed;
+};
+
+void PrintTo(const BuilderCase& c, std::ostream* os) {
+  *os << "n=" << c.n << " m=" << c.m << " T=" << c.T << " k=" << c.k
+      << " seed=" << c.seed;
+}
+
+class VctBuilderEquivalenceTest : public ::testing::TestWithParam<BuilderCase> {
+};
+
+TEST_P(VctBuilderEquivalenceTest, FullRange) {
+  const BuilderCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  VctBuildResult fast = BuildVctAndEcs(g, c.k, g.FullRange());
+  VctBuildResult naive = BuildVctAndEcsNaive(g, c.k, g.FullRange());
+  ExpectSameVct(fast.vct, naive.vct, "full range");
+  ExpectSameEcs(fast.ecs, naive.ecs, "full range");
+}
+
+TEST_P(VctBuilderEquivalenceTest, SubRanges) {
+  const BuilderCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  Timestamp tmax = g.num_timestamps();
+  std::vector<Window> ranges = {{1, std::max<Timestamp>(1, tmax / 2)},
+                                {tmax / 2 + 1, tmax},
+                                {std::max<Timestamp>(1, tmax / 4),
+                                 std::max<Timestamp>(1, (3 * tmax) / 4)}};
+  for (const Window& r : ranges) {
+    if (!(r.start >= 1 && r.start <= r.end && r.end <= tmax)) continue;
+    std::string label = "range [" + std::to_string(r.start) + "," +
+                        std::to_string(r.end) + "]";
+    VctBuildResult fast = BuildVctAndEcs(g, c.k, r);
+    VctBuildResult naive = BuildVctAndEcsNaive(g, c.k, r);
+    ExpectSameVct(fast.vct, naive.vct, label);
+    ExpectSameEcs(fast.ecs, naive.ecs, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, VctBuilderEquivalenceTest,
+    ::testing::Values(
+        BuilderCase{12, 50, 10, 2, 1}, BuilderCase{12, 50, 10, 3, 2},
+        BuilderCase{20, 120, 16, 2, 3}, BuilderCase{20, 120, 16, 4, 4},
+        BuilderCase{8, 60, 20, 2, 5}, BuilderCase{8, 60, 20, 3, 6},
+        BuilderCase{30, 200, 25, 3, 7}, BuilderCase{30, 200, 25, 5, 8},
+        BuilderCase{6, 40, 5, 2, 9}, BuilderCase{6, 40, 5, 3, 10},
+        BuilderCase{10, 80, 40, 2, 11}, BuilderCase{25, 150, 30, 1, 12},
+        BuilderCase{40, 300, 50, 4, 13}, BuilderCase{40, 300, 8, 4, 14}));
+
+// Monotonicity and consistency properties of the produced index.
+class VctPropertyTest : public ::testing::TestWithParam<BuilderCase> {};
+
+TEST_P(VctPropertyTest, EntriesMonotoneAndWithinRange) {
+  const BuilderCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  Window range = g.FullRange();
+  VctBuildResult built = BuildVctAndEcs(g, c.k, range);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto entries = built.vct.EntriesOf(v);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_GE(entries[i].start, range.start);
+      EXPECT_LE(entries[i].start, range.end);
+      if (entries[i].core_time != kInfTime) {
+        EXPECT_GE(entries[i].core_time, entries[i].start);
+        EXPECT_LE(entries[i].core_time, range.end);
+      }
+      if (i > 0) {
+        EXPECT_GT(entries[i].start, entries[i - 1].start);
+        EXPECT_GT(entries[i].core_time, entries[i - 1].core_time);
+      }
+    }
+    // First entry, when present, starts at the range start.
+    if (!entries.empty()) EXPECT_EQ(entries[0].start, range.start);
+  }
+}
+
+TEST_P(VctPropertyTest, EdgeCoreTimeLemma1) {
+  // Lemma 1: CT_ts(u,v,t) = max(CT_ts(u), CT_ts(v), t). Cross-check that
+  // each edge's first skyline window with start >= ts ends exactly there.
+  const BuilderCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  Window range = g.FullRange();
+  VctBuildResult built = BuildVctAndEcs(g, c.k, range);
+  for (EdgeId e = built.ecs.first_edge(); e < built.ecs.last_edge(); ++e) {
+    const TemporalEdge& edge = g.edge(e);
+    for (Timestamp ts = range.start; ts <= edge.t; ++ts) {
+      Timestamp cu = built.vct.CoreTimeAt(edge.u, ts);
+      Timestamp cv = built.vct.CoreTimeAt(edge.v, ts);
+      Timestamp ect = (cu == kInfTime || cv == kInfTime)
+                          ? kInfTime
+                          : std::max({cu, cv, edge.t});
+      // The skyline equivalent: the smallest window end among windows
+      // with start >= ts must equal ect (or none exist if ect == inf).
+      Timestamp skyline_end = kInfTime;
+      for (const Window& w : built.ecs.WindowsOf(e)) {
+        if (w.start >= ts) {
+          skyline_end = w.end;
+          break;
+        }
+      }
+      EXPECT_EQ(skyline_end, ect)
+          << "edge " << e << " (" << edge.u << "," << edge.v << "," << edge.t
+          << ") ts=" << ts;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, VctPropertyTest,
+    ::testing::Values(BuilderCase{12, 60, 12, 2, 21},
+                      BuilderCase{15, 90, 15, 3, 22},
+                      BuilderCase{10, 70, 25, 2, 23},
+                      BuilderCase{18, 100, 9, 3, 24}));
+
+TEST(VctBuilderStatsTest, CountersPopulated) {
+  TemporalGraph g = GenerateUniformRandom(20, 150, 20, 33);
+  VctBuildStats stats;
+  VctBuildResult built =
+      BuildVctAndEcsWithStats(g, 2, g.FullRange(), &stats);
+  EXPECT_GT(built.vct.size(), 0u);
+  // Each core-time change beyond the initial sweep requires at least one
+  // fixpoint recomputation.
+  EXPECT_GE(stats.fixpoint_recomputations, stats.core_time_changes);
+  EXPECT_GE(stats.worklist_pushes, stats.core_time_changes);
+}
+
+TEST(VctBuilderBurstyTest, SyntheticAgrees) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 30;
+  spec.num_edges = 400;
+  spec.num_timestamps = 60;
+  spec.burstiness = 0.4;
+  spec.seed = 5;
+  TemporalGraph g = GenerateSynthetic(spec);
+  for (uint32_t k : {2u, 3u, 5u}) {
+    VctBuildResult fast = BuildVctAndEcs(g, k, g.FullRange());
+    VctBuildResult naive = BuildVctAndEcsNaive(g, k, g.FullRange());
+    ExpectSameVct(fast.vct, naive.vct, "bursty k=" + std::to_string(k));
+    ExpectSameEcs(fast.ecs, naive.ecs, "bursty k=" + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace tkc

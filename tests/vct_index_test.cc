@@ -1,0 +1,81 @@
+#include "vct/vct_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tkc {
+namespace {
+
+VertexCoreTimeIndex MakeIndex() {
+  // Vertex 0: [1,3],[3,5],[6,inf]; vertex 2: [1,7]; vertex 1: none.
+  std::vector<std::pair<VertexId, VctEntry>> emissions = {
+      {0, {1, 3}}, {0, {3, 5}}, {0, {6, kInfTime}}, {2, {1, 7}},
+  };
+  return VertexCoreTimeIndex::FromEmissions(3, Window{1, 8}, emissions);
+}
+
+TEST(VctIndexTest, EntriesOf) {
+  VertexCoreTimeIndex idx = MakeIndex();
+  EXPECT_EQ(idx.EntriesOf(0).size(), 3u);
+  EXPECT_EQ(idx.EntriesOf(1).size(), 0u);
+  EXPECT_EQ(idx.EntriesOf(2).size(), 1u);
+  EXPECT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx.num_vertices(), 3u);
+  EXPECT_EQ(idx.num_indexed_vertices(), 2u);
+}
+
+TEST(VctIndexTest, CoreTimeAtBreakpoints) {
+  VertexCoreTimeIndex idx = MakeIndex();
+  EXPECT_EQ(idx.CoreTimeAt(0, 1), 3u);
+  EXPECT_EQ(idx.CoreTimeAt(0, 2), 3u);  // between breakpoints
+  EXPECT_EQ(idx.CoreTimeAt(0, 3), 5u);
+  EXPECT_EQ(idx.CoreTimeAt(0, 5), 5u);
+  EXPECT_EQ(idx.CoreTimeAt(0, 6), kInfTime);
+  EXPECT_EQ(idx.CoreTimeAt(0, 8), kInfTime);
+}
+
+TEST(VctIndexTest, UnindexedVertexIsInfinity) {
+  VertexCoreTimeIndex idx = MakeIndex();
+  EXPECT_EQ(idx.CoreTimeAt(1, 1), kInfTime);
+  EXPECT_EQ(idx.CoreTimeAt(1, 8), kInfTime);
+}
+
+TEST(VctIndexTest, RangeStored) {
+  VertexCoreTimeIndex idx = MakeIndex();
+  EXPECT_EQ(idx.range(), (Window{1, 8}));
+}
+
+TEST(VctIndexTest, DebugStringFormat) {
+  VertexCoreTimeIndex idx = MakeIndex();
+  EXPECT_EQ(idx.DebugString(0), "[1,3] [3,5] [6,inf]");
+  EXPECT_EQ(idx.DebugString(1), "");
+}
+
+TEST(VctIndexTest, EmptyIndex) {
+  VertexCoreTimeIndex idx = VertexCoreTimeIndex::FromEmissions(
+      5, Window{1, 3}, std::span<const std::pair<VertexId, VctEntry>>());
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.CoreTimeAt(4, 2), kInfTime);
+}
+
+TEST(VctIndexTest, MemoryUsageScalesWithEntries) {
+  VertexCoreTimeIndex idx = MakeIndex();
+  EXPECT_GE(idx.MemoryUsageBytes(), 4 * sizeof(VctEntry));
+}
+
+TEST(VctIndexTest, InterleavedEmissionsAcrossVertices) {
+  // Emissions interleave vertices (as the builder produces them per
+  // transition); CSR assembly must group them correctly.
+  std::vector<std::pair<VertexId, VctEntry>> emissions = {
+      {1, {1, 2}}, {0, {1, 4}}, {1, {2, 6}}, {0, {4, 9}}, {1, {5, kInfTime}},
+  };
+  auto idx = VertexCoreTimeIndex::FromEmissions(2, Window{1, 9}, emissions);
+  EXPECT_EQ(idx.EntriesOf(0).size(), 2u);
+  EXPECT_EQ(idx.EntriesOf(1).size(), 3u);
+  EXPECT_EQ(idx.CoreTimeAt(1, 3), 6u);
+  EXPECT_EQ(idx.CoreTimeAt(0, 9), 9u);
+}
+
+}  // namespace
+}  // namespace tkc

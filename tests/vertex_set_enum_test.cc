@@ -1,0 +1,110 @@
+// Tests of the vertex-set enumeration extension (the paper's Future Work):
+// distinctness, consistency with the edge-set enumeration, and oracle
+// equivalence on random graphs.
+
+#include "core/vertex_set_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/temporal_kcore.h"
+#include "datasets/generators.h"
+
+namespace tkc {
+namespace {
+
+// Oracle: distinct vertex sets of all distinct edge-set cores, first
+// occurrence order not checked (set comparison).
+std::set<std::vector<VertexId>> OracleVertexSets(const TemporalGraph& g,
+                                                 uint32_t k, Window range) {
+  CollectingSink sink;
+  QueryOptions naive;
+  naive.enum_method = EnumMethod::kNaive;
+  EXPECT_TRUE(RunTemporalKCoreQuery(g, k, range, &sink, naive).ok());
+  std::set<std::vector<VertexId>> sets;
+  for (const CoreResult& core : sink.cores()) {
+    std::set<VertexId> vs;
+    for (EdgeId e : core.edges) {
+      vs.insert(g.edge(e).u);
+      vs.insert(g.edge(e).v);
+    }
+    sets.insert(std::vector<VertexId>(vs.begin(), vs.end()));
+  }
+  return sets;
+}
+
+TEST(VertexSetEnumTest, PaperExampleRange14) {
+  // Figure 2: two cores with vertex sets {1,2,4} and {1,2,3,4,9}.
+  TemporalGraph g = PaperExampleGraph();
+  auto results = EnumerateVertexSets(g, 2, Window{1, 4});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  std::set<std::vector<VertexId>> sets;
+  for (const auto& r : *results) sets.insert(r.vertices);
+  EXPECT_TRUE(sets.count({1, 2, 4}));
+  EXPECT_TRUE(sets.count({1, 2, 3, 4, 9}));
+}
+
+TEST(VertexSetEnumTest, MatchesOracleOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(12, 70, 12, seed);
+    for (uint32_t k : {2u, 3u}) {
+      auto results = EnumerateVertexSets(g, k, g.FullRange());
+      ASSERT_TRUE(results.ok());
+      std::set<std::vector<VertexId>> got;
+      for (const auto& r : *results) {
+        EXPECT_TRUE(got.insert(r.vertices).second)
+            << "duplicate vertex set, seed " << seed;
+      }
+      EXPECT_EQ(got, OracleVertexSets(g, k, g.FullRange()))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(VertexSetEnumTest, FewerOrEqualVertexSetsThanEdgeSets) {
+  SyntheticSpec spec;
+  spec.name = "t";
+  spec.num_vertices = 20;
+  spec.num_edges = 240;
+  spec.num_timestamps = 40;
+  spec.burstiness = 0.5;
+  spec.seed = 3;
+  TemporalGraph g = GenerateSynthetic(spec);
+
+  CountingSink edge_counter;
+  ASSERT_TRUE(RunTemporalKCoreQuery(g, 3, g.FullRange(), &edge_counter).ok());
+
+  uint64_t vertex_sets = 0;
+  VertexSetDedupSink sink(g, [&](Window, std::span<const VertexId>) {
+    ++vertex_sets;
+  });
+  ASSERT_TRUE(RunTemporalKCoreQuery(g, 3, g.FullRange(), &sink).ok());
+  EXPECT_EQ(sink.cores_seen(), edge_counter.num_cores());
+  EXPECT_EQ(sink.vertex_sets_emitted(), vertex_sets);
+  EXPECT_LE(vertex_sets, edge_counter.num_cores());
+  EXPECT_GT(vertex_sets, 0u);
+}
+
+TEST(VertexSetEnumTest, VerticesSortedAndDegreesAtLeastK) {
+  TemporalGraph g = GenerateUniformRandom(14, 90, 10, 21);
+  auto results = EnumerateVertexSets(g, 2, g.FullRange());
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) {
+    EXPECT_TRUE(std::is_sorted(r.vertices.begin(), r.vertices.end()));
+    EXPECT_GE(r.vertices.size(), 3u);  // a 2-core needs >= 3 vertices
+    EXPECT_TRUE(r.tti.Valid());
+  }
+}
+
+TEST(VertexSetEnumTest, InvalidInputsPropagate) {
+  TemporalGraph g = PaperExampleGraph();
+  auto results = EnumerateVertexSets(g, 0, g.FullRange());
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,124 @@
+#include "graph/window_peeler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/core_decomposition.h"
+#include "util/rng.h"
+
+namespace tkc {
+namespace {
+
+TEST(WindowPeelerTest, PaperExampleWindow13) {
+  // From Example 1: the 2-core of window [1,3] is {v1,v2,v4} with edges
+  // (1,4,2),(1,2,3),(2,4,3).
+  TemporalGraph g = PaperExampleGraph();
+  WindowCore core = ComputeWindowCore(g, 2, Window{1, 3});
+  EXPECT_TRUE(core.in_core[1]);
+  EXPECT_TRUE(core.in_core[2]);
+  EXPECT_TRUE(core.in_core[4]);
+  EXPECT_FALSE(core.in_core[3]);
+  EXPECT_FALSE(core.in_core[9]);
+  EXPECT_EQ(core.edges.size(), 3u);
+  EXPECT_EQ(core.tti, (Window{2, 3}));
+}
+
+TEST(WindowPeelerTest, PaperExampleWindow14) {
+  TemporalGraph g = PaperExampleGraph();
+  WindowCore core = ComputeWindowCore(g, 2, Window{1, 4});
+  EXPECT_EQ(core.edges.size(), 6u);
+  EXPECT_EQ(core.tti, (Window{1, 4}));
+  for (VertexId v : {1, 2, 3, 4, 9}) EXPECT_TRUE(core.in_core[v]) << v;
+}
+
+TEST(WindowPeelerTest, EmptyWhenKTooLarge) {
+  TemporalGraph g = PaperExampleGraph();
+  WindowCore core = ComputeWindowCore(g, 5, g.FullRange());
+  EXPECT_TRUE(core.Empty());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(core.in_core[v]);
+  }
+}
+
+TEST(WindowPeelerTest, SingleTimestampWindow) {
+  TemporalGraph g = PaperExampleGraph();
+  // At t=5: edges (1,6),(1,7),(2,8),(6,7) — triangle {1,6,7} is the 2-core.
+  WindowCore core = ComputeWindowCore(g, 2, Window{5, 5});
+  EXPECT_TRUE(core.in_core[1]);
+  EXPECT_TRUE(core.in_core[6]);
+  EXPECT_TRUE(core.in_core[7]);
+  EXPECT_FALSE(core.in_core[2]);
+  EXPECT_EQ(core.edges.size(), 3u);
+}
+
+TEST(WindowPeelerTest, MultiEdgesCountOnceForDegree) {
+  TemporalGraphBuilder b;
+  // Vertices 0-1 heavily connected in parallel but only one neighbor each.
+  for (int t = 1; t <= 8; ++t) b.AddEdge(0, 1, t);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(ComputeWindowCore(*g, 2, g->FullRange()).Empty());
+  WindowCore one_core = ComputeWindowCore(*g, 1, g->FullRange());
+  EXPECT_EQ(one_core.edges.size(), 8u);  // core contains all parallel edges
+}
+
+TEST(WindowPeelerTest, CoreContainsAllWindowEdgesBetweenCoreVertices) {
+  TemporalGraph g = GenerateUniformRandom(12, 80, 10, 3);
+  WindowCore core = ComputeWindowCore(g, 2, Window{3, 8});
+  for (EdgeId e : core.edges) {
+    EXPECT_GE(g.edge(e).t, 3u);
+    EXPECT_LE(g.edge(e).t, 8u);
+    EXPECT_TRUE(core.in_core[g.edge(e).u]);
+    EXPECT_TRUE(core.in_core[g.edge(e).v]);
+  }
+  // Conversely, every window edge between core vertices is in the core.
+  auto [lo, hi] = g.EdgeIdRangeInWindow(Window{3, 8});
+  size_t expected = 0;
+  for (EdgeId e = lo; e < hi; ++e) {
+    if (core.in_core[g.edge(e).u] && core.in_core[g.edge(e).v]) ++expected;
+  }
+  EXPECT_EQ(core.edges.size(), expected);
+}
+
+// Property: minimum distinct-neighbor degree inside the core is >= k, and
+// the core is maximal (consistent with core decomposition of the window).
+TEST(WindowPeelerTest, RandomizedDegreeAndMaximality) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    TemporalGraph g = GenerateUniformRandom(15, 90, 12, seed);
+    for (uint32_t k : {1u, 2u, 3u}) {
+      Window w{2, 9};
+      WindowCore core = ComputeWindowCore(g, k, w);
+      // Degree check.
+      SimpleProjection p = BuildSimpleProjection(g, w);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        if (!core.in_core[v]) continue;
+        uint32_t deg = 0;
+        for (VertexId nbr : p.NeighborsOf(v)) deg += core.in_core[nbr];
+        EXPECT_GE(deg, k) << "seed " << seed << " k " << k << " v " << v;
+      }
+      // Maximality: membership == (core number in window >= k).
+      CoreDecompositionResult d = DecomposeCores(g, w);
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(core.in_core[v], d.core_numbers[v] >= k)
+            << "seed " << seed << " k " << k << " v " << v;
+      }
+    }
+  }
+}
+
+TEST(WindowPeelerTest, VerticesOnlyVariantAgrees) {
+  TemporalGraph g = GenerateUniformRandom(15, 70, 10, 77);
+  Window w{2, 8};
+  WindowCore full = ComputeWindowCore(g, 2, w);
+  std::vector<bool> vertices = ComputeWindowCoreVertices(g, 2, w);
+  // When the core is non-empty the vertex sets agree; the full variant
+  // canonicalizes the all-false case.
+  if (!full.Empty()) {
+    EXPECT_EQ(full.in_core, vertices);
+  }
+}
+
+}  // namespace
+}  // namespace tkc
