@@ -8,6 +8,7 @@
 
 #include "datasets/registry.h"
 #include "graph/graph_stats.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workload/query_workload.h"
@@ -115,6 +116,73 @@ inline std::string TimeCell(const AggregateOutcome& agg) {
   std::snprintf(buf, sizeof(buf), "%.4f", agg.avg_seconds);
   return buf;
 }
+
+/// Minimal machine-readable output for perf-tracking benchmarks: a JSON
+/// array of flat objects, written to a BENCH_*.json file so future PRs can
+/// diff the perf trajectory. Keys must be plain identifiers; string values
+/// are escaped for quotes and backslashes only.
+class JsonRecords {
+ public:
+  void BeginRecord() {
+    records_.emplace_back();
+  }
+  void Add(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    AddRaw(key, "\"" + escaped + "\"");
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    AddRaw(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    AddRaw(key, value ? "true" : "false");
+  }
+
+  std::string ToString() const {
+    std::string out = "[\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out += "  {";
+      for (size_t f = 0; f < records_[r].size(); ++f) {
+        if (f > 0) out += ", ";
+        out += "\"" + records_[r][f].first + "\": " + records_[r][f].second;
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += "]\n";
+    return out;
+  }
+
+  /// Writes the array to `path`; returns false (with a note) on failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "note: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string body = ToString();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void AddRaw(const std::string& key, std::string rendered) {
+    TKC_CHECK(!records_.empty());  // Add requires a prior BeginRecord
+    records_.back().emplace_back(key, std::move(rendered));
+  }
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 }  // namespace tkc::bench
 

@@ -33,9 +33,12 @@ int main(int argc, char** argv) {
         table.AddRow({label, "n/a", "n/a"});
         continue;
       }
-      AggregateOutcome agg =
-          RunAlgorithmOnQueries(AlgorithmKind::kEnum, prepared->graph,
-                                queries, config.limit_seconds);
+      // Count figure: timing-insensitive, so fan out over the shared pool;
+      // the DNF cutoff is scaled by the pool size to absorb contention.
+      ThreadPool& pool = ThreadPool::Shared();
+      AggregateOutcome agg = RunAlgorithmOnQueries(
+          AlgorithmKind::kEnum, prepared->graph, queries,
+          config.limit_seconds * pool.num_threads(), &pool);
       table.AddRow({label,
                     agg.completed ? TextTable::CellSci(agg.avg_num_cores)
                                   : "DNF",

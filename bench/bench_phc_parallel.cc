@@ -1,0 +1,169 @@
+// Serial vs. parallel PHC index construction. Builds the full k = 1..kmax
+// index of a generator dataset once per thread count, verifies every
+// parallel result is bit-identical to the serial reference, and reports
+// build times plus speedups — on stdout as a table and as machine-readable
+// JSON (default BENCH_phc_parallel.json) so future PRs can track the perf
+// trajectory.
+//
+// Flags (env fallbacks TKC_<UPPER>): --vertices --edges --timestamps --seed
+// --reps (best-of) --max-k --out. --threads=N adds one extra thread count
+// to the swept powers of two; the sweep always ends at DefaultNumThreads()
+// (the TKC_NUM_THREADS override, else hardware concurrency).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/generators.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "vct/phc_index.h"
+
+namespace tkc {
+namespace {
+
+bool SameIndex(const PhcIndex& a, const PhcIndex& b, VertexId num_vertices) {
+  if (a.max_k() != b.max_k() || a.size() != b.size()) return false;
+  for (uint32_t k = 1; k <= a.max_k(); ++k) {
+    const VertexCoreTimeIndex& sa = a.Slice(k);
+    const VertexCoreTimeIndex& sb = b.Slice(k);
+    if (sa.size() != sb.size()) return false;
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      auto ea = sa.EntriesOf(v), eb = sb.EntriesOf(v);
+      if (ea.size() != eb.size()) return false;
+      for (size_t i = 0; i < ea.size(); ++i) {
+        if (!(ea[i] == eb[i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+double BestBuildSeconds(const TemporalGraph& g, const PhcBuildOptions& options,
+                        int reps, StatusOr<PhcIndex>* out) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    auto index = PhcIndex::Build(g, g.FullRange(), options);
+    double seconds = timer.ElapsedSeconds();
+    if (best < 0 || seconds < best) best = seconds;
+    if (r == 0) *out = std::move(index);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace tkc
+
+int main(int argc, char** argv) {
+  using namespace tkc;
+  using namespace tkc::bench;
+
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "flag error: %s\n",
+                 flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+  const uint32_t vertices =
+      static_cast<uint32_t>(flags.GetInt("vertices", 300));
+  const uint32_t edges = static_cast<uint32_t>(flags.GetInt("edges", 15000));
+  const uint32_t timestamps =
+      static_cast<uint32_t>(flags.GetInt("timestamps", 64));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const uint32_t max_k = static_cast<uint32_t>(flags.GetInt("max-k", 0));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_phc_parallel.json");
+
+  TemporalGraph g = GenerateUniformRandom(vertices, edges, timestamps, seed);
+
+  // Serial reference (no pool at all).
+  PhcBuildOptions serial_options;
+  serial_options.max_k = max_k;
+  StatusOr<PhcIndex> reference = Status::Internal("not built");
+  double serial_seconds =
+      BestBuildSeconds(g, serial_options, reps, &reference);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "serial build failed: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "=== PHC parallel construction: %u vertices, %u edges, %u timestamps, "
+      "kmax=%u, |PHC|=%llu (best of %d) ===\n",
+      vertices, edges, timestamps, reference->max_k(),
+      static_cast<unsigned long long>(reference->size()), reps);
+  if (reference->max_k() < 8) {
+    std::printf("note: kmax < 8; raise --edges for a representative run\n");
+  }
+
+  // Thread sweep: powers of two up to the default, plus any --threads value.
+  std::vector<int> thread_counts;
+  const int default_threads = DefaultNumThreads();
+  for (int t = 1; t < default_threads; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(default_threads);
+  if (flags.Has("threads")) {
+    thread_counts.push_back(
+        std::max(1, static_cast<int>(flags.GetInt("threads", 1))));
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  TextTable table;
+  table.SetHeader({"Threads", "Build (s)", "Speedup", "Identical"});
+  table.AddRow({"serial", TextTable::Cell(serial_seconds), "1.00x", "ref"});
+
+  JsonRecords records;
+  records.BeginRecord();
+  records.Add("bench", std::string("phc_parallel"));
+  records.Add("mode", std::string("serial"));
+  records.Add("vertices", static_cast<uint64_t>(vertices));
+  records.Add("edges", static_cast<uint64_t>(edges));
+  records.Add("timestamps", static_cast<uint64_t>(timestamps));
+  records.Add("kmax", static_cast<uint64_t>(reference->max_k()));
+  records.Add("index_entries", reference->size());
+  records.Add("threads", 1);
+  records.Add("seconds", serial_seconds);
+  records.Add("speedup", 1.0);
+  records.Add("identical", true);
+
+  bool all_identical = true;
+  for (int threads : thread_counts) {
+    ThreadPool pool(threads);
+    PhcBuildOptions options;
+    options.max_k = max_k;
+    options.pool = &pool;
+    StatusOr<PhcIndex> parallel = Status::Internal("not built");
+    double seconds = BestBuildSeconds(g, options, reps, &parallel);
+    bool identical =
+        parallel.ok() && SameIndex(*reference, *parallel, g.num_vertices());
+    all_identical = all_identical && identical;
+    double speedup = seconds > 0 ? serial_seconds / seconds : 0;
+    char speedup_cell[32];
+    std::snprintf(speedup_cell, sizeof(speedup_cell), "%.2fx", speedup);
+    table.AddRow({TextTable::Cell(static_cast<uint64_t>(threads)),
+                  TextTable::Cell(seconds), speedup_cell,
+                  identical ? "yes" : "NO"});
+    records.BeginRecord();
+    records.Add("bench", std::string("phc_parallel"));
+    records.Add("mode", std::string("pool"));
+    records.Add("threads", threads);
+    records.Add("seconds", seconds);
+    records.Add("speedup", speedup);
+    records.Add("identical", identical);
+  }
+  table.Print();
+  if (records.WriteFile(out_path)) {
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "ERROR: a parallel index differed from serial\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+namespace tkc {
+
+namespace {
+
+// The pool whose work the current thread is executing (a worker thread, or
+// any thread inside one of this pool's ParallelFor claim loops). Used to
+// run nested ParallelFor calls on the same pool inline: blocking a worker
+// on done_cv while every other worker blocks the same way would deadlock.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+class ScopedCurrentPool {
+ public:
+  explicit ScopedCurrentPool(const ThreadPool* pool)
+      : previous_(tls_current_pool) {
+    tls_current_pool = pool;
+  }
+  ~ScopedCurrentPool() { tls_current_pool = previous_; }
+
+ private:
+  const ThreadPool* previous_;
+};
+
+}  // namespace
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("TKC_NUM_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int background = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(background);
+  for (int i = 0; i < background; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  ScopedCurrentPool scope(this);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task =
+      std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> result = task->get_future();
+  if (workers_.empty()) {
+    (*task)();
+  } else {
+    Enqueue([task] { (*task)(); });
+  }
+  return result;
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Runner tasks claim iteration
+// indices from `next`; the call completes when every spawned runner (and
+// the caller's inline runner) has exited its claim loop.
+struct ForState {
+  explicit ForState(size_t n, const std::function<void(size_t, int)>& b)
+      : num_items(n), body(b) {}
+
+  const size_t num_items;
+  const std::function<void(size_t, int)>& body;
+  std::atomic<size_t> next{0};
+  std::atomic<int> next_worker_id{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int runners_exited = 0;
+  std::exception_ptr error;
+
+  void RunClaimLoop() {
+    const int worker = next_worker_id.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_items) break;
+      try {
+        body(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        // Poison the claim counter so remaining iterations are abandoned.
+        next.store(num_items, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, int)>& body) {
+  if (n == 0) return;
+  // Nested call on the pool this thread already works for: run inline.
+  // Blocking here would wait on workers that are themselves blocked the
+  // same way (or on this very thread), i.e. deadlock.
+  if (workers_.empty() || n == 1 || tls_current_pool == this) {
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  ScopedCurrentPool scope(this);  // the caller participates below
+  auto state = std::make_shared<ForState>(n, body);
+  const size_t spawned = std::min(workers_.size(), n);
+  for (size_t r = 0; r < spawned; ++r) {
+    Enqueue([state] {
+      state->RunClaimLoop();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->runners_exited;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+  state->RunClaimLoop();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] {
+    return state->runners_exited == static_cast<int>(spawned);
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: outliving every static user beats destruction-order
+  // races at process exit.
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+}  // namespace tkc

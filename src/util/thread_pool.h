@@ -1,0 +1,86 @@
+#ifndef TKC_UTIL_THREAD_POOL_H_
+#define TKC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A fixed-size worker pool for the library's embarrassingly parallel loops
+/// (per-k PHC slices, batched query workloads). Design points:
+///
+///  * `ThreadPool(n)` provides total parallelism n: it spawns n-1 background
+///    workers and the calling thread participates in `ParallelFor`, so
+///    `ThreadPool(1)` is a zero-thread pool that degenerates to plain serial
+///    execution (no scheduling overhead, trivially deterministic).
+///  * `ParallelFor` hands the body a worker id in [0, num_threads()), which
+///    callers use to index per-thread scratch arenas without locking.
+///  * Exceptions thrown by a task are captured and rethrown on the calling
+///    thread after all iterations drain — a throw never detaches work.
+///  * `ParallelFor` is nesting-safe on a single pool: a call made from
+///    inside one of the pool's own tasks runs inline on that thread
+///    (worker id 0) instead of blocking on workers that may themselves be
+///    blocked. Mutual nesting across *different* pools is not guarded.
+///  * The process-wide `Shared()` pool is sized by `DefaultNumThreads()`:
+///    the `TKC_NUM_THREADS` environment variable when set to a positive
+///    integer, else hardware concurrency. The environment variable is the
+///    only knob — there is no command-line flag for it.
+
+namespace tkc {
+
+/// Worker count used by `ThreadPool::Shared()`: the `TKC_NUM_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// `std::thread::hardware_concurrency()` (at least 1).
+int DefaultNumThreads();
+
+class ThreadPool {
+ public:
+  /// Creates a pool with total parallelism `num_threads` (clamped to >= 1);
+  /// `num_threads - 1` background workers are spawned.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: pending Submit tasks are completed before join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (background workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Schedules `fn` on a background worker; runs it inline when the pool is
+  /// single-threaded. The future rethrows `fn`'s exception on get().
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs body(i, worker) for every i in [0, n), distributed dynamically
+  /// over the pool; the calling thread participates. Worker ids are unique
+  /// per concurrent participant and lie in [0, num_threads()). Blocks until
+  /// every claimed iteration finishes; rethrows the first captured
+  /// exception (further iterations are abandoned after a throw). Called
+  /// from inside one of this pool's own tasks, it degrades to an inline
+  /// serial loop instead of deadlocking.
+  void ParallelFor(size_t n, const std::function<void(size_t, int)>& body);
+
+  /// Process-wide pool of DefaultNumThreads() total threads, created on
+  /// first use and never destroyed (safe across static teardown).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  void Enqueue(std::function<void()> fn);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_THREAD_POOL_H_

@@ -49,6 +49,11 @@ struct VctBuildResult {
   VertexCoreTimeIndex vct;
   EdgeCoreWindowSkyline ecs;
   /// Logical peak bytes of the builder's transient state + outputs.
+  /// Capacity-based: when the efficient builder is given a reused
+  /// VctBuildArena, this reports the arena's high-water footprint across
+  /// all builds it served (memory genuinely held during this build), not
+  /// this build's working set alone. Pass a fresh arena (or none) for
+  /// per-build isolation, as the memory figure benchmarks do.
   uint64_t peak_memory_bytes = 0;
 };
 

@@ -1,15 +1,25 @@
 #include "vct/phc_index.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "graph/core_decomposition.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "vct/vct_builder.h"
 
 namespace tkc {
 
 StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
                                    uint32_t max_k) {
+  PhcBuildOptions options;
+  options.max_k = max_k;
+  options.pool = &ThreadPool::Shared();
+  return Build(g, range, options);
+}
+
+StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
+                                   const PhcBuildOptions& options) {
   if (range.start < 1 || range.start > range.end ||
       range.end > g.num_timestamps()) {
     return Status::InvalidArgument(
@@ -18,10 +28,26 @@ StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
   PhcIndex index;
   index.range_ = range;
   uint32_t kmax = DecomposeCores(g, range).kmax;
-  if (max_k > 0) kmax = std::min(kmax, max_k);
-  index.slices_.reserve(kmax);
-  for (uint32_t k = 1; k <= kmax; ++k) {
-    index.slices_.push_back(BuildVctAndEcs(g, k, range).vct);
+  if (options.max_k > 0) kmax = std::min(kmax, options.max_k);
+  // Slice k lands at index k-1 no matter which worker computes it or when
+  // it finishes, so the result is bit-identical to a serial build. Each
+  // build is a pure function of (g, k, range); the arena only recycles
+  // scratch allocations.
+  index.slices_.resize(kmax);
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr || pool->num_threads() <= 1 || kmax <= 1) {
+    VctBuildArena arena;
+    for (uint32_t k = 1; k <= kmax; ++k) {
+      index.slices_[k - 1] = BuildVctAndEcs(g, k, range, &arena).vct;
+    }
+  } else {
+    std::vector<VctBuildArena> arenas(pool->num_threads());
+    pool->ParallelFor(kmax, [&](size_t i, int worker) {
+      index.slices_[i] =
+          BuildVctAndEcs(g, static_cast<uint32_t>(i) + 1, range,
+                         &arenas[worker])
+              .vct;
+    });
   }
   return index;
 }

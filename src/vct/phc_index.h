@@ -16,16 +16,38 @@
 /// are independent, and per-slice cost O(|VCT_k|·deg_avg) shrinks quickly
 /// with k, so the total is dominated by the small-k slices exactly as in
 /// the original paper's analysis.
+///
+/// Because the slices are independent, construction fans them out over a
+/// ThreadPool: slice k is computed by whichever worker claims it and stored
+/// at index k-1, so the parallel index is bit-identical to the serial one
+/// regardless of completion order. Each worker reuses one VctBuildArena
+/// across all slices it claims.
 
 namespace tkc {
+
+class ThreadPool;
+
+/// Construction knobs for PhcIndex::Build.
+struct PhcBuildOptions {
+  /// Cap on the largest k to build; 0 means "up to the window's kmax".
+  uint32_t max_k = 0;
+  /// Pool to fan slices out over; nullptr builds serially on the caller.
+  ThreadPool* pool = nullptr;
+};
 
 /// Immutable multi-k core-time index over one query range.
 class PhcIndex {
  public:
   /// Builds slices for k = 1..min(kmax(range), max_k). max_k == 0 means
-  /// "up to kmax". Fails on an invalid range.
+  /// "up to kmax". Fails on an invalid range. Uses the process-wide shared
+  /// pool (util/thread_pool.h; sized by TKC_NUM_THREADS, default hardware
+  /// concurrency) — output is identical at any thread count.
   static StatusOr<PhcIndex> Build(const TemporalGraph& g, Window range,
                                   uint32_t max_k = 0);
+
+  /// As above with explicit options (thread pool, k cap).
+  static StatusOr<PhcIndex> Build(const TemporalGraph& g, Window range,
+                                  const PhcBuildOptions& options);
 
   Window range() const { return range_; }
 

@@ -13,21 +13,53 @@ Timestamp Max3(Timestamp a, Timestamp b, Timestamp c) {
   return std::max(a, std::max(b, c));
 }
 
-// Worklist fixpoint engine advancing core times across start times.
+// Worklist fixpoint engine advancing core times across start times. All
+// mutable state lives in the caller's VctBuildArena so repeated builds
+// (e.g. the per-k slices of PhcIndex::Build) reuse allocations.
 class CoreTimeAdvancer {
  public:
   CoreTimeAdvancer(const TemporalGraph& g, uint32_t k, Window range,
-                   VctBuildStats* stats)
-      : g_(g), k_(k), range_(range), stats_(stats) {
-    ct_.reserve(g.num_vertices());
-    SweepScratch scratch;
-    CoreTimeSweep(g_, k_, range_.start, range_.end, &ct_, &scratch);
-    in_queue_.assign(g.num_vertices(), 0);
-    seen_epoch_.assign(g.num_vertices(), 0);
-    changed_epoch_.assign(g.num_vertices(), 0);
+                   VctBuildStats* stats, VctBuildArena* arena)
+      : g_(g), k_(k), range_(range), stats_(stats), a_(*arena) {
+    CoreTimeSweep(g_, k_, range_.start, range_.end, &a_.ct, &a_.sweep);
+    const VertexId n = g.num_vertices();
+    a_.in_queue.assign(n, 0);
+    a_.seen_epoch.assign(n, 0);
+    a_.changed_epoch.assign(n, 0);
+    a_.queue.clear();
+    // Window-adjacency cursors: [adj_lo[u], adj_hi[u]) brackets the entries
+    // of u with time in [range.start, range.end]. adj_hi is fixed; adj_lo
+    // only ever moves forward as the start time advances, so the per-pop
+    // binary searches of NeighborsInWindow collapse to an amortized-O(deg)
+    // lazy advance over the whole build.
+    a_.adj_lo.resize(n);
+    a_.adj_hi.resize(n);
+    auto time_less = [](const AdjEntry& e, Timestamp t) { return e.time < t; };
+    auto less_time = [](Timestamp t, const AdjEntry& e) { return t < e.time; };
+    for (VertexId u = 0; u < n; ++u) {
+      const std::span<const AdjEntry> all = g.Neighbors(u);
+      a_.adj_lo[u] = static_cast<uint32_t>(
+          std::lower_bound(all.begin(), all.end(), range.start, time_less) -
+          all.begin());
+      a_.adj_hi[u] = static_cast<uint32_t>(
+          std::upper_bound(all.begin(), all.end(), range.end, less_time) -
+          all.begin());
+    }
   }
 
-  const std::vector<Timestamp>& core_times() const { return ct_; }
+  const std::vector<Timestamp>& core_times() const { return a_.ct; }
+
+  /// Adjacency entries of `u` with time in [from, range.end]. `from` must be
+  /// non-decreasing across calls for a given vertex (it is: every use sites
+  /// pass the current transition's target start s+1).
+  std::span<const AdjEntry> WindowNeighbors(VertexId u, Timestamp from) {
+    const std::span<const AdjEntry> all = g_.Neighbors(u);
+    uint32_t lo = a_.adj_lo[u];
+    const uint32_t hi = a_.adj_hi[u];
+    while (lo < hi && all[lo].time < from) ++lo;
+    a_.adj_lo[u] = lo;
+    return all.subspan(lo, hi - lo);
+  }
 
   /// Advances from start time `s` to `s+1`; fills `changed` with the
   /// vertices whose core time increased (each once).
@@ -41,22 +73,21 @@ class CoreTimeAdvancer {
       Push(e.u);
       Push(e.v);
     }
-    while (!queue_.empty()) {
-      VertexId u = queue_.back();
-      queue_.pop_back();
-      in_queue_[u] = 0;
+    while (!a_.queue.empty()) {
+      VertexId u = a_.queue.back();
+      a_.queue.pop_back();
+      a_.in_queue[u] = 0;
       Timestamp now = Phi(u, next);
       if (stats_ != nullptr) ++stats_->fixpoint_recomputations;
-      if (now <= ct_[u]) continue;
-      ct_[u] = now;
-      if (changed_epoch_[u] != epoch_) {
-        changed_epoch_[u] = epoch_;
+      if (now <= a_.ct[u]) continue;
+      a_.ct[u] = now;
+      if (a_.changed_epoch[u] != epoch_) {
+        a_.changed_epoch[u] = epoch_;
         changed->push_back(u);
       }
       if (stats_ != nullptr) ++stats_->core_time_changes;
-      // A neighbor's Φ depends on ct_[u]; wake all window neighbors.
-      for (const AdjEntry& a :
-           g_.NeighborsInWindow(u, Window{next, range_.end})) {
+      // A neighbor's Φ depends on ct[u]; wake all window neighbors.
+      for (const AdjEntry& a : WindowNeighbors(u, next)) {
         Push(a.neighbor);
       }
     }
@@ -64,117 +95,130 @@ class CoreTimeAdvancer {
 
  private:
   void Push(VertexId v) {
-    if (in_queue_[v] || ct_[v] == kInfTime) return;  // inf never increases
-    in_queue_[v] = 1;
-    queue_.push_back(v);
+    if (a_.in_queue[v] || a_.ct[v] == kInfTime) return;  // inf never increases
+    a_.in_queue[v] = 1;
+    a_.queue.push_back(v);
     if (stats_ != nullptr) ++stats_->worklist_pushes;
   }
 
   // Φ(u) at start `from`: k-th smallest over distinct neighbors v of
-  // max(ct_[v], earliest edge time of (u,v) >= from).
+  // max(ct[v], earliest edge time of (u,v) >= from).
   Timestamp Phi(VertexId u, Timestamp from) {
     ++phi_epoch_;
-    vals_.clear();
-    for (const AdjEntry& a :
-         g_.NeighborsInWindow(u, Window{from, range_.end})) {
-      if (seen_epoch_[a.neighbor] == phi_epoch_) continue;  // dedup: first
-      seen_epoch_[a.neighbor] = phi_epoch_;  // occurrence == earliest time
-      Timestamp cv = ct_[a.neighbor];
-      vals_.push_back(cv == kInfTime ? kInfTime : std::max(cv, a.time));
+    a_.phi_vals.clear();
+    for (const AdjEntry& a : WindowNeighbors(u, from)) {
+      if (a_.seen_epoch[a.neighbor] == phi_epoch_) continue;  // dedup: first
+      a_.seen_epoch[a.neighbor] = phi_epoch_;  // occurrence == earliest time
+      Timestamp cv = a_.ct[a.neighbor];
+      a_.phi_vals.push_back(cv == kInfTime ? kInfTime : std::max(cv, a.time));
     }
-    if (vals_.size() < k_) return kInfTime;
-    std::nth_element(vals_.begin(), vals_.begin() + (k_ - 1), vals_.end());
-    return vals_[k_ - 1];
+    if (a_.phi_vals.size() < k_) return kInfTime;
+    std::nth_element(a_.phi_vals.begin(), a_.phi_vals.begin() + (k_ - 1),
+                     a_.phi_vals.end());
+    return a_.phi_vals[k_ - 1];
   }
 
   const TemporalGraph& g_;
   const uint32_t k_;
   const Window range_;
   VctBuildStats* stats_;
-
-  std::vector<Timestamp> ct_;
-  std::vector<uint8_t> in_queue_;
-  std::vector<VertexId> queue_;
-  std::vector<uint32_t> seen_epoch_;
-  std::vector<uint32_t> changed_epoch_;
-  std::vector<Timestamp> vals_;
+  VctBuildArena& a_;
   uint32_t epoch_ = 0;
   uint32_t phi_epoch_ = 0;
 };
 
 }  // namespace
 
+uint64_t VctBuildArena::MemoryUsageBytes() const {
+  return ApproxVectorBytes(ct) + ApproxVectorBytes(in_queue) +
+         ApproxVectorBytes(queue) + ApproxVectorBytes(seen_epoch) +
+         ApproxVectorBytes(changed_epoch) + ApproxVectorBytes(phi_vals) +
+         ApproxVectorBytes(adj_lo) + ApproxVectorBytes(adj_hi) +
+         ApproxVectorBytes(ect) + ApproxVectorBytes(changed) +
+         ApproxVectorBytes(verts) + ApproxVectorBytes(vct_emissions) +
+         ApproxVectorBytes(ecs_emissions) + ApproxVectorBytes(sweep.verts) +
+         ApproxVectorBytes(sweep.pair_keys) +
+         ApproxVectorBytes(sweep.pair_live) +
+         ApproxVectorBytes(sweep.vp_offsets) +
+         ApproxVectorBytes(sweep.vp_pair) +
+         ApproxVectorBytes(sweep.vp_other) +
+         ApproxVectorBytes(sweep.degree) + ApproxVectorBytes(sweep.in_core) +
+         ApproxVectorBytes(sweep.queued) + ApproxVectorBytes(sweep.stack);
+}
+
 VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
-                                       Window range, VctBuildStats* stats) {
+                                       Window range, VctBuildStats* stats,
+                                       VctBuildArena* arena) {
   TKC_CHECK_GE(k, 1u);
   TKC_CHECK(range.start >= 1 && range.end <= g.num_timestamps() &&
             range.start <= range.end);
 
+  VctBuildArena local;
+  VctBuildArena& a = arena != nullptr ? *arena : local;
+
   VctBuildResult result;
   const auto [first_edge, last_edge] = g.EdgeIdRangeInWindow(range);
 
-  CoreTimeAdvancer advancer(g, k, range, stats);
+  CoreTimeAdvancer advancer(g, k, range, stats, &a);
   const std::vector<Timestamp>& ct = advancer.core_times();
 
-  std::vector<std::pair<VertexId, VctEntry>> vct_emissions;
-  std::vector<std::pair<EdgeId, Window>> ecs_emissions;
+  a.vct_emissions.clear();
+  a.ecs_emissions.clear();
 
   // Initial VCT entries and edge core times at start Ts (Alg. 2 lines 2-4).
-  std::vector<Timestamp> ect(last_edge - first_edge, kInfTime);
+  a.ect.assign(last_edge - first_edge, kInfTime);
   {
     // Distinct window endpoints, ascending, for ordered initial emissions.
-    std::vector<VertexId> verts;
+    a.verts.clear();
     for (const TemporalEdge& e : g.EdgesInWindow(range)) {
-      verts.push_back(e.u);
-      verts.push_back(e.v);
+      a.verts.push_back(e.u);
+      a.verts.push_back(e.v);
     }
-    std::sort(verts.begin(), verts.end());
-    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
-    for (VertexId v : verts) {
+    std::sort(a.verts.begin(), a.verts.end());
+    a.verts.erase(std::unique(a.verts.begin(), a.verts.end()), a.verts.end());
+    for (VertexId v : a.verts) {
       if (ct[v] != kInfTime) {
-        vct_emissions.push_back({v, VctEntry{range.start, ct[v]}});
+        a.vct_emissions.push_back({v, VctEntry{range.start, ct[v]}});
       }
     }
   }
   for (EdgeId e = first_edge; e < last_edge; ++e) {
     const TemporalEdge& te = g.edge(e);
     if (ct[te.u] != kInfTime && ct[te.v] != kInfTime) {
-      ect[e - first_edge] = Max3(ct[te.u], ct[te.v], te.t);
+      a.ect[e - first_edge] = Max3(ct[te.u], ct[te.v], te.t);
     }
   }
 
   // Main loop over start-time transitions s -> s+1 (Alg. 2 lines 5-11).
-  std::vector<VertexId> changed;
   for (Timestamp s = range.start; s < range.end; ++s) {
     // (1) Edges leaving the window (time == s): their last minimal core
     //     window, if any, is [s, ect] (their core time becomes infinite).
     {
       auto [lo, hi] = g.EdgeIdRangeAtTime(s);
       for (EdgeId e = lo; e < hi; ++e) {
-        Timestamp& old = ect[e - first_edge];
+        Timestamp& old = a.ect[e - first_edge];
         if (old != kInfTime) {
-          ecs_emissions.push_back({e, Window{s, old}});
+          a.ecs_emissions.push_back({e, Window{s, old}});
           old = kInfTime;
         }
       }
     }
     // (2) Advance vertex core times to start s+1.
-    advancer.Advance(s, &changed);
+    advancer.Advance(s, &a.changed);
     // (3) Lemma 1 + Lemma 2: refresh edge core times around changed
     //     vertices; an increase emits the edge's previous minimal window.
-    for (VertexId u : changed) {
-      vct_emissions.push_back({u, VctEntry{s + 1, ct[u]}});
-      for (const AdjEntry& a :
-           g.NeighborsInWindow(u, Window{s + 1, range.end})) {
+    for (VertexId u : a.changed) {
+      a.vct_emissions.push_back({u, VctEntry{s + 1, ct[u]}});
+      for (const AdjEntry& adj : advancer.WindowNeighbors(u, s + 1)) {
         Timestamp cu = ct[u];
-        Timestamp cv = ct[a.neighbor];
+        Timestamp cv = ct[adj.neighbor];
         Timestamp now = (cu == kInfTime || cv == kInfTime)
                             ? kInfTime
-                            : Max3(cu, cv, a.time);
-        Timestamp& old = ect[a.edge - first_edge];
+                            : Max3(cu, cv, adj.time);
+        Timestamp& old = a.ect[adj.edge - first_edge];
         if (now > old) {
           if (old != kInfTime) {
-            ecs_emissions.push_back({a.edge, Window{s, old}});
+            a.ecs_emissions.push_back({adj.edge, Window{s, old}});
           }
           old = now;
         }
@@ -185,30 +229,28 @@ VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
   {
     auto [lo, hi] = g.EdgeIdRangeAtTime(range.end);
     for (EdgeId e = lo; e < hi; ++e) {
-      if (ect[e - first_edge] != kInfTime) {
-        ecs_emissions.push_back({e, Window{range.end, ect[e - first_edge]}});
+      if (a.ect[e - first_edge] != kInfTime) {
+        a.ecs_emissions.push_back(
+            {e, Window{range.end, a.ect[e - first_edge]}});
       }
     }
   }
 
   // VCT emissions are appended per-transition, hence per-vertex they are in
   // increasing start order, as FromEmissions requires.
-  result.peak_memory_bytes = ApproxVectorBytes(ect) +
-                             ApproxVectorBytes(vct_emissions) +
-                             ApproxVectorBytes(ecs_emissions) +
-                             g.num_vertices() * 13ull;  // advancer state
+  result.peak_memory_bytes = a.MemoryUsageBytes();
   result.vct = VertexCoreTimeIndex::FromEmissions(g.num_vertices(), range,
-                                                  vct_emissions);
+                                                  a.vct_emissions);
   result.ecs = EdgeCoreWindowSkyline::FromEmissions(first_edge, last_edge,
-                                                    range, ecs_emissions);
+                                                    range, a.ecs_emissions);
   result.peak_memory_bytes +=
       result.vct.MemoryUsageBytes() + result.ecs.MemoryUsageBytes();
   return result;
 }
 
-VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k,
-                              Window range) {
-  return BuildVctAndEcsWithStats(g, k, range, nullptr);
+VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k, Window range,
+                              VctBuildArena* arena) {
+  return BuildVctAndEcsWithStats(g, k, range, nullptr, arena);
 }
 
 }  // namespace tkc

@@ -2,6 +2,8 @@
 #define TKC_VCT_VCT_BUILDER_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "graph/temporal_graph.h"
 #include "util/common.h"
@@ -37,9 +39,37 @@
 
 namespace tkc {
 
+/// Reusable scratch for repeated VCT/ECS builds: the core-time advancer's
+/// state, the window-adjacency cursors, the sweep scratch, and the emission
+/// buffers. Passing the same arena to successive builds reuses every
+/// allocation; PhcIndex::Build hands each pool worker its own arena so the
+/// k = 1..kmax slices share scratch without locking. Contents are an
+/// implementation detail of vct_builder.cc — treat as opaque. Reuse never
+/// changes results: each build fully re-initializes the state it reads.
+struct VctBuildArena {
+  std::vector<Timestamp> ct;              // per-vertex core times
+  std::vector<uint8_t> in_queue;          // worklist membership bits
+  std::vector<VertexId> queue;            // the worklist itself
+  std::vector<uint32_t> seen_epoch;       // Φ neighbor dedup stamps
+  std::vector<uint32_t> changed_epoch;    // per-Advance change stamps
+  std::vector<Timestamp> phi_vals;        // Φ's k-th-smallest candidates
+  std::vector<uint32_t> adj_lo;           // window-adjacency cursor (moves fwd)
+  std::vector<uint32_t> adj_hi;           // fixed window-end bound per vertex
+  SweepScratch sweep;                     // bootstrap sweep scratch
+  std::vector<Timestamp> ect;             // per-edge core times
+  std::vector<VertexId> changed;          // vertices changed by one Advance
+  std::vector<VertexId> verts;            // distinct window endpoints
+  std::vector<std::pair<VertexId, VctEntry>> vct_emissions;
+  std::vector<std::pair<EdgeId, Window>> ecs_emissions;
+
+  /// Heap bytes currently held by the arena's vectors (capacity-based).
+  uint64_t MemoryUsageBytes() const;
+};
+
 /// Builds VCT and ECS for (g, k, range) in O(m log m + |VCT| * deg_avg).
-VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k,
-                              Window range);
+/// `arena` (optional) recycles scratch allocations across builds.
+VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k, Window range,
+                              VctBuildArena* arena = nullptr);
 
 /// Statistics of the last build (for benchmarks / ablation): exposed via a
 /// variant that reports counters.
@@ -51,7 +81,8 @@ struct VctBuildStats {
 
 /// As BuildVctAndEcs, also filling `stats` (may be nullptr).
 VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
-                                       Window range, VctBuildStats* stats);
+                                       Window range, VctBuildStats* stats,
+                                       VctBuildArena* arena = nullptr);
 
 }  // namespace tkc
 

@@ -130,18 +130,36 @@ RunOutcome RunAlgorithm(AlgorithmKind kind, const TemporalGraph& g,
 AggregateOutcome RunAlgorithmOnQueries(AlgorithmKind kind,
                                        const TemporalGraph& g,
                                        const std::vector<Query>& queries,
-                                       double per_query_limit_seconds) {
+                                       double per_query_limit_seconds,
+                                       ThreadPool* pool) {
   AggregateOutcome agg;
   if (queries.empty()) {
     agg.completed = false;
     agg.first_error = Status::InvalidArgument("empty query batch");
     return agg;
   }
-  for (const Query& query : queries) {
+  auto run_one = [&](const Query& query) {
     Deadline deadline = per_query_limit_seconds > 0
                             ? Deadline::AfterSeconds(per_query_limit_seconds)
                             : Deadline();
-    RunOutcome out = RunAlgorithm(kind, g, query, deadline);
+    return RunAlgorithm(kind, g, query, deadline);
+  };
+  std::vector<RunOutcome> outcomes;
+  if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
+    // Fan out: every run reads the graph and writes only its own slot.
+    // Folding below stays in query order, so the aggregate is deterministic.
+    outcomes.resize(queries.size());
+    pool->ParallelFor(queries.size(), [&](size_t i, int /*worker*/) {
+      outcomes[i] = run_one(queries[i]);
+    });
+  } else {
+    outcomes.reserve(queries.size());
+    for (const Query& query : queries) {
+      outcomes.push_back(run_one(query));
+      if (!outcomes.back().status.ok()) break;  // historical early-out
+    }
+  }
+  for (const RunOutcome& out : outcomes) {
     if (!out.status.ok()) {
       agg.completed = false;
       agg.first_error = out.status;

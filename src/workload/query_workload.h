@@ -8,6 +8,7 @@
 #include "graph/temporal_graph.h"
 #include "util/common.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 /// \file query_workload.h
@@ -99,10 +100,20 @@ struct AggregateOutcome {
 
 /// Runs `kind` over all queries with a per-query deadline of
 /// `per_query_limit_seconds` (<=0 means unlimited) and aggregates.
+///
+/// With a non-null `pool` (util/thread_pool.h) the queries fan out across
+/// the pool's workers — every algorithm run touches the graph read-only, so
+/// the batch is embarrassingly parallel. Aggregation is deterministic: it
+/// folds outcomes in query order, and the reported `first_error` is the
+/// error of the lowest-indexed failing query regardless of which worker hit
+/// it first (the parallel path runs every query; the serial path keeps the
+/// historical stop-at-first-error behavior — aggregates of failing batches
+/// are marked failed either way).
 AggregateOutcome RunAlgorithmOnQueries(AlgorithmKind kind,
                                        const TemporalGraph& g,
                                        const std::vector<Query>& queries,
-                                       double per_query_limit_seconds);
+                                       double per_query_limit_seconds,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace tkc
 

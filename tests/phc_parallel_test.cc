@@ -1,0 +1,138 @@
+// Parallel-determinism tests: PhcIndex::Build must produce bit-identical
+// slices at every thread count, on randomized generator graphs. Also covers
+// the parallel query-workload runner against its serial aggregate.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/graph_stats.h"
+#include "util/thread_pool.h"
+#include "vct/phc_index.h"
+#include "workload/query_workload.h"
+
+namespace tkc {
+namespace {
+
+// Deep slice-by-slice equality: sizes, every entry, and CoreTimeAt spot
+// checks across the range.
+void ExpectIdentical(const PhcIndex& a, const PhcIndex& b,
+                     const TemporalGraph& g) {
+  ASSERT_EQ(a.max_k(), b.max_k());
+  ASSERT_EQ(a.size(), b.size());
+  for (uint32_t k = 1; k <= a.max_k(); ++k) {
+    const VertexCoreTimeIndex& sa = a.Slice(k);
+    const VertexCoreTimeIndex& sb = b.Slice(k);
+    ASSERT_EQ(sa.size(), sb.size()) << "k=" << k;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      auto ea = sa.EntriesOf(v), eb = sb.EntriesOf(v);
+      ASSERT_EQ(ea.size(), eb.size()) << "k=" << k << " v=" << v;
+      for (size_t i = 0; i < ea.size(); ++i) {
+        ASSERT_EQ(ea[i], eb[i]) << "k=" << k << " v=" << v << " entry " << i;
+      }
+    }
+  }
+  const Window range = a.range();
+  for (uint32_t k = 1; k <= a.max_k() + 1; ++k) {
+    for (VertexId v = 0; v < g.num_vertices(); v += 3) {
+      for (Timestamp ts = range.start; ts <= range.end; ts += 4) {
+        ASSERT_EQ(a.CoreTimeAt(v, ts, k), b.CoreTimeAt(v, ts, k))
+            << "k=" << k << " v=" << v << " ts=" << ts;
+      }
+    }
+  }
+}
+
+StatusOr<PhcIndex> BuildWithThreads(const TemporalGraph& g, Window range,
+                                    int num_threads) {
+  ThreadPool pool(num_threads);
+  PhcBuildOptions options;
+  options.pool = &pool;
+  return PhcIndex::Build(g, range, options);
+}
+
+TEST(PhcParallelTest, OneTwoAndEightThreadsAgreeOnRandomGraphs) {
+  for (uint64_t seed : {3u, 17u, 91u}) {
+    TemporalGraph g = GenerateUniformRandom(30, 600, 25, seed);
+    PhcBuildOptions serial;  // pool == nullptr: reference serial build
+    auto reference = PhcIndex::Build(g, g.FullRange(), serial);
+    ASSERT_TRUE(reference.ok());
+    ASSERT_GE(reference->max_k(), 2u) << "seed " << seed;
+    for (int threads : {1, 2, 8}) {
+      auto parallel = BuildWithThreads(g, g.FullRange(), threads);
+      ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+      ExpectIdentical(*reference, *parallel, g);
+    }
+  }
+}
+
+TEST(PhcParallelTest, DefaultBuildUsesSharedPoolAndMatchesSerial) {
+  TemporalGraph g = GenerateUniformRandom(24, 400, 15, 7);
+  PhcBuildOptions serial;
+  auto reference = PhcIndex::Build(g, g.FullRange(), serial);
+  auto via_shared = PhcIndex::Build(g, g.FullRange());
+  ASSERT_TRUE(reference.ok() && via_shared.ok());
+  ExpectIdentical(*reference, *via_shared, g);
+}
+
+TEST(PhcParallelTest, SubRangeAndCappedBuildsAgreeAcrossThreads) {
+  TemporalGraph g = GenerateUniformRandom(28, 500, 20, 41);
+  Window sub{4, 17};
+  for (uint32_t cap : {0u, 2u}) {
+    PhcBuildOptions serial;
+    serial.max_k = cap;
+    auto reference = PhcIndex::Build(g, sub, serial);
+    ASSERT_TRUE(reference.ok());
+    ThreadPool pool(8);
+    PhcBuildOptions options;
+    options.max_k = cap;
+    options.pool = &pool;
+    auto parallel = PhcIndex::Build(g, sub, options);
+    ASSERT_TRUE(parallel.ok());
+    ExpectIdentical(*reference, *parallel, g);
+  }
+}
+
+TEST(PhcParallelTest, OnePoolServesManyBuilds) {
+  // Arena reuse across consecutive builds through the same pool must not
+  // leak state from one graph/range into the next.
+  ThreadPool pool(4);
+  PhcBuildOptions options;
+  options.pool = &pool;
+  for (uint64_t seed : {5u, 6u}) {
+    TemporalGraph g = GenerateUniformRandom(20, 300, 12, seed);
+    PhcBuildOptions serial;
+    auto reference = PhcIndex::Build(g, g.FullRange(), serial);
+    auto parallel = PhcIndex::Build(g, g.FullRange(), options);
+    ASSERT_TRUE(reference.ok() && parallel.ok());
+    ExpectIdentical(*reference, *parallel, g);
+  }
+}
+
+TEST(PhcParallelTest, ParallelWorkloadAggregateMatchesSerial) {
+  TemporalGraph g = GenerateUniformRandom(30, 600, 25, 13);
+  GraphStats stats = ComputeGraphStats(g);
+  WorkloadSpec spec;
+  spec.num_queries = 6;
+  spec.range_fraction = 0.4;
+  auto queries = GenerateQueries(g, stats.kmax, spec);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ThreadPool pool(4);
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kCoreTime, AlgorithmKind::kEnum}) {
+    AggregateOutcome serial = RunAlgorithmOnQueries(kind, g, *queries, 0);
+    AggregateOutcome parallel =
+        RunAlgorithmOnQueries(kind, g, *queries, 0, &pool);
+    ASSERT_TRUE(serial.completed && parallel.completed);
+    // Timing fields differ run to run; the counted outputs must not.
+    EXPECT_DOUBLE_EQ(serial.avg_num_cores, parallel.avg_num_cores);
+    EXPECT_DOUBLE_EQ(serial.avg_result_size_edges,
+                     parallel.avg_result_size_edges);
+    EXPECT_DOUBLE_EQ(serial.avg_vct_size, parallel.avg_vct_size);
+    EXPECT_DOUBLE_EQ(serial.avg_ecs_size, parallel.avg_ecs_size);
+  }
+}
+
+}  // namespace
+}  // namespace tkc

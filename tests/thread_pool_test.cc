@@ -1,0 +1,130 @@
+// Tests of the fixed-size worker pool: coverage, worker-id bounds,
+// exception propagation, Submit futures, and the serial degenerate case.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace tkc {
+namespace {
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, NumThreadsClampedToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i, int) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> out_of_range{false};
+  pool.ParallelFor(5000, [&](size_t, int worker) {
+    if (worker < 0 || worker >= pool.num_threads()) out_of_range = true;
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(100, [&](size_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);  // no lock needed: everything runs on this thread
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t, int) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&](size_t i, int) {
+                         if (i == 577) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing ParallelFor and remains usable.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(64, [&](size_t, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureWaits) {
+  ThreadPool pool(3);
+  std::atomic<int> value{0};
+  std::future<void> done = pool.Submit([&] { value = 42; });
+  done.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitOnSerialPoolRunsInline) {
+  ThreadPool pool(1);
+  int value = 0;
+  std::future<void> done = pool.Submit([&] { value = 7; });
+  EXPECT_EQ(value, 7);  // already ran, no workers to defer to
+  done.get();
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> done =
+      pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(done.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsReuseThePool) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(17, [&](size_t, int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSamePoolRunsInline) {
+  // A ParallelFor issued from inside one of the pool's own tasks must not
+  // block on workers (they may all be blocked the same way); it degrades
+  // to an inline loop. This would deadlock without the guard.
+  ThreadPool pool(4);
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(16, [&](size_t, int) {
+    pool.ParallelFor(8, [&](size_t, int) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 16u * 8u);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsStableAndSized) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace tkc
