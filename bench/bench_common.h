@@ -2,8 +2,10 @@
 #define TKC_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datasets/registry.h"
@@ -11,6 +13,7 @@
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/query_workload.h"
 
 /// \file bench_common.h
@@ -20,11 +23,25 @@
 ///   --queries=N   query ranges averaged per data point  (default 3)
 ///   --limit=S     per-run time limit in seconds         (default 5.0)
 ///   --datasets=A,B,C   restrict to a subset             (default: all)
+///   --smoke       CI fast mode (also TKC_BENCH_SMOKE=1): tiny scale, one
+///                 query, a short limit, and a three-dataset default subset
+///                 so every benchmark finishes in seconds yet still emits
+///                 its table and JSON
 /// and environment fallbacks TKC_SCALE / TKC_QUERIES / TKC_LIMIT /
 /// TKC_DATASETS. Time-limited runs are reported as "DNF" ("did not
 /// finish"), mirroring the paper's 6-hour cutoff entries.
 
 namespace tkc::bench {
+
+/// True when the CI fast mode is requested: `--smoke[=1]` on the command
+/// line or TKC_BENCH_SMOKE=1 in the environment. Benchmarks that do not use
+/// BenchConfig (the perf-tracking ones) call this directly and shrink their
+/// own knobs.
+inline bool SmokeModeRequested(const Flags& flags) {
+  if (flags.Has("smoke")) return flags.GetBool("smoke", true);
+  const char* env = std::getenv("TKC_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 struct BenchConfig {
   double scale = 1.0;
@@ -32,10 +49,18 @@ struct BenchConfig {
   double limit_seconds = 3.0;
   std::vector<std::string> datasets;  // empty = all fourteen
   uint64_t seed = 42;
+  bool smoke = false;
+  /// Fan the per-dataset loop out over the shared pool. Count/size figures
+  /// default to true (results are deterministic); latency figures default
+  /// to false so the paper's serial per-query timings stay faithful, and
+  /// accept `--parallel-datasets=1` to trade fidelity for wall-clock.
+  bool parallel_datasets = true;
 };
 
-inline BenchConfig ParseBenchConfig(int argc, char** argv) {
+inline BenchConfig ParseBenchConfig(int argc, char** argv,
+                                    bool parallel_datasets_default = true) {
   BenchConfig config;
+  config.parallel_datasets = parallel_datasets_default;
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
     std::fprintf(stderr, "flag error: %s\n",
@@ -43,13 +68,24 @@ inline BenchConfig ParseBenchConfig(int argc, char** argv) {
     return config;
   }
   const Flags& flags = *flags_or;
+  config.smoke = SmokeModeRequested(flags);
+  if (config.smoke) {
+    // Fast-mode defaults; explicit flags below still override them.
+    config.scale = 0.3;
+    config.queries = 1;
+    config.limit_seconds = 1.0;
+    config.datasets = {"CM", "MC", "EM"};
+  }
   config.scale = flags.GetDouble("scale", config.scale);
   config.queries =
       static_cast<uint32_t>(flags.GetInt("queries", config.queries));
   config.limit_seconds = flags.GetDouble("limit", config.limit_seconds);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.parallel_datasets =
+      flags.GetBool("parallel-datasets", config.parallel_datasets);
   std::string list = flags.GetString("datasets", "");
   size_t pos = 0;
+  if (!list.empty()) config.datasets.clear();
   while (pos < list.size()) {
     size_t comma = list.find(',', pos);
     if (comma == std::string::npos) comma = list.size();
@@ -86,6 +122,61 @@ inline std::vector<std::string> SelectedDatasets(const BenchConfig& config) {
     names.push_back(spec.name);
   }
   return names;
+}
+
+/// One rendered table row.
+using TableRow = std::vector<std::string>;
+
+/// Prepares and measures every dataset concurrently on the shared pool (the
+/// ROADMAP follow-up of fanning the figure benchmarks' per-dataset loops
+/// out), then returns every row in input order so the printed tables stay
+/// byte-stable across thread counts. `row_fn(name)` produces the finished
+/// rows for one dataset and must not touch shared mutable state; algorithm
+/// runs inside one dataset stay serial because a nested ParallelFor on the
+/// shared pool degrades to an inline loop, so per-query timings keep their
+/// meaning (datasets merely overlap with each other).
+/// The shared fan-out skeleton: fn(name) for every dataset — concurrently
+/// over the shared pool when `parallel`, serially otherwise — with results
+/// returned in input order.
+template <typename T, typename Fn>
+inline std::vector<T> CollectPerDataset(const std::vector<std::string>& names,
+                                        Fn&& fn, bool parallel) {
+  std::vector<T> results(names.size());
+  if (parallel) {
+    ThreadPool::Shared().ParallelFor(
+        names.size(),
+        [&](size_t i, int /*worker*/) { results[i] = fn(names[i]); });
+  } else {
+    for (size_t i = 0; i < names.size(); ++i) results[i] = fn(names[i]);
+  }
+  return results;
+}
+
+template <typename RowFn>
+inline std::vector<TableRow> CollectDatasetRows(
+    const std::vector<std::string>& names, RowFn&& row_fn,
+    bool parallel = true) {
+  auto per_dataset = CollectPerDataset<std::vector<TableRow>>(
+      names, std::forward<RowFn>(row_fn), parallel);
+  std::vector<TableRow> rows;
+  for (auto& dataset_rows : per_dataset) {
+    for (auto& row : dataset_rows) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// As CollectDatasetRows for the benchmarks that print one multi-row
+/// *section* per dataset (figures 7/8): `section_fn(name)` renders a whole
+/// section to a string off to the side, and the sections are printed in
+/// input order once all datasets finish.
+template <typename SectionFn>
+inline void PrintDatasetSections(const std::vector<std::string>& names,
+                                 SectionFn&& section_fn,
+                                 bool parallel = true) {
+  for (const std::string& section : CollectPerDataset<std::string>(
+           names, std::forward<SectionFn>(section_fn), parallel)) {
+    std::fputs(section.c_str(), stdout);
+  }
 }
 
 /// Builds the workload for one dataset at the given fractions; returns an

@@ -18,31 +18,36 @@ int main(int argc, char** argv) {
       config.queries);
   TextTable table;
   table.SetHeader({"Dataset", "kmax", "k", "range_len", "num_cores", "|R|"});
-  for (const std::string& name : SelectedDatasets(config)) {
-    auto prepared = Prepare(name, config.scale);
-    if (!prepared.ok()) continue;
-    std::vector<Query> queries = MakeQueries(*prepared, config, 0.30, 0.10);
-    if (queries.empty()) {
-      table.AddRow({name, TextTable::Cell(uint64_t{prepared->stats.kmax}),
-                    "-", "-", "n/a", "n/a"});
-      continue;
-    }
-    // Count figures are timing-insensitive, so the batch fans out over the
-    // shared pool (TKC_NUM_THREADS); latency figures (6-8) stay serial.
-    // Concurrent queries contend for cores, so the per-query DNF cutoff is
-    // scaled by the pool size to keep DNF meaning "too slow even serially".
-    ThreadPool& pool = ThreadPool::Shared();
-    AggregateOutcome agg = RunAlgorithmOnQueries(
-        AlgorithmKind::kEnum, prepared->graph, queries,
-        config.limit_seconds * pool.num_threads(), &pool);
-    table.AddRow(
-        {name, TextTable::Cell(uint64_t{prepared->stats.kmax}),
-         TextTable::Cell(uint64_t{queries[0].k}),
-         TextTable::Cell(queries[0].range.Length()),
-         agg.completed ? TextTable::CellSci(agg.avg_num_cores) : "DNF",
-         agg.completed ? TextTable::CellSci(agg.avg_result_size_edges)
-                       : "DNF"});
-  }
+  auto rows = CollectDatasetRows(
+      SelectedDatasets(config),
+      [&](const std::string& name) -> std::vector<TableRow> {
+        auto prepared = Prepare(name, config.scale);
+        if (!prepared.ok()) return {};
+        std::vector<Query> queries =
+            MakeQueries(*prepared, config, 0.30, 0.10);
+        if (queries.empty()) {
+          return {{name, TextTable::Cell(uint64_t{prepared->stats.kmax}),
+                   "-", "-", "n/a", "n/a"}};
+        }
+        // Count figures are timing-insensitive, so datasets fan out over
+        // the shared pool (the inner batch call nests and runs inline);
+        // latency figures (6-8) keep their per-query runs serial. Datasets
+        // contend for cores, so the per-query DNF cutoff is scaled by the
+        // pool size to keep DNF meaning "too slow even serially".
+        ThreadPool& pool = ThreadPool::Shared();
+        AggregateOutcome agg = RunAlgorithmOnQueries(
+            AlgorithmKind::kEnum, prepared->graph, queries,
+            config.limit_seconds * pool.num_threads(), &pool);
+        return {
+            {name, TextTable::Cell(uint64_t{prepared->stats.kmax}),
+             TextTable::Cell(uint64_t{queries[0].k}),
+             TextTable::Cell(queries[0].range.Length()),
+             agg.completed ? TextTable::CellSci(agg.avg_num_cores) : "DNF",
+             agg.completed ? TextTable::CellSci(agg.avg_result_size_edges)
+                           : "DNF"}};
+      },
+      config.parallel_datasets);
+  for (auto& row : rows) table.AddRow(std::move(row));
   table.Print();
   return 0;
 }

@@ -17,11 +17,14 @@ int main(int argc, char** argv) {
       "=== Figure 10: avg number of cores vs k (range=10%% tmax, %u "
       "queries) ===\n",
       config.queries);
-  for (const std::string& name : config.datasets) {
+  // Datasets render their sections concurrently over the shared pool; the
+  // inner batch calls nest and run inline on the claiming worker.
+  PrintDatasetSections(config.datasets, [&](const std::string& name) {
     auto prepared = Prepare(name, config.scale);
-    if (!prepared.ok()) continue;
-    std::printf("\n--- %s (kmax=%u) ---\n", name.c_str(),
-                prepared->stats.kmax);
+    if (!prepared.ok()) return std::string();
+    char heading[128];
+    std::snprintf(heading, sizeof(heading), "\n--- %s (kmax=%u) ---\n",
+                  name.c_str(), prepared->stats.kmax);
     TextTable table;
     table.SetHeader({"k", "num_cores", "|R| (edges)"});
     for (double kf : kFractions) {
@@ -33,8 +36,8 @@ int main(int argc, char** argv) {
         table.AddRow({label, "n/a", "n/a"});
         continue;
       }
-      // Count figure: timing-insensitive, so fan out over the shared pool;
-      // the DNF cutoff is scaled by the pool size to absorb contention.
+      // Count figure: timing-insensitive; the DNF cutoff is scaled by the
+      // pool size to absorb cross-dataset contention.
       ThreadPool& pool = ThreadPool::Shared();
       AggregateOutcome agg = RunAlgorithmOnQueries(
           AlgorithmKind::kEnum, prepared->graph, queries,
@@ -46,8 +49,8 @@ int main(int argc, char** argv) {
                         ? TextTable::CellSci(agg.avg_result_size_edges)
                         : "DNF"});
     }
-    table.Print();
-  }
+    return heading + table.ToString();
+  }, config.parallel_datasets);
   std::printf(
       "\nExpected shape (paper): counts fall with k — steeply on CM/EM, "
       "more gently on WT/PL.\n");

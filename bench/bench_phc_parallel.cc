@@ -67,13 +67,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   const Flags& flags = *flags_or;
+  // Smoke mode (--smoke / TKC_BENCH_SMOKE=1): shrink the workload so a CI
+  // run finishes in seconds while still sweeping every thread count and
+  // emitting the same JSON shape; explicit flags override.
+  const bool smoke = SmokeModeRequested(flags);
   const uint32_t vertices =
-      static_cast<uint32_t>(flags.GetInt("vertices", 300));
-  const uint32_t edges = static_cast<uint32_t>(flags.GetInt("edges", 15000));
+      static_cast<uint32_t>(flags.GetInt("vertices", smoke ? 150 : 300));
+  const uint32_t edges =
+      static_cast<uint32_t>(flags.GetInt("edges", smoke ? 5000 : 15000));
   const uint32_t timestamps =
-      static_cast<uint32_t>(flags.GetInt("timestamps", 64));
+      static_cast<uint32_t>(flags.GetInt("timestamps", smoke ? 32 : 64));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const int reps = static_cast<int>(flags.GetInt("reps", smoke ? 1 : 3));
   const uint32_t max_k = static_cast<uint32_t>(flags.GetInt("max-k", 0));
   const std::string out_path =
       flags.GetString("out", "BENCH_phc_parallel.json");

@@ -16,23 +16,27 @@ int main(int argc, char** argv) {
   TextTable table;
   table.SetHeader({"Name", "|V|", "|E|", "tmax", "kmax", "avg_deg",
                    "edges/timestamp"});
-  for (const std::string& name : SelectedDatasets(config)) {
-    auto prepared = Prepare(name, config.scale);
-    if (!prepared.ok()) {
-      std::fprintf(stderr, "%s: %s\n", name.c_str(),
-                   prepared.status().ToString().c_str());
-      continue;
-    }
-    const GraphStats& s = prepared->stats;
-    table.AddRow({name, TextTable::Cell(s.num_vertices),
-                  TextTable::Cell(s.num_edges),
-                  TextTable::Cell(s.num_timestamps),
-                  TextTable::Cell(uint64_t{s.kmax}),
-                  TextTable::Cell(s.avg_degree, 2),
-                  TextTable::Cell(static_cast<double>(s.num_edges) /
-                                      static_cast<double>(s.num_timestamps),
-                                  1)});
-  }
+  auto rows = CollectDatasetRows(
+      SelectedDatasets(config),
+      [&](const std::string& name) -> std::vector<TableRow> {
+        auto prepared = Prepare(name, config.scale);
+        if (!prepared.ok()) {
+          std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                       prepared.status().ToString().c_str());
+          return {};
+        }
+        const GraphStats& s = prepared->stats;
+        return {{name, TextTable::Cell(s.num_vertices),
+                 TextTable::Cell(s.num_edges),
+                 TextTable::Cell(s.num_timestamps),
+                 TextTable::Cell(uint64_t{s.kmax}),
+                 TextTable::Cell(s.avg_degree, 2),
+                 TextTable::Cell(static_cast<double>(s.num_edges) /
+                                     static_cast<double>(s.num_timestamps),
+                                 1)}};
+      },
+      config.parallel_datasets);
+  for (auto& row : rows) table.AddRow(std::move(row));
   table.Print();
   return 0;
 }

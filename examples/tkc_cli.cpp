@@ -1,8 +1,13 @@
 // tkc_cli — command-line front end for time-range temporal k-core queries
-// on SNAP-format files or the built-in synthetic datasets.
+// on SNAP-format files or the built-in synthetic datasets. Since PR 2 the
+// CLI serves through the QueryEngine (serve/query_engine.h): queries are
+// batched, sharded over a thread pool, admission-checked against the PHC
+// index, and memoized in the engine's LRU — the same path a long-lived
+// server would use.
 //
 //   tkc_cli --dataset=CM --k-frac=0.3 --range-frac=0.1 --algo=enum
 //   tkc_cli --file=CollegeMsg.txt --k=5 --ts=1 --te=5000 --algo=otcd
+//   tkc_cli --dataset=SU --queries=32 --repeat=3 --threads=8
 //
 // Flags:
 //   --file=PATH | --dataset=NAME[,scale via --scale]   input graph
@@ -10,12 +15,24 @@
 //   --ts=A --te=B               compacted time range (default: derived)
 //   --range-frac=F              range as a fraction of tmax (default 0.1)
 //   --algo=enum|enumbase|otcd|naive                    (default enum)
-//   --limit=S                   time limit in seconds   (default unlimited)
-//   --print=N                   print the first N cores (default 5)
+//   --queries=N                 batch size (default 1; >1 draws a workload)
+//   --repeat=R                  serve the batch R times  (default 1)
+//   --threads=N                 engine pool size (default TKC_NUM_THREADS /
+//                               hardware concurrency)
+//   --cache=N                   engine LRU capacity      (default 1024)
+//   --index=0|1                 build the PHC admission index (default: on
+//                               for batches of >1 query, off for a single
+//                               query, where the build would dwarf it)
+//   --limit=S                   per-query time limit in seconds (default
+//                               unlimited)
+//   --print=N                   print the first N cores of the first query
+//                               (default 5; runs the detailed sink path)
 //   --stats                     print result-set distribution statistics
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/sinks.h"
 #include "core/result_stats.h"
@@ -24,7 +41,9 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "otcd/otcd.h"
+#include "serve/query_engine.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 #include "workload/query_workload.h"
 
 int main(int argc, char** argv) {
@@ -59,79 +78,155 @@ int main(int argc, char** argv) {
   GraphStats stats = ComputeGraphStats(graph);
   std::printf("%s\n", FormatGraphStats("graph", stats).c_str());
 
-  // --- Query parameters. -------------------------------------------------
-  uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 0));
-  if (k == 0) k = DeriveK(stats.kmax, flags.GetDouble("k-frac", 0.30));
-  Window range;
+  // --- Query batch. ------------------------------------------------------
+  // Clamp user-supplied counts before the unsigned casts: a negative value
+  // would otherwise wrap to ~4e9 queries or an unallocatable cache.
+  const uint32_t num_queries = static_cast<uint32_t>(
+      std::clamp<int64_t>(flags.GetInt("queries", 1), 1, 1000000));
+  std::vector<Query> queries;
   if (flags.Has("ts") && flags.Has("te")) {
-    range = Window{static_cast<Timestamp>(flags.GetInt("ts", 1)),
-                   static_cast<Timestamp>(flags.GetInt("te", 1))};
+    uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 0));
+    if (k == 0) k = DeriveK(stats.kmax, flags.GetDouble("k-frac", 0.30));
+    queries.push_back(
+        Query{k, Window{static_cast<Timestamp>(flags.GetInt("ts", 1)),
+                        static_cast<Timestamp>(flags.GetInt("te", 1))}});
   } else {
     WorkloadSpec spec;
-    spec.k_fraction =
-        static_cast<double>(k) / std::max<uint32_t>(stats.kmax, 1);
+    uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 0));
+    spec.k_fraction = k != 0
+                          ? static_cast<double>(k) /
+                                std::max<uint32_t>(stats.kmax, 1)
+                          : flags.GetDouble("k-frac", 0.30);
     spec.range_fraction = flags.GetDouble("range-frac", 0.10);
-    spec.num_queries = 1;
-    auto queries = GenerateQueries(graph, stats.kmax, spec);
-    if (!queries.ok()) {
+    spec.num_queries = std::max<uint32_t>(1, num_queries);
+    auto generated = GenerateQueries(graph, stats.kmax, spec);
+    if (!generated.ok()) {
       std::fprintf(stderr, "no valid query range: %s\n",
-                   queries.status().ToString().c_str());
+                   generated.status().ToString().c_str());
       return 1;
     }
-    range = (*queries)[0].range;
-    k = (*queries)[0].k;
+    queries = std::move(generated).value();
   }
-  std::printf("query: k=%u range=[%u,%u] (%llu timestamps)\n", k, range.start,
-              range.end, static_cast<unsigned long long>(range.Length()));
+  std::printf("batch: %zu query(ies), first k=%u range=[%u,%u]\n",
+              queries.size(), queries[0].k, queries[0].range.start,
+              queries[0].range.end);
 
-  Deadline deadline;
-  double limit = flags.GetDouble("limit", 0);
-  if (limit > 0) deadline = Deadline::AfterSeconds(limit);
-
-  // --- Run. ---------------------------------------------------------------
-  const int64_t print_n = flags.GetInt("print", 5);
-  const bool want_stats = flags.GetBool("stats", false);
-  StatsSink stats_sink(range);
-  int64_t printed = 0;
-  uint64_t cores = 0, result_edges = 0;
-  CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
-    ++cores;
-    result_edges += edges.size();
-    if (want_stats) stats_sink.OnCore(tti, edges);
-    if (printed < print_n) {
-      ++printed;
-      std::printf("  core %llu: TTI [%u,%u], %zu edges\n",
-                  static_cast<unsigned long long>(cores), tti.start, tti.end,
-                  edges.size());
-    }
-  });
-
+  // --- Serving engine. ----------------------------------------------------
   std::string algo = flags.GetString("algo", "enum");
-  WallTimer timer;
-  Status status;
-  if (algo == "otcd") {
-    OtcdOptions options;
-    options.deadline = deadline;
-    status = RunOtcd(graph, k, range, &sink, options);
-  } else {
-    QueryOptions options;
-    options.deadline = deadline;
-    options.enum_method = algo == "enumbase" ? EnumMethod::kEnumBase
-                          : algo == "naive"  ? EnumMethod::kNaive
-                                             : EnumMethod::kEnum;
-    status = RunTemporalKCoreQuery(graph, k, range, &sink, options);
-  }
-  double seconds = timer.ElapsedSeconds();
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s after %.3fs\n", status.ToString().c_str(),
-                 seconds);
+  AlgorithmKind kind = algo == "otcd"       ? AlgorithmKind::kOtcd
+                       : algo == "enumbase" ? AlgorithmKind::kEnumBase
+                       : algo == "naive"    ? AlgorithmKind::kNaive
+                                            : AlgorithmKind::kEnum;
+  const int threads = static_cast<int>(
+      std::clamp<int64_t>(flags.GetInt("threads", DefaultNumThreads()), 1,
+                          1024));
+  ThreadPool pool(threads);
+  QueryEngineOptions options;
+  options.algorithm = kind;
+  options.pool = &pool;
+  options.cache_capacity = static_cast<size_t>(
+      std::clamp<int64_t>(flags.GetInt("cache", 1024), 0, 1 << 24));
+  // The full multi-k admission index is a server-grade precompute — worth
+  // it for batches, dwarfing the work of a single query. Default: batches
+  // only; --index=0/1 overrides either way.
+  options.build_index = flags.GetBool("index", queries.size() > 1);
+  options.per_query_limit_seconds = flags.GetDouble("limit", 0);
+  auto engine = QueryEngine::Create(graph, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s: %llu distinct temporal %u-cores, |R|=%llu edges, %.4fs\n",
-              algo.c_str(), static_cast<unsigned long long>(cores), k,
-              static_cast<unsigned long long>(result_edges), seconds);
-  if (want_stats) {
-    std::printf("\n%s", stats_sink.Report().c_str());
+
+  const int repeat = std::max<int>(1, flags.GetInt("repeat", 1));
+  WallTimer timer;
+  std::vector<RunOutcome> outcomes;
+  for (int r = 0; r < repeat; ++r) {
+    outcomes = engine->ServeBatch(queries);
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  uint64_t cores = 0, result_edges = 0;
+  bool all_ok = true;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& out = outcomes[i];
+    if (!out.status.ok()) {
+      std::fprintf(stderr, "query %zu: %s\n", i,
+                   out.status.ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    cores += out.num_cores;
+    result_edges += out.result_size_edges;
+  }
+  ServeStats serve_stats = engine->stats();
+  std::printf(
+      "%s x%d over %d thread(s): %llu distinct temporal cores, |R|=%llu "
+      "edges, %.4fs total (%.1f q/s)\n",
+      algo.c_str(), repeat, engine->num_threads(),
+      static_cast<unsigned long long>(cores),
+      static_cast<unsigned long long>(result_edges), seconds,
+      seconds > 0 ? static_cast<double>(serve_stats.queries_served) / seconds
+                  : 0.0);
+  std::printf(
+      "engine: served=%llu executed=%llu cache_hits=%llu dedup_hits=%llu "
+      "index_rejections=%llu\n",
+      static_cast<unsigned long long>(serve_stats.queries_served),
+      static_cast<unsigned long long>(serve_stats.executed),
+      static_cast<unsigned long long>(serve_stats.cache_hits),
+      static_cast<unsigned long long>(serve_stats.batch_dedup_hits),
+      static_cast<unsigned long long>(serve_stats.index_rejections));
+  if (!all_ok) return 1;
+
+  // --- Optional core listing (detailed sink path, first query only). ------
+  // The engine counts results without materializing them, so listing cores
+  // is a second, sink-driven run of query 0 (disable with --print=0). It
+  // honors the same per-query --limit as the served batch.
+  const int64_t print_n = flags.GetInt("print", 5);
+  const bool want_stats = flags.GetBool("stats", false);
+  if (print_n > 0 || want_stats) {
+    Deadline print_deadline;
+    const double limit_seconds = flags.GetDouble("limit", 0);
+    if (limit_seconds > 0) {
+      print_deadline = Deadline::AfterSeconds(limit_seconds);
+    }
+    const Query& q = queries[0];
+    StatsSink stats_sink(q.range);
+    int64_t printed = 0;
+    std::printf("\nfirst %lld core(s) of query 0 (k=%u, [%u,%u]):\n",
+                static_cast<long long>(print_n), q.k, q.range.start,
+                q.range.end);
+    CallbackSink sink([&](Window tti, std::span<const EdgeId> edges) {
+      if (want_stats) stats_sink.OnCore(tti, edges);
+      if (printed < print_n) {
+        ++printed;
+        std::printf("  core %lld: TTI [%u,%u], %zu edges\n",
+                    static_cast<long long>(printed), tti.start, tti.end,
+                    edges.size());
+      }
+    });
+    Status status;
+    if (kind == AlgorithmKind::kOtcd) {
+      OtcdOptions otcd_options;
+      otcd_options.deadline = print_deadline;
+      status = RunOtcd(graph, q.k, q.range, &sink, otcd_options);
+    } else {
+      QueryOptions query_options;
+      query_options.enum_method = kind == AlgorithmKind::kEnumBase
+                                      ? EnumMethod::kEnumBase
+                                  : kind == AlgorithmKind::kNaive
+                                      ? EnumMethod::kNaive
+                                      : EnumMethod::kEnum;
+      query_options.deadline = print_deadline;
+      status = RunTemporalKCoreQuery(graph, q.k, q.range, &sink,
+                                     query_options);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (want_stats) {
+      std::printf("\n%s", stats_sink.Report().c_str());
+    }
   }
   return 0;
 }

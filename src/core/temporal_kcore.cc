@@ -20,9 +20,7 @@ const char* EnumMethodName(EnumMethod method) {
   return "Unknown";
 }
 
-Status RunTemporalKCoreQuery(const TemporalGraph& g, uint32_t k, Window range,
-                             CoreSink* sink, const QueryOptions& options,
-                             QueryStats* stats) {
+Status ValidateQueryInputs(const TemporalGraph& g, uint32_t k, Window range) {
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1 (k=0 is degenerate)");
   }
@@ -31,6 +29,13 @@ Status RunTemporalKCoreQuery(const TemporalGraph& g, uint32_t k, Window range,
     return Status::InvalidArgument(
         "query range must satisfy 1 <= Ts <= Te <= num_timestamps");
   }
+  return Status::OK();
+}
+
+Status RunTemporalKCoreQuery(const TemporalGraph& g, uint32_t k, Window range,
+                             CoreSink* sink, const QueryOptions& options,
+                             QueryStats* stats) {
+  TKC_RETURN_IF_ERROR(ValidateQueryInputs(g, k, range));
   if (sink == nullptr) {
     return Status::InvalidArgument("sink must not be null");
   }
@@ -50,7 +55,7 @@ Status RunTemporalKCoreQuery(const TemporalGraph& g, uint32_t k, Window range,
   // ---- Phase 1: CoreTime (VCT + ECS). ----
   WallTimer phase_timer;
   VctBuildResult built = options.vct_method == VctMethod::kEfficient
-                             ? BuildVctAndEcs(g, k, range)
+                             ? BuildVctAndEcs(g, k, range, options.arena)
                              : BuildVctAndEcsNaive(g, k, range);
   const double coretime_seconds = phase_timer.ElapsedSeconds();
   if (options.deadline.Expired()) {

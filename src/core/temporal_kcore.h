@@ -35,6 +35,8 @@
 
 namespace tkc {
 
+struct VctBuildArena;  // vct/vct_builder.h
+
 /// Which enumeration algorithm consumes the edge core window skyline.
 enum class EnumMethod {
   kEnum,      ///< Algorithm 5 + AS-Output — the paper's contribution
@@ -57,6 +59,11 @@ struct QueryOptions {
   /// Abort with Status::Timeout once expired (checked between phases and
   /// periodically inside the enumeration loops).
   Deadline deadline;
+  /// Optional scratch recycled across queries (vct_builder.h). Serving code
+  /// (serve/query_engine.h) hands each worker its own arena so steady-state
+  /// query execution allocates nothing; results never depend on reuse. Only
+  /// read by VctMethod::kEfficient.
+  VctBuildArena* arena = nullptr;
 };
 
 /// Phase timings and sizes of one query run.
@@ -70,6 +77,12 @@ struct QueryStats {
   uint64_t result_size_edges = 0;   ///< |R| (sum of core edge counts)
   uint64_t peak_memory_bytes = 0;   ///< logical peak across phases
 };
+
+/// The input contract every query entry point enforces: k >= 1 and a range
+/// inside the graph's compacted time span. Exposed so other execution
+/// paths (the CoreTime-only measurement kind, the serving layer) validate
+/// identically instead of drifting from the pipeline.
+Status ValidateQueryInputs(const TemporalGraph& g, uint32_t k, Window range);
 
 /// Runs the time-range k-core query. Validates inputs (k >= 1, range inside
 /// the graph's compacted time span) and streams results into `sink`.

@@ -1,0 +1,45 @@
+#include "serve/query_cache.h"
+
+namespace tkc {
+
+QueryCache::QueryCache(size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) map_.reserve(capacity_);
+}
+
+bool QueryCache::Lookup(const Query& query, RunOutcome* out) {
+  const QueryCacheKey key{query.k, query.range};
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  *out = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void QueryCache::Insert(const Query& query, const RunOutcome& outcome) {
+  if (capacity_ == 0) return;
+  const QueryCacheKey key{query.k, query.range};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = outcome;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, outcome);
+  map_.emplace(key, lru_.begin());
+}
+
+void QueryCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace tkc

@@ -1,0 +1,85 @@
+#ifndef TKC_SERVE_QUERY_CACHE_H_
+#define TKC_SERVE_QUERY_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/hash.h"
+#include "workload/query_workload.h"
+
+/// \file query_cache.h
+/// Bounded LRU memoization of query outcomes for the serving layer: the
+/// result fields of a time-range k-core query are a pure function of
+/// (graph, k, range), so a QueryEngine that owns one immutable graph can
+/// replay them for repeated queries instead of rebuilding the VCT/ECS.
+///
+/// The cache is deliberately *not* internally synchronized — QueryEngine
+/// guards it with its own mutex so lookup-miss-insert sequences and the
+/// hit/eviction counters stay coherent under concurrent batches. Use it
+/// directly only from one thread.
+
+namespace tkc {
+
+/// Identity of a cacheable query: the cohesion parameter and the range.
+struct QueryCacheKey {
+  uint32_t k = 0;
+  Window range{0, 0};
+
+  friend bool operator==(const QueryCacheKey& a, const QueryCacheKey& b) {
+    return a.k == b.k && a.range == b.range;
+  }
+};
+
+struct QueryCacheKeyHasher {
+  size_t operator()(const QueryCacheKey& key) const {
+    uint64_t h = HashU64(key.k);
+    h = HashCombine(h, key.range.start);
+    h = HashCombine(h, key.range.end);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Fixed-capacity LRU map from (k, range) to a completed RunOutcome.
+/// Capacity 0 disables the cache (every Lookup misses, Insert is a no-op).
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity);
+
+  /// On hit, copies the stored outcome into `*out` (which must be non-null),
+  /// promotes the entry to most-recently-used, and returns true. Counts a
+  /// hit or a miss either way.
+  bool Lookup(const Query& query, RunOutcome* out);
+
+  /// Inserts (or refreshes) the outcome for `query`, evicting the least
+  /// recently used entry when at capacity. Callers should only insert
+  /// outcomes whose status is OK — a failed run (timeout, bad input) is not
+  /// a property of the query alone.
+  void Insert(const Query& query, const RunOutcome& outcome);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<QueryCacheKey, RunOutcome>;
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<QueryCacheKey, std::list<Entry>::iterator,
+                     QueryCacheKeyHasher>
+      map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_SERVE_QUERY_CACHE_H_

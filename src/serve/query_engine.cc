@@ -1,0 +1,315 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "vct/vct_builder.h"
+
+namespace tkc {
+
+namespace {
+
+/// True iff the algorithm's hot path runs the efficient VCT builder and
+/// therefore profits from a recycled arena.
+bool UsesBuildArena(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kCoreTime:
+    case AlgorithmKind::kEnumBase:
+    case AlgorithmKind::kEnum:
+      return true;
+    case AlgorithmKind::kOtcd:
+    case AlgorithmKind::kNaive:
+      return false;
+  }
+  return false;
+}
+
+/// min over u of CT_ts(u) for every start ts of the slice's range: the
+/// earliest end time at which a k-core exists for that start. Computed with
+/// one multiset sweep over the breakpoints; each vertex's core-time function
+/// is non-decreasing in ts, so the result is too.
+std::vector<Timestamp> ComputeEmergence(const VertexCoreTimeIndex& slice) {
+  const Window range = slice.range();
+  const size_t span = static_cast<size_t>(range.Length());
+  std::vector<Timestamp> emergence(span, kInfTime);
+  if (span == 0) return emergence;
+
+  // Bucket every breakpoint by its start time, remembering the value it
+  // replaces. kInfTime doubles as the "no previous value" sentinel: an
+  // entry's previous value can never genuinely be kInfTime, because a
+  // vertex's core times are non-decreasing, so an infinite entry is always
+  // its last.
+  constexpr Timestamp kNoPrev = kInfTime;
+  std::vector<std::vector<std::pair<Timestamp, Timestamp>>> buckets(span);
+  for (VertexId u = 0; u < slice.num_vertices(); ++u) {
+    Timestamp prev = kNoPrev;
+    for (const VctEntry& e : slice.EntriesOf(u)) {
+      buckets[e.start - range.start].emplace_back(prev, e.core_time);
+      prev = e.core_time;
+    }
+  }
+
+  std::multiset<Timestamp> live;
+  for (size_t rel = 0; rel < span; ++rel) {
+    for (const auto& [old_value, new_value] : buckets[rel]) {
+      if (old_value != kNoPrev) {
+        auto it = live.find(old_value);
+        if (it != live.end()) live.erase(it);
+      }
+      live.insert(new_value);
+    }
+    emergence[rel] = live.empty() ? kInfTime : *live.begin();
+  }
+  return emergence;
+}
+
+}  // namespace
+
+// Checks an arena out of the engine's free list for the duration of one
+// query execution. Allocates a fresh arena only when every pooled one is in
+// flight, so the list grows to the peak concurrency and then serving reuses
+// scratch forever.
+class QueryEngine::ArenaLease {
+ public:
+  ArenaLease(QueryEngine* engine, bool wanted) : engine_(engine) {
+    if (!wanted) return;
+    std::lock_guard<std::mutex> lock(*engine_->mu_);
+    if (!engine_->free_arenas_.empty()) {
+      arena_ = std::move(engine_->free_arenas_.back());
+      engine_->free_arenas_.pop_back();
+    } else {
+      arena_ = std::make_unique<VctBuildArena>();
+    }
+  }
+
+  ~ArenaLease() {
+    if (arena_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(*engine_->mu_);
+    engine_->free_arenas_.push_back(std::move(arena_));
+  }
+
+  VctBuildArena* get() const { return arena_.get(); }
+
+ private:
+  QueryEngine* engine_;
+  std::unique_ptr<VctBuildArena> arena_;
+};
+
+QueryEngine::QueryEngine(const TemporalGraph& g,
+                         const QueryEngineOptions& options)
+    : graph_(&g),
+      options_(options),
+      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Shared()),
+      replica_rr_(std::make_unique<std::atomic<uint64_t>>(0)),
+      mu_(std::make_unique<std::mutex>()),
+      cache_(std::make_unique<QueryCache>(options.cache_capacity)) {}
+
+QueryEngine::~QueryEngine() = default;
+QueryEngine::QueryEngine(QueryEngine&&) noexcept = default;
+QueryEngine& QueryEngine::operator=(QueryEngine&&) noexcept = default;
+
+StatusOr<QueryEngine> QueryEngine::Create(const TemporalGraph& g,
+                                          const QueryEngineOptions& options) {
+  if (options.num_index_replicas < 1) {
+    return Status::InvalidArgument("num_index_replicas must be >= 1");
+  }
+  QueryEngine engine(g, options);
+  if (options.build_index && g.num_timestamps() > 0) {
+    Status s = engine.BuildAdmissionIndex();
+    if (!s.ok()) return s;
+  }
+  return engine;
+}
+
+Status QueryEngine::BuildAdmissionIndex() {
+  PhcBuildOptions build;
+  build.max_k = options_.index_max_k;
+  build.pool = pool_;
+  auto index = PhcIndex::Build(*graph_, graph_->FullRange(), build);
+  if (!index.ok()) return index.status();
+  // Complete when uncapped, or when the cap was never reached (the span's
+  // kmax is below it) — only then does "k > max_k" prove global emptiness.
+  index_complete_ = options_.index_max_k == 0 ||
+                    index->max_k() < options_.index_max_k;
+  emergence_.reserve(index->max_k());
+  for (uint32_t k = 1; k <= index->max_k(); ++k) {
+    emergence_.push_back(ComputeEmergence(index->Slice(k)));
+  }
+  replicas_.reserve(options_.num_index_replicas);
+  for (int r = 1; r < options_.num_index_replicas; ++r) {
+    replicas_.push_back(*index);  // independent copy per read-path replica
+  }
+  replicas_.push_back(std::move(index).value());
+  return Status::OK();
+}
+
+const PhcIndex* QueryEngine::index(int replica) const {
+  if (replica < 0 || replica >= static_cast<int>(replicas_.size())) {
+    return nullptr;
+  }
+  return &replicas_[replica];
+}
+
+bool QueryEngine::MayContainCore(uint32_t k, Window range) const {
+  if (replicas_.empty() || k < 1) return true;
+  if (!range.Valid() || range.end > graph_->num_timestamps()) return true;
+  const uint32_t built_max_k = replicas_[0].max_k();
+  if (k > built_max_k) {
+    // Beyond every built slice: provably empty only for a complete index.
+    return !index_complete_;
+  }
+  const std::vector<Timestamp>& table = emergence_[k - 1];
+  return table[range.start - 1] <= range.end;
+}
+
+bool QueryEngine::VertexInCore(VertexId u, Window window, uint32_t k) const {
+  if (replicas_.empty()) return false;
+  const uint64_t slot =
+      replica_rr_->fetch_add(1, std::memory_order_relaxed);
+  const PhcIndex& replica = replicas_[slot % replicas_.size()];
+  return replica.VertexInCore(u, window, k);
+}
+
+RunOutcome QueryEngine::ServeOne(const Query& query, double limit_seconds) {
+  RunOutcome out;
+  if (cache_->capacity() > 0) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (cache_->Lookup(query, &out)) {
+      ++stats_.queries_served;
+      return out;
+    }
+  }
+  return ExecuteUncached(query, limit_seconds);
+}
+
+RunOutcome QueryEngine::ExecuteUncached(const Query& query,
+                                        double limit_seconds) {
+  RunOutcome out;
+
+  // Admission: a structurally valid in-span query whose range provably
+  // contains no k-core gets the pipeline's exact empty outcome for free.
+  const bool in_span = query.k >= 1 && query.range.Valid() &&
+                       query.range.end <= graph_->num_timestamps();
+  if (in_span && !MayContainCore(query.k, query.range)) {
+    out = RunOutcome{};
+    out.status = Status::OK();
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.queries_served;
+    ++stats_.index_rejections;
+    cache_->Insert(query, out);
+    return out;
+  }
+
+  Deadline deadline = limit_seconds > 0
+                          ? Deadline::AfterSeconds(limit_seconds)
+                          : Deadline();
+  ArenaLease lease(this, options_.reuse_arenas &&
+                             UsesBuildArena(options_.algorithm));
+  out = RunAlgorithm(options_.algorithm, *graph_, query, deadline,
+                     lease.get());
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.queries_served;
+    ++stats_.executed;
+    if (out.status.ok()) cache_->Insert(query, out);
+  }
+  return out;
+}
+
+RunOutcome QueryEngine::Serve(const Query& query) {
+  return Serve(query, options_.per_query_limit_seconds);
+}
+
+RunOutcome QueryEngine::Serve(const Query& query,
+                              double per_query_limit_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.batches;
+  }
+  return ServeOne(query, per_query_limit_seconds);
+}
+
+std::vector<RunOutcome> QueryEngine::ServeBatch(
+    const std::vector<Query>& queries) {
+  return ServeBatch(queries, options_.per_query_limit_seconds);
+}
+
+std::vector<RunOutcome> QueryEngine::ServeBatch(
+    const std::vector<Query>& queries, double per_query_limit_seconds) {
+  const size_t n = queries.size();
+  std::vector<RunOutcome> outcomes(n);
+
+  // Pre-scan under one lock: answer cache hits inline (no fan-out cost for
+  // hit-heavy workloads) and group the misses by (k, range) so each
+  // distinct query executes at most once per batch (dedup_batches).
+  std::vector<size_t> leaders;  // first index of each distinct miss
+  std::vector<std::vector<size_t>> followers;  // duplicates of each leader
+  {
+    std::unordered_map<QueryCacheKey, size_t, QueryCacheKeyHasher> group_of;
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.batches;
+    for (size_t i = 0; i < n; ++i) {
+      if (cache_->capacity() > 0 && cache_->Lookup(queries[i], &outcomes[i])) {
+        ++stats_.queries_served;
+        continue;
+      }
+      if (options_.dedup_batches) {
+        const QueryCacheKey key{queries[i].k, queries[i].range};
+        auto [it, inserted] = group_of.try_emplace(key, leaders.size());
+        if (!inserted) {
+          followers[it->second].push_back(i);
+          continue;
+        }
+      }
+      leaders.push_back(i);
+      followers.emplace_back();
+    }
+  }
+
+  // Execute the distinct misses, sharded over the pool.
+  auto run_leader = [&](size_t g) {
+    outcomes[leaders[g]] =
+        ExecuteUncached(queries[leaders[g]], per_query_limit_seconds);
+  };
+  if (pool_->num_threads() > 1 && leaders.size() > 1) {
+    pool_->ParallelFor(leaders.size(),
+                       [&](size_t g, int /*worker*/) { run_leader(g); });
+  } else {
+    for (size_t g = 0; g < leaders.size(); ++g) run_leader(g);
+  }
+
+  // Fan each leader's outcome out to its in-batch duplicates.
+  bool any_followers = false;
+  for (size_t g = 0; g < leaders.size(); ++g) {
+    for (size_t i : followers[g]) {
+      outcomes[i] = outcomes[leaders[g]];
+      any_followers = true;
+    }
+  }
+  if (any_followers) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (size_t g = 0; g < leaders.size(); ++g) {
+      stats_.batch_dedup_hits += followers[g].size();
+      stats_.queries_served += followers[g].size();
+    }
+  }
+  return outcomes;
+}
+
+ServeStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  ServeStats snapshot = stats_;
+  snapshot.cache_hits = cache_->hits();
+  snapshot.cache_misses = cache_->misses();
+  snapshot.cache_evictions = cache_->evictions();
+  return snapshot;
+}
+
+void QueryEngine::ClearCache() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  cache_->Clear();
+}
+
+}  // namespace tkc

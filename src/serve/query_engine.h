@@ -1,0 +1,210 @@
+#ifndef TKC_SERVE_QUERY_ENGINE_H_
+#define TKC_SERVE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/query_cache.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "vct/phc_index.h"
+#include "workload/query_workload.h"
+
+/// \file query_engine.h
+/// The batch query-serving engine: a long-lived object that owns one
+/// immutable temporal graph plus read-only serving state, accepts batches of
+/// time-range k-core queries, and fans them out over a ThreadPool. It turns
+/// the repo's per-call measurement harness (RunAlgorithm) into a server-
+/// shaped subsystem:
+///
+///  * **Sharding.** ServeBatch shards the batch dynamically across the
+///    pool's workers; every query touches the graph read-only, so batches
+///    are embarrassingly parallel and callable concurrently from any number
+///    of client threads.
+///  * **Zero steady-state allocation.** Each in-flight query checks a
+///    VctBuildArena out of an internal free list (growing only to the peak
+///    concurrency ever observed) so the CoreTime phase recycles all scratch.
+///  * **Admission index.** At construction the engine can build a full PHC
+///    index (all k-slices) over the graph's time span, replicated
+///    `num_index_replicas` times for NUMA-friendly read paths, and derive a
+///    per-k *core-emergence table*: min over vertices of CT_ts(u) for every
+///    start ts. A query whose range provably contains no temporal k-core
+///    (k beyond the global kmax, or emergence after the range end) is then
+///    answered in O(1) with the exact empty outcome the full pipeline would
+///    produce — no build, no allocation.
+///  * **Memoization.** Completed outcomes are stored in a bounded LRU
+///    (serve/query_cache.h) keyed by (k, range), so repeated-query
+///    workloads are served at lookup cost.
+///
+/// Determinism contract: the *result* fields of a served outcome (status
+/// code, num_cores, result_size_edges, vct_size, ecs_size) are bit-identical
+/// to a serial RunAlgorithm call at any thread count, batch split, cache
+/// state, or admission path. The *execution* fields (seconds,
+/// coretime_seconds, peak_memory_bytes) describe how this engine produced
+/// the answer — a cache hit reports the lookup-time outcome of the original
+/// run, an admission rejection reports ~0 cost — and are not comparable
+/// across paths.
+
+namespace tkc {
+
+struct VctBuildArena;  // vct/vct_builder.h
+
+/// Construction-time configuration of a QueryEngine.
+struct QueryEngineOptions {
+  /// Algorithm every query is served with (the paper's Enum by default).
+  AlgorithmKind algorithm = AlgorithmKind::kEnum;
+
+  /// Pool the batches shard over; nullptr uses ThreadPool::Shared(). A
+  /// 1-thread pool serves batches serially on the calling thread.
+  ThreadPool* pool = nullptr;
+
+  /// LRU capacity of the (k, range) -> outcome memo; 0 disables caching.
+  size_t cache_capacity = 1024;
+
+  /// Recycle VctBuildArena scratch across queries (zero steady-state
+  /// allocation). Off, every query builds with fresh scratch — the mode the
+  /// memory figures need, where a query's reported peak must be its own
+  /// working set rather than an arena high-water mark.
+  bool reuse_arenas = true;
+
+  /// Collapse duplicate queries inside one ServeBatch call: each distinct
+  /// (k, range) executes once and every duplicate gets a copy of its
+  /// outcome, deterministically at any thread count. Off for measurement
+  /// paths, where every submitted query must execute.
+  bool dedup_batches = true;
+
+  /// Per-query deadline applied by Serve/ServeBatch unless the call
+  /// overrides it; <= 0 means unlimited.
+  double per_query_limit_seconds = 0;
+
+  /// Build the PHC admission index (and emergence tables) at construction.
+  /// Costs one full multi-k index build up front; pays for itself on
+  /// workloads with empty-result queries. Off for pure measurement paths.
+  bool build_index = false;
+
+  /// Cap on the admission index's largest k-slice (0 = the span's kmax).
+  /// Rejection stays exact under a cap: a query with k <= the built max_k
+  /// uses its emergence table, and a query with k beyond it is rejected
+  /// only when the index is provably complete — the cap was never reached
+  /// (span kmax < cap, or no cap). When the cap bites (built max_k ==
+  /// cap), beyond-cap queries cannot be proven empty and execute the full
+  /// pipeline.
+  uint32_t index_max_k = 0;
+
+  /// Read-path replicas of the admission index (>= 1). Point-lookup APIs
+  /// round-robin across replicas; on multi-socket machines, replicas keep
+  /// index reads socket-local instead of hammering one allocation.
+  int num_index_replicas = 1;
+};
+
+/// Monotone counters describing everything an engine has served.
+struct ServeStats {
+  uint64_t batches = 0;          ///< ServeBatch calls (Serve counts as 1)
+  uint64_t queries_served = 0;   ///< total queries answered
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;     ///< lookups that fell through (cache on)
+  uint64_t cache_evictions = 0;
+  uint64_t index_rejections = 0;  ///< answered empty from the admission index
+  uint64_t batch_dedup_hits = 0;  ///< served as in-batch duplicates
+  uint64_t executed = 0;          ///< ran the full algorithm
+};
+
+class QueryEngine {
+ public:
+  /// Validates options and builds the serving state. `g` must outlive the
+  /// engine and must not be mutated while it serves.
+  static StatusOr<QueryEngine> Create(const TemporalGraph& g,
+                                      const QueryEngineOptions& options = {});
+
+  ~QueryEngine();
+  QueryEngine(QueryEngine&&) noexcept;
+  QueryEngine& operator=(QueryEngine&&) noexcept;
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Serves one query on the calling thread (cache -> admission -> run).
+  RunOutcome Serve(const Query& query);
+
+  /// As Serve with an explicit per-query deadline (<= 0 = unlimited),
+  /// overriding options.per_query_limit_seconds.
+  RunOutcome Serve(const Query& query, double per_query_limit_seconds);
+
+  /// Serves a batch: cache hits are answered inline in one pre-scan,
+  /// duplicate queries collapse to a single execution (dedup_batches), and
+  /// only the distinct misses shard over the pool. outcome[i] answers
+  /// queries[i]. Thread-safe: any number of threads may submit batches
+  /// concurrently.
+  std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries);
+  std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries,
+                                     double per_query_limit_seconds);
+
+  /// Snapshot of the cumulative serving counters.
+  ServeStats stats() const;
+
+  /// Drops every memoized outcome (counters are kept).
+  void ClearCache();
+
+  /// The admission index replica `i` (0 <= i < num_index_replicas), or
+  /// nullptr when the engine was built with build_index = false.
+  const PhcIndex* index(int replica = 0) const;
+
+  /// True iff at least one temporal k-core exists inside `range`, answered
+  /// in O(1) from the emergence table. Requires build_index and a valid
+  /// range inside the graph's span; falls back to `true` (unknown) when the
+  /// table cannot prove emptiness (e.g. k above a capped index).
+  bool MayContainCore(uint32_t k, Window range) const;
+
+  /// True iff u is in the k-core of `window`, answered from a round-robin
+  /// index replica. Requires build_index and k <= the built max_k.
+  bool VertexInCore(VertexId u, Window window, uint32_t k) const;
+
+  AlgorithmKind algorithm() const { return options_.algorithm; }
+  int num_threads() const { return pool_->num_threads(); }
+
+ private:
+  template <typename T>
+  friend class StatusOr;  // needs the inert default state below
+
+  /// Inert engine (no graph, no pool) — only the empty slot inside a
+  /// StatusOr before a real engine is moved in. Never served from.
+  QueryEngine() = default;
+
+  QueryEngine(const TemporalGraph& g, const QueryEngineOptions& options);
+
+  Status BuildAdmissionIndex();
+  RunOutcome ServeOne(const Query& query, double limit_seconds);
+
+  /// The post-cache-miss path: admission check, algorithm execution, cache
+  /// insert, counter updates.
+  RunOutcome ExecuteUncached(const Query& query, double limit_seconds);
+
+  /// Checks an arena out of the free list (allocating only when every
+  /// existing arena is in flight) and returns it on destruction.
+  class ArenaLease;
+
+  const TemporalGraph* graph_ = nullptr;
+  QueryEngineOptions options_;
+  ThreadPool* pool_ = nullptr;
+
+  /// Admission state (immutable after Create).
+  std::vector<PhcIndex> replicas_;
+  bool index_complete_ = false;  ///< replicas cover every k up to true kmax
+  /// emergence_[k-1][ts - 1]: min over u of CT_ts(u) for slice k, i.e. the
+  /// earliest end time at which a k-core exists for start ts (kInfTime when
+  /// none). Non-decreasing in ts.
+  std::vector<std::vector<Timestamp>> emergence_;
+  mutable std::unique_ptr<std::atomic<uint64_t>> replica_rr_;
+
+  /// Serving state (mutex-guarded).
+  std::unique_ptr<std::mutex> mu_;
+  std::unique_ptr<QueryCache> cache_;
+  std::vector<std::unique_ptr<VctBuildArena>> free_arenas_;
+  ServeStats stats_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_SERVE_QUERY_ENGINE_H_

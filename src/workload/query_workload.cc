@@ -6,6 +6,7 @@
 #include "core/temporal_kcore.h"
 #include "graph/window_peeler.h"
 #include "otcd/otcd.h"
+#include "serve/query_engine.h"
 #include "util/rng.h"
 #include "vct/vct_builder.h"
 
@@ -74,7 +75,8 @@ const char* AlgorithmName(AlgorithmKind kind) {
 }
 
 RunOutcome RunAlgorithm(AlgorithmKind kind, const TemporalGraph& g,
-                        const Query& query, const Deadline& deadline) {
+                        const Query& query, const Deadline& deadline,
+                        VctBuildArena* arena) {
   RunOutcome out;
   WallTimer timer;
   switch (kind) {
@@ -90,7 +92,12 @@ RunOutcome RunAlgorithm(AlgorithmKind kind, const TemporalGraph& g,
       break;
     }
     case AlgorithmKind::kCoreTime: {
-      VctBuildResult built = BuildVctAndEcs(g, query.k, query.range);
+      // Same input contract as RunTemporalKCoreQuery: the builder CHECKs
+      // these invariants, so turn bad queries into errors rather than traps
+      // (the serving layer feeds arbitrary client queries through here).
+      out.status = ValidateQueryInputs(g, query.k, query.range);
+      if (!out.status.ok()) break;
+      VctBuildResult built = BuildVctAndEcs(g, query.k, query.range, arena);
       out.status = Status::OK();
       out.vct_size = built.vct.size();
       out.ecs_size = built.ecs.size();
@@ -108,6 +115,7 @@ RunOutcome RunAlgorithm(AlgorithmKind kind, const TemporalGraph& g,
                                 ? EnumMethod::kEnumBase
                                 : EnumMethod::kNaive;
       options.deadline = deadline;
+      options.arena = arena;
       QueryStats stats;
       out.status =
           RunTemporalKCoreQuery(g, query.k, query.range, &sink, options,
@@ -138,24 +146,36 @@ AggregateOutcome RunAlgorithmOnQueries(AlgorithmKind kind,
     agg.first_error = Status::InvalidArgument("empty query batch");
     return agg;
   }
-  auto run_one = [&](const Query& query) {
-    Deadline deadline = per_query_limit_seconds > 0
-                            ? Deadline::AfterSeconds(per_query_limit_seconds)
-                            : Deadline();
-    return RunAlgorithm(kind, g, query, deadline);
-  };
+  // Measurement-mode engine: no memoization and no admission index, so
+  // every query executes its full algorithm and the timings are honest;
+  // the engine still contributes batch sharding and per-worker arena reuse.
+  ThreadPool serial_pool(1);
+  QueryEngineOptions engine_options;
+  engine_options.algorithm = kind;
+  engine_options.pool = pool != nullptr ? pool : &serial_pool;
+  engine_options.cache_capacity = 0;
+  engine_options.build_index = false;
+  // Fresh scratch per query: the memory figures report per-build peaks, not
+  // an arena's accumulated high-water mark.
+  engine_options.reuse_arenas = false;
+  // Every submitted query must execute, even a duplicate of another in the
+  // same batch — collapsing them would count one measurement twice.
+  engine_options.dedup_batches = false;
+  auto engine = QueryEngine::Create(g, engine_options);
+  if (!engine.ok()) {
+    agg.completed = false;
+    agg.first_error = engine.status();
+    return agg;
+  }
   std::vector<RunOutcome> outcomes;
   if (pool != nullptr && pool->num_threads() > 1 && queries.size() > 1) {
     // Fan out: every run reads the graph and writes only its own slot.
     // Folding below stays in query order, so the aggregate is deterministic.
-    outcomes.resize(queries.size());
-    pool->ParallelFor(queries.size(), [&](size_t i, int /*worker*/) {
-      outcomes[i] = run_one(queries[i]);
-    });
+    outcomes = engine->ServeBatch(queries, per_query_limit_seconds);
   } else {
     outcomes.reserve(queries.size());
     for (const Query& query : queries) {
-      outcomes.push_back(run_one(query));
+      outcomes.push_back(engine->Serve(query, per_query_limit_seconds));
       if (!outcomes.back().status.ok()) break;  // historical early-out
     }
   }

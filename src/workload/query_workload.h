@@ -21,6 +21,8 @@
 
 namespace tkc {
 
+struct VctBuildArena;  // vct/vct_builder.h
+
 /// One time-range k-core query.
 struct Query {
   uint32_t k = 0;
@@ -80,9 +82,12 @@ struct RunOutcome {
 };
 
 /// Runs `kind` on one query, counting results (no materialization).
+/// `arena` (vct_builder.h, optional) recycles the CoreTime phase's scratch
+/// across calls for the VCT-pipeline algorithms; results never depend on it.
 RunOutcome RunAlgorithm(AlgorithmKind kind, const TemporalGraph& g,
                         const Query& query,
-                        const Deadline& deadline = Deadline());
+                        const Deadline& deadline = Deadline(),
+                        VctBuildArena* arena = nullptr);
 
 /// Averages outcomes over a query batch; a Timeout/error on any query marks
 /// the aggregate as failed (the paper reports these as "did not finish").
@@ -101,6 +106,10 @@ struct AggregateOutcome {
 /// Runs `kind` over all queries with a per-query deadline of
 /// `per_query_limit_seconds` (<=0 means unlimited) and aggregates.
 ///
+/// Since PR 2 this is a thin measurement wrapper over the serving layer
+/// (serve/query_engine.h): it stands up a transient QueryEngine with
+/// memoization and the admission index disabled — every query executes, so
+/// timings mean what the figures claim — and serves the batch through it.
 /// With a non-null `pool` (util/thread_pool.h) the queries fan out across
 /// the pool's workers — every algorithm run touches the graph read-only, so
 /// the batch is embarrassingly parallel. Aggregation is deterministic: it

@@ -1,0 +1,93 @@
+#include "serve/query_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tkc {
+namespace {
+
+Query Q(uint32_t k, Timestamp start, Timestamp end) {
+  return Query{k, Window{start, end}};
+}
+
+RunOutcome Outcome(uint64_t num_cores) {
+  RunOutcome out;
+  out.status = Status::OK();
+  out.num_cores = num_cores;
+  out.result_size_edges = num_cores * 10;
+  return out;
+}
+
+TEST(QueryCacheTest, MissThenHit) {
+  QueryCache cache(4);
+  RunOutcome out;
+  EXPECT_FALSE(cache.Lookup(Q(3, 1, 9), &out));
+  cache.Insert(Q(3, 1, 9), Outcome(7));
+  ASSERT_TRUE(cache.Lookup(Q(3, 1, 9), &out));
+  EXPECT_EQ(out.num_cores, 7u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, KeyIsKAndRange) {
+  QueryCache cache(8);
+  cache.Insert(Q(3, 1, 9), Outcome(1));
+  RunOutcome out;
+  EXPECT_FALSE(cache.Lookup(Q(4, 1, 9), &out));   // different k
+  EXPECT_FALSE(cache.Lookup(Q(3, 2, 9), &out));   // different start
+  EXPECT_FALSE(cache.Lookup(Q(3, 1, 10), &out));  // different end
+  EXPECT_TRUE(cache.Lookup(Q(3, 1, 9), &out));
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryCache cache(2);
+  cache.Insert(Q(1, 1, 2), Outcome(1));
+  cache.Insert(Q(2, 1, 2), Outcome(2));
+  RunOutcome out;
+  // Touch the first entry so the second becomes LRU.
+  ASSERT_TRUE(cache.Lookup(Q(1, 1, 2), &out));
+  cache.Insert(Q(3, 1, 2), Outcome(3));  // evicts k=2
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(Q(1, 1, 2), &out));
+  EXPECT_FALSE(cache.Lookup(Q(2, 1, 2), &out));
+  EXPECT_TRUE(cache.Lookup(Q(3, 1, 2), &out));
+}
+
+TEST(QueryCacheTest, InsertRefreshesExistingEntry) {
+  QueryCache cache(2);
+  cache.Insert(Q(1, 1, 2), Outcome(1));
+  cache.Insert(Q(2, 1, 2), Outcome(2));
+  cache.Insert(Q(1, 1, 2), Outcome(11));  // refresh, no eviction
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  RunOutcome out;
+  ASSERT_TRUE(cache.Lookup(Q(1, 1, 2), &out));
+  EXPECT_EQ(out.num_cores, 11u);
+  // The refresh promoted k=1, so k=2 is now the eviction victim.
+  cache.Insert(Q(3, 1, 2), Outcome(3));
+  EXPECT_FALSE(cache.Lookup(Q(2, 1, 2), &out));
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisables) {
+  QueryCache cache(0);
+  cache.Insert(Q(1, 1, 2), Outcome(1));
+  RunOutcome out;
+  EXPECT_FALSE(cache.Lookup(Q(1, 1, 2), &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryCacheTest, ClearKeepsCounters) {
+  QueryCache cache(4);
+  cache.Insert(Q(1, 1, 2), Outcome(1));
+  RunOutcome out;
+  EXPECT_TRUE(cache.Lookup(Q(1, 1, 2), &out));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(Q(1, 1, 2), &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace tkc

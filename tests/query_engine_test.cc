@@ -1,0 +1,337 @@
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/window_peeler.h"
+#include "util/thread_pool.h"
+
+namespace tkc {
+namespace {
+
+TemporalGraph ServeGraph() {
+  SyntheticSpec spec;
+  spec.name = "serve";
+  spec.num_vertices = 40;
+  spec.num_edges = 800;
+  spec.num_timestamps = 200;
+  spec.burstiness = 0.3;
+  spec.seed = 3;
+  return GenerateSynthetic(spec);
+}
+
+/// The workload the bit-identity tests serve: generated valid queries plus
+/// handcrafted empty-result, full-span, and invalid queries.
+std::vector<Query> MixedQueries(const TemporalGraph& g, uint32_t kmax) {
+  WorkloadSpec spec;
+  spec.num_queries = 4;
+  spec.range_fraction = 0.15;
+  auto generated = GenerateQueries(g, kmax, spec);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  std::vector<Query> queries = generated.ok() ? *generated
+                                              : std::vector<Query>{};
+  queries.push_back(Query{kmax + 5, Window{1, g.num_timestamps()}});  // empty
+  queries.push_back(Query{2, g.FullRange()});
+  queries.push_back(Query{2, Window{5, 5}});           // single timestamp
+  queries.push_back(Query{3, Window{0, 10}});          // invalid: start < 1
+  queries.push_back(Query{3, Window{10, 5}});          // invalid: reversed
+  queries.push_back(
+      Query{3, Window{1, g.num_timestamps() + 50}});   // invalid: past span
+  return queries;
+}
+
+/// Result fields must be bit-identical; execution fields (timings, memory)
+/// are engine artifacts and deliberately not compared.
+void ExpectSameResults(const RunOutcome& serial, const RunOutcome& served,
+                       const char* context) {
+  ASSERT_EQ(serial.status.code(), served.status.code()) << context;
+  if (!serial.status.ok()) return;
+  EXPECT_EQ(serial.num_cores, served.num_cores) << context;
+  EXPECT_EQ(serial.result_size_edges, served.result_size_edges) << context;
+  EXPECT_EQ(serial.vct_size, served.vct_size) << context;
+  EXPECT_EQ(serial.ecs_size, served.ecs_size) << context;
+}
+
+class QueryEngineBitIdenticalTest
+    : public ::testing::TestWithParam<AlgorithmKind> {};
+
+TEST_P(QueryEngineBitIdenticalTest, MatchesSerialRunnerAt1And2And8Threads) {
+  const AlgorithmKind kind = GetParam();
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, stats.kmax);
+
+  std::vector<RunOutcome> reference;
+  reference.reserve(queries.size());
+  for (const Query& q : queries) {
+    reference.push_back(RunAlgorithm(kind, g, q));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    QueryEngineOptions options;
+    options.algorithm = kind;
+    options.pool = &pool;
+    options.build_index = true;  // exercise the admission fast path too
+    auto engine = QueryEngine::Create(g, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    std::vector<RunOutcome> served = engine->ServeBatch(queries);
+    ASSERT_EQ(served.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::string context = std::string(AlgorithmName(kind)) + " threads=" +
+                            std::to_string(threads) + " query#" +
+                            std::to_string(i);
+      ExpectSameResults(reference[i], served[i], context.c_str());
+    }
+    // Serving the same batch again must reproduce the same results from the
+    // cache (hits for every query whose outcome was cacheable).
+    std::vector<RunOutcome> replay = engine->ServeBatch(queries);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectSameResults(reference[i], replay[i], "replay");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, QueryEngineBitIdenticalTest,
+                         ::testing::Values(AlgorithmKind::kEnum,
+                                           AlgorithmKind::kEnumBase,
+                                           AlgorithmKind::kCoreTime,
+                                           AlgorithmKind::kOtcd),
+                         [](const auto& info) {
+                           return AlgorithmName(info.param);
+                         });
+
+TEST(QueryEngineAdmissionTest, EmergenceTableMatchesPeelingOracle) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  QueryEngineOptions options;
+  options.build_index = true;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  // GenerateQueries' invariant: a range contains a temporal k-core iff the
+  // widest window's k-core is non-empty. Check MayContainCore against the
+  // peeling oracle over a grid of (k, range).
+  const Timestamp tmax = g.num_timestamps();
+  for (uint32_t k = 1; k <= stats.kmax + 2; ++k) {
+    for (Timestamp start : {Timestamp{1}, Timestamp{tmax / 3},
+                            Timestamp{tmax / 2}, Timestamp{tmax - 5}}) {
+      for (Timestamp end :
+           {start, Timestamp{start + 10}, Timestamp{(start + tmax) / 2},
+            tmax}) {
+        if (start < 1 || end < start || end > tmax) continue;
+        Window range{start, end};
+        std::vector<bool> in_core = ComputeWindowCoreVertices(g, k, range);
+        bool oracle =
+            std::find(in_core.begin(), in_core.end(), true) != in_core.end();
+        EXPECT_EQ(engine->MayContainCore(k, range), oracle)
+            << "k=" << k << " range=[" << start << "," << end << "]";
+      }
+    }
+  }
+}
+
+TEST(QueryEngineAdmissionTest, RejectionProducesPipelineIdenticalOutcome) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  QueryEngineOptions options;
+  options.build_index = true;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  const Query empty_query{stats.kmax + 3, Window{2, g.num_timestamps() / 2}};
+  RunOutcome pipeline = RunAlgorithm(AlgorithmKind::kEnum, g, empty_query);
+  RunOutcome served = engine->Serve(empty_query);
+  ExpectSameResults(pipeline, served, "rejected query");
+  EXPECT_EQ(engine->stats().index_rejections, 1u);
+  EXPECT_EQ(engine->stats().executed, 0u);
+}
+
+TEST(QueryEngineCacheTest, RepeatedBatchHitsWithoutReexecution) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  WorkloadSpec spec;
+  spec.num_queries = 3;
+  auto queries = GenerateQueries(g, stats.kmax, spec);
+  ASSERT_TRUE(queries.ok());
+
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<RunOutcome> first = engine->ServeBatch(*queries);
+  ServeStats after_first = engine->stats();
+  EXPECT_EQ(after_first.executed, queries->size());
+  EXPECT_EQ(after_first.cache_hits, 0u);
+
+  std::vector<RunOutcome> second = engine->ServeBatch(*queries);
+  ServeStats after_second = engine->stats();
+  EXPECT_EQ(after_second.executed, queries->size());  // nothing re-ran
+  EXPECT_EQ(after_second.cache_hits, queries->size());
+  for (size_t i = 0; i < queries->size(); ++i) {
+    ExpectSameResults(first[i], second[i], "cache replay");
+  }
+
+  engine->ClearCache();
+  engine->ServeBatch(*queries);
+  EXPECT_EQ(engine->stats().executed, 2 * queries->size());
+}
+
+TEST(QueryEngineCacheTest, BoundedCapacityEvicts) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  WorkloadSpec spec;
+  spec.num_queries = 3;
+  auto queries = GenerateQueries(g, stats.kmax, spec);
+  ASSERT_TRUE(queries.ok());
+  // Make the three queries distinct cache keys even if ranges repeat.
+  (*queries)[1].range.end = (*queries)[1].range.end - 1;
+  (*queries)[2].range.start = (*queries)[2].range.start + 1;
+
+  QueryEngineOptions options;
+  options.cache_capacity = 2;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  for (const Query& q : *queries) engine->Serve(q);
+  EXPECT_EQ(engine->stats().cache_evictions, 1u);
+  // Query 0 was evicted (LRU), so re-serving it executes again; query 2 is
+  // still resident and hits.
+  engine->Serve((*queries)[0]);
+  engine->Serve((*queries)[2]);
+  ServeStats stats_now = engine->stats();
+  EXPECT_EQ(stats_now.executed, queries->size() + 1);
+  EXPECT_EQ(stats_now.cache_hits, 1u);
+}
+
+TEST(QueryEngineCacheTest, InBatchDuplicatesExecuteOnce) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  WorkloadSpec spec;
+  spec.num_queries = 2;
+  auto queries = GenerateQueries(g, stats.kmax, spec);
+  ASSERT_TRUE(queries.ok());
+  // A batch of 6 submissions over 2 distinct queries.
+  std::vector<Query> batch = {(*queries)[0], (*queries)[1], (*queries)[0],
+                              (*queries)[0], (*queries)[1], (*queries)[1]};
+
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<RunOutcome> served = engine->ServeBatch(batch);
+  ServeStats after = engine->stats();
+  EXPECT_EQ(after.executed, 2u);
+  EXPECT_EQ(after.batch_dedup_hits, 4u);
+  EXPECT_EQ(after.queries_served, batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    RunOutcome reference = RunAlgorithm(AlgorithmKind::kEnum, g, batch[i]);
+    ExpectSameResults(reference, served[i], "deduped batch");
+  }
+
+  // With dedup disabled every submission executes.
+  QueryEngineOptions no_dedup = options;
+  no_dedup.dedup_batches = false;
+  no_dedup.cache_capacity = 0;
+  auto engine2 = QueryEngine::Create(g, no_dedup);
+  ASSERT_TRUE(engine2.ok());
+  engine2->ServeBatch(batch);
+  EXPECT_EQ(engine2->stats().executed, batch.size());
+  EXPECT_EQ(engine2->stats().batch_dedup_hits, 0u);
+}
+
+TEST(QueryEngineConcurrencyTest, ConcurrentBatchSubmission) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, stats.kmax);
+
+  std::vector<RunOutcome> reference;
+  for (const Query& q : queries) {
+    reference.push_back(RunAlgorithm(AlgorithmKind::kEnum, g, q));
+  }
+
+  ThreadPool pool(4);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.build_index = true;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  constexpr int kClients = 4;
+  std::vector<std::vector<RunOutcome>> results(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back(
+          [&, c] { results[c] = engine->ServeBatch(queries); });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(results[c].size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ExpectSameResults(reference[i], results[c][i], "concurrent client");
+    }
+  }
+  EXPECT_EQ(engine->stats().queries_served, kClients * queries.size());
+  EXPECT_EQ(engine->stats().batches, static_cast<uint64_t>(kClients));
+}
+
+TEST(QueryEngineIndexTest, ReplicasAnswerPointLookups) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  QueryEngineOptions options;
+  options.build_index = true;
+  options.num_index_replicas = 2;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_NE(engine->index(0), nullptr);
+  ASSERT_NE(engine->index(1), nullptr);
+  EXPECT_EQ(engine->index(2), nullptr);
+  EXPECT_EQ(engine->index(0)->max_k(), stats.kmax);
+  EXPECT_EQ(engine->index(0)->size(), engine->index(1)->size());
+
+  const Window window{1, g.num_timestamps()};
+  std::vector<bool> in_core = ComputeWindowCoreVertices(g, 2, window);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    // Round-robin across replicas twice so both serve.
+    EXPECT_EQ(engine->VertexInCore(u, window, 2), in_core[u]) << "u=" << u;
+  }
+}
+
+TEST(QueryEngineIndexTest, CappedIndexNeverRejectsAboveCap) {
+  TemporalGraph g = ServeGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  ASSERT_GT(stats.kmax, 2u);
+  QueryEngineOptions options;
+  options.build_index = true;
+  options.index_max_k = 2;  // below the true kmax
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  // k above the cap is not provably empty, so the engine must execute, and
+  // the result must still match the pipeline.
+  const Query q{3, Window{1, g.num_timestamps()}};
+  RunOutcome served = engine->Serve(q);
+  RunOutcome pipeline = RunAlgorithm(AlgorithmKind::kEnum, g, q);
+  ExpectSameResults(pipeline, served, "above-cap query");
+  EXPECT_EQ(engine->stats().index_rejections, 0u);
+}
+
+TEST(QueryEngineOptionsTest, InvalidReplicaCountFails) {
+  TemporalGraph g = ServeGraph();
+  QueryEngineOptions options;
+  options.num_index_replicas = 0;
+  auto engine = QueryEngine::Create(g, options);
+  EXPECT_FALSE(engine.ok());
+}
+
+}  // namespace
+}  // namespace tkc

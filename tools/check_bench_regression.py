@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Compare emitted BENCH_*.json files against committed baselines.
+
+The perf-tracking benchmarks (bench_phc_parallel, bench_serve_throughput)
+write flat JSON record arrays. This tool matches records between a baseline
+and a current run by identity fields and fails (exit 1) when a timing metric
+regresses beyond the threshold:
+
+  * lower-is-better metrics (default: seconds) fail when
+      current > baseline * threshold;
+  * higher-is-better metrics (default: qps, speedup) fail when
+      current < baseline / threshold;
+  * a record with "identical": false in the current run always fails — the
+    benchmarks self-verify bit-identity against their serial reference.
+
+Records only present on one side are reported as warnings, never failures,
+so benches can grow new configurations without breaking the gate.
+
+Usage:
+  tools/check_bench_regression.py \
+      --baseline bench/baselines/BENCH_phc_parallel.json \
+      --current build/BENCH_phc_parallel.json [--threshold 1.25] \
+      [--key bench,mode,threads] [--lower seconds] [--higher qps,speedup]
+
+  tools/check_bench_regression.py --update --baseline B --current C
+      copies the current file over the baseline (refreshing it after an
+      accepted perf change).
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as f:
+        records = json.load(f)
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return records
+
+
+def record_key(record, key_fields):
+    return tuple(str(record.get(field)) for field in key_fields)
+
+
+def index_records(records, key_fields, path):
+    indexed = {}
+    for record in records:
+        key = record_key(record, key_fields)
+        if key in indexed:
+            raise ValueError(
+                f"{path}: duplicate record for key {key}; "
+                f"pass a more specific --key"
+            )
+        indexed[key] = record
+    return indexed
+
+
+def fmt_key(key_fields, key):
+    return " ".join(f"{f}={v}" for f, v in zip(key_fields, key))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="allowed slowdown factor (default 1.25 = fail on >25%%)",
+    )
+    parser.add_argument(
+        "--key",
+        default="bench,mode,threads",
+        help="comma-separated identity fields (default bench,mode,threads)",
+    )
+    parser.add_argument(
+        "--lower",
+        default="seconds",
+        help="comma-separated lower-is-better metrics (default seconds)",
+    )
+    parser.add_argument(
+        "--higher",
+        default="qps,speedup",
+        help="comma-separated higher-is-better metrics (default qps,speedup)",
+    )
+    parser.add_argument(
+        "--only",
+        default="",
+        help="comma-separated field=value filters; gate only records "
+        "matching all of them (e.g. --only mode=mixed). Other records "
+        "stay in the report files but are not compared.",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy --current over --baseline and exit",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"updated {args.baseline} from {args.current}")
+        return 0
+
+    key_fields = [f for f in args.key.split(",") if f]
+    lower_metrics = [m for m in args.lower.split(",") if m]
+    higher_metrics = [m for m in args.higher.split(",") if m]
+    only = dict(f.split("=", 1) for f in args.only.split(",") if f)
+
+    def selected(record):
+        return all(str(record.get(f)) == v for f, v in only.items())
+
+    baseline = index_records(
+        [r for r in load_records(args.baseline) if selected(r)], key_fields,
+        args.baseline)
+    current = index_records(
+        [r for r in load_records(args.current) if selected(r)], key_fields,
+        args.current)
+
+    failures = []
+    compared = 0
+    for key, cur in current.items():
+        if cur.get("identical") is False:
+            failures.append(
+                f"{fmt_key(key_fields, key)}: identical=false — the "
+                f"benchmark's own bit-identity check failed"
+            )
+        base = baseline.get(key)
+        if base is None:
+            print(f"note: new record (no baseline): {fmt_key(key_fields, key)}")
+            continue
+        for metric in lower_metrics:
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            compared += 1
+            verdict = "ok"
+            if b > 0 and c > b * args.threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{fmt_key(key_fields, key)}: {metric} {c:.6g} vs "
+                    f"baseline {b:.6g} (> {args.threshold:.2f}x)"
+                )
+            print(
+                f"{fmt_key(key_fields, key)}: {metric} "
+                f"{b:.6g} -> {c:.6g} [{verdict}]"
+            )
+        for metric in higher_metrics:
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            compared += 1
+            verdict = "ok"
+            if b > 0 and c < b / args.threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{fmt_key(key_fields, key)}: {metric} {c:.6g} vs "
+                    f"baseline {b:.6g} (< 1/{args.threshold:.2f}x)"
+                )
+            print(
+                f"{fmt_key(key_fields, key)}: {metric} "
+                f"{b:.6g} -> {c:.6g} [{verdict}]"
+            )
+    for key in baseline:
+        if key not in current:
+            print(f"warning: baseline record missing from current run: "
+                  f"{fmt_key(key_fields, key)}")
+
+    if compared == 0:
+        print("error: no overlapping metrics compared — wrong files?")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.threshold:.2f}x:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nall {compared} metric comparisons within "
+          f"{args.threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
