@@ -1,0 +1,367 @@
+// Live-update serving benchmark (serve/snapshot.h): one synthetic graph, a
+// fixed stream of edge-update batches, and an async query workload driven
+// through a LiveQueryEngine at 1/2/8 threads. Reports, per thread count:
+//
+//   * queries_idle           — async batch throughput with no updates;
+//   * queries_during_updates — the same stream submitted while ApplyUpdates
+//     snapshot swaps run continuously: the ratio to idle qps is the cost
+//     queries pay for concurrent rebuilds (they never block on one — every
+//     batch finishes against the snapshot it pinned at submission);
+//   * updates                — snapshot-rebuild throughput: edges/sec
+//     through ApplyUpdates with per-swap rebuild/swap latency.
+//
+// Self-verifying: every served outcome is compared bit-identically (result
+// fields) against a direct RunAlgorithm reference on the exact graph
+// version the engine reports having pinned, and every batch must complete
+// on the version that was current when it was submitted. Any violation
+// fails the run and writes "identical": false into the JSON
+// (tools/check_bench_regression.py treats that as an unconditional
+// failure). Output lands in BENCH_live_update.json alongside the other
+// perf-tracking benches.
+//
+// Flags (env fallbacks TKC_<UPPER>): --vertices --edges --timestamps --seed
+// --unique (queries per batch) --rounds (batches per pass) --events (update
+// batches) --update-edges (edges per update batch) --reps (best-of)
+// --threads=N (adds one thread count) --out. --smoke / TKC_BENCH_SMOKE=1
+// shrinks everything to CI scale.
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "datasets/generators.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tkc {
+namespace {
+
+bool SameResults(const RunOutcome& a, const RunOutcome& b) {
+  return a.status.ok() == b.status.ok() && a.num_cores == b.num_cores &&
+         a.result_size_edges == b.result_size_edges &&
+         a.vct_size == b.vct_size && a.ecs_size == b.ecs_size;
+}
+
+}  // namespace
+}  // namespace tkc
+
+int main(int argc, char** argv) {
+  using namespace tkc;
+  using namespace tkc::bench;
+
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "flag error: %s\n",
+                 flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+  const bool smoke = SmokeModeRequested(flags);
+  const uint32_t vertices =
+      static_cast<uint32_t>(flags.GetInt("vertices", smoke ? 120 : 170));
+  const uint32_t edges =
+      static_cast<uint32_t>(flags.GetInt("edges", smoke ? 2600 : 5200));
+  const uint32_t timestamps =
+      static_cast<uint32_t>(flags.GetInt("timestamps", smoke ? 48 : 80));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const uint32_t unique =
+      static_cast<uint32_t>(flags.GetInt("unique", smoke ? 24 : 40));
+  const uint32_t rounds =
+      static_cast<uint32_t>(flags.GetInt("rounds", smoke ? 6 : 10));
+  const uint32_t events =
+      static_cast<uint32_t>(flags.GetInt("events", smoke ? 4 : 6));
+  const uint32_t update_edges =
+      static_cast<uint32_t>(flags.GetInt("update-edges", smoke ? 40 : 80));
+  const int reps = static_cast<int>(flags.GetInt("reps", smoke ? 1 : 3));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_live_update.json");
+
+  SyntheticSpec graph_spec;
+  graph_spec.name = "live";
+  graph_spec.num_vertices = vertices;
+  graph_spec.num_edges = edges;
+  graph_spec.num_timestamps = timestamps;
+  graph_spec.burstiness = 0.3;
+  graph_spec.seed = seed;
+  TemporalGraph base = GenerateSynthetic(graph_spec);
+  GraphStats stats = ComputeGraphStats(base);
+
+  // Fixed update stream (same for every thread count / phase): uniform
+  // edges over the existing vertex pool, raw times across and past the
+  // current span so swaps shift compaction like a real ingest would.
+  Rng rng(seed * 7919);
+  std::vector<std::vector<RawTemporalEdge>> update_stream(events);
+  for (auto& batch : update_stream) {
+    for (uint32_t i = 0; i < update_edges; ++i) {
+      RawTemporalEdge e;
+      e.u = static_cast<VertexId>(rng.NextBounded(vertices));
+      e.v = static_cast<VertexId>(rng.NextBounded(vertices));
+      e.raw_time = rng.NextInRange(1, timestamps + timestamps / 4 + 1);
+      batch.push_back(e);
+    }
+  }
+
+  // The version chain every phase's results are verified against.
+  std::vector<TemporalGraph> chain;
+  chain.push_back(base);
+  for (const auto& batch : update_stream) {
+    auto next = chain.back().AppendEdges(batch);
+    if (!next.ok()) {
+      std::fprintf(stderr, "chain: %s\n", next.status().ToString().c_str());
+      return 1;
+    }
+    chain.push_back(std::move(next).value());
+  }
+
+  std::vector<Query> queries;
+  {
+    WorkloadSpec spec;
+    spec.k_fraction = 0.30;
+    spec.range_fraction = 0.10;
+    spec.num_queries = unique;
+    spec.seed = seed;
+    auto generated = GenerateQueries(base, stats.kmax, spec);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(generated).value();
+  }
+
+  // Per-(version, query) references, computed on demand: the engine's
+  // algorithm (Enum) run directly on the chain graph.
+  std::map<std::pair<uint64_t, size_t>, RunOutcome> references;
+  auto reference_of = [&](uint64_t version, size_t qi) -> const RunOutcome& {
+    auto key = std::make_pair(version, qi);
+    auto it = references.find(key);
+    if (it == references.end()) {
+      it = references
+               .emplace(key, RunAlgorithm(AlgorithmKind::kEnum,
+                                          chain[version], queries[qi]))
+               .first;
+    }
+    return it->second;
+  };
+
+  std::printf(
+      "=== Live update: %u vertices, %u edges, %u timestamps, kmax=%u; %zu "
+      "queries x%u rounds, %u update batches x%u edges, best of %d ===\n",
+      vertices, edges, timestamps, stats.kmax, queries.size(), rounds, events,
+      update_edges, reps);
+
+  std::vector<int> thread_counts = {1, 2, 8};
+  if (flags.Has("threads")) {
+    thread_counts.push_back(
+        std::max(1, static_cast<int>(flags.GetInt("threads", 1))));
+  }
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  TextTable table;
+  table.SetHeader({"Threads", "idle q/s", "live q/s", "live/idle",
+                   "updates/s", "rebuild s", "identical"});
+  JsonRecords records;
+  bool all_identical = true;
+  double idle_qps_1thread = 0;
+  double live_qps_1thread = 0;
+
+  for (int threads : thread_counts) {
+    ThreadPool pool(threads);
+    LiveEngineOptions options;
+    options.engine.pool = &pool;
+    options.engine.build_index = true;
+    options.engine.cache_capacity = 0;  // every round must execute
+
+    // Awaiting completions belongs in the timed region (completion *is*
+    // what the qps measures); the oracle comparison does not — it runs
+    // after the timer is read, so the lazily filled reference memo (shared
+    // across reps and thread counts) never skews a measurement.
+    auto collect =
+        [&](std::vector<std::pair<std::future<BatchResult>, uint64_t>>*
+                pending) {
+          std::vector<std::pair<BatchResult, uint64_t>> results;
+          results.reserve(pending->size());
+          for (auto& [future, version_at_submission] : *pending) {
+            results.emplace_back(future.get(), version_at_submission);
+          }
+          pending->clear();
+          return results;
+        };
+    auto verify = [&](const std::vector<std::pair<BatchResult, uint64_t>>&
+                          results,
+                      bool* identical) {
+      for (const auto& [result, version_at_submission] : results) {
+        // Pin consistency: a batch answers against a version no older than
+        // the one current at submission (a swap may land between the
+        // version read and the pin, so newer is legal) and never beyond
+        // the applied stream.
+        *identical = *identical &&
+                     result.snapshot_version >= version_at_submission &&
+                     result.snapshot_version <= update_stream.size();
+        for (size_t qi = 0; qi < result.outcomes.size(); ++qi) {
+          *identical =
+              *identical &&
+              SameResults(reference_of(result.snapshot_version, qi),
+                          result.outcomes[qi]);
+        }
+      }
+    };
+
+    double best_idle = -1, best_live = -1, best_updates = -1;
+    double rebuild_seconds = 0, swap_seconds = 0;
+    bool identical = true;
+    for (int rep = 0; rep < reps; ++rep) {
+      // --- queries_idle: no swaps in flight. --------------------------
+      {
+        auto live = LiveQueryEngine::Create(base, options);
+        if (!live.ok()) {
+          std::fprintf(stderr, "engine: %s\n",
+                       live.status().ToString().c_str());
+          return 1;
+        }
+        std::vector<std::pair<std::future<BatchResult>, uint64_t>> pending;
+        WallTimer timer;
+        for (uint32_t r = 0; r < rounds; ++r) {
+          pending.emplace_back((*live)->SubmitAsync(queries),
+                               (*live)->version());
+        }
+        auto results = collect(&pending);
+        double seconds = timer.ElapsedSeconds();
+        verify(results, &identical);
+        if (best_idle < 0 || seconds < best_idle) best_idle = seconds;
+      }
+
+      // --- queries_during_updates: swaps run underneath. --------------
+      {
+        auto live = LiveQueryEngine::Create(base, options);
+        if (!live.ok()) return 1;
+        std::vector<std::future<Status>> swaps;
+        std::vector<std::pair<std::future<BatchResult>, uint64_t>> pending;
+        WallTimer timer;
+        size_t next_event = 0;
+        const uint32_t per_event =
+            std::max(1u, rounds / std::max(1u, events));
+        for (uint32_t r = 0; r < rounds; ++r) {
+          pending.emplace_back((*live)->SubmitAsync(queries),
+                               (*live)->version());
+          if ((r + 1) % per_event == 0 &&
+              next_event < update_stream.size()) {
+            swaps.push_back(
+                (*live)->ApplyUpdates(update_stream[next_event]));
+            ++next_event;
+          }
+        }
+        auto results = collect(&pending);
+        double seconds = timer.ElapsedSeconds();  // queries only: swaps may
+                                                  // still be running
+        verify(results, &identical);
+        if (best_live < 0 || seconds < best_live) best_live = seconds;
+        while (next_event < update_stream.size()) {
+          swaps.push_back((*live)->ApplyUpdates(update_stream[next_event]));
+          ++next_event;
+        }
+        for (auto& swap : swaps) identical = identical && swap.get().ok();
+        identical = identical && (*live)->version() == update_stream.size();
+      }
+
+      // --- updates: serial swap throughput. ---------------------------
+      {
+        auto live = LiveQueryEngine::Create(base, options);
+        if (!live.ok()) return 1;
+        WallTimer timer;
+        for (const auto& batch : update_stream) {
+          identical = identical && (*live)->ApplyUpdates(batch).get().ok();
+        }
+        double seconds = timer.ElapsedSeconds();
+        if (best_updates < 0 || seconds < best_updates) {
+          best_updates = seconds;
+          LiveStats live_stats = (*live)->stats();
+          rebuild_seconds = live_stats.last_rebuild_seconds;
+          swap_seconds = live_stats.last_swap_seconds;
+        }
+      }
+    }
+    all_identical = all_identical && identical;
+
+    const double stream = static_cast<double>(queries.size()) * rounds;
+    double idle_qps = best_idle > 0 ? stream / best_idle : 0;
+    double live_qps = best_live > 0 ? stream / best_live : 0;
+    double updates_per_sec =
+        best_updates > 0 ? static_cast<double>(events) / best_updates : 0;
+    double edges_per_sec =
+        best_updates > 0
+            ? static_cast<double>(events) * update_edges / best_updates
+            : 0;
+    if (threads == 1) {
+      idle_qps_1thread = idle_qps;
+      live_qps_1thread = live_qps;
+    }
+    double idle_speedup = idle_qps_1thread > 0 ? idle_qps / idle_qps_1thread
+                                               : 0;
+    double live_speedup = live_qps_1thread > 0 ? live_qps / live_qps_1thread
+                                               : 0;
+    double overlap_ratio = idle_qps > 0 ? live_qps / idle_qps : 0;
+
+    char ratio_cell[32];
+    std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2f", overlap_ratio);
+    table.AddRow({TextTable::Cell(static_cast<uint64_t>(threads)),
+                  TextTable::Cell(idle_qps, 1), TextTable::Cell(live_qps, 1),
+                  ratio_cell, TextTable::Cell(updates_per_sec, 2),
+                  TextTable::Cell(rebuild_seconds, 4),
+                  identical ? "yes" : "NO"});
+
+    for (int mode = 0; mode < 3; ++mode) {
+      records.BeginRecord();
+      records.Add("bench", std::string("live_update"));
+      records.Add("mode", std::string(mode == 0   ? "queries_idle"
+                                      : mode == 1 ? "queries_during_updates"
+                                                  : "updates"));
+      records.Add("vertices", static_cast<uint64_t>(vertices));
+      records.Add("edges", static_cast<uint64_t>(edges));
+      records.Add("timestamps", static_cast<uint64_t>(timestamps));
+      records.Add("unique_queries", static_cast<uint64_t>(queries.size()));
+      records.Add("rounds", static_cast<uint64_t>(rounds));
+      records.Add("update_batches", static_cast<uint64_t>(events));
+      records.Add("update_edges", static_cast<uint64_t>(update_edges));
+      records.Add("threads", threads);
+      if (mode == 0) {
+        records.Add("seconds", best_idle);
+        records.Add("qps", idle_qps);
+        records.Add("speedup", idle_speedup);
+      } else if (mode == 1) {
+        records.Add("seconds", best_live);
+        records.Add("qps", live_qps);
+        records.Add("speedup", live_speedup);
+        records.Add("overlap_ratio", overlap_ratio);
+      } else {
+        records.Add("seconds", best_updates);
+        records.Add("updates_per_sec", updates_per_sec);
+        records.Add("edges_per_sec", edges_per_sec);
+        records.Add("rebuild_seconds", rebuild_seconds);
+        records.Add("swap_seconds", swap_seconds);
+      }
+      records.Add("identical", identical);
+    }
+  }
+  table.Print();
+  if (records.WriteFile(out_path)) {
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "ERROR: a live-served outcome differed from its pinned "
+                 "version's reference (or a pin/swap was inconsistent)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -28,9 +28,22 @@
 //   --print=N                   print the first N cores of the first query
 //                               (default 5; runs the detailed sink path)
 //   --stats                     print result-set distribution statistics
+//   --updates=PATH              live-update replay mode: PATH holds edge
+//                               updates, one "u v raw_time" per line; blank
+//                               lines split the stream into batches ('#'
+//                               comments allowed). The CLI serves through a
+//                               LiveQueryEngine: the query batch is
+//                               submitted asynchronously, each update batch
+//                               is applied as a snapshot swap while queries
+//                               are in flight, and every result reports the
+//                               graph version it was pinned to.
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,9 +55,126 @@
 #include "graph/graph_stats.h"
 #include "otcd/otcd.h"
 #include "serve/query_engine.h"
+#include "serve/snapshot.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 #include "workload/query_workload.h"
+
+namespace {
+
+// Parses an update stream: "u v raw_time" lines, '#' comments, blank lines
+// separate batches. Returns false (with a message) on malformed input.
+bool LoadUpdateBatches(
+    const std::string& path,
+    std::vector<std::vector<tkc::RawTemporalEdge>>* batches) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "updates: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::vector<tkc::RawTemporalEdge> batch;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {  // blank: batch boundary
+      if (!batch.empty()) batches->push_back(std::move(batch));
+      batch.clear();
+      continue;
+    }
+    if (line[first] == '#') continue;
+    // Parse signed and range-check: istream>> into an unsigned type would
+    // silently wrap "-1" to ~4.3 billion (and a 4.3B-vertex id makes the
+    // graph builder allocate per-vertex arrays that large).
+    std::istringstream fields(line);
+    long long u, v, raw_time;
+    std::string trailing;
+    if (!(fields >> u >> v >> raw_time) || (fields >> trailing) || u < 0 ||
+        v < 0 || raw_time < 0 ||
+        u >= std::numeric_limits<tkc::VertexId>::max() ||  // max = sentinel
+        v >= std::numeric_limits<tkc::VertexId>::max()) {
+      std::fprintf(stderr, "updates: malformed line %zu: '%s'\n", line_no,
+                   line.c_str());
+      return false;
+    }
+    batch.push_back(tkc::RawTemporalEdge{static_cast<tkc::VertexId>(u),
+                                         static_cast<tkc::VertexId>(v),
+                                         static_cast<uint64_t>(raw_time)});
+  }
+  if (!batch.empty()) batches->push_back(std::move(batch));
+  return true;
+}
+
+// The --updates replay: async query batches interleaved with snapshot
+// swaps. Returns the process exit code.
+int RunLiveReplay(tkc::TemporalGraph graph,
+                  const std::vector<tkc::Query>& queries,
+                  const std::vector<std::vector<tkc::RawTemporalEdge>>& events,
+                  const tkc::QueryEngineOptions& engine_options, int repeat) {
+  using namespace tkc;
+  LiveEngineOptions options;
+  options.engine = engine_options;
+  auto live = LiveQueryEngine::Create(std::move(graph), options);
+  if (!live.ok()) {
+    std::fprintf(stderr, "live engine: %s\n", live.status().ToString().c_str());
+    return 1;
+  }
+
+  // One async round before any update, then one per update event, times
+  // --repeat: submissions are never awaited before the next swap is
+  // queued, so batches genuinely overlap rebuilds.
+  std::vector<std::future<BatchResult>> rounds;
+  std::vector<std::future<Status>> swaps;
+  for (int r = 0; r < repeat; ++r) {
+    rounds.push_back((*live)->SubmitAsync(queries));
+    for (const auto& event : events) {
+      swaps.push_back((*live)->ApplyUpdates(event));
+      rounds.push_back((*live)->SubmitAsync(queries));
+    }
+  }
+
+  int failures = 0;
+  for (size_t i = 0; i < swaps.size(); ++i) {
+    Status status = swaps[i].get();
+    if (!status.ok()) {
+      std::fprintf(stderr, "update %zu: %s\n", i, status.ToString().c_str());
+      ++failures;
+    }
+  }
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    BatchResult result = rounds[i].get();
+    uint64_t cores = 0, edges = 0;
+    for (const RunOutcome& out : result.outcomes) {
+      if (!out.status.ok()) {
+        std::fprintf(stderr, "round %zu: %s\n", i,
+                     out.status.ToString().c_str());
+        ++failures;
+        continue;
+      }
+      cores += out.num_cores;
+      edges += out.result_size_edges;
+    }
+    std::printf(
+        "round %2zu: graph v%llu, %zu queries -> %llu cores, |R|=%llu\n", i,
+        static_cast<unsigned long long>(result.snapshot_version),
+        result.outcomes.size(), static_cast<unsigned long long>(cores),
+        static_cast<unsigned long long>(edges));
+  }
+  LiveStats stats = (*live)->stats();
+  const TemporalGraph& final_graph = (*live)->snapshot()->graph();
+  std::printf(
+      "live: %llu swaps, %llu edges applied, last rebuild %.4fs, last swap "
+      "%.6fs; final graph: %u vertices, %u edges, %u timestamps\n",
+      static_cast<unsigned long long>(stats.swaps),
+      static_cast<unsigned long long>(stats.edges_applied),
+      stats.last_rebuild_seconds, stats.last_swap_seconds,
+      final_graph.num_vertices(), final_graph.num_edges(),
+      final_graph.num_timestamps());
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tkc;
@@ -131,13 +261,22 @@ int main(int argc, char** argv) {
   // only; --index=0/1 overrides either way.
   options.build_index = flags.GetBool("index", queries.size() > 1);
   options.per_query_limit_seconds = flags.GetDouble("limit", 0);
+
+  const int repeat = std::max<int>(1, flags.GetInt("repeat", 1));
+  if (flags.Has("updates")) {
+    std::vector<std::vector<RawTemporalEdge>> events;
+    if (!LoadUpdateBatches(flags.GetString("updates", ""), &events)) return 2;
+    std::printf("replaying %zu update batch(es) against the live engine\n",
+                events.size());
+    return RunLiveReplay(std::move(graph), queries, events, options, repeat);
+  }
+
   auto engine = QueryEngine::Create(graph, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
 
-  const int repeat = std::max<int>(1, flags.GetInt("repeat", 1));
   WallTimer timer;
   std::vector<RunOutcome> outcomes;
   for (int r = 0; r < repeat; ++r) {

@@ -31,6 +31,7 @@ StatusOr<TemporalGraph> TemporalGraphBuilder::Build() {
                   raw_times.end());
 
   TemporalGraph g;
+  g.dedup_exact_ = dedup_exact_;
   g.raw_of_compact_ = raw_times;
 
   // 2. Materialize edges with compacted times; sort by (t, u, v).
@@ -141,6 +142,21 @@ Timestamp TemporalGraph::CompactTimestampFloor(uint64_t raw) const {
   auto it = std::upper_bound(raw_of_compact_.begin(), raw_of_compact_.end(),
                              raw);
   return static_cast<Timestamp>(it - raw_of_compact_.begin());
+}
+
+StatusOr<TemporalGraph> TemporalGraph::AppendEdges(
+    std::span<const RawTemporalEdge> new_edges) const {
+  TemporalGraphBuilder builder;
+  builder.SetDeduplicateExact(dedup_exact_);  // a multigraph stays one
+  for (const TemporalEdge& e : edges_) {
+    builder.AddEdge(e.u, e.v, RawTimestamp(e.t));
+  }
+  for (const RawTemporalEdge& e : new_edges) {
+    builder.AddEdge(e.u, e.v, e.raw_time);
+  }
+  // Isolated vertices survive the rebuild (they never appear on an edge).
+  builder.EnsureVertexCount(num_vertices_);
+  return builder.Build();
 }
 
 uint64_t TemporalGraph::MemoryUsageBytes() const {

@@ -30,6 +30,15 @@
 
 namespace tkc {
 
+/// One not-yet-ingested undirected edge with a *raw* (uncompacted)
+/// timestamp — the currency of update streams (TemporalGraph::AppendEdges,
+/// the serving layer's snapshot rebuilds). Orientation does not matter.
+struct RawTemporalEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  uint64_t raw_time = 0;
+};
+
 /// One undirected temporal edge. Endpoints are normalized so u < v.
 struct TemporalEdge {
   VertexId u = 0;
@@ -136,9 +145,32 @@ class TemporalGraph {
   /// Raw (original) timestamp value of compacted time `t` (1-based).
   uint64_t RawTimestamp(Timestamp t) const;
 
+  /// Whether this graph was built with exact-duplicate merging (the
+  /// builder default). Recorded so AppendEdges can rebuild under the same
+  /// ingestion rules — a multigraph loaded with dedup off keeps its
+  /// parallel duplicates across live-update rebuilds.
+  bool deduplicates_exact() const { return dedup_exact_; }
+
   /// Largest compacted timestamp whose raw value is <= `raw`, or 0 if all
   /// raw timestamps exceed `raw`.
   Timestamp CompactTimestampFloor(uint64_t raw) const;
+
+  // --- updates --------------------------------------------------------
+
+  /// Returns a *new* graph holding every edge of this graph plus
+  /// `new_edges` — the live-update path: the original graph stays immutable
+  /// (in-flight readers are never disturbed) and the appended graph is a
+  /// complete rebuild with freshly compacted timestamps, ready to be
+  /// swapped in as the next serving snapshot. New raw timestamps may fall
+  /// anywhere (before, between, after the existing ones); compacted
+  /// timestamps of existing edges therefore may shift, which is why the
+  /// result is a distinct graph version rather than a mutation. Follows
+  /// the ingestion rules this graph was built with: self-loops dropped,
+  /// and exact duplicates (same endpoints and raw time, including against
+  /// existing edges) merged iff deduplicates_exact(). Appending zero
+  /// edges yields an identical copy.
+  StatusOr<TemporalGraph> AppendEdges(
+      std::span<const RawTemporalEdge> new_edges) const;
 
   // --- misc -----------------------------------------------------------
 
@@ -149,6 +181,7 @@ class TemporalGraph {
   friend class TemporalGraphBuilder;
 
   VertexId num_vertices_ = 0;
+  bool dedup_exact_ = true;                  // builder setting, for rebuilds
   std::vector<TemporalEdge> edges_;          // sorted by (t, u, v)
   std::vector<uint32_t> time_offsets_;       // size T+2: first edge of each t
   std::vector<uint32_t> adj_offsets_;        // size n+1

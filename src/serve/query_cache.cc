@@ -2,6 +2,19 @@
 
 namespace tkc {
 
+namespace {
+
+/// The outcome an admission rejection produces: OK status, every count
+/// zero. Replayed verbatim for tombstone hits, so a tombstone hit is
+/// bit-identical (result fields) to the admission path it memoizes.
+RunOutcome CanonicalEmptyOutcome() {
+  RunOutcome out;
+  out.status = Status::OK();
+  return out;
+}
+
+}  // namespace
+
 QueryCache::QueryCache(size_t capacity) : capacity_(capacity) {
   if (capacity_ > 0) map_.reserve(capacity_);
 }
@@ -14,32 +27,67 @@ bool QueryCache::Lookup(const Query& query, RunOutcome* out) {
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
-  *out = it->second->second;
+  *out = it->second->second.has_value() ? *it->second->second
+                                        : CanonicalEmptyOutcome();
   ++hits_;
   return true;
 }
 
-void QueryCache::Insert(const Query& query, const RunOutcome& outcome) {
-  if (capacity_ == 0) return;
-  const QueryCacheKey key{query.k, query.range};
+void QueryCache::InsertEntry(const QueryCacheKey& key,
+                             std::optional<RunOutcome> payload) {
+  auto evict_to_budget = [this] {
+    // Never evicts the MRU entry itself (it may be the one just touched;
+    // a lone full outcome in a capacity-1 cache is exactly the budget).
+    while (weight_used_ > weight_capacity() && lru_.size() > 1) {
+      const Entry& victim = lru_.back();
+      weight_used_ -= WeightOf(victim);
+      if (!victim.second.has_value()) --tombstones_;
+      map_.erase(victim.first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  };
+
   auto it = map_.find(key);
   if (it != map_.end()) {
-    it->second->second = outcome;
+    Entry& entry = *it->second;
+    // A tombstone never demotes a stored full outcome; any other payload
+    // replaces (tombstone -> full upgrades, full -> full refreshes). An
+    // upgrade grows the entry's weight, so the budget is re-enforced.
+    if (payload.has_value() || !entry.second.has_value()) {
+      weight_used_ -= WeightOf(entry);
+      if (!entry.second.has_value()) --tombstones_;
+      entry.second = std::move(payload);
+      weight_used_ += WeightOf(entry);
+      if (!entry.second.has_value()) ++tombstones_;
+    }
     lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_budget();
     return;
   }
-  if (map_.size() >= capacity_) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
-    ++evictions_;
-  }
-  lru_.emplace_front(key, outcome);
+  const size_t weight = payload.has_value() ? kOutcomeWeight : 1;
+  weight_used_ += weight;
+  lru_.emplace_front(key, std::move(payload));
   map_.emplace(key, lru_.begin());
+  if (!lru_.front().second.has_value()) ++tombstones_;
+  evict_to_budget();
+}
+
+void QueryCache::Insert(const Query& query, const RunOutcome& outcome) {
+  if (capacity_ == 0) return;
+  InsertEntry(QueryCacheKey{query.k, query.range}, outcome);
+}
+
+void QueryCache::InsertTombstone(const Query& query) {
+  if (capacity_ == 0) return;
+  InsertEntry(QueryCacheKey{query.k, query.range}, std::nullopt);
 }
 
 void QueryCache::Clear() {
   lru_.clear();
   map_.clear();
+  weight_used_ = 0;
+  tombstones_ = 0;
 }
 
 }  // namespace tkc

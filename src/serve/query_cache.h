@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -15,6 +16,21 @@
 /// result fields of a time-range k-core query are a pure function of
 /// (graph, k, range), so a QueryEngine that owns one immutable graph can
 /// replay them for repeated queries instead of rebuilding the VCT/ECS.
+///
+/// Two entry kinds share one LRU order but are accounted differently:
+///
+///  * **Full outcomes** (Insert) carry a complete RunOutcome and cost
+///    kOutcomeWeight budget units each.
+///  * **Tombstones** (InsertTombstone) record only that a (k, range) is
+///    provably empty — the admission index's rejections. They carry no
+///    payload (a hit replays the canonical empty outcome) and cost 1 unit,
+///    so a workload dominated by empty-range probes remembers
+///    kOutcomeWeight times as many of them in the same budget instead of
+///    spending a full slot on ~zero bytes of information.
+///
+/// `capacity` keeps its historical meaning — the number of *full* outcomes
+/// the cache can hold — and translates to a budget of capacity *
+/// kOutcomeWeight units. Capacity 0 disables the cache entirely.
 ///
 /// The cache is deliberately *not* internally synchronized — QueryEngine
 /// guards it with its own mutex so lookup-miss-insert sequences and the
@@ -42,35 +58,65 @@ struct QueryCacheKeyHasher {
   }
 };
 
-/// Fixed-capacity LRU map from (k, range) to a completed RunOutcome.
-/// Capacity 0 disables the cache (every Lookup misses, Insert is a no-op).
+/// Weighted-LRU map from (k, range) to a completed RunOutcome or a
+/// provably-empty tombstone.
 class QueryCache {
  public:
+  /// Budget units per full outcome; a tombstone costs 1. The ratio tracks
+  /// the storage ratio: a RunOutcome (Status with its string + 7 scalar
+  /// fields) against a key-only entry.
+  static constexpr size_t kOutcomeWeight = 16;
+
   explicit QueryCache(size_t capacity);
 
-  /// On hit, copies the stored outcome into `*out` (which must be non-null),
-  /// promotes the entry to most-recently-used, and returns true. Counts a
-  /// hit or a miss either way.
+  /// On hit, copies the stored outcome into `*out` (which must be non-null)
+  /// — for a tombstone, the canonical empty outcome (OK status, all-zero
+  /// counts) — promotes the entry to most-recently-used, and returns true.
+  /// Counts a hit or a miss either way.
   bool Lookup(const Query& query, RunOutcome* out);
 
-  /// Inserts (or refreshes) the outcome for `query`, evicting the least
-  /// recently used entry when at capacity. Callers should only insert
-  /// outcomes whose status is OK — a failed run (timeout, bad input) is not
-  /// a property of the query alone.
+  /// Inserts (or refreshes) the outcome for `query`, evicting least
+  /// recently used entries until the weight budget holds. Callers should
+  /// only insert outcomes whose status is OK — a failed run (timeout, bad
+  /// input) is not a property of the query alone.
   void Insert(const Query& query, const RunOutcome& outcome);
+
+  /// Records that `query` is provably empty at 1/kOutcomeWeight the cost of
+  /// a full entry. Refreshing an existing full outcome with a tombstone
+  /// keeps the full outcome (it carries strictly more — its execution
+  /// fields); only the LRU position refreshes.
+  void InsertTombstone(const Query& query);
 
   void Clear();
 
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
+  /// Entries currently stored as tombstones (<= size()).
+  size_t tombstones() const { return tombstones_; }
+  /// Current / maximum weight in budget units.
+  size_t weight_used() const { return weight_used_; }
+  size_t weight_capacity() const { return capacity_ * kOutcomeWeight; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
 
  private:
-  using Entry = std::pair<QueryCacheKey, RunOutcome>;
+  /// nullopt payload = tombstone.
+  using Entry = std::pair<QueryCacheKey, std::optional<RunOutcome>>;
+
+  static size_t WeightOf(const Entry& entry) {
+    return entry.second.has_value() ? kOutcomeWeight : 1;
+  }
+
+  /// Shared insert/refresh: promotes an existing entry (upgrading a
+  /// tombstone when a full outcome arrives), else evicts to fit and
+  /// prepends.
+  void InsertEntry(const QueryCacheKey& key,
+                   std::optional<RunOutcome> payload);
 
   size_t capacity_;
+  size_t weight_used_ = 0;
+  size_t tombstones_ = 0;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<QueryCacheKey, std::list<Entry>::iterator,
                      QueryCacheKeyHasher>

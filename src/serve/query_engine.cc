@@ -1,6 +1,7 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -97,6 +98,43 @@ class QueryEngine::ArenaLease {
   std::unique_ptr<VctBuildArena> arena_;
 };
 
+/// One queued async submission: the batch, its deadline, and the
+/// exactly-once completion callback.
+struct QueryEngine::AsyncBatch {
+  std::vector<Query> queries;
+  double limit = 0;
+  std::function<void(BatchResult&&)> done;
+  /// Keeps the engine's owner (e.g. the pinned GraphSnapshot) alive while
+  /// any task of this batch may still touch the engine.
+  std::shared_ptr<const void> lifetime;
+};
+
+/// Shared in-flight state of one dispatched batch: leader tasks write
+/// disjoint outcome slots and the last to finish finalizes.
+struct QueryEngine::AsyncBatchState {
+  std::vector<Query> queries;
+  double limit = 0;
+  std::function<void(BatchResult&&)> done;
+  std::shared_ptr<const void> lifetime;
+  std::vector<RunOutcome> outcomes;
+  BatchPlan plan;
+  std::atomic<size_t> remaining{0};
+};
+
+/// Request queue + dispatcher occupancy + drain bookkeeping. `inflight`
+/// counts accepted-but-unfinished batches plus a ticket for the running
+/// dispatcher task, so DrainAsync returning guarantees no task still
+/// touches the engine.
+struct QueryEngine::AsyncState {
+  explicit AsyncState(size_t capacity) : queue(capacity) {}
+
+  BoundedMpscQueue<AsyncBatch> queue;
+  std::atomic<bool> dispatcher_scheduled{false};
+  std::mutex mu;
+  std::condition_variable drained;
+  uint64_t inflight = 0;
+};
+
 QueryEngine::QueryEngine(const TemporalGraph& g,
                          const QueryEngineOptions& options)
     : graph_(&g),
@@ -104,9 +142,13 @@ QueryEngine::QueryEngine(const TemporalGraph& g,
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::Shared()),
       replica_rr_(std::make_unique<std::atomic<uint64_t>>(0)),
       mu_(std::make_unique<std::mutex>()),
-      cache_(std::make_unique<QueryCache>(options.cache_capacity)) {}
+      cache_(std::make_unique<QueryCache>(options.cache_capacity)),
+      async_(std::make_unique<AsyncState>(options.async_queue_capacity)) {}
 
-QueryEngine::~QueryEngine() = default;
+QueryEngine::~QueryEngine() {
+  // A moved-from or inert (StatusOr slot) engine has no async state.
+  if (async_ != nullptr) DrainAsync();
+}
 QueryEngine::QueryEngine(QueryEngine&&) noexcept = default;
 QueryEngine& QueryEngine::operator=(QueryEngine&&) noexcept = default;
 
@@ -116,7 +158,9 @@ StatusOr<QueryEngine> QueryEngine::Create(const TemporalGraph& g,
     return Status::InvalidArgument("num_index_replicas must be >= 1");
   }
   QueryEngine engine(g, options);
-  if (options.build_index && g.num_timestamps() > 0) {
+  const bool want_index = options.build_index ||
+                          options.preloaded_index != nullptr;
+  if (want_index && g.num_timestamps() > 0) {
     Status s = engine.BuildAdmissionIndex();
     if (!s.ok()) return s;
   }
@@ -124,25 +168,48 @@ StatusOr<QueryEngine> QueryEngine::Create(const TemporalGraph& g,
 }
 
 Status QueryEngine::BuildAdmissionIndex() {
+  if (options_.preloaded_index != nullptr) {
+    const PhcIndex& pre = *options_.preloaded_index;
+    if (pre.range() != graph_->FullRange()) {
+      return Status::InvalidArgument(
+          "preloaded index does not cover the graph's full range");
+    }
+    // A graph always has edges, so a genuinely matching index always has
+    // a k=1 slice; max_k == 0 means the file describes something else
+    // (and would otherwise make every query "provably" empty).
+    if (pre.max_k() < 1) {
+      return Status::InvalidArgument(
+          "preloaded index has no slices for this graph");
+    }
+    if (pre.Slice(1).num_vertices() != graph_->num_vertices()) {
+      return Status::InvalidArgument(
+          "preloaded index was built for a different vertex count");
+    }
+    index_complete_ = pre.complete();
+    InstallAdmissionIndex(pre);  // copy; caller keeps ownership
+    return Status::OK();
+  }
   PhcBuildOptions build;
   build.max_k = options_.index_max_k;
   build.pool = pool_;
   auto index = PhcIndex::Build(*graph_, graph_->FullRange(), build);
   if (!index.ok()) return index.status();
-  // Complete when uncapped, or when the cap was never reached (the span's
-  // kmax is below it) — only then does "k > max_k" prove global emptiness.
-  index_complete_ = options_.index_max_k == 0 ||
-                    index->max_k() < options_.index_max_k;
-  emergence_.reserve(index->max_k());
-  for (uint32_t k = 1; k <= index->max_k(); ++k) {
-    emergence_.push_back(ComputeEmergence(index->Slice(k)));
+  // Only a complete index proves "k > max_k" globally empty.
+  index_complete_ = index->complete();
+  InstallAdmissionIndex(std::move(index).value());
+  return Status::OK();
+}
+
+void QueryEngine::InstallAdmissionIndex(PhcIndex index) {
+  emergence_.reserve(index.max_k());
+  for (uint32_t k = 1; k <= index.max_k(); ++k) {
+    emergence_.push_back(ComputeEmergence(index.Slice(k)));
   }
   replicas_.reserve(options_.num_index_replicas);
   for (int r = 1; r < options_.num_index_replicas; ++r) {
-    replicas_.push_back(*index);  // independent copy per read-path replica
+    replicas_.push_back(index);  // independent copy per read-path replica
   }
-  replicas_.push_back(std::move(index).value());
-  return Status::OK();
+  replicas_.push_back(std::move(index));
 }
 
 const PhcIndex* QueryEngine::index(int replica) const {
@@ -198,7 +265,9 @@ RunOutcome QueryEngine::ExecuteUncached(const Query& query,
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_.queries_served;
     ++stats_.index_rejections;
-    cache_->Insert(query, out);
+    // Provable emptiness is remembered as a tombstone: 1/16th of a full
+    // LRU slot, replayed as this exact outcome on a hit.
+    cache_->InsertTombstone(query);
     return out;
   }
 
@@ -236,66 +305,204 @@ std::vector<RunOutcome> QueryEngine::ServeBatch(
   return ServeBatch(queries, options_.per_query_limit_seconds);
 }
 
-std::vector<RunOutcome> QueryEngine::ServeBatch(
-    const std::vector<Query>& queries, double per_query_limit_seconds) {
-  const size_t n = queries.size();
-  std::vector<RunOutcome> outcomes(n);
-
-  // Pre-scan under one lock: answer cache hits inline (no fan-out cost for
-  // hit-heavy workloads) and group the misses by (k, range) so each
-  // distinct query executes at most once per batch (dedup_batches).
-  std::vector<size_t> leaders;  // first index of each distinct miss
-  std::vector<std::vector<size_t>> followers;  // duplicates of each leader
-  {
-    std::unordered_map<QueryCacheKey, size_t, QueryCacheKeyHasher> group_of;
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.batches;
-    for (size_t i = 0; i < n; ++i) {
-      if (cache_->capacity() > 0 && cache_->Lookup(queries[i], &outcomes[i])) {
-        ++stats_.queries_served;
+QueryEngine::BatchPlan QueryEngine::PreScanBatch(
+    const std::vector<Query>& queries, std::vector<RunOutcome>* outcomes) {
+  // One lock: answer cache hits inline (no fan-out cost for hit-heavy
+  // workloads) and group the misses by (k, range) so each distinct query
+  // executes at most once per batch (dedup_batches).
+  BatchPlan plan;
+  std::unordered_map<QueryCacheKey, size_t, QueryCacheKeyHasher> group_of;
+  std::lock_guard<std::mutex> lock(*mu_);
+  ++stats_.batches;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (cache_->capacity() > 0 && cache_->Lookup(queries[i], &(*outcomes)[i])) {
+      ++stats_.queries_served;
+      continue;
+    }
+    if (options_.dedup_batches) {
+      const QueryCacheKey key{queries[i].k, queries[i].range};
+      auto [it, inserted] = group_of.try_emplace(key, plan.leaders.size());
+      if (!inserted) {
+        plan.followers[it->second].push_back(i);
         continue;
       }
-      if (options_.dedup_batches) {
-        const QueryCacheKey key{queries[i].k, queries[i].range};
-        auto [it, inserted] = group_of.try_emplace(key, leaders.size());
-        if (!inserted) {
-          followers[it->second].push_back(i);
-          continue;
-        }
-      }
-      leaders.push_back(i);
-      followers.emplace_back();
     }
+    plan.leaders.push_back(i);
+    plan.followers.emplace_back();
   }
+  return plan;
+}
 
-  // Execute the distinct misses, sharded over the pool.
-  auto run_leader = [&](size_t g) {
-    outcomes[leaders[g]] =
-        ExecuteUncached(queries[leaders[g]], per_query_limit_seconds);
-  };
-  if (pool_->num_threads() > 1 && leaders.size() > 1) {
-    pool_->ParallelFor(leaders.size(),
-                       [&](size_t g, int /*worker*/) { run_leader(g); });
-  } else {
-    for (size_t g = 0; g < leaders.size(); ++g) run_leader(g);
-  }
-
-  // Fan each leader's outcome out to its in-batch duplicates.
+void QueryEngine::FanOutFollowers(const BatchPlan& plan,
+                                  std::vector<RunOutcome>* outcomes) {
   bool any_followers = false;
-  for (size_t g = 0; g < leaders.size(); ++g) {
-    for (size_t i : followers[g]) {
-      outcomes[i] = outcomes[leaders[g]];
+  for (size_t g = 0; g < plan.leaders.size(); ++g) {
+    for (size_t i : plan.followers[g]) {
+      (*outcomes)[i] = (*outcomes)[plan.leaders[g]];
       any_followers = true;
     }
   }
   if (any_followers) {
     std::lock_guard<std::mutex> lock(*mu_);
-    for (size_t g = 0; g < leaders.size(); ++g) {
-      stats_.batch_dedup_hits += followers[g].size();
-      stats_.queries_served += followers[g].size();
+    for (size_t g = 0; g < plan.leaders.size(); ++g) {
+      stats_.batch_dedup_hits += plan.followers[g].size();
+      stats_.queries_served += plan.followers[g].size();
     }
   }
+}
+
+std::vector<RunOutcome> QueryEngine::ServeBatch(
+    const std::vector<Query>& queries, double per_query_limit_seconds) {
+  std::vector<RunOutcome> outcomes(queries.size());
+  const BatchPlan plan = PreScanBatch(queries, &outcomes);
+
+  // Execute the distinct misses, sharded over the pool.
+  auto run_leader = [&](size_t g) {
+    outcomes[plan.leaders[g]] =
+        ExecuteUncached(queries[plan.leaders[g]], per_query_limit_seconds);
+  };
+  if (pool_->num_threads() > 1 && plan.leaders.size() > 1) {
+    pool_->ParallelFor(plan.leaders.size(),
+                       [&](size_t g, int /*worker*/) { run_leader(g); });
+  } else {
+    for (size_t g = 0; g < plan.leaders.size(); ++g) run_leader(g);
+  }
+
+  FanOutFollowers(plan, &outcomes);
   return outcomes;
+}
+
+// --- async submission ------------------------------------------------------
+
+std::future<BatchResult> QueryEngine::SubmitAsync(std::vector<Query> queries) {
+  auto promise = std::make_shared<std::promise<BatchResult>>();
+  std::future<BatchResult> future = promise->get_future();
+  SubmitAsyncWithCallback(std::move(queries), [promise](BatchResult&& result) {
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+void QueryEngine::SubmitAsync(std::vector<Query> queries,
+                              BatchCompletionQueue* cq, uint64_t tag) {
+  SubmitAsyncWithCallback(std::move(queries), [cq, tag](BatchResult&& result) {
+    result.tag = tag;
+    cq->Deliver(std::move(result));
+  });
+}
+
+void QueryEngine::SetLifetimeGuard(std::weak_ptr<const void> guard) {
+  lifetime_guard_ = std::move(guard);
+}
+
+void QueryEngine::SubmitAsyncWithCallback(
+    std::vector<Query> queries, std::function<void(BatchResult&&)> on_done,
+    std::shared_ptr<const void> lifetime) {
+  AsyncBatch batch;
+  batch.queries = std::move(queries);
+  batch.limit = options_.per_query_limit_seconds;
+  batch.done = std::move(on_done);
+  batch.lifetime = std::move(lifetime);
+  {
+    std::lock_guard<std::mutex> lock(async_->mu);
+    ++async_->inflight;
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.async_batches;
+  }
+  // The queue never closes while the engine lives, so Push cannot fail; it
+  // blocks while the queue is at capacity (producer backpressure).
+  async_->queue.Push(std::move(batch));
+  ScheduleDispatcher();
+}
+
+void QueryEngine::ScheduleDispatcher() {
+  if (async_->dispatcher_scheduled.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(async_->mu);
+    ++async_->inflight;  // the dispatcher's own ticket
+  }
+  // The dispatcher pins the engine's owner for its whole run and releases
+  // its ticket before dropping the pin, so an owner whose last reference
+  // dies inside an engine task never waits on that task's own ticket.
+  //
+  // On a 1-thread pool Submit runs inline: the whole async path completes
+  // synchronously before SubmitAsync returns, matching the engine's
+  // serial-degeneration contract.
+  std::shared_ptr<const void> pin = lifetime_guard_.lock();
+  pool_->Submit([this, pin] { DispatchAsyncBatches(); });
+}
+
+void QueryEngine::DispatchAsyncBatches() {
+  for (;;) {
+    AsyncBatch batch;
+    while (async_->queue.TryPop(&batch)) {
+      ProcessAsyncBatch(std::move(batch));
+    }
+    // Stand down, then re-check: a producer that pushed after the last
+    // TryPop but before the store either sees the flag still true (we
+    // reclaim below) or schedules a fresh dispatcher that owns the role.
+    async_->dispatcher_scheduled.store(false);
+    if (async_->queue.size() == 0 ||
+        async_->dispatcher_scheduled.exchange(true)) {
+      break;
+    }
+  }
+  FinishInflight();  // release the dispatcher ticket
+}
+
+void QueryEngine::ProcessAsyncBatch(AsyncBatch batch) {
+  auto state = std::make_shared<AsyncBatchState>();
+  state->queries = std::move(batch.queries);
+  state->limit = batch.limit;
+  state->done = std::move(batch.done);
+  state->lifetime = std::move(batch.lifetime);
+  state->outcomes.resize(state->queries.size());
+  state->plan = PreScanBatch(state->queries, &state->outcomes);
+  if (state->plan.leaders.empty()) {  // pure cache-hit (or empty) batch
+    FinalizeAsyncBatch(state);
+    return;
+  }
+  // Each distinct miss becomes its own pool task: no worker blocks on a
+  // batch barrier, and leaders of different batches interleave freely. The
+  // last leader to finish finalizes — possibly while the dispatcher is
+  // already processing the next queued batch.
+  state->remaining.store(state->plan.leaders.size(),
+                         std::memory_order_relaxed);
+  for (size_t g = 0; g < state->plan.leaders.size(); ++g) {
+    pool_->Submit([this, state, g] {
+      const size_t i = state->plan.leaders[g];
+      state->outcomes[i] = ExecuteUncached(state->queries[i], state->limit);
+      if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        FinalizeAsyncBatch(state);
+      }
+    });
+  }
+}
+
+void QueryEngine::FinalizeAsyncBatch(
+    const std::shared_ptr<AsyncBatchState>& state) {
+  FanOutFollowers(state->plan, &state->outcomes);
+  BatchResult result;
+  result.outcomes = std::move(state->outcomes);
+  state->done(std::move(result));
+  FinishInflight();
+}
+
+void QueryEngine::FinishInflight() {
+  std::lock_guard<std::mutex> lock(async_->mu);
+  if (--async_->inflight == 0) {
+    // Notify while still holding the mutex: a DrainAsync waiter may
+    // destroy the engine the instant it observes inflight == 0, and an
+    // unlocked notify would then touch a freed condition variable.
+    async_->drained.notify_all();
+  }
+}
+
+void QueryEngine::DrainAsync() {
+  std::unique_lock<std::mutex> lock(async_->mu);
+  async_->drained.wait(lock, [this] { return async_->inflight == 0; });
 }
 
 ServeStats QueryEngine::stats() const {

@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "serve/query_cache.h"
+#include "util/mpsc_queue.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "vct/phc_index.h"
@@ -37,7 +40,17 @@
 ///    produce — no build, no allocation.
 ///  * **Memoization.** Completed outcomes are stored in a bounded LRU
 ///    (serve/query_cache.h) keyed by (k, range), so repeated-query
-///    workloads are served at lookup cost.
+///    workloads are served at lookup cost; admission rejections are stored
+///    as compact tombstones (1/16th of a full slot).
+///  * **Async submission.** SubmitAsync enqueues a batch on a bounded MPSC
+///    request queue and returns immediately with a std::future (or routes
+///    the finished BatchResult to a caller-owned BatchCompletionQueue): a
+///    pool-resident dispatcher drains the queue and fans each batch's
+///    distinct misses out as individual pool tasks, so clients keep
+///    issuing while earlier batches run and no pool worker ever blocks on
+///    a batch barrier. A full request queue blocks the submitter
+///    (backpressure). On a 1-thread pool the whole path degenerates to
+///    synchronous inline execution, trivially deterministic.
 ///
 /// Determinism contract: the *result* fields of a served outcome (status
 /// code, num_cores, result_size_edges, vct_size, ecs_size) are bit-identical
@@ -98,6 +111,59 @@ struct QueryEngineOptions {
   /// round-robin across replicas; on multi-socket machines, replicas keep
   /// index reads socket-local instead of hammering one allocation.
   int num_index_replicas = 1;
+
+  /// Bound of the async submission queue: at most this many batches wait
+  /// for dispatch; further SubmitAsync calls block until room frees up
+  /// (producer backpressure, never an unbounded backlog).
+  size_t async_queue_capacity = 256;
+
+  /// Serve the admission index from this prebuilt PHC index (typically
+  /// LoadPhcIndex from vct/index_io.h) instead of building one at
+  /// construction — the persist/load path that amortizes engine start-up.
+  /// Implies build_index; must cover the graph's FullRange() and vertex
+  /// count. Copied into the engine; only read during Create.
+  const PhcIndex* preloaded_index = nullptr;
+};
+
+/// The completed answer to one asynchronously submitted batch.
+struct BatchResult {
+  std::vector<RunOutcome> outcomes;  ///< outcomes[i] answers queries[i]
+  /// Version of the graph snapshot the batch executed against — 0 from a
+  /// plain QueryEngine, the pinned snapshot's version from a
+  /// LiveQueryEngine (serve/snapshot.h).
+  uint64_t snapshot_version = 0;
+  /// Caller-chosen correlation tag (completion-queue submissions only).
+  uint64_t tag = 0;
+};
+
+/// A caller-owned queue of finished batches — the completion-queue flavor
+/// of async submission for event-loop-shaped clients that multiplex many
+/// in-flight batches without holding futures. The engine pushes each
+/// finished BatchResult (stamped with the submission's tag); the client
+/// pops with Next/TryNext. Bounded: a slow consumer eventually blocks the
+/// pool workers delivering completions, which is the intended backpressure.
+class BatchCompletionQueue {
+ public:
+  explicit BatchCompletionQueue(size_t capacity = 1024) : queue_(capacity) {}
+
+  /// Blocks for the next finished batch; false once Shutdown() was called
+  /// and every delivered batch has been popped.
+  bool Next(BatchResult* out) { return queue_.Pop(out); }
+
+  /// Non-blocking variant; false when nothing is ready right now.
+  bool TryNext(BatchResult* out) { return queue_.TryPop(out); }
+
+  /// Wakes blocked consumers once in-flight deliveries drain. Call only
+  /// after the submitting engines are done delivering (e.g. DrainAsync).
+  void Shutdown() { queue_.Close(); }
+
+  size_t pending() const { return queue_.size(); }
+
+  /// Engine-side delivery (blocks while the queue is full).
+  void Deliver(BatchResult result) { queue_.Push(std::move(result)); }
+
+ private:
+  BoundedMpscQueue<BatchResult> queue_;
 };
 
 /// Monotone counters describing everything an engine has served.
@@ -110,6 +176,7 @@ struct ServeStats {
   uint64_t index_rejections = 0;  ///< answered empty from the admission index
   uint64_t batch_dedup_hits = 0;  ///< served as in-batch duplicates
   uint64_t executed = 0;          ///< ran the full algorithm
+  uint64_t async_batches = 0;     ///< batches that arrived via SubmitAsync
 };
 
 class QueryEngine {
@@ -140,6 +207,50 @@ class QueryEngine {
   std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries);
   std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries,
                                      double per_query_limit_seconds);
+
+  // --- async submission --------------------------------------------------
+  //
+  // Lifetime contract: the engine must not be moved or destroyed while
+  // async batches are in flight; the destructor (and DrainAsync) blocks
+  // until every accepted batch has delivered its result. The serving pool
+  // must outlive the drain.
+
+  /// Enqueues the batch on the bounded request queue and returns a future
+  /// for its result. Blocks only when the request queue is full. Any
+  /// number of threads may submit concurrently; batches dispatch FIFO but
+  /// complete in any order (later batches overlap earlier ones).
+  std::future<BatchResult> SubmitAsync(std::vector<Query> queries);
+
+  /// As above, delivering the finished result (stamped with `tag`) to `cq`
+  /// instead of a future. `cq` must outlive the delivery (DrainAsync
+  /// before destroying it).
+  void SubmitAsync(std::vector<Query> queries, BatchCompletionQueue* cq,
+                   uint64_t tag);
+
+  /// The primitive under both flavors: `on_done` runs exactly once, on a
+  /// pool thread (inline on a 1-thread pool), when the batch completes.
+  /// The live-update layer (serve/snapshot.h) uses it to stamp snapshot
+  /// versions; it passes the snapshot pin as `lifetime` so the batch's
+  /// tasks keep the snapshot (and this engine) alive until they are done
+  /// with it.
+  void SubmitAsyncWithCallback(std::vector<Query> queries,
+                               std::function<void(BatchResult&&)> on_done,
+                               std::shared_ptr<const void> lifetime = nullptr);
+
+  /// Owner-installed keep-alive for the engine's internal async tasks.
+  /// Every dispatcher task locks this guard for its whole run, and batch
+  /// tasks hold their submission's `lifetime`; each task releases its
+  /// drain ticket *before* dropping its pin. Net effect: when the last pin
+  /// disappears — possibly on a pool thread — no ticket is outstanding, so
+  /// the destructor's drain returns without blocking and destroying an
+  /// owner (e.g. a GraphSnapshot) from inside one of this engine's own
+  /// pool tasks cannot deadlock on itself. Must be set before the first
+  /// SubmitAsync; unset (plain engines), the caller simply must not
+  /// destroy the engine from inside one of its own tasks.
+  void SetLifetimeGuard(std::weak_ptr<const void> guard);
+
+  /// Blocks until every batch accepted by SubmitAsync has delivered.
+  void DrainAsync();
 
   /// Snapshot of the cumulative serving counters.
   ServeStats stats() const;
@@ -175,6 +286,8 @@ class QueryEngine {
   QueryEngine(const TemporalGraph& g, const QueryEngineOptions& options);
 
   Status BuildAdmissionIndex();
+  /// Derives emergence tables and read-path replicas from a built index.
+  void InstallAdmissionIndex(PhcIndex index);
   RunOutcome ServeOne(const Query& query, double limit_seconds);
 
   /// The post-cache-miss path: admission check, algorithm execution, cache
@@ -184,6 +297,29 @@ class QueryEngine {
   /// Checks an arena out of the free list (allocating only when every
   /// existing arena is in flight) and returns it on destruction.
   class ArenaLease;
+
+  /// One locked pre-scan over a batch: cache hits answered inline into
+  /// `outcomes`, remaining distinct misses grouped into leaders (first
+  /// occurrence) and followers (in-batch duplicates).
+  struct BatchPlan {
+    std::vector<size_t> leaders;
+    std::vector<std::vector<size_t>> followers;
+  };
+  BatchPlan PreScanBatch(const std::vector<Query>& queries,
+                         std::vector<RunOutcome>* outcomes);
+  /// Copies each leader's outcome to its followers and settles counters.
+  void FanOutFollowers(const BatchPlan& plan,
+                       std::vector<RunOutcome>* outcomes);
+
+  // Async machinery (defined in query_engine.cc).
+  struct AsyncBatch;       ///< one queued submission
+  struct AsyncBatchState;  ///< one dispatched batch's shared in-flight state
+  struct AsyncState;       ///< queue + dispatcher + drain bookkeeping
+  void ScheduleDispatcher();
+  void DispatchAsyncBatches();
+  void ProcessAsyncBatch(AsyncBatch batch);
+  void FinalizeAsyncBatch(const std::shared_ptr<AsyncBatchState>& state);
+  void FinishInflight();
 
   const TemporalGraph* graph_ = nullptr;
   QueryEngineOptions options_;
@@ -203,6 +339,10 @@ class QueryEngine {
   std::unique_ptr<QueryCache> cache_;
   std::vector<std::unique_ptr<VctBuildArena>> free_arenas_;
   ServeStats stats_;
+
+  /// Async submission state (request queue, dispatcher flag, drain cv).
+  std::unique_ptr<AsyncState> async_;
+  std::weak_ptr<const void> lifetime_guard_;
 };
 
 }  // namespace tkc

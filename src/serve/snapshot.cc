@@ -1,0 +1,204 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace tkc {
+
+StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::Create(
+    TemporalGraph graph, uint64_t version, const QueryEngineOptions& options) {
+  // Two-phase: the graph must reach its final address before the engine
+  // captures a pointer to it.
+  std::shared_ptr<GraphSnapshot> snapshot(new GraphSnapshot());
+  snapshot->graph_ = std::move(graph);
+  snapshot->version_ = version;
+  auto engine = QueryEngine::Create(snapshot->graph_, options);
+  if (!engine.ok()) return engine.status();
+  snapshot->engine_.emplace(std::move(engine).value());
+  // The engine's internal async tasks pin this snapshot while they run, so
+  // dropping the last external pin inside one of those tasks destroys the
+  // snapshot without the engine's drain waiting on the running task.
+  snapshot->engine_->SetLifetimeGuard(
+      std::weak_ptr<const void>(std::shared_ptr<const void>(snapshot)));
+  return std::shared_ptr<const GraphSnapshot>(std::move(snapshot));
+}
+
+StatusOr<std::unique_ptr<LiveQueryEngine>> LiveQueryEngine::Create(
+    TemporalGraph initial_graph, const LiveEngineOptions& options) {
+  auto initial =
+      GraphSnapshot::Create(std::move(initial_graph), 0, options.engine);
+  if (!initial.ok()) return initial.status();
+  return std::unique_ptr<LiveQueryEngine>(
+      new LiveQueryEngine(std::move(initial).value(), options));
+}
+
+LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
+                                 const LiveEngineOptions& options)
+    : options_(options),
+      current_(initial),
+      update_queue_(options.update_queue_capacity),
+      updater_([this] { UpdaterLoop(); }) {
+  // A preloaded admission index describes exactly one graph — the initial
+  // one. Rebuilt snapshots must build their own fresh index (the preloaded
+  // pointer may even dangle by then); preloading implies the operator
+  // wants an admission index, so rebuilds keep building one.
+  rebuild_engine_options_ = options.engine;
+  if (rebuild_engine_options_.preloaded_index != nullptr) {
+    rebuild_engine_options_.preloaded_index = nullptr;
+    rebuild_engine_options_.build_index = true;
+  }
+  all_snapshots_.push_back(std::move(initial));
+}
+
+LiveQueryEngine::~LiveQueryEngine() {
+  update_queue_.Close();  // queued batches still drain, then the loop exits
+  updater_.join();
+  // Drain every snapshot that still exists, not just the current one: a
+  // batch pinned to an older version may still be delivering (e.g. into a
+  // caller's BatchCompletionQueue), and the caller must be able to destroy
+  // that queue right after this destructor returns. An expired weak_ptr
+  // means every pin is gone, which implies that snapshot has nothing in
+  // flight.
+  std::vector<std::weak_ptr<const GraphSnapshot>> snapshots;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshots.swap(all_snapshots_);
+  }
+  for (const auto& weak : snapshots) {
+    if (std::shared_ptr<const GraphSnapshot> alive = weak.lock()) {
+      alive->engine().DrainAsync();
+    }
+  }
+}
+
+std::shared_ptr<const GraphSnapshot> LiveQueryEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return current_;
+}
+
+BatchResult LiveQueryEngine::ServeBatch(const std::vector<Query>& queries) {
+  std::shared_ptr<const GraphSnapshot> pin = snapshot();
+  BatchResult result;
+  result.outcomes = pin->engine().ServeBatch(queries);
+  result.snapshot_version = pin->version();
+  return result;
+}
+
+std::future<BatchResult> LiveQueryEngine::SubmitAsync(
+    std::vector<Query> queries) {
+  auto promise = std::make_shared<std::promise<BatchResult>>();
+  std::future<BatchResult> future = promise->get_future();
+  std::shared_ptr<const GraphSnapshot> pin = snapshot();
+  // The callback owns the pin: the snapshot (graph, engine, index) cannot
+  // die before the batch's result is delivered, no matter how many swaps
+  // happen in between.
+  pin->engine().SubmitAsyncWithCallback(
+      std::move(queries),
+      [pin, promise](BatchResult&& result) {
+        result.snapshot_version = pin->version();
+        promise->set_value(std::move(result));
+      },
+      pin);
+  return future;
+}
+
+void LiveQueryEngine::SubmitAsync(std::vector<Query> queries,
+                                  BatchCompletionQueue* cq, uint64_t tag) {
+  std::shared_ptr<const GraphSnapshot> pin = snapshot();
+  pin->engine().SubmitAsyncWithCallback(
+      std::move(queries),
+      [pin, cq, tag](BatchResult&& result) {
+        result.snapshot_version = pin->version();
+        result.tag = tag;
+        cq->Deliver(std::move(result));
+      },
+      pin);
+}
+
+std::future<Status> LiveQueryEngine::ApplyUpdates(
+    std::vector<RawTemporalEdge> edges) {
+  UpdateRequest request;
+  request.edges = std::move(edges);
+  request.done = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = request.done->get_future();
+  if (!update_queue_.Push(std::move(request))) {
+    // Only possible during/after destruction; report rather than hang.
+    auto rejected = std::make_shared<std::promise<Status>>();
+    rejected->set_value(
+        Status::FailedPrecondition("live engine is shutting down"));
+    return rejected->get_future();
+  }
+  return future;
+}
+
+void LiveQueryEngine::UpdaterLoop() {
+  UpdateRequest request;
+  while (update_queue_.Pop(&request)) {
+    WallTimer rebuild_timer;
+    // Rebuild off-thread: serving continues on the current snapshot while
+    // this thread (and, inside PhcIndex::Build, the serving pool) builds
+    // the successor.
+    std::shared_ptr<const GraphSnapshot> base;
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      base = current_;
+    }
+    auto next_graph = base->graph().AppendEdges(request.edges);
+    Status status = next_graph.ok() ? Status::OK() : next_graph.status();
+    std::shared_ptr<const GraphSnapshot> next;
+    if (status.ok()) {
+      auto built = GraphSnapshot::Create(std::move(next_graph).value(),
+                                         next_version_,
+                                         rebuild_engine_options_);
+      status = built.ok() ? Status::OK() : built.status();
+      if (built.ok()) next = std::move(built).value();
+    }
+    const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+    double swap_seconds = 0;
+    if (status.ok()) {
+      ++next_version_;
+      WallTimer swap_timer;
+      {
+        // The swap is one shared_ptr assignment under a micro-lock:
+        // queries pin before or after, never mid-swap (no torn reads).
+        std::lock_guard<std::mutex> lock(snapshot_mu_);
+        current_ = next;
+        // Track the new version for destructor-time draining; expired
+        // entries (snapshots whose last pin is gone) are pruned here so
+        // the list stays proportional to snapshots actually alive.
+        all_snapshots_.erase(
+            std::remove_if(all_snapshots_.begin(), all_snapshots_.end(),
+                           [](const std::weak_ptr<const GraphSnapshot>& w) {
+                             return w.expired();
+                           }),
+            all_snapshots_.end());
+        all_snapshots_.push_back(std::move(next));
+      }
+      swap_seconds = swap_timer.ElapsedSeconds();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (status.ok()) {
+        ++stats_.swaps;
+        stats_.edges_applied += request.edges.size();
+        stats_.last_rebuild_seconds = rebuild_seconds;
+        stats_.last_swap_seconds = swap_seconds;
+      } else {
+        ++stats_.failed_updates;
+      }
+    }
+    request.done->set_value(std::move(status));
+    request = UpdateRequest();  // release the edges/promise promptly
+  }
+}
+
+LiveStats LiveQueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace tkc

@@ -1,0 +1,190 @@
+#ifndef TKC_SERVE_SNAPSHOT_H_
+#define TKC_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "serve/query_engine.h"
+#include "util/mpsc_queue.h"
+#include "util/status.h"
+
+/// \file snapshot.h
+/// Live updates for the serving layer: a versioned, immutable
+/// (graph + engine) snapshot and a LiveQueryEngine that serves queries from
+/// the current snapshot while rebuilding the next one off-thread.
+///
+/// Consistency model — *pinned snapshots, no torn reads*:
+///
+///  * A GraphSnapshot is immutable: the temporal graph, the PHC admission
+///    index replicas, and the per-k emergence tables are all built once and
+///    never mutated (the engine's cache/arena internals are mutable but
+///    internally synchronized and invisible to results).
+///  * Every submission — sync or async — *pins* the snapshot that is
+///    current at submission time by holding its shared_ptr until the
+///    batch's result is delivered. All queries of one batch therefore
+///    answer against exactly one graph version, even if any number of
+///    swaps land while the batch is in flight.
+///  * ApplyUpdates never blocks serving: a dedicated updater thread builds
+///    the successor snapshot (graph rebuild + parallel PhcIndex::Build on
+///    the serving pool) off to the side and then swaps one shared_ptr
+///    under a micro-lock. Old snapshots die when their last pinned batch
+///    completes.
+///  * Update batches are applied strictly FIFO (a bounded MPSC queue feeds
+///    the updater thread), so versions advance 1, 2, 3, ... and version N
+///    is exactly the initial graph plus update batches 1..N — the property
+///    the differential harness replays against.
+
+namespace tkc {
+
+/// One immutable graph version with its serving engine. Always heap-owned
+/// via shared_ptr (Create returns one) so in-flight batches can pin it past
+/// a swap; never copied or moved (the engine holds a pointer to the graph).
+class GraphSnapshot {
+ public:
+  /// Builds a snapshot owning `graph` and an engine configured by
+  /// `options` (options.pool etc. apply per snapshot).
+  static StatusOr<std::shared_ptr<const GraphSnapshot>> Create(
+      TemporalGraph graph, uint64_t version,
+      const QueryEngineOptions& options);
+
+  GraphSnapshot(const GraphSnapshot&) = delete;
+  GraphSnapshot& operator=(const GraphSnapshot&) = delete;
+
+  const TemporalGraph& graph() const { return graph_; }
+  uint64_t version() const { return version_; }
+
+  /// The snapshot's serving engine. Non-const on purpose: serving mutates
+  /// internal caches/counters, all internally synchronized — logically the
+  /// snapshot stays immutable, which is why this is callable on const.
+  QueryEngine& engine() const { return *engine_; }
+
+ private:
+  GraphSnapshot() = default;
+
+  TemporalGraph graph_;
+  uint64_t version_ = 0;
+  /// optional<> only because QueryEngine is built after graph_ is in place
+  /// (it keeps a pointer to it); engaged for the snapshot's whole life.
+  mutable std::optional<QueryEngine> engine_;
+};
+
+/// Configuration of a LiveQueryEngine.
+struct LiveEngineOptions {
+  /// Per-snapshot engine configuration (algorithm, pool, cache, admission
+  /// index, async queue bound). Applied to every rebuilt snapshot.
+  QueryEngineOptions engine;
+
+  /// Bound of the update queue: at most this many ApplyUpdates batches
+  /// wait for the updater thread; further calls block (backpressure).
+  size_t update_queue_capacity = 64;
+};
+
+/// Monotone counters and last-event gauges for the live layer.
+struct LiveStats {
+  uint64_t swaps = 0;            ///< snapshots swapped in
+  uint64_t edges_applied = 0;    ///< update edges ingested across all swaps
+  uint64_t failed_updates = 0;   ///< ApplyUpdates batches that failed
+  double last_rebuild_seconds = 0;  ///< graph + index rebuild of last swap
+  double last_swap_seconds = 0;     ///< pointer swap of last swap (~0)
+};
+
+/// A QueryEngine that stays correct while edges keep arriving: serves every
+/// submission from a pinned immutable snapshot and applies updates by
+/// building and atomically swapping in the successor snapshot.
+class LiveQueryEngine {
+ public:
+  /// Stands up version 0 from `initial_graph` and starts the updater
+  /// thread. The pool in options.engine (shared pool when null) must
+  /// outlive the engine.
+  static StatusOr<std::unique_ptr<LiveQueryEngine>> Create(
+      TemporalGraph initial_graph, const LiveEngineOptions& options = {});
+
+  /// Stops accepting updates, finishes queued rebuilds, joins the updater
+  /// thread, and drains the current snapshot's async batches. Batches
+  /// pinned to older snapshots may still be completing; their pins keep
+  /// those snapshots (and their engines) alive independently of this
+  /// object.
+  ~LiveQueryEngine();
+
+  LiveQueryEngine(const LiveQueryEngine&) = delete;
+  LiveQueryEngine& operator=(const LiveQueryEngine&) = delete;
+
+  /// Pins and returns the current snapshot (callers may hold it as long as
+  /// they like; it stays valid and immutable past any number of swaps).
+  std::shared_ptr<const GraphSnapshot> snapshot() const;
+
+  /// Version of the current snapshot (0 = initial graph).
+  uint64_t version() const { return snapshot()->version(); }
+
+  /// Serves synchronously on the calling thread against the pinned current
+  /// snapshot; the result's snapshot_version records which one.
+  BatchResult ServeBatch(const std::vector<Query>& queries);
+
+  /// Async submission against the pinned current snapshot; the future's
+  /// BatchResult carries the pinned version. See
+  /// QueryEngine::SubmitAsync for queueing/backpressure semantics.
+  std::future<BatchResult> SubmitAsync(std::vector<Query> queries);
+
+  /// Completion-queue flavor; the delivered result carries `tag` and the
+  /// pinned version.
+  void SubmitAsync(std::vector<Query> queries, BatchCompletionQueue* cq,
+                   uint64_t tag);
+
+  /// Enqueues one batch of edges for ingestion. Returns immediately with a
+  /// future that resolves once the rebuilt snapshot has been swapped in
+  /// (Status::OK) or the rebuild failed (the previous snapshot stays
+  /// current). Batches apply strictly in submission order; queries keep
+  /// completing against their pinned snapshots throughout. Blocks only
+  /// when update_queue_capacity batches are already waiting.
+  std::future<Status> ApplyUpdates(std::vector<RawTemporalEdge> edges);
+
+  LiveStats stats() const;
+
+ private:
+  struct UpdateRequest {
+    std::vector<RawTemporalEdge> edges;
+    std::shared_ptr<std::promise<Status>> done;
+  };
+
+  LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
+                  const LiveEngineOptions& options);
+
+  /// Updater thread body: pops update batches, rebuilds, swaps.
+  void UpdaterLoop();
+
+  LiveEngineOptions options_;
+  /// options_.engine minus preloaded_index: a preloaded admission index
+  /// matches only the initial graph, so rebuilt snapshots always build
+  /// their own (still building one when preloading asked for one).
+  QueryEngineOptions rebuild_engine_options_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const GraphSnapshot> current_;
+  /// Every version ever swapped in that may still be alive, so the
+  /// destructor can drain batches pinned to superseded snapshots (their
+  /// completion-queue deliveries must finish before the caller tears the
+  /// queue down). Expired entries are pruned on each swap.
+  std::vector<std::weak_ptr<const GraphSnapshot>> all_snapshots_;
+  uint64_t next_version_ = 1;
+
+  mutable std::mutex stats_mu_;
+  LiveStats stats_;
+
+  /// FIFO of pending update batches feeding the updater thread. The
+  /// updater is a dedicated thread (not a pool task) so the rebuild's
+  /// PhcIndex::Build genuinely fans out over the serving pool instead of
+  /// degrading to an inline loop inside a pool worker.
+  BoundedMpscQueue<UpdateRequest> update_queue_;
+  std::thread updater_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_SERVE_SNAPSHOT_H_

@@ -1,0 +1,121 @@
+#ifndef TKC_UTIL_MPSC_QUEUE_H_
+#define TKC_UTIL_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+/// \file mpsc_queue.h
+/// A bounded blocking FIFO for the serving layer's request/completion
+/// plumbing: many client threads push, one (or more) drainers pop. Design
+/// points:
+///
+///  * **Bounded.** Push blocks while the queue holds `capacity` items, so a
+///    submission storm exerts backpressure on producers instead of growing
+///    an unbounded backlog. Capacity 0 is clamped to 1 (it would deadlock).
+///  * **Closeable.** Close() wakes every blocked producer and consumer;
+///    Push fails after close, Pop drains the remaining items and then
+///    fails. This is the shutdown handshake: close, then join the drainer.
+///  * **Mutex-based on purpose.** Queue operations bracket work that is
+///    orders of magnitude heavier (a k-core query, an index rebuild);
+///    a lock-free ring would optimize the wrong layer.
+///
+/// The name states the intended role (multi-producer, single-consumer);
+/// the implementation is safe for multiple consumers too.
+
+namespace tkc {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes); true iff enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues only if there is room right now; never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue closes and drains);
+  /// true iff `*out` received an item.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and fully drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Dequeues only if an item is available right now; never blocks.
+  bool TryPop(T* out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes every waiter. Items already queued
+  /// remain poppable (drain-then-fail semantics). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_MPSC_QUEUE_H_

@@ -12,6 +12,7 @@ namespace {
 
 constexpr uint32_t kVctMagic = 0x56434b54;  // "TKCV" little-endian
 constexpr uint32_t kEcsMagic = 0x45434b54;  // "TKCE"
+constexpr uint32_t kPhcMagic = 0x50434b54;  // "TKCP"
 constexpr uint32_t kVersion = 1;
 
 void PutU32(std::string* out, uint32_t v) {
@@ -41,6 +42,12 @@ class Reader {
     if (pos_ + 8 > bytes_.size()) return false;
     std::memcpy(v, bytes_.data() + pos_, 8);
     pos_ += 8;
+    return true;
+  }
+  bool ReadBytes(uint64_t length, std::string* out) {
+    if (length > bytes_.size() || pos_ + length > bytes_.size()) return false;
+    out->assign(bytes_, pos_, static_cast<size_t>(length));
+    pos_ += static_cast<size_t>(length);
     return true;
   }
   bool AtEnd() const { return pos_ == bytes_.size(); }
@@ -214,6 +221,70 @@ StatusOr<EdgeCoreWindowSkyline> DeserializeEcs(const std::string& bytes) {
                                               Window{rs, re}, emissions);
 }
 
+std::string SerializePhcIndex(const PhcIndex& index) {
+  std::string out;
+  PutU32(&out, kPhcMagic);
+  PutU32(&out, kVersion);
+  PutU32(&out, index.range().start);
+  PutU32(&out, index.range().end);
+  PutU32(&out, index.complete() ? 1 : 0);
+  PutU32(&out, index.max_k());
+  for (uint32_t k = 1; k <= index.max_k(); ++k) {
+    std::string slice = SerializeVctIndex(index.Slice(k));
+    PutU64(&out, slice.size());
+    out += slice;
+  }
+  return out;
+}
+
+StatusOr<PhcIndex> DeserializePhcIndex(const std::string& bytes) {
+  Reader reader(bytes);
+  uint32_t magic, version, rs, re, complete, max_k;
+  if (!reader.ReadU32(&magic) || magic != kPhcMagic) {
+    return Status::Corruption("bad PHC magic");
+  }
+  if (!reader.ReadU32(&version) || version != kVersion) {
+    return Status::Corruption("unsupported PHC version");
+  }
+  if (!reader.ReadU32(&rs) || !reader.ReadU32(&re) ||
+      !reader.ReadU32(&complete) || !reader.ReadU32(&max_k)) {
+    return Status::Corruption("truncated PHC header");
+  }
+  if (rs < 1 || rs > re || re == kInfTime || complete > 1) {
+    return Status::Corruption("invalid PHC header fields");
+  }
+  // Bound the file-controlled slice count before reserving: every slice
+  // costs at least its 8-byte length prefix, so a max_k beyond that is a
+  // lie about the payload and would otherwise turn into a huge reserve().
+  if (static_cast<uint64_t>(max_k) * 8 > bytes.size()) {
+    return Status::Corruption("PHC slice count exceeds payload");
+  }
+  std::vector<VertexCoreTimeIndex> slices;
+  slices.reserve(max_k);
+  for (uint32_t k = 1; k <= max_k; ++k) {
+    uint64_t length;
+    if (!reader.ReadU64(&length)) {
+      return Status::Corruption("truncated PHC slice header");
+    }
+    std::string slice_bytes;
+    if (!reader.ReadBytes(length, &slice_bytes)) {
+      return Status::Corruption("truncated PHC slice");
+    }
+    auto slice = DeserializeVctIndex(slice_bytes);
+    if (!slice.ok()) return slice.status();
+    slices.push_back(std::move(slice).value());
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in PHC");
+  auto index =
+      PhcIndex::FromSlices(Window{rs, re}, complete == 1, std::move(slices));
+  if (!index.ok()) {
+    // Structurally valid slices that disagree with each other are
+    // corruption from the reader's point of view.
+    return Status::Corruption(index.status().message());
+  }
+  return index;
+}
+
 Status SaveVctIndex(const VertexCoreTimeIndex& index,
                     const std::string& path) {
   return WriteFile(path, SerializeVctIndex(index));
@@ -233,6 +304,16 @@ StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path) {
   std::string bytes;
   TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
   return DeserializeEcs(bytes);
+}
+
+Status SavePhcIndex(const PhcIndex& index, const std::string& path) {
+  return WriteFile(path, SerializePhcIndex(index));
+}
+
+StatusOr<PhcIndex> LoadPhcIndex(const std::string& path) {
+  std::string bytes;
+  TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  return DeserializePhcIndex(bytes);
 }
 
 }  // namespace tkc

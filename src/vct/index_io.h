@@ -5,6 +5,7 @@
 
 #include "util/status.h"
 #include "vct/ecs.h"
+#include "vct/phc_index.h"
 #include "vct/vct_index.h"
 
 /// \file index_io.h
@@ -31,11 +32,23 @@ std::string SerializeEcs(const EdgeCoreWindowSkyline& ecs);
 /// Parses an ECS; Corruption on any structural violation.
 StatusOr<EdgeCoreWindowSkyline> DeserializeEcs(const std::string& bytes);
 
+/// Serializes a full multi-k PHC index ("TKCP" container: header +
+/// length-prefixed per-slice VCT blocks) — the admission index a
+/// QueryEngine builds at start-up, persisted once and reloaded via
+/// QueryEngineOptions::preloaded_index to amortize engine start-up.
+std::string SerializePhcIndex(const PhcIndex& index);
+
+/// Parses a PHC index; Corruption on any structural violation (including
+/// per-slice VCT violations and cross-slice range mismatches).
+StatusOr<PhcIndex> DeserializePhcIndex(const std::string& bytes);
+
 /// File convenience wrappers.
 Status SaveVctIndex(const VertexCoreTimeIndex& index, const std::string& path);
 StatusOr<VertexCoreTimeIndex> LoadVctIndex(const std::string& path);
 Status SaveEcs(const EdgeCoreWindowSkyline& ecs, const std::string& path);
 StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path);
+Status SavePhcIndex(const PhcIndex& index, const std::string& path);
+StatusOr<PhcIndex> LoadPhcIndex(const std::string& path);
 
 }  // namespace tkc
 

@@ -27,28 +27,57 @@ StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
   }
   PhcIndex index;
   index.range_ = range;
-  uint32_t kmax = DecomposeCores(g, range).kmax;
+  const uint32_t span_kmax = DecomposeCores(g, range).kmax;
+  uint32_t kmax = span_kmax;
   if (options.max_k > 0) kmax = std::min(kmax, options.max_k);
+  // Complete iff every k with a non-empty core got a slice — the cap was
+  // absent or at least as large as the span's kmax.
+  index.complete_ = options.max_k == 0 || span_kmax <= options.max_k;
   // Slice k lands at index k-1 no matter which worker computes it or when
   // it finishes, so the result is bit-identical to a serial build. Each
   // build is a pure function of (g, k, range); the arena only recycles
-  // scratch allocations.
+  // scratch allocations. The pool is also handed to each slice build: fanned
+  // slice workers degrade it to an inline loop (nested ParallelFor), but
+  // the serial path below — notably the kmax == 1 case a snapshot rebuild
+  // on a dedicated thread can hit — parallelizes the slice's bootstrap.
   index.slices_.resize(kmax);
   ThreadPool* pool = options.pool;
   if (pool == nullptr || pool->num_threads() <= 1 || kmax <= 1) {
     VctBuildArena arena;
     for (uint32_t k = 1; k <= kmax; ++k) {
-      index.slices_[k - 1] = BuildVctAndEcs(g, k, range, &arena).vct;
+      index.slices_[k - 1] = BuildVctAndEcs(g, k, range, &arena, pool).vct;
     }
   } else {
     std::vector<VctBuildArena> arenas(pool->num_threads());
     pool->ParallelFor(kmax, [&](size_t i, int worker) {
       index.slices_[i] =
           BuildVctAndEcs(g, static_cast<uint32_t>(i) + 1, range,
-                         &arenas[worker])
+                         &arenas[worker], pool)
               .vct;
     });
   }
+  return index;
+}
+
+StatusOr<PhcIndex> PhcIndex::FromSlices(
+    Window range, bool complete, std::vector<VertexCoreTimeIndex> slices) {
+  if (!range.Valid()) {
+    return Status::InvalidArgument("PhcIndex range is invalid");
+  }
+  for (size_t i = 0; i < slices.size(); ++i) {
+    if (slices[i].range() != range) {
+      return Status::InvalidArgument("slice " + std::to_string(i + 1) +
+                                     " covers a different range");
+    }
+    if (slices[i].num_vertices() != slices[0].num_vertices()) {
+      return Status::InvalidArgument("slice " + std::to_string(i + 1) +
+                                     " has a different vertex count");
+    }
+  }
+  PhcIndex index;
+  index.range_ = range;
+  index.complete_ = complete;
+  index.slices_ = std::move(slices);
   return index;
 }
 

@@ -49,10 +49,23 @@ class PhcIndex {
   static StatusOr<PhcIndex> Build(const TemporalGraph& g, Window range,
                                   const PhcBuildOptions& options);
 
+  /// Reassembles an index from already-built slices (the deserialization
+  /// path of vct/index_io.h). Validates that slice k sits at index k-1 over
+  /// a consistent (range, vertex count); `complete` must be the value the
+  /// original build reported. Fails with InvalidArgument on inconsistency.
+  static StatusOr<PhcIndex> FromSlices(Window range, bool complete,
+                                       std::vector<VertexCoreTimeIndex> slices);
+
   Window range() const { return range_; }
 
   /// Largest k with a slice (the window's kmax, or the build cap).
   uint32_t max_k() const { return static_cast<uint32_t>(slices_.size()); }
+
+  /// True iff the slices cover *every* k with a non-empty core in the range
+  /// — i.e. the build's max_k cap never bit (or there was none). Only a
+  /// complete index can prove "k > max_k()" queries globally empty; a
+  /// capped one cannot distinguish "no such core" from "not built".
+  bool complete() const { return complete_; }
 
   /// The VCT slice for `k` (1 <= k <= max_k()).
   const VertexCoreTimeIndex& Slice(uint32_t k) const;
@@ -76,6 +89,7 @@ class PhcIndex {
 
  private:
   Window range_{0, 0};
+  bool complete_ = true;
   std::vector<VertexCoreTimeIndex> slices_;  // index k-1
 };
 

@@ -4,6 +4,7 @@
 
 #include "util/check.h"
 #include "util/mem.h"
+#include "util/thread_pool.h"
 
 namespace tkc {
 
@@ -13,13 +14,34 @@ Timestamp Max3(Timestamp a, Timestamp b, Timestamp c) {
   return std::max(a, std::max(b, c));
 }
 
+/// Elements per task of the bootstrap fan-outs. Each element is a couple of
+/// binary searches or a three-way max — far too small to claim one at a
+/// time, so the loops shard into blocks this size.
+constexpr size_t kBootstrapChunk = 4096;
+
+/// Runs body(i) for i in [0, n): sharded in kBootstrapChunk blocks over
+/// `pool` when that wins, else inline. Bodies must write only to index i.
+template <typename Body>
+void BootstrapFor(ThreadPool* pool, size_t n, const Body& body) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2 * kBootstrapChunk) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const size_t chunks = (n + kBootstrapChunk - 1) / kBootstrapChunk;
+  pool->ParallelFor(chunks, [&](size_t c, int /*worker*/) {
+    const size_t end = std::min(n, (c + 1) * kBootstrapChunk);
+    for (size_t i = c * kBootstrapChunk; i < end; ++i) body(i);
+  });
+}
+
 // Worklist fixpoint engine advancing core times across start times. All
 // mutable state lives in the caller's VctBuildArena so repeated builds
 // (e.g. the per-k slices of PhcIndex::Build) reuse allocations.
 class CoreTimeAdvancer {
  public:
   CoreTimeAdvancer(const TemporalGraph& g, uint32_t k, Window range,
-                   VctBuildStats* stats, VctBuildArena* arena)
+                   VctBuildStats* stats, VctBuildArena* arena,
+                   ThreadPool* pool)
       : g_(g), k_(k), range_(range), stats_(stats), a_(*arena) {
     CoreTimeSweep(g_, k_, range_.start, range_.end, &a_.ct, &a_.sweep);
     const VertexId n = g.num_vertices();
@@ -31,20 +53,22 @@ class CoreTimeAdvancer {
     // of u with time in [range.start, range.end]. adj_hi is fixed; adj_lo
     // only ever moves forward as the start time advances, so the per-pop
     // binary searches of NeighborsInWindow collapse to an amortized-O(deg)
-    // lazy advance over the whole build.
+    // lazy advance over the whole build. Each vertex's cursors are
+    // independent, so the placement shards over the pool.
     a_.adj_lo.resize(n);
     a_.adj_hi.resize(n);
     auto time_less = [](const AdjEntry& e, Timestamp t) { return e.time < t; };
     auto less_time = [](Timestamp t, const AdjEntry& e) { return t < e.time; };
-    for (VertexId u = 0; u < n; ++u) {
-      const std::span<const AdjEntry> all = g.Neighbors(u);
+    BootstrapFor(pool, n, [&](size_t u) {
+      const std::span<const AdjEntry> all =
+          g.Neighbors(static_cast<VertexId>(u));
       a_.adj_lo[u] = static_cast<uint32_t>(
           std::lower_bound(all.begin(), all.end(), range.start, time_less) -
           all.begin());
       a_.adj_hi[u] = static_cast<uint32_t>(
           std::upper_bound(all.begin(), all.end(), range.end, less_time) -
           all.begin());
-    }
+    });
   }
 
   const std::vector<Timestamp>& core_times() const { return a_.ct; }
@@ -148,7 +172,8 @@ uint64_t VctBuildArena::MemoryUsageBytes() const {
 
 VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
                                        Window range, VctBuildStats* stats,
-                                       VctBuildArena* arena) {
+                                       VctBuildArena* arena,
+                                       ThreadPool* pool) {
   TKC_CHECK_GE(k, 1u);
   TKC_CHECK(range.start >= 1 && range.end <= g.num_timestamps() &&
             range.start <= range.end);
@@ -159,7 +184,7 @@ VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
   VctBuildResult result;
   const auto [first_edge, last_edge] = g.EdgeIdRangeInWindow(range);
 
-  CoreTimeAdvancer advancer(g, k, range, stats, &a);
+  CoreTimeAdvancer advancer(g, k, range, stats, &a, pool);
   const std::vector<Timestamp>& ct = advancer.core_times();
 
   a.vct_emissions.clear();
@@ -182,12 +207,12 @@ VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
       }
     }
   }
-  for (EdgeId e = first_edge; e < last_edge; ++e) {
-    const TemporalEdge& te = g.edge(e);
+  BootstrapFor(pool, last_edge - first_edge, [&](size_t i) {
+    const TemporalEdge& te = g.edge(first_edge + static_cast<EdgeId>(i));
     if (ct[te.u] != kInfTime && ct[te.v] != kInfTime) {
-      a.ect[e - first_edge] = Max3(ct[te.u], ct[te.v], te.t);
+      a.ect[i] = Max3(ct[te.u], ct[te.v], te.t);
     }
-  }
+  });
 
   // Main loop over start-time transitions s -> s+1 (Alg. 2 lines 5-11).
   for (Timestamp s = range.start; s < range.end; ++s) {
@@ -249,8 +274,8 @@ VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
 }
 
 VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k, Window range,
-                              VctBuildArena* arena) {
-  return BuildVctAndEcsWithStats(g, k, range, nullptr, arena);
+                              VctBuildArena* arena, ThreadPool* pool) {
+  return BuildVctAndEcsWithStats(g, k, range, nullptr, arena, pool);
 }
 
 }  // namespace tkc

@@ -39,6 +39,8 @@
 
 namespace tkc {
 
+class ThreadPool;  // util/thread_pool.h
+
 /// Reusable scratch for repeated VCT/ECS builds: the core-time advancer's
 /// state, the window-adjacency cursors, the sweep scratch, and the emission
 /// buffers. Passing the same arena to successive builds reuses every
@@ -67,9 +69,18 @@ struct VctBuildArena {
 };
 
 /// Builds VCT and ECS for (g, k, range) in O(m log m + |VCT| * deg_avg).
-/// `arena` (optional) recycles scratch allocations across builds.
+/// `arena` (optional) recycles scratch allocations across builds. `pool`
+/// (optional) fans the bootstrap phase — the per-vertex window-adjacency
+/// cursor placement and the initial edge-core-time fill, the parts of a
+/// build that are embarrassingly parallel — out over its workers; every
+/// parallel write lands at a fixed index, so the output is bit-identical to
+/// a serial build at any thread count. Called from inside one of `pool`'s
+/// own tasks (e.g. a PhcIndex::Build slice worker) the fan-out degrades to
+/// an inline loop; pass the pool anyway and the single-slice / dedicated-
+/// rebuild-thread paths pick up the parallelism.
 VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k, Window range,
-                              VctBuildArena* arena = nullptr);
+                              VctBuildArena* arena = nullptr,
+                              ThreadPool* pool = nullptr);
 
 /// Statistics of the last build (for benchmarks / ablation): exposed via a
 /// variant that reports counters.
@@ -82,7 +93,8 @@ struct VctBuildStats {
 /// As BuildVctAndEcs, also filling `stats` (may be nullptr).
 VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
                                        Window range, VctBuildStats* stats,
-                                       VctBuildArena* arena = nullptr);
+                                       VctBuildArena* arena = nullptr,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace tkc
 

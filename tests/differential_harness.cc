@@ -1,0 +1,251 @@
+#include "tests/differential_harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "serve/snapshot.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/query_workload.h"
+
+namespace tkc {
+
+namespace {
+
+/// The fields a naive-oracle comparison can check: the oracle reports no
+/// VCT/ECS sizes and its timings are its own, so bit-identity means status
+/// code + core count + result size.
+bool SameResults(const RunOutcome& engine, const RunOutcome& oracle) {
+  if (engine.status.code() != oracle.status.code()) return false;
+  if (!engine.status.ok()) return true;  // same failure class is enough
+  return engine.num_cores == oracle.num_cores &&
+         engine.result_size_edges == oracle.result_size_edges;
+}
+
+std::string DescribeMismatch(const DifferentialConfig& config,
+                             uint64_t version, const Query& query,
+                             const RunOutcome& engine,
+                             const RunOutcome& oracle) {
+  std::ostringstream out;
+  out << "seed=" << config.seed << " threads=" << config.threads
+      << " version=" << version << " k=" << query.k << " range=["
+      << query.range.start << "," << query.range.end << "]: engine {"
+      << engine.status.ToString() << ", cores=" << engine.num_cores
+      << ", |R|=" << engine.result_size_edges << "} vs oracle {"
+      << oracle.status.ToString() << ", cores=" << oracle.num_cores
+      << ", |R|=" << oracle.result_size_edges << "}";
+  return out.str();
+}
+
+/// One submitted query batch awaiting its result (via whichever API).
+struct PendingBatch {
+  std::vector<Query> queries;
+  std::optional<std::future<BatchResult>> future;  // async-future flavor
+  std::optional<BatchResult> result;               // sync flavor (immediate)
+  bool via_completion_queue = false;               // result arrives tagged
+};
+
+}  // namespace
+
+uint32_t DifferentialScenarioCount(uint32_t default_count) {
+  if (const char* env = std::getenv("TKC_DIFF_SCENARIOS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && v > 0) {
+      return static_cast<uint32_t>(v);
+    }
+  }
+  return default_count;
+}
+
+DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
+  DifferentialReport report;
+  Rng rng(SplitMix64(config.seed * 0x9e3779b97f4a7c15ULL + config.threads));
+
+  // --- Seeded inputs: graph, update stream, query stream. ---------------
+  const uint32_t n = 8 + static_cast<uint32_t>(rng.NextBounded(28));
+  const uint32_t m = 40 + static_cast<uint32_t>(rng.NextBounded(180));
+  const uint32_t T = 8 + static_cast<uint32_t>(rng.NextBounded(22));
+  TemporalGraph initial = GenerateUniformRandom(n, m, T, config.seed);
+  const Timestamp t0 = initial.num_timestamps();
+
+  std::vector<std::vector<RawTemporalEdge>> updates(config.num_update_events);
+  for (auto& batch : updates) {
+    const uint32_t count =
+        1 + static_cast<uint32_t>(
+                rng.NextBounded(std::max(1u, config.max_edges_per_update)));
+    for (uint32_t i = 0; i < count; ++i) {
+      RawTemporalEdge e;
+      // A few ids beyond the initial vertex pool: updates may introduce
+      // vertices. Raw times may duplicate existing timestamps or mint new
+      // ones before/inside/after the current span (compaction shifts).
+      e.u = static_cast<VertexId>(rng.NextBounded(n + 3));
+      e.v = static_cast<VertexId>(rng.NextBounded(n + 3));
+      e.raw_time = rng.NextInRange(1, T + 3);
+      batch.push_back(e);
+    }
+  }
+
+  auto make_batch = [&]() {
+    const uint32_t count =
+        1 + static_cast<uint32_t>(
+                rng.NextBounded(std::max(1u, config.max_queries_per_batch)));
+    std::vector<Query> queries;
+    queries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Query q;
+      q.k = static_cast<uint32_t>(rng.NextBounded(7));  // k=0: invalid input
+      const Timestamp start =
+          1 + static_cast<Timestamp>(rng.NextBounded(t0));
+      const Timestamp end =
+          start + static_cast<Timestamp>(rng.NextBounded(t0 - start + 1));
+      q.range = Window{start, end};
+      if (rng.NextBool(0.05)) q.range = Window{end + 1, start};  // invalid
+      if (rng.NextBool(0.2) && !queries.empty()) {
+        q = queries[rng.NextBounded(queries.size())];  // in-batch duplicate
+      }
+      queries.push_back(q);
+    }
+    return queries;
+  };
+
+  // --- Engine under test, with seed-varied serving options. -------------
+  ThreadPool pool(config.threads);
+  LiveEngineOptions options;
+  options.engine.algorithm = AlgorithmKind::kEnum;
+  options.engine.pool = &pool;
+  options.engine.build_index = rng.NextBool(0.5);
+  options.engine.index_max_k = rng.NextBool(0.3) ? 2 : 0;  // capped sometimes
+  options.engine.num_index_replicas = rng.NextBool(0.25) ? 2 : 1;
+  options.engine.cache_capacity = rng.NextBool(0.25) ? 0 : 64;
+  options.engine.async_queue_capacity = 4;  // small: exercise backpressure
+  options.update_queue_capacity = 4;
+
+  std::vector<PendingBatch> batches;
+  std::vector<std::future<Status>> update_futures;
+  BatchCompletionQueue completions(64);
+  size_t cq_submissions = 0;
+  {
+    auto live_or = LiveQueryEngine::Create(initial, options);
+    if (!live_or.ok()) {
+      report.mismatches = 1;
+      report.first_mismatch =
+          "engine creation failed: " + live_or.status().ToString();
+      return report;
+    }
+    LiveQueryEngine& live = **live_or;
+
+    // --- Drive: interleave submissions with snapshot swaps. -------------
+    // Updates fire immediately after async submissions (never awaited
+    // first), so swaps overlap batches still in flight.
+    size_t next_update = 0;
+    const uint32_t batches_per_update =
+        std::max(1u, config.num_query_batches /
+                         std::max(1u, config.num_update_events));
+    for (uint32_t b = 0; b < config.num_query_batches; ++b) {
+      PendingBatch pending;
+      pending.queries = make_batch();
+      switch (b % 3) {
+        case 0:
+          pending.future = live.SubmitAsync(pending.queries);
+          break;
+        case 1:
+          live.SubmitAsync(pending.queries, &completions, batches.size());
+          pending.via_completion_queue = true;
+          ++cq_submissions;
+          break;
+        case 2:
+          pending.result = live.ServeBatch(pending.queries);
+          break;
+      }
+      batches.push_back(std::move(pending));
+      if ((b + 1) % batches_per_update == 0 && next_update < updates.size()) {
+        update_futures.push_back(live.ApplyUpdates(updates[next_update]));
+        ++next_update;
+      }
+    }
+    while (next_update < updates.size()) {
+      update_futures.push_back(live.ApplyUpdates(updates[next_update]));
+      ++next_update;
+    }
+
+    // --- Collect every result. ------------------------------------------
+    for (PendingBatch& pending : batches) {
+      if (pending.future.has_value()) pending.result = pending.future->get();
+    }
+    for (size_t i = 0; i < cq_submissions; ++i) {
+      BatchResult result;
+      if (!completions.Next(&result)) break;
+      batches[result.tag].result = std::move(result);
+    }
+    for (std::future<Status>& f : update_futures) {
+      if (!f.get().ok()) ++report.failed_updates;
+    }
+    report.swaps = live.stats().swaps;
+  }  // engine destroyed: updater joined, current snapshot drained
+
+  if (report.failed_updates > 0) {
+    report.first_mismatch = "an ApplyUpdates batch failed";
+    return report;
+  }
+
+  // --- Replay the version chain and compare against the oracle. ---------
+  std::vector<TemporalGraph> chain;
+  chain.push_back(initial);
+  for (const auto& batch : updates) {
+    auto next = chain.back().AppendEdges(batch);
+    if (!next.ok()) {
+      report.mismatches = 1;
+      report.first_mismatch =
+          "chain replay failed: " + next.status().ToString();
+      return report;
+    }
+    chain.push_back(std::move(next).value());
+  }
+
+  std::set<uint64_t> versions;
+  for (const PendingBatch& pending : batches) {
+    if (!pending.result.has_value()) {
+      ++report.mismatches;
+      if (report.first_mismatch.empty()) {
+        report.first_mismatch = "a submitted batch never delivered a result";
+      }
+      continue;
+    }
+    const BatchResult& result = *pending.result;
+    if (result.snapshot_version >= chain.size() ||
+        result.outcomes.size() != pending.queries.size()) {
+      ++report.mismatches;
+      if (report.first_mismatch.empty()) {
+        report.first_mismatch = "result shape/version out of range";
+      }
+      continue;
+    }
+    versions.insert(result.snapshot_version);
+    const TemporalGraph& graph = chain[result.snapshot_version];
+    for (size_t i = 0; i < pending.queries.size(); ++i) {
+      RunOutcome oracle =
+          RunAlgorithm(AlgorithmKind::kNaive, graph, pending.queries[i]);
+      ++report.queries_checked;
+      if (!SameResults(result.outcomes[i], oracle)) {
+        ++report.mismatches;
+        if (report.first_mismatch.empty()) {
+          report.first_mismatch =
+              DescribeMismatch(config, result.snapshot_version,
+                               pending.queries[i], result.outcomes[i], oracle);
+        }
+      }
+    }
+  }
+  report.versions_served = versions.size();
+  return report;
+}
+
+}  // namespace tkc

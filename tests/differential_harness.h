@@ -1,0 +1,58 @@
+#ifndef TKC_TESTS_DIFFERENTIAL_HARNESS_H_
+#define TKC_TESTS_DIFFERENTIAL_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+/// \file differential_harness.h
+/// Randomized differential validation of the live serving path: one
+/// scenario generates a seeded random temporal graph, a seeded stream of
+/// edge-update batches, and a seeded stream of query batches; drives them
+/// through a LiveQueryEngine *concurrently* (async submissions interleaved
+/// with ApplyUpdates snapshot swaps, plus sync and completion-queue
+/// submissions for API coverage); then checks every served outcome
+/// bit-identically against the naive per-window peeling oracle evaluated
+/// on the exact graph version the engine reports having pinned.
+///
+/// The version replay leans on the live layer's FIFO contract: version N
+/// is the initial graph plus update batches 1..N, so the harness rebuilds
+/// the same version chain via TemporalGraph::AppendEdges and runs the
+/// oracle on chain[result.snapshot_version]. A wrong pin (torn read, swap
+/// racing a batch, stale admission table) surfaces as a result mismatch.
+
+namespace tkc {
+
+/// Shape of one scenario. Everything is derived deterministically from
+/// `seed`; `threads` sets the serving pool's total parallelism.
+struct DifferentialConfig {
+  uint64_t seed = 1;
+  int threads = 2;
+  uint32_t num_update_events = 4;   ///< ApplyUpdates batches
+  uint32_t num_query_batches = 9;   ///< submitted batches
+  uint32_t max_queries_per_batch = 12;
+  uint32_t max_edges_per_update = 14;
+};
+
+/// What one scenario observed. `mismatches == 0` and `failed_updates == 0`
+/// is a pass; `first_mismatch` carries a reproducible description of the
+/// first disagreement (seed, version, query, both outcomes).
+struct DifferentialReport {
+  uint64_t queries_checked = 0;
+  uint64_t mismatches = 0;
+  uint64_t failed_updates = 0;
+  uint64_t versions_served = 0;  ///< distinct snapshot versions in results
+  uint64_t swaps = 0;            ///< snapshot swaps the engine performed
+  std::string first_mismatch;
+};
+
+/// Runs one scenario end to end. Thread-safe to call concurrently.
+DifferentialReport RunDifferentialScenario(const DifferentialConfig& config);
+
+/// Scenario count for sweep tests: the TKC_DIFF_SCENARIOS environment
+/// variable when set to a positive integer (the CI sanitizer legs shrink
+/// it), else `default_count`.
+uint32_t DifferentialScenarioCount(uint32_t default_count);
+
+}  // namespace tkc
+
+#endif  // TKC_TESTS_DIFFERENTIAL_HARNESS_H_

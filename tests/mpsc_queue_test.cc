@@ -1,0 +1,120 @@
+#include "util/mpsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace tkc {
+namespace {
+
+TEST(BoundedMpscQueueTest, FifoOrder) {
+  BoundedMpscQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedMpscQueueTest, TryPushRespectsCapacity) {
+  BoundedMpscQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full
+  int out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_TRUE(queue.TryPush(3));  // room again
+}
+
+TEST(BoundedMpscQueueTest, TryPopOnEmptyFails) {
+  BoundedMpscQueue<int> queue(2);
+  int out;
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(BoundedMpscQueueTest, ZeroCapacityClampsToOne) {
+  BoundedMpscQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(BoundedMpscQueueTest, CloseDrainsThenFails) {
+  BoundedMpscQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));  // rejected after close
+  int out;
+  EXPECT_TRUE(queue.Pop(&out));  // queued items still drain
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // drained + closed
+}
+
+TEST(BoundedMpscQueueTest, CloseWakesBlockedConsumer) {
+  BoundedMpscQueue<int> queue(4);
+  std::thread consumer([&] {
+    int out;
+    EXPECT_FALSE(queue.Pop(&out));  // blocks until Close, then fails
+  });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedMpscQueueTest, FullQueueExertsBackpressure) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer cannot finish while the queue is full. (No sleep: we only
+  // assert the ordering once the pops release it.)
+  int out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedMpscQueueTest, ManyProducersOneConsumer) {
+  BoundedMpscQueue<int> queue(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  int out;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    ASSERT_TRUE(queue.Pop(&out));
+    seen.push_back(out);
+  }
+  for (std::thread& t : producers) t.join();
+  // Every item arrives exactly once, and each producer's items in order.
+  std::vector<int> last(kProducers, -1);
+  for (int value : seen) {
+    int p = value / kPerProducer;
+    EXPECT_LT(last[p], value % kPerProducer);
+    last[p] = value % kPerProducer;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace tkc

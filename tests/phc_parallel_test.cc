@@ -10,6 +10,7 @@
 #include "graph/graph_stats.h"
 #include "util/thread_pool.h"
 #include "vct/phc_index.h"
+#include "vct/vct_builder.h"
 #include "workload/query_workload.h"
 
 namespace tkc {
@@ -107,6 +108,67 @@ TEST(PhcParallelTest, OnePoolServesManyBuilds) {
     auto parallel = PhcIndex::Build(g, g.FullRange(), options);
     ASSERT_TRUE(reference.ok() && parallel.ok());
     ExpectIdentical(*reference, *parallel, g);
+  }
+}
+
+// The single-k builder's bootstrap fan-out (window-adjacency cursor
+// placement + initial edge-core-time fill) must be bit-identical to the
+// serial build — VCT and ECS both — at every thread count, with and
+// without a reused arena.
+TEST(PhcParallelTest, ParallelBootstrapSweepMatchesSerial) {
+  // One small graph (the fan-out's inline fallback) and one graph large
+  // enough (> 2 * 4096 vertices and window edges) that the cursor and ect
+  // fills genuinely shard across workers.
+  struct Shape {
+    uint32_t n, m, T;
+    uint64_t seed;
+  };
+  for (const Shape& shape : {Shape{40, 900, 30, 11u},
+                             Shape{12000, 30000, 12, 29u}}) {
+    TemporalGraph g =
+        GenerateUniformRandom(shape.n, shape.m, shape.T, shape.seed);
+    const uint64_t seed = shape.seed;
+    for (uint32_t k : {1u, 2u, 3u}) {
+      if (k == 3 && shape.n > 1000) continue;  // large shape: 2 slices do
+      const Window range =
+          k == 3 ? Window{5, 22}
+                 : (k == 2 && shape.n > 1000
+                        ? Window{2, static_cast<Timestamp>(
+                                        g.num_timestamps() - 1)}
+                        : g.FullRange());
+      VctBuildResult serial = BuildVctAndEcs(g, k, range);
+      for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        VctBuildArena arena;
+        // Two builds through the same arena: reuse must not change output.
+        for (int repeat = 0; repeat < 2; ++repeat) {
+          VctBuildResult parallel =
+              BuildVctAndEcs(g, k, range, &arena, &pool);
+          ASSERT_EQ(serial.vct.size(), parallel.vct.size())
+              << "seed=" << seed << " k=" << k << " threads=" << threads;
+          for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            auto es = serial.vct.EntriesOf(v);
+            auto ep = parallel.vct.EntriesOf(v);
+            ASSERT_EQ(es.size(), ep.size()) << "v=" << v;
+            for (size_t i = 0; i < es.size(); ++i) {
+              ASSERT_EQ(es[i], ep[i]) << "v=" << v << " entry " << i;
+            }
+          }
+          ASSERT_EQ(serial.ecs.size(), parallel.ecs.size());
+          ASSERT_EQ(serial.ecs.first_edge(), parallel.ecs.first_edge());
+          ASSERT_EQ(serial.ecs.last_edge(), parallel.ecs.last_edge());
+          for (EdgeId e = serial.ecs.first_edge();
+               e < serial.ecs.last_edge(); ++e) {
+            auto ws = serial.ecs.WindowsOf(e);
+            auto wp = parallel.ecs.WindowsOf(e);
+            ASSERT_EQ(ws.size(), wp.size()) << "e=" << e;
+            for (size_t i = 0; i < ws.size(); ++i) {
+              ASSERT_EQ(ws[i], wp[i]) << "e=" << e << " window " << i;
+            }
+          }
+        }
+      }
+    }
   }
 }
 

@@ -69,6 +69,104 @@ TEST(QueryCacheTest, InsertRefreshesExistingEntry) {
   EXPECT_FALSE(cache.Lookup(Q(2, 1, 2), &out));
 }
 
+TEST(QueryCacheTest, TombstoneReplaysCanonicalEmptyOutcome) {
+  QueryCache cache(4);
+  cache.InsertTombstone(Q(5, 3, 9));
+  RunOutcome out = Outcome(99);  // pre-filled: the hit must overwrite it
+  ASSERT_TRUE(cache.Lookup(Q(5, 3, 9), &out));
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.num_cores, 0u);
+  EXPECT_EQ(out.result_size_edges, 0u);
+  EXPECT_EQ(out.vct_size, 0u);
+  EXPECT_EQ(cache.tombstones(), 1u);
+  EXPECT_EQ(cache.weight_used(), 1u);
+}
+
+TEST(QueryCacheTest, TombstonesCostOneSixteenthOfASlot) {
+  // Capacity 1 = 16 weight units: sixteen tombstones fit where a single
+  // full outcome would; the seventeenth evicts exactly one entry.
+  QueryCache cache(1);
+  for (uint32_t k = 1; k <= QueryCache::kOutcomeWeight; ++k) {
+    cache.InsertTombstone(Q(k, 1, 2));
+  }
+  EXPECT_EQ(cache.size(), QueryCache::kOutcomeWeight);
+  EXPECT_EQ(cache.weight_used(), cache.weight_capacity());
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.InsertTombstone(Q(99, 1, 2));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), QueryCache::kOutcomeWeight);
+  RunOutcome out;
+  EXPECT_FALSE(cache.Lookup(Q(1, 1, 2), &out));  // the LRU victim
+  EXPECT_TRUE(cache.Lookup(Q(99, 1, 2), &out));
+}
+
+TEST(QueryCacheTest, FullOutcomeEvictsEnoughTombstones) {
+  QueryCache cache(1);
+  for (uint32_t k = 1; k <= 10; ++k) cache.InsertTombstone(Q(k, 1, 2));
+  EXPECT_EQ(cache.weight_used(), 10u);
+  // A full outcome (weight 16) into a budget of 16 with 10 units used must
+  // evict all ten tombstones — eviction accounting counts each entry.
+  cache.Insert(Q(50, 1, 2), Outcome(5));
+  EXPECT_EQ(cache.evictions(), 10u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.tombstones(), 0u);
+  EXPECT_EQ(cache.weight_used(), QueryCache::kOutcomeWeight);
+  RunOutcome out;
+  ASSERT_TRUE(cache.Lookup(Q(50, 1, 2), &out));
+  EXPECT_EQ(out.num_cores, 5u);
+}
+
+TEST(QueryCacheTest, FullOutcomeUpgradesTombstoneInPlace) {
+  QueryCache cache(2);
+  cache.InsertTombstone(Q(3, 1, 9));
+  EXPECT_EQ(cache.weight_used(), 1u);
+  cache.Insert(Q(3, 1, 9), Outcome(4));  // upgrade: same key, full payload
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.tombstones(), 0u);
+  EXPECT_EQ(cache.weight_used(), QueryCache::kOutcomeWeight);
+  RunOutcome out;
+  ASSERT_TRUE(cache.Lookup(Q(3, 1, 9), &out));
+  EXPECT_EQ(out.num_cores, 4u);
+}
+
+TEST(QueryCacheTest, UpgradeAtCapacityEvictsBackToBudget) {
+  // A tombstone -> full upgrade grows the entry by 15 units in place; at
+  // capacity that must trigger evictions, not a budget overshoot.
+  QueryCache cache(1);
+  for (uint32_t k = 1; k <= QueryCache::kOutcomeWeight; ++k) {
+    cache.InsertTombstone(Q(k, 1, 2));
+  }
+  ASSERT_EQ(cache.weight_used(), cache.weight_capacity());
+  cache.Insert(Q(8, 1, 2), Outcome(3));  // upgrade one of the sixteen
+  EXPECT_LE(cache.weight_used(), cache.weight_capacity());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), QueryCache::kOutcomeWeight - 1);
+  RunOutcome out;
+  ASSERT_TRUE(cache.Lookup(Q(8, 1, 2), &out));  // the upgraded entry lives
+  EXPECT_EQ(out.num_cores, 3u);
+}
+
+TEST(QueryCacheTest, TombstoneNeverDemotesFullOutcome) {
+  QueryCache cache(2);
+  cache.Insert(Q(3, 1, 9), Outcome(4));
+  cache.InsertTombstone(Q(3, 1, 9));  // refreshes LRU position only
+  EXPECT_EQ(cache.tombstones(), 0u);
+  EXPECT_EQ(cache.weight_used(), QueryCache::kOutcomeWeight);
+  RunOutcome out;
+  ASSERT_TRUE(cache.Lookup(Q(3, 1, 9), &out));
+  EXPECT_EQ(out.num_cores, 4u);  // the full outcome survived
+}
+
+TEST(QueryCacheTest, ClearResetsWeightAndTombstoneAccounting) {
+  QueryCache cache(2);
+  cache.Insert(Q(1, 1, 2), Outcome(1));
+  cache.InsertTombstone(Q(2, 1, 2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.weight_used(), 0u);
+  EXPECT_EQ(cache.tombstones(), 0u);
+}
+
 TEST(QueryCacheTest, ZeroCapacityDisables) {
   QueryCache cache(0);
   cache.Insert(Q(1, 1, 2), Outcome(1));

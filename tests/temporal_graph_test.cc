@@ -188,5 +188,105 @@ TEST(WindowTest, ContainmentHelpers) {
   EXPECT_FALSE((Window{5, 4}).Valid());
 }
 
+TEST(TemporalGraphAppendTest, AppendedEdgesAreQueryable) {
+  TemporalGraphBuilder builder;
+  builder.AddEdge(0, 1, 100);
+  builder.AddEdge(1, 2, 200);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto appended =
+      g->AppendEdges(std::vector<RawTemporalEdge>{{2, 3, 300}, {0, 3, 150}});
+  ASSERT_TRUE(appended.ok());
+  // Original untouched; new graph has both new edges and recompacted times.
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->num_timestamps(), 2u);
+  EXPECT_EQ(appended->num_edges(), 4u);
+  EXPECT_EQ(appended->num_timestamps(), 4u);
+  EXPECT_EQ(appended->num_vertices(), 4u);
+  // Raw time 150 landed between 100 and 200: compacted time 2 in the new
+  // graph, shifting the old time-200 edge from compact 2 to 3.
+  EXPECT_EQ(appended->RawTimestamp(2), 150u);
+  EXPECT_EQ(appended->RawTimestamp(3), 200u);
+  EXPECT_EQ(appended->EdgesAtTime(2).size(), 1u);
+  EXPECT_EQ(appended->EdgesAtTime(2)[0].v, 3u);
+}
+
+TEST(TemporalGraphAppendTest, EmptyAppendYieldsIdenticalCopy) {
+  TemporalGraph g = GenerateUniformRandom(12, 80, 9, 5);
+  auto copy = g.AppendEdges({});
+  ASSERT_TRUE(copy.ok());
+  ASSERT_EQ(g.num_edges(), copy->num_edges());
+  EXPECT_EQ(g.num_vertices(), copy->num_vertices());
+  EXPECT_EQ(g.num_timestamps(), copy->num_timestamps());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edge(e), copy->edge(e));
+    EXPECT_EQ(g.RawTimestamp(g.edge(e).t), copy->RawTimestamp(copy->edge(e).t));
+  }
+}
+
+TEST(TemporalGraphAppendTest, AppendFollowsBuilderIngestionRules) {
+  TemporalGraphBuilder builder;
+  builder.AddEdge(0, 1, 10);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  // Exact duplicate (against an existing edge) merges; self-loop drops;
+  // orientation normalizes.
+  auto appended = g->AppendEdges(
+      std::vector<RawTemporalEdge>{{1, 0, 10}, {2, 2, 11}, {3, 1, 12}});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->num_edges(), 2u);
+  EXPECT_EQ(appended->edge(1).u, 1u);  // normalized from (3, 1)
+  EXPECT_EQ(appended->edge(1).v, 3u);
+}
+
+TEST(TemporalGraphAppendTest, MultigraphKeepsParallelDuplicatesAcrossAppend) {
+  // A graph built with dedup off must rebuild with dedup off: its
+  // pre-existing parallel duplicates survive any append untouched.
+  TemporalGraphBuilder builder;
+  builder.SetDeduplicateExact(false);
+  builder.AddEdge(0, 1, 10);
+  builder.AddEdge(0, 1, 10);  // exact duplicate, kept
+  builder.AddEdge(1, 2, 20);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->num_edges(), 3u);
+  EXPECT_FALSE(g->deduplicates_exact());
+  auto copy = g->AppendEdges({});
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->num_edges(), 3u);  // duplicates not collapsed
+  EXPECT_FALSE(copy->deduplicates_exact());
+  auto more = g->AppendEdges(std::vector<RawTemporalEdge>{{1, 2, 20}});
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(more->num_edges(), 4u);  // new exact duplicate also kept
+}
+
+TEST(TemporalGraphAppendTest, ChainedAppendsEqualOneShotBuild) {
+  // initial + batch1 + batch2 must equal building everything at once —
+  // the property the live-serving differential harness replays against.
+  TemporalGraph g = GenerateUniformRandom(10, 60, 8, 11);
+  std::vector<RawTemporalEdge> batch1 = {{0, 5, 3}, {2, 7, 40}, {1, 9, 1}};
+  std::vector<RawTemporalEdge> batch2 = {{4, 6, 40}, {0, 5, 3}};
+  auto step1 = g.AppendEdges(batch1);
+  ASSERT_TRUE(step1.ok());
+  auto step2 = step1->AppendEdges(batch2);
+  ASSERT_TRUE(step2.ok());
+
+  TemporalGraphBuilder all;
+  for (const TemporalEdge& e : g.edges()) {
+    all.AddEdge(e.u, e.v, g.RawTimestamp(e.t));
+  }
+  for (const RawTemporalEdge& e : batch1) all.AddEdge(e.u, e.v, e.raw_time);
+  for (const RawTemporalEdge& e : batch2) all.AddEdge(e.u, e.v, e.raw_time);
+  all.EnsureVertexCount(g.num_vertices());
+  auto oneshot = all.Build();
+  ASSERT_TRUE(oneshot.ok());
+  ASSERT_EQ(step2->num_edges(), oneshot->num_edges());
+  EXPECT_EQ(step2->num_vertices(), oneshot->num_vertices());
+  EXPECT_EQ(step2->num_timestamps(), oneshot->num_timestamps());
+  for (EdgeId e = 0; e < step2->num_edges(); ++e) {
+    EXPECT_EQ(step2->edge(e), oneshot->edge(e));
+  }
+}
+
 }  // namespace
 }  // namespace tkc
