@@ -8,7 +8,15 @@
 //     queries pay for concurrent rebuilds (they never block on one — every
 //     batch finishes against the snapshot it pinned at submission);
 //   * updates                — snapshot-rebuild throughput: edges/sec
-//     through ApplyUpdates with per-swap rebuild/swap latency.
+//     through ApplyUpdates with per-swap rebuild/swap latency;
+//   * small_delta_updates    — incremental-maintenance throughput: a
+//     stream of small, localized deltas (a few edges between low-degree
+//     sandbox vertices at existing timestamps, well under 1% of |E|)
+//     where the delta-aware rebuild must reuse most k-slices by pointer.
+//     Reports updates/sec plus slices_reused / slices_rebuilt and the
+//     reuse_ratio, and self-verifies that (a) reuse actually happened and
+//     (b) the final incrementally-maintained index is bit-identical, slice
+//     by slice, to a from-scratch build on the final graph.
 //
 // Self-verifying: every served outcome is compared bit-identically (result
 // fields) against a direct RunAlgorithm reference on the exact graph
@@ -91,6 +99,27 @@ int main(int argc, char** argv) {
   graph_spec.burstiness = 0.3;
   graph_spec.seed = seed;
   TemporalGraph base = GenerateSynthetic(graph_spec);
+
+  // Sandbox pendants for the small-delta phase: kSandbox extra vertices,
+  // each anchored to one dense vertex at an existing raw time. Their
+  // distinct degree stays tiny (anchor + one partner) no matter how many
+  // small-delta events fire, so every slice above that bound must carry
+  // across swaps by pointer.
+  constexpr uint32_t kSandbox = 8;
+  {
+    std::vector<RawTemporalEdge> anchors;
+    for (uint32_t i = 0; i < kSandbox; ++i) {
+      anchors.push_back({vertices + i, i,
+                         base.RawTimestamp(1 + (i % base.num_timestamps()))});
+    }
+    auto with_sandbox = base.AppendEdges(anchors);
+    if (!with_sandbox.ok()) {
+      std::fprintf(stderr, "sandbox: %s\n",
+                   with_sandbox.status().ToString().c_str());
+      return 1;
+    }
+    base = std::move(with_sandbox->graph);
+  }
   GraphStats stats = ComputeGraphStats(base);
 
   // Fixed update stream (same for every thread count / phase): uniform
@@ -108,6 +137,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Small-delta stream: per event, four sandbox-pair edges at one existing
+  // raw timestamp (distinct per event, so dedup never collapses them).
+  // Each sandbox vertex only ever sees its anchor and its fixed partner:
+  // distinct degree 2, so the delta's max_core_bound is 2 every event and
+  // every slice with k > 2 must be reused.
+  const uint32_t delta_events = events;
+  std::vector<std::vector<RawTemporalEdge>> small_delta_stream(delta_events);
+  for (uint32_t e = 0; e < delta_events; ++e) {
+    const uint64_t raw =
+        base.RawTimestamp(1 + (e * 5) % base.num_timestamps());
+    for (uint32_t i = 0; i < kSandbox / 2; ++i) {
+      small_delta_stream[e].push_back(
+          {vertices + i, vertices + kSandbox / 2 + i, raw});
+    }
+  }
+
   // The version chain every phase's results are verified against.
   std::vector<TemporalGraph> chain;
   chain.push_back(base);
@@ -117,7 +162,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "chain: %s\n", next.status().ToString().c_str());
       return 1;
     }
-    chain.push_back(std::move(next).value());
+    chain.push_back(std::move(next->graph));
   }
 
   std::vector<Query> queries;
@@ -169,7 +214,8 @@ int main(int argc, char** argv) {
 
   TextTable table;
   table.SetHeader({"Threads", "idle q/s", "live q/s", "live/idle",
-                   "updates/s", "rebuild s", "identical"});
+                   "updates/s", "rebuild s", "delta u/s", "reuse",
+                   "identical"});
   JsonRecords records;
   bool all_identical = true;
   double idle_qps_1thread = 0;
@@ -218,6 +264,8 @@ int main(int argc, char** argv) {
     };
 
     double best_idle = -1, best_live = -1, best_updates = -1;
+    double best_small = -1;
+    uint64_t small_slices_reused = 0, small_slices_rebuilt = 0;
     double rebuild_seconds = 0, swap_seconds = 0;
     bool identical = true;
     for (int rep = 0; rep < reps; ++rep) {
@@ -290,6 +338,37 @@ int main(int argc, char** argv) {
           swap_seconds = live_stats.last_swap_seconds;
         }
       }
+
+      // --- small_delta_updates: incremental-maintenance throughput. ---
+      {
+        auto live = LiveQueryEngine::Create(base, options);
+        if (!live.ok()) return 1;
+        WallTimer timer;
+        for (const auto& batch : small_delta_stream) {
+          identical = identical && (*live)->ApplyUpdates(batch).get().ok();
+        }
+        double seconds = timer.ElapsedSeconds();
+        const UpdateStats ustats = (*live)->update_stats();
+        // Reuse must actually happen: a small localized delta rebuilds
+        // strictly fewer slices than max_k every swap.
+        identical = identical && ustats.slices_reused > 0 &&
+                    ustats.incremental_swaps == (*live)->stats().swaps;
+        // And the incrementally maintained index must be bit-identical to
+        // a from-scratch build on the final graph.
+        auto snap = (*live)->snapshot();
+        const PhcIndex* incremental = snap->engine().index();
+        PhcBuildOptions fresh_opts;
+        fresh_opts.pool = &pool;
+        auto fresh = PhcIndex::Build(snap->graph(),
+                                     snap->graph().FullRange(), fresh_opts);
+        identical = identical && fresh.ok() && incremental != nullptr &&
+                    *incremental == *fresh;
+        if (best_small < 0 || seconds < best_small) {
+          best_small = seconds;
+          small_slices_reused = ustats.slices_reused;
+          small_slices_rebuilt = ustats.slices_rebuilt;
+        }
+      }
     }
     all_identical = all_identical && identical;
 
@@ -301,6 +380,14 @@ int main(int argc, char** argv) {
     double edges_per_sec =
         best_updates > 0
             ? static_cast<double>(events) * update_edges / best_updates
+            : 0;
+    double small_updates_per_sec =
+        best_small > 0 ? static_cast<double>(delta_events) / best_small : 0;
+    const uint64_t small_slices_total =
+        small_slices_reused + small_slices_rebuilt;
+    double reuse_ratio =
+        small_slices_total > 0
+            ? static_cast<double>(small_slices_reused) / small_slices_total
             : 0;
     if (threads == 1) {
       idle_qps_1thread = idle_qps;
@@ -314,18 +401,22 @@ int main(int argc, char** argv) {
 
     char ratio_cell[32];
     std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2f", overlap_ratio);
+    char reuse_cell[32];
+    std::snprintf(reuse_cell, sizeof(reuse_cell), "%.2f", reuse_ratio);
     table.AddRow({TextTable::Cell(static_cast<uint64_t>(threads)),
                   TextTable::Cell(idle_qps, 1), TextTable::Cell(live_qps, 1),
                   ratio_cell, TextTable::Cell(updates_per_sec, 2),
                   TextTable::Cell(rebuild_seconds, 4),
+                  TextTable::Cell(small_updates_per_sec, 2), reuse_cell,
                   identical ? "yes" : "NO"});
 
-    for (int mode = 0; mode < 3; ++mode) {
+    for (int mode = 0; mode < 4; ++mode) {
       records.BeginRecord();
       records.Add("bench", std::string("live_update"));
       records.Add("mode", std::string(mode == 0   ? "queries_idle"
                                       : mode == 1 ? "queries_during_updates"
-                                                  : "updates"));
+                                      : mode == 2 ? "updates"
+                                                  : "small_delta_updates"));
       records.Add("vertices", static_cast<uint64_t>(vertices));
       records.Add("edges", static_cast<uint64_t>(edges));
       records.Add("timestamps", static_cast<uint64_t>(timestamps));
@@ -343,12 +434,19 @@ int main(int argc, char** argv) {
         records.Add("qps", live_qps);
         records.Add("speedup", live_speedup);
         records.Add("overlap_ratio", overlap_ratio);
-      } else {
+      } else if (mode == 2) {
         records.Add("seconds", best_updates);
         records.Add("updates_per_sec", updates_per_sec);
         records.Add("edges_per_sec", edges_per_sec);
         records.Add("rebuild_seconds", rebuild_seconds);
         records.Add("swap_seconds", swap_seconds);
+      } else {
+        records.Add("seconds", best_small);
+        records.Add("updates_per_sec", small_updates_per_sec);
+        records.Add("delta_events", static_cast<uint64_t>(delta_events));
+        records.Add("slices_reused", small_slices_reused);
+        records.Add("slices_rebuilt", small_slices_rebuilt);
+        records.Add("reuse_ratio", reuse_ratio);
       }
       records.Add("identical", identical);
     }

@@ -164,13 +164,24 @@ int RunLiveReplay(tkc::TemporalGraph graph,
   LiveStats stats = (*live)->stats();
   const TemporalGraph& final_graph = (*live)->snapshot()->graph();
   std::printf(
-      "live: %llu swaps, %llu edges applied, last rebuild %.4fs, last swap "
-      "%.6fs; final graph: %u vertices, %u edges, %u timestamps\n",
+      "live: %llu swaps, %llu edges applied, %llu failed batches, last "
+      "rebuild %.4fs, last swap %.6fs; final graph: %u vertices, %u edges, "
+      "%u timestamps\n",
       static_cast<unsigned long long>(stats.swaps),
       static_cast<unsigned long long>(stats.edges_applied),
+      static_cast<unsigned long long>(stats.failed_updates),
       stats.last_rebuild_seconds, stats.last_swap_seconds,
       final_graph.num_vertices(), final_graph.num_edges(),
       final_graph.num_timestamps());
+  const UpdateStats update = (*live)->update_stats();
+  std::printf(
+      "updater: %llu batches coalesced, %llu slices reused / %llu rebuilt "
+      "(%llu incremental swaps), %llu cache entries carried\n",
+      static_cast<unsigned long long>(update.batches_coalesced),
+      static_cast<unsigned long long>(update.slices_reused),
+      static_cast<unsigned long long>(update.slices_rebuilt),
+      static_cast<unsigned long long>(update.incremental_swaps),
+      static_cast<unsigned long long>(update.cache_entries_carried));
   return failures == 0 ? 0 : 1;
 }
 

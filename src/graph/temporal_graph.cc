@@ -1,8 +1,10 @@
 #include "graph/temporal_graph.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/check.h"
+#include "util/hash.h"
 #include "util/mem.h"
 
 namespace tkc {
@@ -144,19 +146,139 @@ Timestamp TemporalGraph::CompactTimestampFloor(uint64_t raw) const {
   return static_cast<Timestamp>(it - raw_of_compact_.begin());
 }
 
-StatusOr<TemporalGraph> TemporalGraph::AppendEdges(
+namespace {
+
+/// Exact identity of one normalized appended edge, for in-batch dedup.
+struct RawEdgeKey {
+  VertexId u;
+  VertexId v;
+  uint64_t raw;
+  bool operator==(const RawEdgeKey&) const = default;
+};
+
+struct RawEdgeKeyHash {
+  size_t operator()(const RawEdgeKey& k) const {
+    return static_cast<size_t>(
+        HashCombine(HashCombine(HashU64(k.raw), k.u), k.v));
+  }
+};
+
+/// Distinct-neighbor degree of `u` over the graph's full range: the static
+/// simple-projection degree that upper-bounds u's degree inside any window
+/// (and therefore inside any k-core). O(deg log deg) on a scratch copy.
+uint32_t DistinctDegree(const TemporalGraph& g, VertexId u,
+                        std::vector<VertexId>* scratch) {
+  scratch->clear();
+  for (const AdjEntry& a : g.Neighbors(u)) scratch->push_back(a.neighbor);
+  std::sort(scratch->begin(), scratch->end());
+  scratch->erase(std::unique(scratch->begin(), scratch->end()),
+                 scratch->end());
+  return static_cast<uint32_t>(scratch->size());
+}
+
+}  // namespace
+
+/// True iff this graph already holds an edge (u, v) at raw time `raw`
+/// (endpoints in either orientation). Used by AppendEdges to decide which
+/// appended edges actually survive exact-duplicate merging.
+bool TemporalGraph::ContainsEdge(VertexId u, VertexId v, uint64_t raw) const {
+  if (u >= num_vertices_ || v >= num_vertices_) return false;
+  const Timestamp t = CompactTimestampFloor(raw);
+  if (t == 0 || RawTimestamp(t) != raw) return false;
+  // Scan the smaller endpoint's single-timestamp adjacency slice.
+  const VertexId probe = TemporalDegree(u) <= TemporalDegree(v) ? u : v;
+  const VertexId other = probe == u ? v : u;
+  for (const AdjEntry& a : NeighborsInWindow(probe, Window{t, t})) {
+    if (a.neighbor == other) return true;
+  }
+  return false;
+}
+
+StatusOr<GraphUpdate> TemporalGraph::AppendEdges(
     std::span<const RawTemporalEdge> new_edges) const {
+  // Classify the appended edges up front: the delta must describe only the
+  // edges that survive ingestion (self-loops dropped, exact duplicates
+  // merged when this graph deduplicates), in normalized orientation.
+  // Coalesced update cycles can make this batch large, so in-batch dedup
+  // is a hash probe, not a scan.
+  std::vector<RawTemporalEdge> effective;
+  effective.reserve(new_edges.size());
+  std::unordered_set<RawEdgeKey, RawEdgeKeyHash> batch_seen;
+  for (const RawTemporalEdge& e : new_edges) {
+    if (e.u == kInvalidVertex || e.v == kInvalidVertex) {
+      return Status::InvalidArgument(
+          "appended edge uses the invalid-vertex sentinel as an endpoint");
+    }
+    if (e.u == e.v) continue;  // self-loops never contribute a neighbor
+    RawTemporalEdge n = e;
+    if (n.u > n.v) std::swap(n.u, n.v);
+    if (dedup_exact_) {
+      if (ContainsEdge(n.u, n.v, n.raw_time)) continue;
+      if (!batch_seen.insert(RawEdgeKey{n.u, n.v, n.raw_time}).second) {
+        continue;  // in-batch duplicate
+      }
+    }
+    effective.push_back(n);
+  }
+
   TemporalGraphBuilder builder;
   builder.SetDeduplicateExact(dedup_exact_);  // a multigraph stays one
   for (const TemporalEdge& e : edges_) {
     builder.AddEdge(e.u, e.v, RawTimestamp(e.t));
   }
-  for (const RawTemporalEdge& e : new_edges) {
+  for (const RawTemporalEdge& e : effective) {
     builder.AddEdge(e.u, e.v, e.raw_time);
   }
   // Isolated vertices survive the rebuild (they never appear on an edge).
   builder.EnsureVertexCount(num_vertices_);
-  return builder.Build();
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+
+  GraphUpdate update;
+  update.graph = std::move(built).value();
+  EdgeDelta& delta = update.delta;
+  delta.edges_appended = effective.size();
+  if (effective.empty()) return update;
+
+  delta.timestamps_preserved =
+      update.graph.num_timestamps() == num_timestamps();
+  delta.vertices_preserved = update.graph.num_vertices() == num_vertices_;
+  delta.min_time = kInfTime;
+  delta.max_time = 0;
+  for (const RawTemporalEdge& e : effective) {
+    delta.touched_vertices.push_back(e.u);
+    delta.touched_vertices.push_back(e.v);
+    // Every effective raw time exists in the new timeline by construction,
+    // so the floor lookup is an exact match.
+    const Timestamp t = update.graph.CompactTimestampFloor(e.raw_time);
+    delta.min_time = std::min(delta.min_time, t);
+    delta.max_time = std::max(delta.max_time, t);
+  }
+  std::sort(delta.touched_vertices.begin(), delta.touched_vertices.end());
+  delta.touched_vertices.erase(
+      std::unique(delta.touched_vertices.begin(),
+                  delta.touched_vertices.end()),
+      delta.touched_vertices.end());
+
+  // max_core_bound: degrees are memoized per touched vertex — deltas are
+  // small, but one vertex can appear on many appended edges.
+  std::vector<uint32_t> degree_of(delta.touched_vertices.size(), 0);
+  std::vector<VertexId> scratch;
+  auto degree = [&](VertexId u) {
+    const size_t slot =
+        std::lower_bound(delta.touched_vertices.begin(),
+                         delta.touched_vertices.end(), u) -
+        delta.touched_vertices.begin();
+    if (degree_of[slot] == 0) {
+      degree_of[slot] = DistinctDegree(update.graph, u, &scratch);
+    }
+    return degree_of[slot];
+  };
+  for (const RawTemporalEdge& e : effective) {
+    delta.max_core_bound =
+        std::max(delta.max_core_bound, std::min(degree(e.u), degree(e.v)));
+  }
+  return update;
 }
 
 uint64_t TemporalGraph::MemoryUsageBytes() const {

@@ -39,6 +39,56 @@ struct RawTemporalEdge {
   uint64_t raw_time = 0;
 };
 
+/// What one TemporalGraph::AppendEdges call actually changed, expressed in
+/// the *new* graph's coordinates. The serving layer's delta-aware rebuilds
+/// (PhcIndex::Rebuild, cross-snapshot cache carry-over) consume this to
+/// prove which per-k index slices the append could not have touched.
+///
+/// "Effective" edges are the appended edges that survive ingestion:
+/// self-loops are dropped and, when the base graph deduplicates, exact
+/// duplicates of existing edges (or of earlier edges in the same batch)
+/// collapse. An append whose every edge is dropped produces a graph
+/// bit-identical to the base and an empty delta.
+struct EdgeDelta {
+  /// Appended edges that survived ingestion (see above).
+  uint64_t edges_appended = 0;
+
+  /// Distinct endpoints of the effective edges, ascending.
+  std::vector<VertexId> touched_vertices;
+
+  /// Compacted-time extent [min_time, max_time] of the effective edges in
+  /// the *new* graph's timeline; both 0 when the delta is empty.
+  Timestamp min_time = 0;
+  Timestamp max_time = 0;
+
+  /// True iff the append minted no new distinct raw timestamp, i.e. the
+  /// new graph's compacted timeline is identical to the base graph's (same
+  /// raw_of_compact mapping, same num_timestamps). Every time-coordinate
+  /// of the base graph — index ranges, cached query windows — keeps its
+  /// meaning across the swap only when this holds.
+  bool timestamps_preserved = true;
+
+  /// True iff the append introduced no vertex beyond the base graph's
+  /// num_vertices(). Per-vertex index shapes (CSR offsets) carry over only
+  /// when this holds.
+  bool vertices_preserved = true;
+
+  /// Max over effective edges (u, v) of min(distinct-neighbor degree of u,
+  /// distinct-neighbor degree of v), degrees taken over the *new* graph's
+  /// full range. No effective edge can sit inside a k-core for
+  /// k > max_core_bound, so (for a preserved timeline and vertex pool)
+  /// every window's k-core — and hence the k-slice of any core-time index
+  /// and any cached (k, range) outcome — is provably unchanged for such k.
+  /// 0 when the delta is empty.
+  uint32_t max_core_bound = 0;
+
+  /// True iff nothing survived ingestion: the new graph is bit-identical
+  /// to the base graph.
+  bool empty() const { return edges_appended == 0; }
+};
+
+struct GraphUpdate;  // defined after TemporalGraph below
+
 /// One undirected temporal edge. Endpoints are normalized so u < v.
 struct TemporalEdge {
   VertexId u = 0;
@@ -155,21 +205,29 @@ class TemporalGraph {
   /// raw timestamps exceed `raw`.
   Timestamp CompactTimestampFloor(uint64_t raw) const;
 
+  /// True iff this graph holds an edge between `u` and `v` (either
+  /// orientation) at raw time `raw`. O(log) to locate the timestamp plus a
+  /// scan of the smaller endpoint's single-timestamp adjacency slice.
+  bool ContainsEdge(VertexId u, VertexId v, uint64_t raw) const;
+
   // --- updates --------------------------------------------------------
 
   /// Returns a *new* graph holding every edge of this graph plus
-  /// `new_edges` — the live-update path: the original graph stays immutable
-  /// (in-flight readers are never disturbed) and the appended graph is a
-  /// complete rebuild with freshly compacted timestamps, ready to be
-  /// swapped in as the next serving snapshot. New raw timestamps may fall
-  /// anywhere (before, between, after the existing ones); compacted
-  /// timestamps of existing edges therefore may shift, which is why the
-  /// result is a distinct graph version rather than a mutation. Follows
-  /// the ingestion rules this graph was built with: self-loops dropped,
-  /// and exact duplicates (same endpoints and raw time, including against
-  /// existing edges) merged iff deduplicates_exact(). Appending zero
-  /// edges yields an identical copy.
-  StatusOr<TemporalGraph> AppendEdges(
+  /// `new_edges`, together with an EdgeDelta describing what the append
+  /// actually changed — the currency of the serving layer's incremental
+  /// snapshot rebuilds. The original graph stays immutable (in-flight
+  /// readers are never disturbed) and the appended graph is a complete
+  /// rebuild with freshly compacted timestamps, ready to be swapped in as
+  /// the next serving snapshot. New raw timestamps may fall anywhere
+  /// (before, between, after the existing ones); compacted timestamps of
+  /// existing edges therefore may shift, which is why the result is a
+  /// distinct graph version rather than a mutation. Follows the ingestion
+  /// rules this graph was built with: self-loops dropped, and exact
+  /// duplicates (same endpoints and raw time, including against existing
+  /// edges) merged iff deduplicates_exact(). Appending zero (effective)
+  /// edges yields an identical copy with an empty delta. Fails on an
+  /// endpoint equal to kInvalidVertex (the sentinel is never a vertex).
+  StatusOr<GraphUpdate> AppendEdges(
       std::span<const RawTemporalEdge> new_edges) const;
 
   // --- misc -----------------------------------------------------------
@@ -187,6 +245,13 @@ class TemporalGraph {
   std::vector<uint32_t> adj_offsets_;        // size n+1
   std::vector<AdjEntry> adj_;                // per-vertex, sorted by (t, nbr)
   std::vector<uint64_t> raw_of_compact_;     // size T: raw value of t-1
+};
+
+/// The result of TemporalGraph::AppendEdges: the successor graph plus the
+/// delta that separates it from the base graph.
+struct GraphUpdate {
+  TemporalGraph graph;
+  EdgeDelta delta;
 };
 
 }  // namespace tkc

@@ -83,6 +83,32 @@ void QueryCache::InsertTombstone(const Query& query) {
   InsertEntry(QueryCacheKey{query.k, query.range}, std::nullopt);
 }
 
+std::vector<QueryCacheEntry> QueryCache::ExportLruToMru(
+    KeyPredicate keep, uint32_t keep_arg) const {
+  std::vector<QueryCacheEntry> entries;
+  entries.reserve(lru_.size());
+  // lru_ runs MRU -> LRU front to back; export reversed.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (keep != nullptr && !keep(it->first, keep_arg)) continue;
+    entries.push_back(QueryCacheEntry{it->first, it->second});
+  }
+  return entries;
+}
+
+size_t QueryCache::ImportEntries(std::vector<QueryCacheEntry> entries) {
+  if (capacity_ == 0) return 0;
+  for (QueryCacheEntry& entry : entries) {
+    InsertEntry(entry.key, std::move(entry.outcome));
+  }
+  // Later imports (or the budget) may have evicted earlier ones; report
+  // what actually survived.
+  size_t resident = 0;
+  for (const QueryCacheEntry& entry : entries) {
+    if (map_.find(entry.key) != map_.end()) ++resident;
+  }
+  return resident;
+}
+
 void QueryCache::Clear() {
   lru_.clear();
   map_.clear();

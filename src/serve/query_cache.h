@@ -7,6 +7,7 @@
 #include <optional>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "util/hash.h"
 #include "workload/query_workload.h"
@@ -49,6 +50,13 @@ struct QueryCacheKey {
   }
 };
 
+/// One exported cache entry, the currency of cross-snapshot carry-over
+/// (serve/snapshot.h): a key plus its payload, nullopt meaning tombstone.
+struct QueryCacheEntry {
+  QueryCacheKey key;
+  std::optional<RunOutcome> outcome;
+};
+
 struct QueryCacheKeyHasher {
   size_t operator()(const QueryCacheKey& key) const {
     uint64_t h = HashU64(key.k);
@@ -88,6 +96,25 @@ class QueryCache {
   void InsertTombstone(const Query& query);
 
   void Clear();
+
+  /// Entries passing `keep` (nullptr keeps everything), least recently
+  /// used first — the order ImportEntries wants, so a carried-over cache
+  /// preserves relative recency. Filtering happens before the payloads
+  /// are copied, so the cost is proportional to what is exported. The
+  /// cache itself is untouched (no promotion, no counters).
+  using KeyPredicate = bool (*)(const QueryCacheKey&, uint32_t);
+  std::vector<QueryCacheEntry> ExportLruToMru(
+      KeyPredicate keep = nullptr, uint32_t keep_arg = 0) const;
+
+  /// Inserts `entries` in order (each becoming most recently used, so an
+  /// LRU-to-MRU export replays with recency intact), evicting to budget as
+  /// usual. Counts neither hits nor misses. Returns the number of imported
+  /// entries still resident after the import (0 when the cache is
+  /// disabled; smaller than entries.size() when this cache's budget
+  /// evicted some). The cross-snapshot carry-over path: the new snapshot's
+  /// engine imports the predecessor's provably still-valid entries instead
+  /// of starting cold.
+  size_t ImportEntries(std::vector<QueryCacheEntry> entries);
 
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }

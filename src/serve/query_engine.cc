@@ -207,7 +207,9 @@ void QueryEngine::InstallAdmissionIndex(PhcIndex index) {
   }
   replicas_.reserve(options_.num_index_replicas);
   for (int r = 1; r < options_.num_index_replicas; ++r) {
-    replicas_.push_back(index);  // independent copy per read-path replica
+    // Shallow copies: replicas alias the shared slice storage (see the
+    // num_index_replicas option comment).
+    replicas_.push_back(index);
   }
   replicas_.push_back(std::move(index));
 }
@@ -517,6 +519,26 @@ ServeStats QueryEngine::stats() const {
 void QueryEngine::ClearCache() {
   std::lock_guard<std::mutex> lock(*mu_);
   cache_->Clear();
+}
+
+uint64_t QueryEngine::CarryOverCacheFrom(const QueryEngine& prev,
+                                         uint32_t clean_above_k) {
+  if (options_.cache_capacity == 0 || prev.options_.cache_capacity == 0) {
+    return 0;
+  }
+  std::vector<QueryCacheEntry> entries;
+  {
+    // prev may still be serving in-flight batches pinned to its snapshot;
+    // its lock is held only for the copy-out, and the filter runs before
+    // payloads are copied so the lock is held proportionally to what
+    // actually carries.
+    std::lock_guard<std::mutex> lock(*prev.mu_);
+    entries = prev.cache_->ExportLruToMru(
+        [](const QueryCacheKey& key, uint32_t bound) { return key.k > bound; },
+        clean_above_k);
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  return cache_->ImportEntries(std::move(entries));
 }
 
 }  // namespace tkc

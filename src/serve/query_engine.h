@@ -108,8 +108,12 @@ struct QueryEngineOptions {
   uint32_t index_max_k = 0;
 
   /// Read-path replicas of the admission index (>= 1). Point-lookup APIs
-  /// round-robin across replicas; on multi-socket machines, replicas keep
-  /// index reads socket-local instead of hammering one allocation.
+  /// round-robin across replicas. Since PhcIndex slices moved behind
+  /// shared_ptr (so snapshots can share them across live-update rebuilds),
+  /// replicas alias the same slice storage — the round-robin only spreads
+  /// the top-level index objects, not the slice allocations, so this no
+  /// longer buys socket-local reads. Kept for API stability; a future
+  /// deep-copy mode could restore NUMA replication where it matters.
   int num_index_replicas = 1;
 
   /// Bound of the async submission queue: at most this many batches wait
@@ -257,6 +261,17 @@ class QueryEngine {
 
   /// Drops every memoized outcome (counters are kept).
   void ClearCache();
+
+  /// Cross-snapshot cache carry-over (serve/snapshot.h): seeds this
+  /// engine's memo with `prev`'s entries whose k the caller has proven
+  /// unaffected by the graph delta separating the two engines' graphs —
+  /// entries with k > clean_above_k carry (0 carries everything; see
+  /// PhcRebuildStats::clean_above_k). Relative recency is preserved.
+  /// Returns the number of entries carried; 0 when either cache is
+  /// disabled. Call before this engine starts serving (it locks both
+  /// caches, prev's first).
+  uint64_t CarryOverCacheFrom(const QueryEngine& prev,
+                              uint32_t clean_above_k);
 
   /// The admission index replica `i` (0 <= i < num_index_replicas), or
   /// nullptr when the engine was built with build_index = false.

@@ -1,13 +1,15 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tkc {
 
-StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::Create(
+StatusOr<std::shared_ptr<GraphSnapshot>> GraphSnapshot::CreateImpl(
     TemporalGraph graph, uint64_t version, const QueryEngineOptions& options) {
   // Two-phase: the graph must reach its final address before the engine
   // captures a pointer to it.
@@ -22,7 +24,70 @@ StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::Create(
   // snapshot without the engine's drain waiting on the running task.
   snapshot->engine_->SetLifetimeGuard(
       std::weak_ptr<const void>(std::shared_ptr<const void>(snapshot)));
-  return std::shared_ptr<const GraphSnapshot>(std::move(snapshot));
+  return snapshot;
+}
+
+StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::Create(
+    TemporalGraph graph, uint64_t version, const QueryEngineOptions& options) {
+  auto snapshot = CreateImpl(std::move(graph), version, options);
+  if (!snapshot.ok()) return snapshot.status();
+  return std::shared_ptr<const GraphSnapshot>(std::move(snapshot).value());
+}
+
+StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::CreateSuccessor(
+    const GraphSnapshot& base, GraphUpdate update, uint64_t version,
+    const QueryEngineOptions& options) {
+  // The delta-only validity proof for cached outcomes: with the compacted
+  // timeline and vertex pool preserved, every (k, range) outcome with
+  // k > the delta's core bound answers identically on the new graph —
+  // index or no index.
+  const bool delta_clean = update.delta.timestamps_preserved &&
+                           update.delta.vertices_preserved;
+  const uint32_t carry_bound =
+      update.delta.empty() ? 0 : update.delta.max_core_bound;
+  QueryEngineOptions successor_options = options;
+  // Delta-aware index maintenance: when the base snapshot has an admission
+  // index to rebuild from, produce the successor's index with
+  // PhcIndex::Rebuild — clean slices shared by pointer, dirty ones rebuilt
+  // over the pool — and hand it to the engine as a preloaded index (a
+  // cheap copy: slices are shared). Bit-identical to the from-scratch
+  // build the engine would otherwise run.
+  PhcIndex rebuilt;
+  PhcRebuildStats rebuild_stats;
+  const PhcIndex* base_index = base.engine().index();
+  const bool want_index =
+      (options.build_index || options.preloaded_index != nullptr) &&
+      base_index != nullptr && update.graph.num_timestamps() > 0;
+  if (want_index) {
+    PhcBuildOptions build;
+    build.max_k = options.index_max_k;
+    build.pool =
+        options.pool != nullptr ? options.pool : &ThreadPool::Shared();
+    auto index = PhcIndex::Rebuild(*base_index, update.graph, update.delta,
+                                   build, &rebuild_stats);
+    if (!index.ok()) return index.status();
+    rebuilt = std::move(index).value();
+    successor_options.preloaded_index = &rebuilt;  // copied by Create
+    successor_options.build_index = true;
+  }
+
+  auto snapshot =
+      CreateImpl(std::move(update.graph), version, successor_options);
+  if (!snapshot.ok()) return snapshot.status();
+
+  SwapStats& swap = (*snapshot)->swap_stats_;
+  swap.delta_edges = update.delta.edges_appended;
+  swap.slices_reused = rebuild_stats.slices_reused;
+  swap.slices_rebuilt = rebuild_stats.slices_rebuilt;
+  // Cross-snapshot cache carry-over: entries whose k lies strictly above
+  // the delta's proof boundary answer identically on the new graph, so the
+  // successor starts warm for exactly that region. Gated on the delta
+  // alone — a cache-only engine (no admission index) carries too.
+  if (delta_clean) {
+    swap.cache_entries_carried =
+        (*snapshot)->engine().CarryOverCacheFrom(base.engine(), carry_bound);
+  }
+  return std::shared_ptr<const GraphSnapshot>(std::move(snapshot).value());
 }
 
 StatusOr<std::unique_ptr<LiveQueryEngine>> LiveQueryEngine::Create(
@@ -43,7 +108,8 @@ LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
   // A preloaded admission index describes exactly one graph — the initial
   // one. Rebuilt snapshots must build their own fresh index (the preloaded
   // pointer may even dangle by then); preloading implies the operator
-  // wants an admission index, so rebuilds keep building one.
+  // wants an admission index, so rebuilds keep building one — via the
+  // delta-aware PhcIndex::Rebuild whenever the base snapshot has an index.
   rebuild_engine_options_ = options.engine;
   if (rebuild_engine_options_.preloaded_index != nullptr) {
     rebuild_engine_options_.preloaded_index = nullptr;
@@ -53,6 +119,12 @@ LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
 }
 
 LiveQueryEngine::~LiveQueryEngine() {
+  {
+    // Force the pause gate open so a paused updater still drains its queue.
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    pause_override_ = true;
+  }
+  pause_cv_.notify_all();
   update_queue_.Close();  // queued batches still drain, then the loop exits
   updater_.join();
   // Drain every snapshot that still exists, not just the current one: a
@@ -133,25 +205,69 @@ std::future<Status> LiveQueryEngine::ApplyUpdates(
   return future;
 }
 
+void LiveQueryEngine::PauseUpdates() {
+  std::lock_guard<std::mutex> lock(pause_mu_);
+  paused_ = true;
+}
+
+void LiveQueryEngine::ResumeUpdates() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
 void LiveQueryEngine::UpdaterLoop() {
   UpdateRequest request;
   while (update_queue_.Pop(&request)) {
+    {
+      // Pause gate: batches queued while held accumulate and coalesce
+      // into the cycle below once resumed (or once destruction forces the
+      // gate open).
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      pause_cv_.wait(lock, [this] { return !paused_ || pause_override_; });
+    }
+    // Coalesce: one rebuild cycle absorbs every batch queued right now —
+    // under swap pressure the updater pays one graph+index rebuild for the
+    // whole backlog instead of one per batch.
+    std::vector<UpdateRequest> group;
+    group.push_back(std::move(request));
+    while (update_queue_.TryPop(&request)) group.push_back(std::move(request));
+    size_t total_edges = 0;
+    for (const UpdateRequest& r : group) total_edges += r.edges.size();
+    // The requests' edge vectors are dead after the merge (only their
+    // promises are needed below), so move rather than copy.
+    std::vector<RawTemporalEdge> edges;
+    if (group.size() == 1) {
+      edges = std::move(group.front().edges);
+    } else {
+      edges.reserve(total_edges);
+      for (UpdateRequest& r : group) {
+        edges.insert(edges.end(), std::make_move_iterator(r.edges.begin()),
+                     std::make_move_iterator(r.edges.end()));
+        r.edges.clear();
+      }
+    }
+
     WallTimer rebuild_timer;
     // Rebuild off-thread: serving continues on the current snapshot while
-    // this thread (and, inside PhcIndex::Build, the serving pool) builds
+    // this thread (and, inside PhcIndex::Rebuild, the serving pool) builds
     // the successor.
     std::shared_ptr<const GraphSnapshot> base;
     {
       std::lock_guard<std::mutex> lock(snapshot_mu_);
       base = current_;
     }
-    auto next_graph = base->graph().AppendEdges(request.edges);
-    Status status = next_graph.ok() ? Status::OK() : next_graph.status();
+    auto update = base->graph().AppendEdges(edges);
+    Status status = update.ok() ? Status::OK() : update.status();
     std::shared_ptr<const GraphSnapshot> next;
     if (status.ok()) {
-      auto built = GraphSnapshot::Create(std::move(next_graph).value(),
-                                         next_version_,
-                                         rebuild_engine_options_);
+      // Version advances by the whole group: version N stays "initial
+      // graph + update batches 1..N" even when swaps coalesce.
+      auto built = GraphSnapshot::CreateSuccessor(
+          *base, std::move(update).value(), base->version() + group.size(),
+          rebuild_engine_options_);
       status = built.ok() ? Status::OK() : built.status();
       if (built.ok()) next = std::move(built).value();
     }
@@ -159,7 +275,6 @@ void LiveQueryEngine::UpdaterLoop() {
 
     double swap_seconds = 0;
     if (status.ok()) {
-      ++next_version_;
       WallTimer swap_timer;
       {
         // The swap is one shared_ptr assignment under a micro-lock:
@@ -175,7 +290,7 @@ void LiveQueryEngine::UpdaterLoop() {
                              return w.expired();
                            }),
             all_snapshots_.end());
-        all_snapshots_.push_back(std::move(next));
+        all_snapshots_.push_back(next);
       }
       swap_seconds = swap_timer.ElapsedSeconds();
     }
@@ -183,15 +298,25 @@ void LiveQueryEngine::UpdaterLoop() {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (status.ok()) {
+        const GraphSnapshot::SwapStats& swap = next->swap_stats();
         ++stats_.swaps;
-        stats_.edges_applied += request.edges.size();
+        stats_.edges_applied += edges.size();
         stats_.last_rebuild_seconds = rebuild_seconds;
         stats_.last_swap_seconds = swap_seconds;
+        stats_.last_delta_edges = swap.delta_edges;
+        stats_.update.batches_coalesced += group.size() - 1;
+        stats_.update.slices_reused += swap.slices_reused;
+        stats_.update.slices_rebuilt += swap.slices_rebuilt;
+        stats_.update.cache_entries_carried += swap.cache_entries_carried;
+        if (swap.slices_reused > 0) ++stats_.update.incremental_swaps;
       } else {
-        ++stats_.failed_updates;
+        // The whole coalesced group is dropped: every batch in it failed,
+        // including the ones that merely rode along.
+        stats_.failed_updates += group.size();
       }
     }
-    request.done->set_value(std::move(status));
+    for (UpdateRequest& r : group) r.done->set_value(status);
+    group.clear();
     request = UpdateRequest();  // release the edges/promise promptly
   }
 }
@@ -199,6 +324,11 @@ void LiveQueryEngine::UpdaterLoop() {
 LiveStats LiveQueryEngine::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
+}
+
+UpdateStats LiveQueryEngine::update_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.update;
 }
 
 }  // namespace tkc

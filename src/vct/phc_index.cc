@@ -1,6 +1,7 @@
 #include "vct/phc_index.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "graph/core_decomposition.h"
@@ -9,6 +10,21 @@
 #include "vct/vct_builder.h"
 
 namespace tkc {
+
+namespace {
+
+/// Builds the k-slice for (g, range) and wraps it in the shared handle the
+/// index stores. Pure function of its arguments; arena only recycles
+/// scratch.
+std::shared_ptr<const VertexCoreTimeIndex> BuildSlice(const TemporalGraph& g,
+                                                      uint32_t k, Window range,
+                                                      VctBuildArena* arena,
+                                                      ThreadPool* pool) {
+  return std::make_shared<const VertexCoreTimeIndex>(
+      BuildVctAndEcs(g, k, range, arena, pool).vct);
+}
+
+}  // namespace
 
 StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
                                    uint32_t max_k) {
@@ -45,17 +61,94 @@ StatusOr<PhcIndex> PhcIndex::Build(const TemporalGraph& g, Window range,
   if (pool == nullptr || pool->num_threads() <= 1 || kmax <= 1) {
     VctBuildArena arena;
     for (uint32_t k = 1; k <= kmax; ++k) {
-      index.slices_[k - 1] = BuildVctAndEcs(g, k, range, &arena, pool).vct;
+      index.slices_[k - 1] = BuildSlice(g, k, range, &arena, pool);
     }
   } else {
     std::vector<VctBuildArena> arenas(pool->num_threads());
     pool->ParallelFor(kmax, [&](size_t i, int worker) {
-      index.slices_[i] =
-          BuildVctAndEcs(g, static_cast<uint32_t>(i) + 1, range,
-                         &arenas[worker], pool)
-              .vct;
+      index.slices_[i] = BuildSlice(g, static_cast<uint32_t>(i) + 1, range,
+                                    &arenas[worker], pool);
     });
   }
+  return index;
+}
+
+StatusOr<PhcIndex> PhcIndex::Rebuild(const PhcIndex& old_index,
+                                     const TemporalGraph& g,
+                                     const EdgeDelta& delta,
+                                     const PhcBuildOptions& options,
+                                     PhcRebuildStats* stats) {
+  const Window range = g.FullRange();
+  if (!range.Valid()) {
+    return Status::InvalidArgument("graph has no timestamps to index");
+  }
+  PhcRebuildStats local;
+
+  // Reuse preconditions: the new graph's compacted timeline and vertex
+  // pool must be the base graph's (otherwise old slices are expressed in
+  // stale coordinates / shapes), and the old index must cover exactly this
+  // range over this vertex count. delta.vertices_preserved ties the new
+  // graph to the base graph; the slice check ties the old index to both.
+  const bool eligible =
+      delta.timestamps_preserved && delta.vertices_preserved &&
+      old_index.range() == range && old_index.max_k() >= 1 &&
+      old_index.Slice(1).num_vertices() == g.num_vertices();
+  if (eligible) {
+    // Every k-core with k > max_core_bound is unchanged by the delta (no
+    // delta edge can join it), so those slices are provably identical. An
+    // empty delta leaves the whole graph — hence every slice — unchanged.
+    local.clean_above_k = delta.empty() ? 0 : delta.max_core_bound;
+  }
+
+  // Empty-delta fast path: the graph is bit-identical to the base, so a
+  // complete old index that also satisfies the requested cap *is* the
+  // result — skip even the core decomposition. (A capped/incomplete old
+  // index falls through: the general path still reuses all its slices and
+  // recomputes only kmax/completeness.)
+  if (eligible && delta.empty() && old_index.complete() &&
+      (options.max_k == 0 || old_index.max_k() <= options.max_k)) {
+    local.slices_reused = old_index.max_k();
+    if (stats != nullptr) *stats = local;
+    return old_index;  // cheap copy: slices are shared
+  }
+
+  PhcIndex index;
+  index.range_ = range;
+  const uint32_t span_kmax = DecomposeCores(g, range).kmax;
+  uint32_t kmax = span_kmax;
+  if (options.max_k > 0) kmax = std::min(kmax, options.max_k);
+  index.complete_ = options.max_k == 0 || span_kmax <= options.max_k;
+  index.slices_.resize(kmax);
+
+  std::vector<uint32_t> dirty;
+  dirty.reserve(kmax);
+  for (uint32_t k = 1; k <= kmax; ++k) {
+    if (local.reuse_eligible() && k > local.clean_above_k &&
+        k <= old_index.max_k()) {
+      index.slices_[k - 1] = old_index.slices_[k - 1];  // shared, by pointer
+      ++local.slices_reused;
+    } else {
+      dirty.push_back(k);
+    }
+  }
+  local.slices_rebuilt = static_cast<uint32_t>(dirty.size());
+
+  // Rebuild the dirty slices exactly as Build would: same builder, same
+  // arena discipline, slot k-1 regardless of worker/completion order.
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr || pool->num_threads() <= 1 || dirty.size() <= 1) {
+    VctBuildArena arena;
+    for (uint32_t k : dirty) {
+      index.slices_[k - 1] = BuildSlice(g, k, range, &arena, pool);
+    }
+  } else {
+    std::vector<VctBuildArena> arenas(pool->num_threads());
+    pool->ParallelFor(dirty.size(), [&](size_t i, int worker) {
+      index.slices_[dirty[i] - 1] =
+          BuildSlice(g, dirty[i], range, &arenas[worker], pool);
+    });
+  }
+  if (stats != nullptr) *stats = local;
   return index;
 }
 
@@ -77,18 +170,28 @@ StatusOr<PhcIndex> PhcIndex::FromSlices(
   PhcIndex index;
   index.range_ = range;
   index.complete_ = complete;
-  index.slices_ = std::move(slices);
+  index.slices_.reserve(slices.size());
+  for (VertexCoreTimeIndex& slice : slices) {
+    index.slices_.push_back(
+        std::make_shared<const VertexCoreTimeIndex>(std::move(slice)));
+  }
   return index;
 }
 
 const VertexCoreTimeIndex& PhcIndex::Slice(uint32_t k) const {
+  TKC_CHECK(k >= 1 && k <= slices_.size());
+  return *slices_[k - 1];
+}
+
+std::shared_ptr<const VertexCoreTimeIndex> PhcIndex::SliceShared(
+    uint32_t k) const {
   TKC_CHECK(k >= 1 && k <= slices_.size());
   return slices_[k - 1];
 }
 
 Timestamp PhcIndex::CoreTimeAt(VertexId u, Timestamp ts, uint32_t k) const {
   if (k == 0 || k > slices_.size()) return kInfTime;
-  return slices_[k - 1].CoreTimeAt(u, ts);
+  return slices_[k - 1]->CoreTimeAt(u, ts);
 }
 
 bool PhcIndex::VertexInCore(VertexId u, Window window, uint32_t k) const {
@@ -112,13 +215,27 @@ uint32_t PhcIndex::HistoricalCoreNumber(VertexId u, Window window) const {
 
 uint64_t PhcIndex::size() const {
   uint64_t total = 0;
-  for (const auto& slice : slices_) total += slice.size();
+  for (const auto& slice : slices_) total += slice->size();
   return total;
 }
 
+bool operator==(const PhcIndex& a, const PhcIndex& b) {
+  if (a.range() != b.range() || a.complete() != b.complete() ||
+      a.max_k() != b.max_k()) {
+    return false;
+  }
+  for (uint32_t k = 1; k <= a.max_k(); ++k) {
+    if (a.SliceShared(k) == b.SliceShared(k)) continue;  // shared: equal
+    if (!(a.Slice(k) == b.Slice(k))) return false;
+  }
+  return true;
+}
+
 uint64_t PhcIndex::MemoryUsageBytes() const {
+  // Shared slices are counted in full: this reports the index's logical
+  // footprint, not the marginal cost over other snapshots' indexes.
   uint64_t total = 0;
-  for (const auto& slice : slices_) total += slice.MemoryUsageBytes();
+  for (const auto& slice : slices_) total += slice->MemoryUsageBytes();
   return total;
 }
 

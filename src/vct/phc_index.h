@@ -2,6 +2,7 @@
 #define TKC_VCT_PHC_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/temporal_graph.h"
@@ -22,6 +23,14 @@
 /// at index k-1, so the parallel index is bit-identical to the serial one
 /// regardless of completion order. Each worker reuses one VctBuildArena
 /// across all slices it claims.
+///
+/// Slices are held behind shared_ptr<const VertexCoreTimeIndex>: an index
+/// is a cheap-to-copy stack of immutable slices, and successive graph
+/// versions can *share* the slices an edge delta provably did not touch.
+/// That sharing is what Rebuild exploits — the live serving layer's
+/// incremental maintenance path: instead of rebuilding every k-slice on
+/// each snapshot swap, it reuses the clean ones by pointer and rebuilds
+/// only the dirty ones, bit-identical to a from-scratch Build.
 
 namespace tkc {
 
@@ -33,6 +42,26 @@ struct PhcBuildOptions {
   uint32_t max_k = 0;
   /// Pool to fan slices out over; nullptr builds serially on the caller.
   ThreadPool* pool = nullptr;
+};
+
+/// What one PhcIndex::Rebuild proved and did.
+struct PhcRebuildStats {
+  /// "No slice (or cached outcome) is provably clean."
+  static constexpr uint32_t kNothingClean = 0xffffffffu;
+
+  /// Slices of the old index reused by pointer.
+  uint32_t slices_reused = 0;
+  /// Slices (re)built from scratch over the new graph.
+  uint32_t slices_rebuilt = 0;
+  /// The delta's proof boundary: every k-slice — and every cached
+  /// (k, range) outcome — with k > clean_above_k is provably identical
+  /// across the swap. 0 after an empty delta (everything clean);
+  /// kNothingClean when reuse was ineligible (timeline or vertex pool
+  /// changed, or the ranges disagreed) and everything was rebuilt.
+  uint32_t clean_above_k = kNothingClean;
+
+  /// True iff at least the slices above clean_above_k carried over.
+  bool reuse_eligible() const { return clean_above_k != kNothingClean; }
 };
 
 /// Immutable multi-k core-time index over one query range.
@@ -48,6 +77,28 @@ class PhcIndex {
   /// As above with explicit options (thread pool, k cap).
   static StatusOr<PhcIndex> Build(const TemporalGraph& g, Window range,
                                   const PhcBuildOptions& options);
+
+  /// Delta-aware rebuild for the live-update path: produces the index
+  /// Build(g, g.FullRange(), options) would produce, where `g` is
+  /// `old_index`'s graph plus the append described by `delta`, but reuses
+  /// (by pointer) every slice of `old_index` the delta provably left
+  /// unchanged and rebuilds only the dirty ones over the pool.
+  ///
+  /// Reuse is sound because a k-core can only change when a delta edge
+  /// joins it, which requires both endpoints to have distinct-neighbor
+  /// degree >= k — so every window's k-core, and hence slice k, is
+  /// unchanged for k > delta.max_core_bound, provided the compacted
+  /// timeline and the vertex pool carried over (delta.timestamps_preserved
+  /// && delta.vertices_preserved) and old_index covers the same range.
+  /// When those preconditions fail, every slice is rebuilt (equivalent to
+  /// Build, stats report nothing clean). The result is bit-identical to a
+  /// from-scratch Build either way — the incremental differential mode
+  /// asserts exactly that, per slice, at several thread counts.
+  static StatusOr<PhcIndex> Rebuild(const PhcIndex& old_index,
+                                    const TemporalGraph& g,
+                                    const EdgeDelta& delta,
+                                    const PhcBuildOptions& options,
+                                    PhcRebuildStats* stats = nullptr);
 
   /// Reassembles an index from already-built slices (the deserialization
   /// path of vct/index_io.h). Validates that slice k sits at index k-1 over
@@ -70,6 +121,10 @@ class PhcIndex {
   /// The VCT slice for `k` (1 <= k <= max_k()).
   const VertexCoreTimeIndex& Slice(uint32_t k) const;
 
+  /// The shared handle of slice `k` — compare against another index's to
+  /// detect cross-snapshot sharing (a Rebuild reuses slices by pointer).
+  std::shared_ptr<const VertexCoreTimeIndex> SliceShared(uint32_t k) const;
+
   /// CT^k_ts(u): core time of u for start ts at cohesion k. Returns
   /// kInfTime when k exceeds max_k() (no such core exists in the range).
   Timestamp CoreTimeAt(VertexId u, Timestamp ts, uint32_t k) const;
@@ -90,8 +145,18 @@ class PhcIndex {
  private:
   Window range_{0, 0};
   bool complete_ = true;
-  std::vector<VertexCoreTimeIndex> slices_;  // index k-1
+  /// Slice k at index k-1; immutable and shareable across index versions.
+  std::vector<std::shared_ptr<const VertexCoreTimeIndex>> slices_;
 };
+
+/// Bit-identity of two indexes: same range, completeness, max_k, and
+/// per-slice contents (pointer-shared slices compare in O(1)). The
+/// incremental differential mode and the live-update bench use this to
+/// prove a delta-aware Rebuild equals a from-scratch Build.
+bool operator==(const PhcIndex& a, const PhcIndex& b);
+inline bool operator!=(const PhcIndex& a, const PhcIndex& b) {
+  return !(a == b);
+}
 
 }  // namespace tkc
 

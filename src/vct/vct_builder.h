@@ -44,10 +44,12 @@ class ThreadPool;  // util/thread_pool.h
 /// Reusable scratch for repeated VCT/ECS builds: the core-time advancer's
 /// state, the window-adjacency cursors, the sweep scratch, and the emission
 /// buffers. Passing the same arena to successive builds reuses every
-/// allocation; PhcIndex::Build hands each pool worker its own arena so the
-/// k = 1..kmax slices share scratch without locking. Contents are an
-/// implementation detail of vct_builder.cc — treat as opaque. Reuse never
-/// changes results: each build fully re-initializes the state it reads.
+/// allocation; PhcIndex::Build (and the delta-aware PhcIndex::Rebuild,
+/// which runs this builder only for its dirty slices) hands each pool
+/// worker its own arena so the slices it claims share scratch without
+/// locking. Contents are an implementation detail of vct_builder.cc —
+/// treat as opaque. Reuse never changes results: each build fully
+/// re-initializes the state it reads.
 struct VctBuildArena {
   std::vector<Timestamp> ct;              // per-vertex core times
   std::vector<uint8_t> in_queue;          // worklist membership bits

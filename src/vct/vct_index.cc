@@ -64,6 +64,19 @@ uint64_t VertexCoreTimeIndex::MemoryUsageBytes() const {
   return ApproxVectorBytes(offsets_) + ApproxVectorBytes(entries_);
 }
 
+bool operator==(const VertexCoreTimeIndex& a, const VertexCoreTimeIndex& b) {
+  if (a.range() != b.range() || a.num_vertices() != b.num_vertices() ||
+      a.size() != b.size()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    auto ea = a.EntriesOf(v);
+    auto eb = b.EntriesOf(v);
+    if (!std::equal(ea.begin(), ea.end(), eb.begin(), eb.end())) return false;
+  }
+  return true;
+}
+
 std::string VertexCoreTimeIndex::DebugString(VertexId u) const {
   std::string out;
   for (const VctEntry& e : EntriesOf(u)) {

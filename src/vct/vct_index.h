@@ -77,6 +77,15 @@ class VertexCoreTimeIndex {
   std::vector<VctEntry> entries_;
 };
 
+/// Bit-identity of two indexes: same range, same vertex count, and the same
+/// breakpoints for every vertex. The incremental differential mode uses
+/// this to prove a pointer-reused slice equals a from-scratch rebuild.
+bool operator==(const VertexCoreTimeIndex& a, const VertexCoreTimeIndex& b);
+inline bool operator!=(const VertexCoreTimeIndex& a,
+                       const VertexCoreTimeIndex& b) {
+  return !(a == b);
+}
+
 }  // namespace tkc
 
 #endif  // TKC_VCT_VCT_INDEX_H_

@@ -127,6 +127,9 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
   options.engine.cache_capacity = rng.NextBool(0.25) ? 0 : 64;
   options.engine.async_queue_capacity = 4;  // small: exercise backpressure
   options.update_queue_capacity = 4;
+  // Incremental mode exists to validate the delta-aware index maintenance,
+  // so there must be an index to maintain.
+  if (config.incremental) options.engine.build_index = true;
 
   std::vector<PendingBatch> batches;
   std::vector<std::future<Status>> update_futures;
@@ -142,9 +145,56 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     }
     LiveQueryEngine& live = **live_or;
 
+    // Incremental mode: await the swap, then prove the incrementally
+    // maintained index (reused slices included) is bit-identical — slice
+    // by slice — to building from scratch on the swapped-in graph.
+    auto apply_and_verify = [&](const std::vector<RawTemporalEdge>& batch) {
+      Status status = live.ApplyUpdates(batch).get();
+      if (!status.ok()) {
+        ++report.failed_updates;
+        return;
+      }
+      std::shared_ptr<const GraphSnapshot> snap = live.snapshot();
+      const PhcIndex* index = snap->engine().index();
+      if (index == nullptr) {
+        ++report.mismatches;
+        if (report.first_mismatch.empty()) {
+          report.first_mismatch = "incremental mode lost the admission index";
+        }
+        return;
+      }
+      PhcBuildOptions build;
+      build.max_k = options.engine.index_max_k;
+      build.pool = &pool;
+      auto fresh =
+          PhcIndex::Build(snap->graph(), snap->graph().FullRange(), build);
+      const bool same = fresh.ok() && *index == *fresh;
+      if (fresh.ok()) report.slices_checked += fresh->max_k();
+      if (!same) {
+        ++report.mismatches;
+        if (report.first_mismatch.empty()) {
+          std::ostringstream out;
+          out << "seed=" << config.seed << " threads=" << config.threads
+              << " version=" << snap->version()
+              << ": incrementally maintained index differs from a "
+                 "from-scratch build";
+          report.first_mismatch = out.str();
+        }
+      }
+    };
+    auto apply_update = [&](const std::vector<RawTemporalEdge>& batch) {
+      if (config.incremental) {
+        apply_and_verify(batch);
+      } else {
+        update_futures.push_back(live.ApplyUpdates(batch));
+      }
+    };
+
     // --- Drive: interleave submissions with snapshot swaps. -------------
     // Updates fire immediately after async submissions (never awaited
-    // first), so swaps overlap batches still in flight.
+    // first), so swaps overlap batches still in flight. (In incremental
+    // mode each update is awaited and its index verified before driving
+    // on; query batches still overlap the swaps.)
     size_t next_update = 0;
     const uint32_t batches_per_update =
         std::max(1u, config.num_query_batches /
@@ -167,12 +217,12 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
       }
       batches.push_back(std::move(pending));
       if ((b + 1) % batches_per_update == 0 && next_update < updates.size()) {
-        update_futures.push_back(live.ApplyUpdates(updates[next_update]));
+        apply_update(updates[next_update]);
         ++next_update;
       }
     }
     while (next_update < updates.size()) {
-      update_futures.push_back(live.ApplyUpdates(updates[next_update]));
+      apply_update(updates[next_update]);
       ++next_update;
     }
 
@@ -188,7 +238,12 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     for (std::future<Status>& f : update_futures) {
       if (!f.get().ok()) ++report.failed_updates;
     }
-    report.swaps = live.stats().swaps;
+    const LiveStats live_stats = live.stats();
+    report.swaps = live_stats.swaps;
+    report.slices_reused = live_stats.update.slices_reused;
+    report.slices_rebuilt = live_stats.update.slices_rebuilt;
+    report.batches_coalesced = live_stats.update.batches_coalesced;
+    report.cache_entries_carried = live_stats.update.cache_entries_carried;
   }  // engine destroyed: updater joined, current snapshot drained
 
   if (report.failed_updates > 0) {
@@ -207,7 +262,7 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
           "chain replay failed: " + next.status().ToString();
       return report;
     }
-    chain.push_back(std::move(next).value());
+    chain.push_back(std::move(next->graph));
   }
 
   std::set<uint64_t> versions;

@@ -31,6 +31,13 @@ struct DifferentialConfig {
   uint32_t num_query_batches = 9;   ///< submitted batches
   uint32_t max_queries_per_batch = 12;
   uint32_t max_edges_per_update = 14;
+  /// Incremental-maintenance mode: force an admission index, await each
+  /// ApplyUpdates before the next, and after every swap assert the
+  /// incrementally maintained PhcIndex (delta-aware Rebuild — reused
+  /// slices and all) is bit-identical, slice by slice, to a from-scratch
+  /// PhcIndex::Build on the swapped-in graph. Slice disagreements count
+  /// as mismatches.
+  bool incremental = false;
 };
 
 /// What one scenario observed. `mismatches == 0` and `failed_updates == 0`
@@ -42,6 +49,11 @@ struct DifferentialReport {
   uint64_t failed_updates = 0;
   uint64_t versions_served = 0;  ///< distinct snapshot versions in results
   uint64_t swaps = 0;            ///< snapshot swaps the engine performed
+  uint64_t slices_checked = 0;   ///< incremental mode: slices compared
+  uint64_t slices_reused = 0;    ///< updater slices carried by pointer
+  uint64_t slices_rebuilt = 0;   ///< updater slices rebuilt
+  uint64_t batches_coalesced = 0;
+  uint64_t cache_entries_carried = 0;
   std::string first_mismatch;
 };
 

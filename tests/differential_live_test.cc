@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <future>
+#include <vector>
+
 #include "datasets/generators.h"
 #include "serve/snapshot.h"
 #include "util/thread_pool.h"
@@ -57,6 +61,45 @@ TEST_P(DifferentialLiveTest, EngineMatchesOracleAcrossSwaps) {
 INSTANTIATE_TEST_SUITE_P(Threads, DifferentialLiveTest,
                          ::testing::Values(1, 2, 8));
 
+// The incremental-maintenance sweep: every swap's delta-aware index
+// (pointer-reused slices included) must be bit-identical, slice by slice,
+// to a from-scratch PhcIndex::Build on the swapped-in graph — the
+// soundness contract of PhcIndex::Rebuild's reuse proofs. Runs at 1/2/8
+// threads like the main sweep (same `differential` ctest label).
+class DifferentialIncrementalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialIncrementalTest, RebuiltIndexBitIdenticalPerSlice) {
+  const int threads = GetParam();
+  // Each swap costs an extra from-scratch index build, so sweep fewer
+  // scenarios than the main differential test.
+  const uint32_t scenarios =
+      DifferentialScenarioCount(std::max(4u, kDefaultScenarios / 2));
+  uint64_t total_slices = 0;
+  uint64_t total_reused = 0;
+  uint64_t total_rebuilt = 0;
+  for (uint32_t s = 0; s < scenarios; ++s) {
+    DifferentialConfig config;
+    config.seed = 5000 + s;
+    config.threads = threads;
+    config.incremental = true;
+    DifferentialReport report = RunDifferentialScenario(config);
+    ASSERT_EQ(report.failed_updates, 0u) << report.first_mismatch;
+    ASSERT_EQ(report.mismatches, 0u) << report.first_mismatch;
+    EXPECT_GT(report.swaps, 0u);
+    total_slices += report.slices_checked;
+    total_reused += report.slices_reused;
+    total_rebuilt += report.slices_rebuilt;
+  }
+  EXPECT_GT(total_slices, 0u);
+  EXPECT_GT(total_rebuilt, 0u);  // random deltas always dirty small k
+  RecordProperty("slices_checked", static_cast<int>(total_slices));
+  RecordProperty("slices_reused", static_cast<int>(total_reused));
+  RecordProperty("slices_rebuilt", static_cast<int>(total_rebuilt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DifferentialIncrementalTest,
+                         ::testing::Values(1, 2, 8));
+
 // A scenario with updates but no concurrency knobs left to chance: the
 // single-threaded sweep above plus this pinned-pin check give a readable
 // failure before the big sweep is consulted.
@@ -99,11 +142,11 @@ TEST(LiveQueryEngineTest, InFlightBatchFinishesAgainstItsPinnedSnapshot) {
   auto updated = g.AppendEdges(extra);
   ASSERT_TRUE(updated.ok());
   auto updated2 =
-      updated->AppendEdges(std::vector<RawTemporalEdge>{{4, 5, 100}});
+      updated->graph.AppendEdges(std::vector<RawTemporalEdge>{{4, 5, 100}});
   ASSERT_TRUE(updated2.ok());
   for (size_t i = 0; i < queries.size(); ++i) {
     RunOutcome oracle =
-        RunAlgorithm(AlgorithmKind::kNaive, *updated2, queries[i]);
+        RunAlgorithm(AlgorithmKind::kNaive, updated2->graph, queries[i]);
     EXPECT_EQ(late.outcomes[i].num_cores, oracle.num_cores) << i;
     EXPECT_EQ(late.outcomes[i].result_size_edges, oracle.result_size_edges)
         << i;
@@ -140,7 +183,7 @@ TEST(LiveQueryEngineTest, RebuiltSnapshotDoesNotReusePreloadedIndex) {
 
   auto updated = g.AppendEdges(extra);
   ASSERT_TRUE(updated.ok());
-  ASSERT_EQ(updated->num_timestamps(), g.num_timestamps());
+  ASSERT_EQ(updated->graph.num_timestamps(), g.num_timestamps());
 
   // High-k queries over the densified window: the old index would reject
   // them as provably empty; the oracle on the updated graph disagrees.
@@ -152,12 +195,229 @@ TEST(LiveQueryEngineTest, RebuiltSnapshotDoesNotReusePreloadedIndex) {
   EXPECT_EQ(result.snapshot_version, 1u);
   for (size_t i = 0; i < queries.size(); ++i) {
     RunOutcome oracle =
-        RunAlgorithm(AlgorithmKind::kNaive, *updated, queries[i]);
+        RunAlgorithm(AlgorithmKind::kNaive, updated->graph, queries[i]);
     ASSERT_TRUE(result.outcomes[i].status.ok()) << i;
     EXPECT_EQ(result.outcomes[i].num_cores, oracle.num_cores) << "k=" << i + 2;
     EXPECT_EQ(result.outcomes[i].result_size_edges, oracle.result_size_edges)
         << "k=" << i + 2;
   }
+}
+
+TEST(LiveQueryEngineTest, PausedBatchesCoalesceIntoOneSwap) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  LiveEngineOptions options;
+  options.engine.build_index = true;
+  auto live = LiveQueryEngine::Create(g, options);
+  ASSERT_TRUE(live.ok());
+
+  // Pause before anything is queued: the three batches below accumulate
+  // and must apply as ONE rebuild cycle on resume.
+  (*live)->PauseUpdates();
+  std::vector<std::vector<RawTemporalEdge>> batches = {
+      {{0, 1, 500}}, {{2, 3, 501}}, {{4, 5, 502}, {5, 6, 503}}};
+  std::vector<std::future<Status>> futures;
+  for (const auto& batch : batches) {
+    futures.push_back((*live)->ApplyUpdates(batch));
+  }
+  (*live)->ResumeUpdates();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+
+  LiveStats stats = (*live)->stats();
+  EXPECT_EQ(stats.swaps, 1u);                      // one rebuild cycle
+  EXPECT_EQ(stats.update.batches_coalesced, 2u);   // two rode along
+  EXPECT_EQ(stats.edges_applied, 4u);
+  EXPECT_EQ((*live)->version(), 3u);  // version still counts batches
+
+  // The coalesced result equals the batch-at-a-time chain replay.
+  TemporalGraph expected = g;
+  for (const auto& batch : batches) {
+    auto next = expected.AppendEdges(batch);
+    ASSERT_TRUE(next.ok());
+    expected = std::move(next->graph);
+  }
+  const TemporalGraph& actual = (*live)->snapshot()->graph();
+  ASSERT_EQ(actual.num_edges(), expected.num_edges());
+  for (EdgeId e = 0; e < actual.num_edges(); ++e) {
+    EXPECT_EQ(actual.edge(e), expected.edge(e));
+  }
+}
+
+TEST(LiveQueryEngineTest, CoalescedCycleFailureCountsEveryDroppedBatch) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  LiveEngineOptions options;
+  auto live = LiveQueryEngine::Create(g, options);
+  ASSERT_TRUE(live.ok());
+
+  // One poisoned batch (sentinel endpoint) coalesced with two innocent
+  // ones: the whole cycle fails, every batch reports the error, and
+  // failed_updates counts all three — including the batches that were
+  // only dropped because they were coalesced with the poisoned one.
+  (*live)->PauseUpdates();
+  std::vector<std::future<Status>> futures;
+  futures.push_back((*live)->ApplyUpdates({{0, 1, 500}}));
+  futures.push_back((*live)->ApplyUpdates({{kInvalidVertex, 2, 501}}));
+  futures.push_back((*live)->ApplyUpdates({{3, 4, 502}}));
+  (*live)->ResumeUpdates();
+  for (auto& f : futures) {
+    Status status = f.get();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+
+  LiveStats stats = (*live)->stats();
+  EXPECT_EQ(stats.failed_updates, 3u);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ((*live)->version(), 0u);  // previous snapshot stays current
+
+  // The engine still serves, and a later clean update still applies.
+  BatchResult result = (*live)->ServeBatch({Query{2, g.FullRange()}});
+  EXPECT_TRUE(result.outcomes[0].status.ok());
+  EXPECT_TRUE((*live)->ApplyUpdates({{0, 1, 500}}).get().ok());
+  EXPECT_EQ((*live)->version(), 1u);
+  EXPECT_EQ((*live)->stats().failed_updates, 3u);
+}
+
+TEST(LiveQueryEngineTest, SmallDeltaReusesSlicesAndCarriesCache) {
+  // A dense core plus two pendant vertices: appending an edge between the
+  // pendants (existing timestamp, existing vertices) has max_core_bound
+  // bounded by the pendant degree, so every k-slice above it must carry
+  // across the swap by pointer — and so must the cached outcomes of
+  // high-k queries.
+  TemporalGraph dense = GenerateUniformRandom(20, 400, 12, 13);
+  const VertexId p = dense.num_vertices();
+  const VertexId q = p + 1;
+  auto with_pendants = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(1)}, {q, 1, dense.RawTimestamp(2)}});
+  ASSERT_TRUE(with_pendants.ok());
+  TemporalGraph base = std::move(with_pendants->graph);
+
+  ThreadPool pool(4);
+  LiveEngineOptions options;
+  options.engine.pool = &pool;
+  options.engine.build_index = true;
+  options.engine.cache_capacity = 64;
+  auto live = LiveQueryEngine::Create(base, options);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  std::shared_ptr<const GraphSnapshot> before = (*live)->snapshot();
+  const PhcIndex* old_index = before->engine().index();
+  ASSERT_NE(old_index, nullptr);
+  const uint32_t max_k = old_index->max_k();
+  ASSERT_GT(max_k, 3u) << "test graph too sparse to exercise reuse";
+
+  // Warm the cache across the k spectrum.
+  std::vector<Query> queries;
+  for (uint32_t k = 2; k <= max_k; ++k) {
+    queries.push_back(Query{k, base.FullRange()});
+  }
+  BatchResult warm = (*live)->ServeBatch(queries);
+  for (const RunOutcome& out : warm.outcomes) {
+    ASSERT_TRUE(out.status.ok());
+  }
+
+  // The small delta: one pendant-to-pendant edge at an existing raw time.
+  ASSERT_TRUE(
+      (*live)
+          ->ApplyUpdates(std::vector<RawTemporalEdge>{
+              {p, q, base.RawTimestamp(3)}})
+          .get()
+          .ok());
+
+  std::shared_ptr<const GraphSnapshot> after = (*live)->snapshot();
+  const PhcIndex* new_index = after->engine().index();
+  ASSERT_NE(new_index, nullptr);
+  ASSERT_EQ(new_index->max_k(), max_k);  // a pendant edge raises no kmax
+
+  UpdateStats update = (*live)->update_stats();
+  EXPECT_GT(update.slices_reused, 0u);
+  EXPECT_LT(update.slices_rebuilt, max_k);  // strictly fewer than max_k
+  EXPECT_EQ(update.slices_reused + update.slices_rebuilt, max_k);
+  EXPECT_EQ(update.incremental_swaps, 1u);
+  EXPECT_GT(update.cache_entries_carried, 0u);
+
+  const GraphSnapshot::SwapStats& swap = after->swap_stats();
+  EXPECT_EQ(swap.delta_edges, 1u);
+  EXPECT_EQ(swap.slices_reused, update.slices_reused);
+  EXPECT_EQ(swap.slices_rebuilt, update.slices_rebuilt);
+  EXPECT_EQ(swap.cache_entries_carried, update.cache_entries_carried);
+
+  // Reused slices are shared by pointer; every slice — reused or rebuilt —
+  // is bit-identical to a from-scratch build on the new graph.
+  PhcBuildOptions build;
+  build.pool = &pool;
+  auto fresh = PhcIndex::Build(after->graph(), after->graph().FullRange(),
+                               build);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(fresh->max_k(), max_k);
+  EXPECT_TRUE(*new_index == *fresh);
+  uint32_t shared = 0;
+  for (uint32_t k = 1; k <= max_k; ++k) {
+    if (new_index->SliceShared(k) == old_index->SliceShared(k)) ++shared;
+  }
+  EXPECT_EQ(shared, update.slices_reused);
+
+  // Carried cache entries answer without re-executing. The delta's core
+  // bound is 2 (both pendants have distinct degree 2), so exactly the
+  // k > 2 entries carry: repeating those queries must be pure cache hits
+  // on the *new* snapshot's engine.
+  std::vector<Query> carried_queries;
+  for (uint32_t k = 3; k <= max_k; ++k) {
+    carried_queries.push_back(Query{k, base.FullRange()});
+  }
+  const ServeStats engine_before = after->engine().stats();
+  BatchResult repeat = (*live)->ServeBatch(carried_queries);
+  EXPECT_EQ(repeat.snapshot_version, 1u);
+  const ServeStats engine_after = after->engine().stats();
+  EXPECT_EQ(engine_after.cache_hits,
+            engine_before.cache_hits + carried_queries.size());
+  EXPECT_EQ(engine_after.executed, engine_before.executed)
+      << "a carried-over query re-executed";
+  // And they answer correctly for the updated graph.
+  for (size_t i = 0; i < carried_queries.size(); ++i) {
+    RunOutcome oracle = RunAlgorithm(AlgorithmKind::kNaive, after->graph(),
+                                     carried_queries[i]);
+    EXPECT_EQ(repeat.outcomes[i].num_cores, oracle.num_cores) << i;
+    EXPECT_EQ(repeat.outcomes[i].result_size_edges, oracle.result_size_edges)
+        << i;
+  }
+}
+
+TEST(LiveQueryEngineTest, CacheCarriesAcrossSwapWithoutAdmissionIndex) {
+  // The carry-over proof needs only the EdgeDelta, not an admission index:
+  // a cache-only engine (the default config) must also start warm after a
+  // clean small delta.
+  TemporalGraph dense = GenerateUniformRandom(20, 400, 12, 13);
+  const VertexId p = dense.num_vertices();
+  const VertexId q = p + 1;
+  auto based = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(1)}, {q, 1, dense.RawTimestamp(2)}});
+  ASSERT_TRUE(based.ok());
+  TemporalGraph base = std::move(based->graph);
+
+  LiveEngineOptions options;
+  options.engine.build_index = false;
+  options.engine.cache_capacity = 64;
+  auto live = LiveQueryEngine::Create(base, options);
+  ASSERT_TRUE(live.ok());
+
+  const Query high_k{6, base.FullRange()};
+  ASSERT_TRUE((*live)->ServeBatch({high_k}).outcomes[0].status.ok());
+
+  ASSERT_TRUE((*live)
+                  ->ApplyUpdates(std::vector<RawTemporalEdge>{
+                      {p, q, base.RawTimestamp(3)}})  // core bound 2
+                  .get()
+                  .ok());
+  std::shared_ptr<const GraphSnapshot> after = (*live)->snapshot();
+  EXPECT_EQ(after->swap_stats().slices_reused, 0u);  // no index to reuse
+  EXPECT_GT(after->swap_stats().cache_entries_carried, 0u);
+
+  const ServeStats engine_before = after->engine().stats();
+  BatchResult repeat = (*live)->ServeBatch({high_k});
+  EXPECT_TRUE(repeat.outcomes[0].status.ok());
+  const ServeStats engine_after = after->engine().stats();
+  EXPECT_EQ(engine_after.cache_hits, engine_before.cache_hits + 1);
+  EXPECT_EQ(engine_after.executed, engine_before.executed);
 }
 
 TEST(LiveQueryEngineTest, FailedUpdateKeepsServingOldSnapshot) {

@@ -103,5 +103,139 @@ TEST(PhcIndexTest, SizeAndMemoryAggregate) {
   EXPECT_GT(index->MemoryUsageBytes(), 0u);
 }
 
+// --- Delta-aware Rebuild -----------------------------------------------
+
+// Helper: rebuild via AppendEdges + Rebuild and a from-scratch build on
+// the same successor graph; assert the two indexes are bit-identical.
+void ExpectRebuildMatchesBuild(const TemporalGraph& base,
+                               const std::vector<RawTemporalEdge>& edges,
+                               uint32_t max_k_cap, PhcRebuildStats* stats,
+                               GraphUpdate* update_out = nullptr) {
+  PhcBuildOptions build;
+  build.max_k = max_k_cap;
+  auto old_index = PhcIndex::Build(base, base.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  auto update = base.AppendEdges(edges);
+  ASSERT_TRUE(update.ok());
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, stats);
+  ASSERT_TRUE(rebuilt.ok());
+  auto fresh = PhcIndex::Build(update->graph, update->graph.FullRange(),
+                               build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*rebuilt == *fresh);
+  if (update_out != nullptr) *update_out = std::move(update).value();
+}
+
+TEST(PhcRebuildTest, SmallDeltaReusesSlicesByPointer) {
+  // Dense core + two pendants; the delta connects the pendants at an
+  // existing raw time, so max_core_bound == 2 and every slice above 2
+  // must be the *same object* as the old index's.
+  TemporalGraph dense = GenerateUniformRandom(18, 300, 10, 21);
+  const VertexId p = dense.num_vertices(), q = p + 1;
+  auto based = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(1)}, {q, 1, dense.RawTimestamp(2)}});
+  ASSERT_TRUE(based.ok());
+  TemporalGraph base = std::move(based->graph);
+
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(base, base.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  ASSERT_GT(old_index->max_k(), 3u);
+
+  auto update = base.AppendEdges(
+      std::vector<RawTemporalEdge>{{p, q, base.RawTimestamp(3)}});
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->delta.timestamps_preserved);
+  ASSERT_TRUE(update->delta.vertices_preserved);
+  ASSERT_EQ(update->delta.max_core_bound, 2u);
+
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(stats.clean_above_k, 2u);
+  EXPECT_EQ(stats.slices_rebuilt, 2u);  // k = 1, 2
+  EXPECT_EQ(stats.slices_reused, old_index->max_k() - 2);
+  for (uint32_t k = 1; k <= rebuilt->max_k(); ++k) {
+    const bool shared =
+        rebuilt->SliceShared(k) == old_index->SliceShared(k);
+    EXPECT_EQ(shared, k > 2) << "k=" << k;
+  }
+  // And the reused slices are genuinely correct for the new graph.
+  auto fresh =
+      PhcIndex::Build(update->graph, update->graph.FullRange(), build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*rebuilt == *fresh);
+}
+
+TEST(PhcRebuildTest, EmptyDeltaReusesEverySlice) {
+  TemporalGraph g = GenerateUniformRandom(14, 120, 9, 7);
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(g, g.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  // Append only duplicates: the successor graph is bit-identical.
+  std::vector<RawTemporalEdge> dupes;
+  for (EdgeId e = 0; e < 4; ++e) {
+    dupes.push_back({g.edge(e).u, g.edge(e).v, g.RawTimestamp(g.edge(e).t)});
+  }
+  auto update = g.AppendEdges(dupes);
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->delta.empty());
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(stats.clean_above_k, 0u);
+  EXPECT_EQ(stats.slices_rebuilt, 0u);
+  EXPECT_EQ(stats.slices_reused, old_index->max_k());
+  for (uint32_t k = 1; k <= rebuilt->max_k(); ++k) {
+    EXPECT_EQ(rebuilt->SliceShared(k), old_index->SliceShared(k));
+  }
+}
+
+TEST(PhcRebuildTest, NewTimestampForcesFullRebuild) {
+  TemporalGraph g = GenerateUniformRandom(14, 120, 9, 7);
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(g, g.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  auto update =
+      g.AppendEdges(std::vector<RawTemporalEdge>{{0, 1, 999999}});
+  ASSERT_TRUE(update.ok());
+  ASSERT_FALSE(update->delta.timestamps_preserved);
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(stats.reuse_eligible());
+  EXPECT_EQ(stats.slices_reused, 0u);
+  EXPECT_EQ(stats.slices_rebuilt, rebuilt->max_k());
+}
+
+TEST(PhcRebuildTest, MatchesBuildAcrossDeltaShapes) {
+  TemporalGraph g = GenerateUniformRandom(16, 140, 12, 5);
+  PhcRebuildStats stats;
+  // New vertex (shape change) — full rebuild, still identical.
+  ExpectRebuildMatchesBuild(
+      g, {{0, g.num_vertices(), g.RawTimestamp(2)}}, 0, &stats);
+  EXPECT_FALSE(stats.reuse_eligible());
+  // In-span append over existing vertices and times — eligible.
+  ExpectRebuildMatchesBuild(
+      g, {{0, 1, g.RawTimestamp(5)}, {2, 3, g.RawTimestamp(5)}}, 0, &stats);
+  EXPECT_TRUE(stats.reuse_eligible());
+  // Capped index: rebuild honors the cap exactly as Build does.
+  ExpectRebuildMatchesBuild(
+      g, {{0, 1, g.RawTimestamp(5)}, {4, 5, g.RawTimestamp(7)}}, 2, &stats);
+  // A dense burst that raises kmax at one timestamp — dirty slices grow
+  // past the old index's max_k and get built fresh.
+  std::vector<RawTemporalEdge> burst;
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) {
+      burst.push_back({u, v, g.RawTimestamp(4)});
+    }
+  }
+  ExpectRebuildMatchesBuild(g, burst, 0, &stats);
+}
+
 }  // namespace
 }  // namespace tkc

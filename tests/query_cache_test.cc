@@ -187,5 +187,86 @@ TEST(QueryCacheTest, ClearKeepsCounters) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
+TEST(QueryCacheTest, ExportRunsLruToMru) {
+  QueryCache cache(4);
+  cache.Insert(Q(1, 1, 2), Outcome(1));
+  cache.Insert(Q(2, 1, 2), Outcome(2));
+  cache.InsertTombstone(Q(3, 1, 2));
+  RunOutcome out;
+  ASSERT_TRUE(cache.Lookup(Q(1, 1, 2), &out));  // promote k=1 to MRU
+
+  auto entries = cache.ExportLruToMru();
+  ASSERT_EQ(entries.size(), 3u);
+  // A key filter prunes before payloads are copied.
+  auto filtered = cache.ExportLruToMru(
+      [](const QueryCacheKey& key, uint32_t bound) { return key.k > bound; },
+      1);
+  EXPECT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(entries[0].key.k, 2u);  // least recently used first
+  EXPECT_EQ(entries[1].key.k, 3u);
+  EXPECT_EQ(entries[2].key.k, 1u);  // the promoted entry last
+  EXPECT_TRUE(entries[0].outcome.has_value());
+  EXPECT_FALSE(entries[1].outcome.has_value());  // tombstone stays tombstone
+  // Export is read-only: no promotion, no counters, entries intact.
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.tombstones(), 1u);
+}
+
+TEST(QueryCacheTest, ImportPreservesRecencyAndKinds) {
+  QueryCache source(4);
+  source.Insert(Q(1, 1, 2), Outcome(1));
+  source.InsertTombstone(Q(2, 1, 2));
+  source.Insert(Q(3, 1, 2), Outcome(3));
+
+  QueryCache target(4);
+  EXPECT_EQ(target.ImportEntries(source.ExportLruToMru()), 3u);
+  EXPECT_EQ(target.size(), 3u);
+  EXPECT_EQ(target.tombstones(), 1u);
+  EXPECT_EQ(target.weight_used(), source.weight_used());
+  // Imports count neither hits nor misses.
+  EXPECT_EQ(target.hits(), 0u);
+  EXPECT_EQ(target.misses(), 0u);
+
+  RunOutcome out;
+  ASSERT_TRUE(target.Lookup(Q(1, 1, 2), &out));
+  EXPECT_EQ(out.num_cores, 1u);
+  ASSERT_TRUE(target.Lookup(Q(2, 1, 2), &out));
+  EXPECT_EQ(out.num_cores, 0u);  // tombstone replays the empty outcome
+
+  // Recency carried over: with everything equally touched above, refill
+  // recency, then overflow — the entry imported as LRU must evict first.
+  QueryCache fresh(2);
+  QueryCache copy(2);
+  fresh.Insert(Q(1, 1, 2), Outcome(1));
+  fresh.Insert(Q(2, 1, 2), Outcome(2));
+  copy.ImportEntries(fresh.ExportLruToMru());
+  copy.Insert(Q(4, 1, 2), Outcome(4));  // evicts k=1, the imported LRU
+  EXPECT_FALSE(copy.Lookup(Q(1, 1, 2), &out));
+  EXPECT_TRUE(copy.Lookup(Q(2, 1, 2), &out));
+  EXPECT_TRUE(copy.Lookup(Q(4, 1, 2), &out));
+}
+
+TEST(QueryCacheTest, ImportIntoDisabledCacheIsNoop) {
+  QueryCache source(2);
+  source.Insert(Q(1, 1, 2), Outcome(1));
+  QueryCache disabled(0);
+  EXPECT_EQ(disabled.ImportEntries(source.ExportLruToMru()), 0u);
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(QueryCacheTest, ImportEvictsToBudgetLikeInsert) {
+  QueryCache source(4);
+  for (uint32_t k = 1; k <= 4; ++k) source.Insert(Q(k, 1, 2), Outcome(k));
+  QueryCache small(2);
+  // Reports what survived its budget, not what was offered.
+  EXPECT_EQ(small.ImportEntries(source.ExportLruToMru()), 2u);
+  EXPECT_EQ(small.size(), 2u);
+  RunOutcome out;
+  // The two most recently used survive.
+  EXPECT_TRUE(small.Lookup(Q(3, 1, 2), &out));
+  EXPECT_TRUE(small.Lookup(Q(4, 1, 2), &out));
+}
+
 }  // namespace
 }  // namespace tkc

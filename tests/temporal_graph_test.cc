@@ -197,31 +197,48 @@ TEST(TemporalGraphAppendTest, AppendedEdgesAreQueryable) {
   auto appended =
       g->AppendEdges(std::vector<RawTemporalEdge>{{2, 3, 300}, {0, 3, 150}});
   ASSERT_TRUE(appended.ok());
+  const TemporalGraph& next = appended->graph;
   // Original untouched; new graph has both new edges and recompacted times.
   EXPECT_EQ(g->num_edges(), 2u);
   EXPECT_EQ(g->num_timestamps(), 2u);
-  EXPECT_EQ(appended->num_edges(), 4u);
-  EXPECT_EQ(appended->num_timestamps(), 4u);
-  EXPECT_EQ(appended->num_vertices(), 4u);
+  EXPECT_EQ(next.num_edges(), 4u);
+  EXPECT_EQ(next.num_timestamps(), 4u);
+  EXPECT_EQ(next.num_vertices(), 4u);
   // Raw time 150 landed between 100 and 200: compacted time 2 in the new
   // graph, shifting the old time-200 edge from compact 2 to 3.
-  EXPECT_EQ(appended->RawTimestamp(2), 150u);
-  EXPECT_EQ(appended->RawTimestamp(3), 200u);
-  EXPECT_EQ(appended->EdgesAtTime(2).size(), 1u);
-  EXPECT_EQ(appended->EdgesAtTime(2)[0].v, 3u);
+  EXPECT_EQ(next.RawTimestamp(2), 150u);
+  EXPECT_EQ(next.RawTimestamp(3), 200u);
+  EXPECT_EQ(next.EdgesAtTime(2).size(), 1u);
+  EXPECT_EQ(next.EdgesAtTime(2)[0].v, 3u);
+  // The delta describes what changed, in the new graph's coordinates.
+  const EdgeDelta& delta = appended->delta;
+  EXPECT_EQ(delta.edges_appended, 2u);
+  EXPECT_EQ(delta.touched_vertices, (std::vector<VertexId>{0, 2, 3}));
+  EXPECT_EQ(delta.min_time, 2u);  // raw 150
+  EXPECT_EQ(delta.max_time, 4u);  // raw 300
+  EXPECT_FALSE(delta.timestamps_preserved);  // 150 and 300 are new times
+  EXPECT_FALSE(delta.vertices_preserved);    // vertex 3 is new
+  // Both appended edges have an endpoint of distinct degree 1 or 2.
+  EXPECT_EQ(delta.max_core_bound, 2u);
+  EXPECT_FALSE(delta.empty());
 }
 
 TEST(TemporalGraphAppendTest, EmptyAppendYieldsIdenticalCopy) {
   TemporalGraph g = GenerateUniformRandom(12, 80, 9, 5);
   auto copy = g.AppendEdges({});
   ASSERT_TRUE(copy.ok());
-  ASSERT_EQ(g.num_edges(), copy->num_edges());
-  EXPECT_EQ(g.num_vertices(), copy->num_vertices());
-  EXPECT_EQ(g.num_timestamps(), copy->num_timestamps());
+  ASSERT_EQ(g.num_edges(), copy->graph.num_edges());
+  EXPECT_EQ(g.num_vertices(), copy->graph.num_vertices());
+  EXPECT_EQ(g.num_timestamps(), copy->graph.num_timestamps());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    EXPECT_EQ(g.edge(e), copy->edge(e));
-    EXPECT_EQ(g.RawTimestamp(g.edge(e).t), copy->RawTimestamp(copy->edge(e).t));
+    EXPECT_EQ(g.edge(e), copy->graph.edge(e));
+    EXPECT_EQ(g.RawTimestamp(g.edge(e).t),
+              copy->graph.RawTimestamp(copy->graph.edge(e).t));
   }
+  EXPECT_TRUE(copy->delta.empty());
+  EXPECT_TRUE(copy->delta.timestamps_preserved);
+  EXPECT_TRUE(copy->delta.vertices_preserved);
+  EXPECT_TRUE(copy->delta.touched_vertices.empty());
 }
 
 TEST(TemporalGraphAppendTest, AppendFollowsBuilderIngestionRules) {
@@ -234,9 +251,68 @@ TEST(TemporalGraphAppendTest, AppendFollowsBuilderIngestionRules) {
   auto appended = g->AppendEdges(
       std::vector<RawTemporalEdge>{{1, 0, 10}, {2, 2, 11}, {3, 1, 12}});
   ASSERT_TRUE(appended.ok());
-  EXPECT_EQ(appended->num_edges(), 2u);
-  EXPECT_EQ(appended->edge(1).u, 1u);  // normalized from (3, 1)
-  EXPECT_EQ(appended->edge(1).v, 3u);
+  EXPECT_EQ(appended->graph.num_edges(), 2u);
+  EXPECT_EQ(appended->graph.edge(1).u, 1u);  // normalized from (3, 1)
+  EXPECT_EQ(appended->graph.edge(1).v, 3u);
+  // Only the (1, 3) edge survived ingestion; the delta reflects that.
+  EXPECT_EQ(appended->delta.edges_appended, 1u);
+  EXPECT_EQ(appended->delta.touched_vertices, (std::vector<VertexId>{1, 3}));
+  EXPECT_EQ(appended->delta.max_core_bound, 1u);  // vertex 3 has degree 1
+}
+
+TEST(TemporalGraphAppendTest, AppendRejectsSentinelEndpoints) {
+  TemporalGraphBuilder builder;
+  builder.AddEdge(0, 1, 10);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto appended = g->AppendEdges(
+      std::vector<RawTemporalEdge>{{kInvalidVertex, 1, 11}});
+  EXPECT_FALSE(appended.ok());
+  EXPECT_EQ(appended.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TemporalGraphAppendTest, DuplicateOnlyAppendHasEmptyDelta) {
+  // Every appended edge collapses against an existing one: the new graph
+  // is bit-identical and the delta proves it (the serving layer reuses
+  // every index slice and cache entry off this signal).
+  TemporalGraph g = GenerateUniformRandom(12, 80, 9, 5);
+  std::vector<RawTemporalEdge> dupes;
+  for (EdgeId e = 0; e < 5; ++e) {
+    dupes.push_back({g.edge(e).u, g.edge(e).v, g.RawTimestamp(g.edge(e).t)});
+  }
+  dupes.push_back(dupes.front());  // in-batch duplicate too
+  dupes.push_back({3, 3, 77});     // self-loop
+  auto appended = g.AppendEdges(dupes);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_TRUE(appended->delta.empty());
+  EXPECT_TRUE(appended->delta.timestamps_preserved);
+  EXPECT_TRUE(appended->delta.vertices_preserved);
+  EXPECT_EQ(appended->graph.num_edges(), g.num_edges());
+}
+
+TEST(TemporalGraphAppendTest, ExistingTimestampAppendPreservesTimeline) {
+  TemporalGraph g = GenerateUniformRandom(12, 80, 9, 5);
+  // Find a pair absent at raw time 3, so the append genuinely adds an edge.
+  VertexId pu = kInvalidVertex, pv = kInvalidVertex;
+  for (VertexId u = 0; u < g.num_vertices() && pu == kInvalidVertex; ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      if (!g.ContainsEdge(u, v, g.RawTimestamp(3))) {
+        pu = u;
+        pv = v;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(pu, kInvalidVertex);
+  auto appended =
+      g.AppendEdges(std::vector<RawTemporalEdge>{{pv, pu, g.RawTimestamp(3)}});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->delta.edges_appended, 1u);
+  EXPECT_TRUE(appended->delta.timestamps_preserved);
+  EXPECT_TRUE(appended->delta.vertices_preserved);
+  EXPECT_EQ(appended->delta.min_time, 3u);
+  EXPECT_EQ(appended->delta.max_time, 3u);
+  EXPECT_TRUE(appended->graph.ContainsEdge(pu, pv, g.RawTimestamp(3)));
 }
 
 TEST(TemporalGraphAppendTest, MultigraphKeepsParallelDuplicatesAcrossAppend) {
@@ -253,11 +329,12 @@ TEST(TemporalGraphAppendTest, MultigraphKeepsParallelDuplicatesAcrossAppend) {
   EXPECT_FALSE(g->deduplicates_exact());
   auto copy = g->AppendEdges({});
   ASSERT_TRUE(copy.ok());
-  EXPECT_EQ(copy->num_edges(), 3u);  // duplicates not collapsed
-  EXPECT_FALSE(copy->deduplicates_exact());
+  EXPECT_EQ(copy->graph.num_edges(), 3u);  // duplicates not collapsed
+  EXPECT_FALSE(copy->graph.deduplicates_exact());
   auto more = g->AppendEdges(std::vector<RawTemporalEdge>{{1, 2, 20}});
   ASSERT_TRUE(more.ok());
-  EXPECT_EQ(more->num_edges(), 4u);  // new exact duplicate also kept
+  EXPECT_EQ(more->graph.num_edges(), 4u);  // new exact duplicate also kept
+  EXPECT_EQ(more->delta.edges_appended, 1u);  // and it counts in the delta
 }
 
 TEST(TemporalGraphAppendTest, ChainedAppendsEqualOneShotBuild) {
@@ -268,8 +345,9 @@ TEST(TemporalGraphAppendTest, ChainedAppendsEqualOneShotBuild) {
   std::vector<RawTemporalEdge> batch2 = {{4, 6, 40}, {0, 5, 3}};
   auto step1 = g.AppendEdges(batch1);
   ASSERT_TRUE(step1.ok());
-  auto step2 = step1->AppendEdges(batch2);
-  ASSERT_TRUE(step2.ok());
+  auto step2_or = step1->graph.AppendEdges(batch2);
+  ASSERT_TRUE(step2_or.ok());
+  const TemporalGraph* step2 = &step2_or->graph;
 
   TemporalGraphBuilder all;
   for (const TemporalEdge& e : g.edges()) {
