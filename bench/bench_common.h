@@ -1,6 +1,7 @@
 #ifndef TKC_BENCH_BENCH_COMMON_H_
 #define TKC_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -226,6 +227,19 @@ class JsonRecords {
     AddRaw(key, "\"" + escaped + "\"");
   }
   void Add(const std::string& key, double value) {
+    // Non-finite values render as the Python-parseable constants (glibc's
+    // "%g" would print bare "nan"/"inf", which no JSON parser accepts).
+    // Benchmarks should guard their ratios so these never appear — and
+    // tools/check_bench_regression.py hard-fails on them if one slips
+    // through, instead of a NaN silently passing every threshold compare.
+    if (std::isnan(value)) {
+      AddRaw(key, "NaN");
+      return;
+    }
+    if (std::isinf(value)) {
+      AddRaw(key, value > 0 ? "Infinity" : "-Infinity");
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
     AddRaw(key, buf);

@@ -12,11 +12,31 @@
 //   * small_delta_updates    — incremental-maintenance throughput: a
 //     stream of small, localized deltas (a few edges between low-degree
 //     sandbox vertices at existing timestamps, well under 1% of |E|)
-//     where the delta-aware rebuild must reuse most k-slices by pointer.
-//     Reports updates/sec plus slices_reused / slices_rebuilt and the
-//     reuse_ratio, and self-verifies that (a) reuse actually happened and
-//     (b) the final incrementally-maintained index is bit-identical, slice
-//     by slice, to a from-scratch build on the final graph.
+//     where the delta-aware rebuild must reuse most k-slices by pointer
+//     and maintain the dirty ones partially. Reports updates/sec plus
+//     slices_reused / slices_suffix / slices_rebuilt, the slice-level
+//     reuse_ratio (reused over reused+rebuilt-whole; a suffix-maintained
+//     slice is not a whole rebuild) and the row-level row_reuse_ratio
+//     (rows_reused / rows_total), and self-verifies that (a) reuse
+//     actually happened and (b) the final incrementally-maintained index
+//     is bit-identical, slice by slice, to a from-scratch build on the
+//     final graph;
+//   * suffix_delta_updates   — partial slice maintenance throughput: one
+//     pendant-pair edge per event at the *second-to-last* existing
+//     timestamp (deliberately not the last: max_time < range.end rules
+//     out the whole-rebuild branch by construction, which the self-check
+//     below depends on), so the dirty slices' recompute band collapses
+//     to the trailing starts and nearly every VCT row carries over.
+//     Self-verifies that suffix maintenance fired (no dirty slice
+//     rebuilt whole), that rows were reused, and that the final index
+//     *and its per-k emergence tables* are bit-identical to from-scratch
+//     builds.
+//
+// Ratios emitted into the JSON guard their zero-denominator cases
+// explicitly (0.0 plus the raw counts and an incremental_swaps field
+// instead of a NaN that would slip through the regression gate;
+// tools/check_bench_regression.py additionally hard-fails on any
+// non-finite metric).
 //
 // Self-verifying: every served outcome is compared bit-identically (result
 // fields) against a direct RunAlgorithm reference on the exact graph
@@ -37,6 +57,7 @@
 #include <cstdio>
 #include <future>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -104,12 +125,16 @@ int main(int argc, char** argv) {
   // each anchored to one dense vertex at an existing raw time. Their
   // distinct degree stays tiny (anchor + one partner) no matter how many
   // small-delta events fire, so every slice above that bound must carry
-  // across swaps by pointer.
+  // across swaps by pointer. The suffix-delta phase gets its own pendant
+  // pool — one fresh pair per event, so each event appends a
+  // never-seen-before edge (dedup can't collapse it) whose endpoints keep
+  // distinct degree 2.
   constexpr uint32_t kSandbox = 8;
+  const uint32_t suffix_pendants = 2 * events;
   {
     std::vector<RawTemporalEdge> anchors;
-    for (uint32_t i = 0; i < kSandbox; ++i) {
-      anchors.push_back({vertices + i, i,
+    for (uint32_t i = 0; i < kSandbox + suffix_pendants; ++i) {
+      anchors.push_back({vertices + i, i % vertices,
                          base.RawTimestamp(1 + (i % base.num_timestamps()))});
     }
     auto with_sandbox = base.AppendEdges(anchors);
@@ -151,6 +176,22 @@ int main(int argc, char** argv) {
       small_delta_stream[e].push_back(
           {vertices + i, vertices + kSandbox / 2 + i, raw});
     }
+  }
+
+  // Suffix-delta stream: per event, ONE pendant-pair edge at the
+  // second-to-last existing raw timestamp. The delta's time extent sits at
+  // the very end of the timeline, so every core time below it is provably
+  // pinned and the dirty slices (k <= 2) must be maintained by recomputing
+  // only the trailing start band — never rebuilt whole (a whole rebuild
+  // needs the extent to touch the final timestamp *and* a band opening at
+  // the first start, which this stream rules out by construction).
+  const uint64_t late_raw =
+      base.RawTimestamp(std::max<Timestamp>(1, base.num_timestamps() - 1));
+  std::vector<std::vector<RawTemporalEdge>> suffix_delta_stream(delta_events);
+  for (uint32_t e = 0; e < delta_events; ++e) {
+    suffix_delta_stream[e].push_back(
+        {vertices + kSandbox + 2 * e, vertices + kSandbox + 2 * e + 1,
+         late_raw});
   }
 
   // The version chain every phase's results are verified against.
@@ -215,7 +256,7 @@ int main(int argc, char** argv) {
   TextTable table;
   table.SetHeader({"Threads", "idle q/s", "live q/s", "live/idle",
                    "updates/s", "rebuild s", "delta u/s", "reuse",
-                   "identical"});
+                   "sfx u/s", "row reuse", "identical"});
   JsonRecords records;
   bool all_identical = true;
   double idle_qps_1thread = 0;
@@ -264,8 +305,13 @@ int main(int argc, char** argv) {
     };
 
     double best_idle = -1, best_live = -1, best_updates = -1;
-    double best_small = -1;
+    double best_small = -1, best_suffix = -1;
     uint64_t small_slices_reused = 0, small_slices_rebuilt = 0;
+    uint64_t small_slices_suffix = 0, small_rows_reused = 0;
+    uint64_t small_rows_total = 0, small_incremental_swaps = 0;
+    uint64_t sfx_slices_reused = 0, sfx_slices_rebuilt = 0;
+    uint64_t sfx_slices_suffix = 0, sfx_rows_reused = 0, sfx_rows_total = 0;
+    uint64_t sfx_incremental_swaps = 0, sfx_emergence_carried = 0;
     double rebuild_seconds = 0, swap_seconds = 0;
     bool identical = true;
     for (int rep = 0; rep < reps; ++rep) {
@@ -367,6 +413,60 @@ int main(int argc, char** argv) {
           best_small = seconds;
           small_slices_reused = ustats.slices_reused;
           small_slices_rebuilt = ustats.slices_rebuilt;
+          small_slices_suffix = ustats.suffix_rebuilds;
+          small_rows_reused = ustats.rows_reused;
+          small_rows_total = ustats.rows_total;
+          small_incremental_swaps = ustats.incremental_swaps;
+        }
+      }
+
+      // --- suffix_delta_updates: partial slice maintenance. ------------
+      {
+        auto live = LiveQueryEngine::Create(base, options);
+        if (!live.ok()) return 1;
+        WallTimer timer;
+        for (const auto& batch : suffix_delta_stream) {
+          identical = identical && (*live)->ApplyUpdates(batch).get().ok();
+        }
+        double seconds = timer.ElapsedSeconds();
+        const UpdateStats ustats = (*live)->update_stats();
+        // Partial maintenance must actually fire: end-of-timeline pendant
+        // deltas leave no dirty slice to rebuild whole, and the trailing
+        // band is tiny so rows genuinely carry.
+        identical = identical && ustats.suffix_rebuilds > 0 &&
+                    ustats.slices_rebuilt == 0 && ustats.rows_reused > 0 &&
+                    ustats.incremental_swaps == (*live)->stats().swaps;
+        // The maintained index — suffix-stitched slices, pointer-reused
+        // slices, carried emergence tables — must be bit-identical to
+        // from-scratch state on the final graph.
+        auto snap = (*live)->snapshot();
+        const PhcIndex* incremental = snap->engine().index();
+        PhcBuildOptions fresh_opts;
+        fresh_opts.pool = &pool;
+        auto fresh = PhcIndex::Build(snap->graph(),
+                                     snap->graph().FullRange(), fresh_opts);
+        identical = identical && fresh.ok() && incremental != nullptr &&
+                    *incremental == *fresh;
+        if (fresh.ok() && incremental != nullptr) {
+          for (uint32_t k = 1; k <= fresh->max_k(); ++k) {
+            const std::vector<Timestamp> expected =
+                QueryEngine::ComputeEmergenceTable(fresh->Slice(k));
+            const std::span<const Timestamp> table =
+                snap->engine().EmergenceTable(k);
+            identical = identical &&
+                        std::equal(table.begin(), table.end(),
+                                   expected.begin(), expected.end());
+          }
+        }
+        if (best_suffix < 0 || seconds < best_suffix) {
+          best_suffix = seconds;
+          sfx_slices_reused = ustats.slices_reused;
+          sfx_slices_rebuilt = ustats.slices_rebuilt;
+          sfx_slices_suffix = ustats.suffix_rebuilds;
+          sfx_rows_reused = ustats.rows_reused;
+          sfx_rows_total = ustats.rows_total;
+          sfx_incremental_swaps = ustats.incremental_swaps;
+          sfx_emergence_carried = ustats.emergence_tables_carried;
         }
       }
     }
@@ -383,12 +483,26 @@ int main(int argc, char** argv) {
             : 0;
     double small_updates_per_sec =
         best_small > 0 ? static_cast<double>(delta_events) / best_small : 0;
-    const uint64_t small_slices_total =
-        small_slices_reused + small_slices_rebuilt;
-    double reuse_ratio =
-        small_slices_total > 0
-            ? static_cast<double>(small_slices_reused) / small_slices_total
-            : 0;
+    double suffix_updates_per_sec =
+        best_suffix > 0 ? static_cast<double>(delta_events) / best_suffix : 0;
+    // Every ratio below guards its zero-denominator case explicitly (no
+    // incremental swaps => 0.0, never NaN — a NaN here would slip through
+    // the CI regression gate's comparisons). The raw counts and
+    // incremental_swaps land in the JSON alongside, so a zero ratio is
+    // always diagnosable.
+    auto safe_ratio = [](uint64_t num, uint64_t den) {
+      return den > 0 ? static_cast<double>(num) / static_cast<double>(den)
+                     : 0.0;
+    };
+    // Slice-level reuse: shares carried whole over slices that needed any
+    // whole rebuild. Suffix-maintained slices are neither: they are
+    // tracked by the row-level ratio instead.
+    double reuse_ratio = safe_ratio(small_slices_reused,
+                                    small_slices_reused + small_slices_rebuilt);
+    double small_row_reuse = safe_ratio(small_rows_reused, small_rows_total);
+    double suffix_reuse_ratio =
+        safe_ratio(sfx_slices_reused, sfx_slices_reused + sfx_slices_rebuilt);
+    double suffix_row_reuse = safe_ratio(sfx_rows_reused, sfx_rows_total);
     if (threads == 1) {
       idle_qps_1thread = idle_qps;
       live_qps_1thread = live_qps;
@@ -403,20 +517,25 @@ int main(int argc, char** argv) {
     std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2f", overlap_ratio);
     char reuse_cell[32];
     std::snprintf(reuse_cell, sizeof(reuse_cell), "%.2f", reuse_ratio);
+    char row_reuse_cell[32];
+    std::snprintf(row_reuse_cell, sizeof(row_reuse_cell), "%.3f",
+                  suffix_row_reuse);
     table.AddRow({TextTable::Cell(static_cast<uint64_t>(threads)),
                   TextTable::Cell(idle_qps, 1), TextTable::Cell(live_qps, 1),
                   ratio_cell, TextTable::Cell(updates_per_sec, 2),
                   TextTable::Cell(rebuild_seconds, 4),
                   TextTable::Cell(small_updates_per_sec, 2), reuse_cell,
+                  TextTable::Cell(suffix_updates_per_sec, 2), row_reuse_cell,
                   identical ? "yes" : "NO"});
 
-    for (int mode = 0; mode < 4; ++mode) {
+    for (int mode = 0; mode < 5; ++mode) {
       records.BeginRecord();
       records.Add("bench", std::string("live_update"));
       records.Add("mode", std::string(mode == 0   ? "queries_idle"
                                       : mode == 1 ? "queries_during_updates"
                                       : mode == 2 ? "updates"
-                                                  : "small_delta_updates"));
+                                      : mode == 3 ? "small_delta_updates"
+                                                  : "suffix_delta_updates"));
       records.Add("vertices", static_cast<uint64_t>(vertices));
       records.Add("edges", static_cast<uint64_t>(edges));
       records.Add("timestamps", static_cast<uint64_t>(timestamps));
@@ -440,13 +559,31 @@ int main(int argc, char** argv) {
         records.Add("edges_per_sec", edges_per_sec);
         records.Add("rebuild_seconds", rebuild_seconds);
         records.Add("swap_seconds", swap_seconds);
-      } else {
+      } else if (mode == 3) {
         records.Add("seconds", best_small);
         records.Add("updates_per_sec", small_updates_per_sec);
         records.Add("delta_events", static_cast<uint64_t>(delta_events));
         records.Add("slices_reused", small_slices_reused);
+        records.Add("slices_suffix", small_slices_suffix);
         records.Add("slices_rebuilt", small_slices_rebuilt);
+        records.Add("incremental_swaps", small_incremental_swaps);
         records.Add("reuse_ratio", reuse_ratio);
+        records.Add("rows_reused", small_rows_reused);
+        records.Add("rows_total", small_rows_total);
+        records.Add("row_reuse_ratio", small_row_reuse);
+      } else {
+        records.Add("seconds", best_suffix);
+        records.Add("updates_per_sec", suffix_updates_per_sec);
+        records.Add("delta_events", static_cast<uint64_t>(delta_events));
+        records.Add("slices_reused", sfx_slices_reused);
+        records.Add("slices_suffix", sfx_slices_suffix);
+        records.Add("slices_rebuilt", sfx_slices_rebuilt);
+        records.Add("incremental_swaps", sfx_incremental_swaps);
+        records.Add("reuse_ratio", suffix_reuse_ratio);
+        records.Add("rows_reused", sfx_rows_reused);
+        records.Add("rows_total", sfx_rows_total);
+        records.Add("row_reuse_ratio", suffix_row_reuse);
+        records.Add("emergence_tables_carried", sfx_emergence_carried);
       }
       records.Add("identical", identical);
     }

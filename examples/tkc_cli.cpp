@@ -175,12 +175,20 @@ int RunLiveReplay(tkc::TemporalGraph graph,
       final_graph.num_timestamps());
   const UpdateStats update = (*live)->update_stats();
   std::printf(
-      "updater: %llu batches coalesced, %llu slices reused / %llu rebuilt "
-      "(%llu incremental swaps), %llu cache entries carried\n",
+      "updater: %llu/%llu batches applied (%llu coalesced), %llu slices "
+      "reused / %llu suffix-maintained / %llu rebuilt (%llu incremental "
+      "swaps), %llu/%llu rows carried, %llu emergence tables carried, %llu "
+      "cache entries carried\n",
+      static_cast<unsigned long long>(update.batches_applied),
+      static_cast<unsigned long long>(update.batches_submitted),
       static_cast<unsigned long long>(update.batches_coalesced),
       static_cast<unsigned long long>(update.slices_reused),
+      static_cast<unsigned long long>(update.suffix_rebuilds),
       static_cast<unsigned long long>(update.slices_rebuilt),
       static_cast<unsigned long long>(update.incremental_swaps),
+      static_cast<unsigned long long>(update.rows_reused),
+      static_cast<unsigned long long>(update.rows_total),
+      static_cast<unsigned long long>(update.emergence_tables_carried),
       static_cast<unsigned long long>(update.cache_entries_carried));
   return failures == 0 ? 0 : 1;
 }

@@ -85,6 +85,14 @@ struct EdgeDelta {
   /// True iff nothing survived ingestion: the new graph is bit-identical
   /// to the base graph.
   bool empty() const { return edges_appended == 0; }
+
+  /// The compact-time extent [min_time, max_time] as a window — the proof
+  /// boundary of suffix maintenance. With the timeline preserved, a window
+  /// ending before min_time contains no delta edge (its k-core, and every
+  /// core time below min_time, is unchanged), and a window starting after
+  /// max_time contains none either (core times at those starts are
+  /// unchanged). Invalid (0,0) when the delta is empty.
+  Window TimeExtent() const { return Window{min_time, max_time}; }
 };
 
 struct GraphUpdate;  // defined after TemporalGraph below

@@ -201,10 +201,26 @@ Status QueryEngine::BuildAdmissionIndex() {
 }
 
 void QueryEngine::InstallAdmissionIndex(PhcIndex index) {
+  // Emergence-table carry-over: a table is a pure function of its slice,
+  // so a slice shared (by pointer) with the source engine's index has an
+  // identical table — copy it instead of paying the emergence sweep. The
+  // live-update layer wires the predecessor snapshot's engine in here so
+  // every slice PhcIndex::Rebuild reused skips its sweep too.
+  const QueryEngine* source = options_.emergence_source;
+  const PhcIndex* source_index =
+      source != nullptr && !source->replicas_.empty() ? &source->replicas_[0]
+                                                      : nullptr;
   emergence_.reserve(index.max_k());
   for (uint32_t k = 1; k <= index.max_k(); ++k) {
-    emergence_.push_back(ComputeEmergence(index.Slice(k)));
+    if (source_index != nullptr && k <= source_index->max_k() &&
+        source_index->SliceShared(k) == index.SliceShared(k)) {
+      emergence_.push_back(source->emergence_[k - 1]);
+      ++emergence_tables_carried_;
+    } else {
+      emergence_.push_back(ComputeEmergence(index.Slice(k)));
+    }
   }
+  options_.emergence_source = nullptr;  // never read again; do not dangle
   replicas_.reserve(options_.num_index_replicas);
   for (int r = 1; r < options_.num_index_replicas; ++r) {
     // Shallow copies: replicas alias the shared slice storage (see the
@@ -231,6 +247,16 @@ bool QueryEngine::MayContainCore(uint32_t k, Window range) const {
   }
   const std::vector<Timestamp>& table = emergence_[k - 1];
   return table[range.start - 1] <= range.end;
+}
+
+std::span<const Timestamp> QueryEngine::EmergenceTable(uint32_t k) const {
+  if (k < 1 || k > emergence_.size()) return {};
+  return emergence_[k - 1];
+}
+
+std::vector<Timestamp> QueryEngine::ComputeEmergenceTable(
+    const VertexCoreTimeIndex& slice) {
+  return ComputeEmergence(slice);
 }
 
 bool QueryEngine::VertexInCore(VertexId u, Window window, uint32_t k) const {

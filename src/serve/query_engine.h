@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "serve/query_cache.h"
@@ -64,6 +65,7 @@
 namespace tkc {
 
 struct VctBuildArena;  // vct/vct_builder.h
+class QueryEngine;
 
 /// Construction-time configuration of a QueryEngine.
 struct QueryEngineOptions {
@@ -127,6 +129,16 @@ struct QueryEngineOptions {
   /// Implies build_index; must cover the graph's FullRange() and vertex
   /// count. Copied into the engine; only read during Create.
   const PhcIndex* preloaded_index = nullptr;
+
+  /// Engine to copy per-k core-emergence tables from instead of
+  /// recomputing them: a slice of this engine's index that is the *same
+  /// object* (shared_ptr identity) as the source's slice k has, by
+  /// construction, an identical emergence table — the table is a pure
+  /// function of the slice. The live-update layer points this at the
+  /// predecessor snapshot's engine so slices PhcIndex::Rebuild carried by
+  /// pointer stop paying the emergence sweep again. Only read during
+  /// Create; must outlive it.
+  const QueryEngine* emergence_source = nullptr;
 };
 
 /// The completed answer to one asynchronously submitted batch.
@@ -287,6 +299,23 @@ class QueryEngine {
   /// index replica. Requires build_index and k <= the built max_k.
   bool VertexInCore(VertexId u, Window window, uint32_t k) const;
 
+  /// The per-k core-emergence table (min over vertices of CT_ts(u), indexed
+  /// by ts - range.start), or an empty span when there is no admission
+  /// index or k is out of range. Exposed so the differential harness can
+  /// prove carried tables bit-identical to freshly computed ones.
+  std::span<const Timestamp> EmergenceTable(uint32_t k) const;
+
+  /// Computes the emergence table of one slice from scratch — the exact
+  /// function Create runs per slice when no table carries over.
+  static std::vector<Timestamp> ComputeEmergenceTable(
+      const VertexCoreTimeIndex& slice);
+
+  /// Emergence tables copied from options.emergence_source at construction
+  /// instead of recomputed (0 without a source or an index).
+  uint64_t emergence_tables_carried() const {
+    return emergence_tables_carried_;
+  }
+
   AlgorithmKind algorithm() const { return options_.algorithm; }
   int num_threads() const { return pool_->num_threads(); }
 
@@ -347,6 +376,7 @@ class QueryEngine {
   /// earliest end time at which a k-core exists for start ts (kInfTime when
   /// none). Non-decreasing in ts.
   std::vector<std::vector<Timestamp>> emergence_;
+  uint64_t emergence_tables_carried_ = 0;
   mutable std::unique_ptr<std::atomic<uint64_t>> replica_rr_;
 
   /// Serving state (mutex-guarded).

@@ -69,6 +69,10 @@ StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::CreateSuccessor(
     rebuilt = std::move(index).value();
     successor_options.preloaded_index = &rebuilt;  // copied by Create
     successor_options.build_index = true;
+    // Slices Rebuild carried by pointer have provably identical emergence
+    // tables; let the successor's engine copy them from the base engine
+    // instead of re-running the emergence sweep per reused slice.
+    successor_options.emergence_source = &base.engine();
   }
 
   auto snapshot =
@@ -79,6 +83,11 @@ StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::CreateSuccessor(
   swap.delta_edges = update.delta.edges_appended;
   swap.slices_reused = rebuild_stats.slices_reused;
   swap.slices_rebuilt = rebuild_stats.slices_rebuilt;
+  swap.suffix_rebuilds = rebuild_stats.suffix_rebuilds;
+  swap.rows_reused = rebuild_stats.rows_reused;
+  swap.rows_total = rebuild_stats.rows_total;
+  swap.emergence_tables_carried =
+      (*snapshot)->engine().emergence_tables_carried();
   // Cross-snapshot cache carry-over: entries whose k lies strictly above
   // the delta's proof boundary answer identically on the new graph, so the
   // successor starts warm for exactly that region. Gated on the delta
@@ -118,15 +127,29 @@ LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
   all_snapshots_.push_back(std::move(initial));
 }
 
-LiveQueryEngine::~LiveQueryEngine() {
+void LiveQueryEngine::Shutdown() {
   {
-    // Force the pause gate open so a paused updater still drains its queue.
+    // Force the pause gate open so a paused updater is never stuck at it.
+    // If the gate was genuinely held, the queued batches were promised
+    // "not yet" — release them with a failure instead of applying them
+    // behind the caller's back.
     std::lock_guard<std::mutex> lock(pause_mu_);
     pause_override_ = true;
+    if (paused_) abandon_queued_ = true;
   }
   pause_cv_.notify_all();
-  update_queue_.Close();  // queued batches still drain, then the loop exits
-  updater_.join();
+  update_queue_.Close();  // queued batches still settle, then the loop exits
+  // Serialize the join: concurrent Shutdown() calls must not race the
+  // joinable()/join() pair (the loser would join an already-joined thread
+  // and throw). The updater never takes this mutex, so holding it across
+  // the join cannot deadlock; late callers block until the first join
+  // finishes, then see joinable() == false.
+  std::lock_guard<std::mutex> join_lock(shutdown_mu_);
+  if (updater_.joinable()) updater_.join();
+}
+
+LiveQueryEngine::~LiveQueryEngine() {
+  Shutdown();
   // Drain every snapshot that still exists, not just the current one: a
   // batch pinned to an older version may still be delivering (e.g. into a
   // caller's BatchCompletionQueue), and the caller must be able to destroy
@@ -221,12 +244,14 @@ void LiveQueryEngine::ResumeUpdates() {
 void LiveQueryEngine::UpdaterLoop() {
   UpdateRequest request;
   while (update_queue_.Pop(&request)) {
+    bool abandon = false;
     {
       // Pause gate: batches queued while held accumulate and coalesce
-      // into the cycle below once resumed (or once destruction forces the
+      // into the cycle below once resumed (or once Shutdown forces the
       // gate open).
       std::unique_lock<std::mutex> lock(pause_mu_);
       pause_cv_.wait(lock, [this] { return !paused_ || pause_override_; });
+      abandon = abandon_queued_;
     }
     // Coalesce: one rebuild cycle absorbs every batch queued right now —
     // under swap pressure the updater pays one graph+index rebuild for the
@@ -234,6 +259,24 @@ void LiveQueryEngine::UpdaterLoop() {
     std::vector<UpdateRequest> group;
     group.push_back(std::move(request));
     while (update_queue_.TryPop(&request)) group.push_back(std::move(request));
+
+    if (abandon) {
+      // Shutdown caught the pause gate held: the queued batches were
+      // promised "not yet", so release every one of them with a failure
+      // status instead of applying them during teardown — and never leave
+      // a future unresolved.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.update.batches_submitted += group.size();
+        stats_.failed_updates += group.size();
+      }
+      const Status status = Status::FailedPrecondition(
+          "live engine shut down while updates were paused");
+      for (UpdateRequest& r : group) r.done->set_value(status);
+      group.clear();
+      request = UpdateRequest();
+      continue;
+    }
     size_t total_edges = 0;
     for (const UpdateRequest& r : group) total_edges += r.edges.size();
     // The requests' edge vectors are dead after the merge (only their
@@ -297,6 +340,11 @@ void LiveQueryEngine::UpdaterLoop() {
 
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.update.batches_submitted += group.size();
+      // Riders saved a cycle whether this one succeeded or failed; a
+      // failed cycle must not double-charge them (they count once in
+      // failed_updates, once here as coalesced — never as applied).
+      stats_.update.batches_coalesced += group.size() - 1;
       if (status.ok()) {
         const GraphSnapshot::SwapStats& swap = next->swap_stats();
         ++stats_.swaps;
@@ -304,11 +352,18 @@ void LiveQueryEngine::UpdaterLoop() {
         stats_.last_rebuild_seconds = rebuild_seconds;
         stats_.last_swap_seconds = swap_seconds;
         stats_.last_delta_edges = swap.delta_edges;
-        stats_.update.batches_coalesced += group.size() - 1;
+        stats_.update.batches_applied += group.size();
         stats_.update.slices_reused += swap.slices_reused;
         stats_.update.slices_rebuilt += swap.slices_rebuilt;
+        stats_.update.suffix_rebuilds += swap.suffix_rebuilds;
+        stats_.update.rows_reused += swap.rows_reused;
+        stats_.update.rows_total += swap.rows_total;
+        stats_.update.emergence_tables_carried +=
+            swap.emergence_tables_carried;
         stats_.update.cache_entries_carried += swap.cache_entries_carried;
-        if (swap.slices_reused > 0) ++stats_.update.incremental_swaps;
+        if (swap.slices_reused > 0 || swap.suffix_rebuilds > 0) {
+          ++stats_.update.incremental_swaps;
+        }
       } else {
         // The whole coalesced group is dropped: every batch in it failed,
         // including the ones that merely rode along.

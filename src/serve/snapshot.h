@@ -68,17 +68,41 @@ namespace tkc {
 
 /// Cumulative counters of the delta-aware updater. Exposed via
 /// LiveQueryEngine::update_stats() and printed by `tkc_cli --updates`.
+///
+/// Invariants (asserted by the differential harness after every scenario,
+/// with `failed` = LiveStats::failed_updates):
+///   batches_applied + failed == batches_submitted
+///   batches_coalesced        <= batches_applied + failed
 struct UpdateStats {
+  /// ApplyUpdates batches the updater thread picked up (applied, failed,
+  /// or released at shutdown). Batches rejected at submission time — the
+  /// engine was already shutting down — never reach the updater and are
+  /// not counted.
+  uint64_t batches_submitted = 0;
+  /// Batches whose edges made it into a swapped-in snapshot.
+  uint64_t batches_applied = 0;
   /// Batches merged into another batch's rebuild cycle (group size - 1 per
-  /// cycle): how much work coalescing saved under swap pressure.
+  /// cycle, counted whether the cycle succeeded or failed — either way the
+  /// riders shared one outcome instead of paying their own cycle): how
+  /// much work coalescing saved under swap pressure.
   uint64_t batches_coalesced = 0;
   /// Index slices carried across swaps by pointer (no rebuild).
   uint64_t slices_reused = 0;
   /// Index slices rebuilt from scratch during swaps.
   uint64_t slices_rebuilt = 0;
+  /// Dirty slices maintained partially: only the start band the delta
+  /// could touch was recomputed, prefix/tail rows carried over.
+  uint64_t suffix_rebuilds = 0;
+  /// VCT rows carried across swaps (whole-slice reuse + suffix stitching).
+  uint64_t rows_reused = 0;
+  /// Total VCT rows across all incrementally produced indexes.
+  uint64_t rows_total = 0;
+  /// Per-k core-emergence tables copied from the predecessor engine
+  /// instead of recomputed (pointer-shared slices only).
+  uint64_t emergence_tables_carried = 0;
   /// Query-cache entries carried across swaps instead of recomputing.
   uint64_t cache_entries_carried = 0;
-  /// Swap cycles that reused at least one slice.
+  /// Swap cycles that carried at least one slice (whole or suffix).
   uint64_t incremental_swaps = 0;
 };
 
@@ -93,6 +117,10 @@ class GraphSnapshot {
     uint64_t delta_edges = 0;       ///< effective appended edges
     uint32_t slices_reused = 0;     ///< index slices shared with the base
     uint32_t slices_rebuilt = 0;    ///< index slices rebuilt for this version
+    uint32_t suffix_rebuilds = 0;   ///< slices maintained by suffix stitching
+    uint64_t rows_reused = 0;       ///< VCT rows carried from the base index
+    uint64_t rows_total = 0;        ///< VCT rows across this version's index
+    uint64_t emergence_tables_carried = 0;  ///< emergence sweeps skipped
     uint64_t cache_entries_carried = 0;  ///< memo entries seeded from the base
   };
 
@@ -176,8 +204,10 @@ class LiveQueryEngine {
   static StatusOr<std::unique_ptr<LiveQueryEngine>> Create(
       TemporalGraph initial_graph, const LiveEngineOptions& options = {});
 
-  /// Stops accepting updates, finishes queued rebuilds, joins the updater
-  /// thread, and drains the current snapshot's async batches. Batches
+  /// Runs Shutdown() (see below — in particular, destroying an engine
+  /// whose pause gate is still held *releases* queued batches with
+  /// FailedPrecondition rather than silently applying them or hanging the
+  /// updater), then drains every live snapshot's async batches. Batches
   /// pinned to older snapshots may still be completing; their pins keep
   /// those snapshots (and their engines) alive independently of this
   /// object.
@@ -223,9 +253,21 @@ class LiveQueryEngine {
   /// keep queueing (up to the queue bound) and coalesce into a single
   /// cycle once ResumeUpdates is called. Operational control for planned
   /// ingest bursts — and the deterministic handle the coalescing tests
-  /// drive. Idempotent; destruction implies resume.
+  /// drive. Idempotent.
   void PauseUpdates();
   void ResumeUpdates();
+
+  /// Shuts the update path down: no further ApplyUpdates batches are
+  /// accepted (they fail fast with FailedPrecondition), the updater thread
+  /// finishes its current cycle, settles the queue, and joins. Batches
+  /// already queued are applied as one final coalesced cycle — unless the
+  /// pause gate is held, in which case every queued batch is *released
+  /// with FailedPrecondition* instead: a held pause promised those batches
+  /// "not yet", and shutting down turns that into "never". Either way
+  /// every ApplyUpdates future resolves — nothing hangs on the dead
+  /// updater. Serving (ServeBatch / SubmitAsync / snapshot) stays
+  /// available. Idempotent; the destructor calls it first.
+  void Shutdown();
 
   LiveStats stats() const;
 
@@ -264,12 +306,19 @@ class LiveQueryEngine {
   mutable std::mutex stats_mu_;
   LiveStats stats_;
 
-  /// Pause gate for the updater (PauseUpdates/ResumeUpdates); the
-  /// destructor forces it open so queued batches always drain.
+  /// Pause gate for the updater (PauseUpdates/ResumeUpdates); Shutdown
+  /// forces it open so queued batches always settle — applied normally, or
+  /// released with a failure status when shutdown caught the gate held
+  /// (abandon_queued_).
   std::mutex pause_mu_;
   std::condition_variable pause_cv_;
   bool paused_ = false;
   bool pause_override_ = false;
+  bool abandon_queued_ = false;
+  /// Serializes Shutdown's join of the updater thread (Shutdown is
+  /// idempotent AND safe to call concurrently). Never taken by the
+  /// updater itself.
+  std::mutex shutdown_mu_;
 
   /// FIFO of pending update batches feeding the updater thread. The
   /// updater is a dedicated thread (not a pool task) so the rebuild's

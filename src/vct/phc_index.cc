@@ -1,6 +1,8 @@
 #include "vct/phc_index.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -22,6 +24,44 @@ std::shared_ptr<const VertexCoreTimeIndex> BuildSlice(const TemporalGraph& g,
                                                       ThreadPool* pool) {
   return std::make_shared<const VertexCoreTimeIndex>(
       BuildVctAndEcs(g, k, range, arena, pool).vct);
+}
+
+/// Earliest start time at which slice `k` of the old index could disagree
+/// with the new graph's slice, for an *eligible* append delta (timeline and
+/// vertex pool preserved). kInfTime means no (vertex, start) pair can
+/// change — the whole slice is provably clean even though k is at or below
+/// the delta's core bound.
+///
+/// A changed core time CT_ts(u) needs a delta edge inside some window
+/// starting at ts, so ts <= delta.max_time; and both its old and new value
+/// lie at or above delta.min_time (windows ending earlier contain no delta
+/// edge, so values below min_time are pinned). Per vertex the old values
+/// strictly increase across rows, making the dirty starts a band
+/// [first row reaching min_time, max_time]. A vertex with no old rows was
+/// never in a k-core of any base window; it can gain membership only by
+/// entering the new graph's full-range k-core, and any gain shows at the
+/// first start (k-cores grow with the window) — hence the core-number
+/// check decides between "clean" and "dirty from the very first start".
+Timestamp FirstDirtyStart(const VertexCoreTimeIndex& old_slice,
+                          const EdgeDelta& delta,
+                          const std::vector<uint32_t>& new_core_numbers,
+                          uint32_t k, Window range) {
+  Timestamp first = kInfTime;
+  for (VertexId u = 0; u < old_slice.num_vertices(); ++u) {
+    const std::span<const VctEntry> rows = old_slice.EntriesOf(u);
+    if (rows.empty()) {
+      if (new_core_numbers[u] >= k) return range.start;
+      continue;
+    }
+    auto it = std::lower_bound(
+        rows.begin(), rows.end(), delta.min_time,
+        [](const VctEntry& e, Timestamp t) { return e.core_time < t; });
+    if (it == rows.end()) continue;  // every old value is below min_time
+    if (it->start > delta.max_time) continue;  // band opens past the delta
+    first = std::min(first, it->start);
+    if (first == range.start) return first;  // cannot get lower
+  }
+  return first;
 }
 
 }  // namespace
@@ -108,46 +148,93 @@ StatusOr<PhcIndex> PhcIndex::Rebuild(const PhcIndex& old_index,
   if (eligible && delta.empty() && old_index.complete() &&
       (options.max_k == 0 || old_index.max_k() <= options.max_k)) {
     local.slices_reused = old_index.max_k();
+    local.rows_reused = local.rows_total = old_index.size();
     if (stats != nullptr) *stats = local;
     return old_index;  // cheap copy: slices are shared
   }
 
   PhcIndex index;
   index.range_ = range;
-  const uint32_t span_kmax = DecomposeCores(g, range).kmax;
+  const CoreDecompositionResult cores = DecomposeCores(g, range);
+  const uint32_t span_kmax = cores.kmax;
   uint32_t kmax = span_kmax;
   if (options.max_k > 0) kmax = std::min(kmax, options.max_k);
   index.complete_ = options.max_k == 0 || span_kmax <= options.max_k;
   index.slices_.resize(kmax);
 
-  std::vector<uint32_t> dirty;
-  dirty.reserve(kmax);
+  // Classify every slice: reuse whole (by pointer), maintain partially
+  // (recompute only the dirty start band), or rebuild from scratch. All
+  // decisions read the old index and the delta only, so they are
+  // deterministic at any thread count.
+  struct SuffixTask {
+    uint32_t k = 0;
+    Timestamp first_dirty = 0;  // first recomputed start
+  };
+  std::vector<uint32_t> full;
+  std::vector<SuffixTask> partial;
+  full.reserve(kmax);
   for (uint32_t k = 1; k <= kmax; ++k) {
-    if (local.reuse_eligible() && k > local.clean_above_k &&
-        k <= old_index.max_k()) {
+    if (!local.reuse_eligible() || k > old_index.max_k()) {
+      full.push_back(k);
+      continue;
+    }
+    if (k > local.clean_above_k) {
       index.slices_[k - 1] = old_index.slices_[k - 1];  // shared, by pointer
       ++local.slices_reused;
+      local.rows_reused += old_index.slices_[k - 1]->size();
+      continue;
+    }
+    // Dirty by the core bound — but the delta's time extent may still pin
+    // most (or all) of the slice's rows.
+    const Timestamp first_dirty = FirstDirtyStart(
+        old_index.Slice(k), delta, cores.core_numbers, k, range);
+    if (first_dirty == kInfTime) {
+      index.slices_[k - 1] = old_index.slices_[k - 1];  // provably clean
+      ++local.slices_reused;
+      local.rows_reused += old_index.slices_[k - 1]->size();
+    } else if (first_dirty == range.start && delta.max_time == range.end) {
+      full.push_back(k);  // the dirty band is the whole slice
     } else {
-      dirty.push_back(k);
+      partial.push_back(SuffixTask{k, first_dirty});
     }
   }
-  local.slices_rebuilt = static_cast<uint32_t>(dirty.size());
+  local.slices_rebuilt = static_cast<uint32_t>(full.size());
+  local.suffix_rebuilds = static_cast<uint32_t>(partial.size());
 
-  // Rebuild the dirty slices exactly as Build would: same builder, same
-  // arena discipline, slot k-1 regardless of worker/completion order.
-  ThreadPool* pool = options.pool;
-  if (pool == nullptr || pool->num_threads() <= 1 || dirty.size() <= 1) {
-    VctBuildArena arena;
-    for (uint32_t k : dirty) {
-      index.slices_[k - 1] = BuildSlice(g, k, range, &arena, pool);
+  // Rebuild the dirty slices exactly as Build would — same builder, same
+  // arena discipline, slot k-1 regardless of worker/completion order —
+  // and splice the partial ones: recompute starts
+  // [first_dirty, delta.max_time] over the suffix window, carry the
+  // prefix/tail rows from the old slice. Per-task row counts land in
+  // fixed slots so the reuse accounting is deterministic too.
+  std::vector<uint64_t> partial_rows(partial.size(), 0);
+  auto run_task = [&](size_t i, VctBuildArena* arena, ThreadPool* pool) {
+    if (i < full.size()) {
+      const uint32_t k = full[i];
+      index.slices_[k - 1] = BuildSlice(g, k, range, arena, pool);
+      return;
     }
+    const SuffixTask& task = partial[i - full.size()];
+    const Window suffix{task.first_dirty, range.end};
+    const VertexCoreTimeIndex band =
+        BuildVctSuffix(g, task.k, suffix, delta.max_time, arena, pool);
+    index.slices_[task.k - 1] = std::make_shared<const VertexCoreTimeIndex>(
+        StitchCoreTimeSuffix(old_index.Slice(task.k), band, task.first_dirty,
+                             delta.max_time, &partial_rows[i - full.size()]));
+  };
+  const size_t num_tasks = full.size() + partial.size();
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr || pool->num_threads() <= 1 || num_tasks <= 1) {
+    VctBuildArena arena;
+    for (size_t i = 0; i < num_tasks; ++i) run_task(i, &arena, pool);
   } else {
     std::vector<VctBuildArena> arenas(pool->num_threads());
-    pool->ParallelFor(dirty.size(), [&](size_t i, int worker) {
-      index.slices_[dirty[i] - 1] =
-          BuildSlice(g, dirty[i], range, &arenas[worker], pool);
+    pool->ParallelFor(num_tasks, [&](size_t i, int worker) {
+      run_task(i, &arenas[worker], pool);
     });
   }
+  for (uint64_t rows : partial_rows) local.rows_reused += rows;
+  for (const auto& slice : index.slices_) local.rows_total += slice->size();
   if (stats != nullptr) *stats = local;
   return index;
 }

@@ -53,6 +53,16 @@ struct PhcRebuildStats {
   uint32_t slices_reused = 0;
   /// Slices (re)built from scratch over the new graph.
   uint32_t slices_rebuilt = 0;
+  /// Dirty slices maintained partially: only the start-time band the delta
+  /// could have touched was recomputed (BuildVctSuffix), the untouched
+  /// prefix/tail rows carried over (StitchCoreTimeSuffix).
+  uint32_t suffix_rebuilds = 0;
+  /// VCT rows carried from the old index: every row of a pointer-reused
+  /// slice plus the prefix/tail rows of suffix-maintained slices.
+  uint64_t rows_reused = 0;
+  /// Total VCT rows across the produced index (denominator of the
+  /// row-level reuse ratio the live-update bench gates on).
+  uint64_t rows_total = 0;
   /// The delta's proof boundary: every k-slice — and every cached
   /// (k, range) outcome — with k > clean_above_k is provably identical
   /// across the swap. 0 after an empty delta (everything clean);
@@ -94,6 +104,20 @@ class PhcIndex {
   /// Build, stats report nothing clean). The result is bit-identical to a
   /// from-scratch Build either way — the incremental differential mode
   /// asserts exactly that, per slice, at several thread counts.
+  ///
+  /// Dirty slices (k <= max_core_bound) are additionally maintained
+  /// *partially* when the same preconditions hold: a changed core time
+  /// CT_ts(u) requires a delta edge inside some window [ts, te <= CT], so
+  /// it needs both ts <= delta.max_time and an old value >= delta.min_time
+  /// (values below min_time belong to windows the delta never reaches).
+  /// Per slice, the earliest start any vertex's old value reaches min_time
+  /// — range.start for a vertex with no old rows whose new full-range core
+  /// number reached k, since first-time membership always shows at the
+  /// first start — bounds the dirty band from below, and max_time bounds
+  /// it from above. Only that band is recomputed (BuildVctSuffix) and
+  /// spliced back between the untouched prefix/tail rows
+  /// (StitchCoreTimeSuffix); a slice whose band is empty is reused whole
+  /// even though k <= max_core_bound.
   static StatusOr<PhcIndex> Rebuild(const PhcIndex& old_index,
                                     const TemporalGraph& g,
                                     const EdgeDelta& delta,

@@ -278,4 +278,50 @@ VctBuildResult BuildVctAndEcs(const TemporalGraph& g, uint32_t k, Window range,
   return BuildVctAndEcsWithStats(g, k, range, nullptr, arena, pool);
 }
 
+VertexCoreTimeIndex BuildVctSuffix(const TemporalGraph& g, uint32_t k,
+                                   Window suffix, Timestamp advance_end,
+                                   VctBuildArena* arena, ThreadPool* pool) {
+  TKC_CHECK_GE(k, 1u);
+  TKC_CHECK(suffix.start >= 1 && suffix.end <= g.num_timestamps() &&
+            suffix.start <= suffix.end);
+  TKC_CHECK(advance_end >= suffix.start && advance_end <= suffix.end);
+
+  VctBuildArena local;
+  VctBuildArena& a = arena != nullptr ? *arena : local;
+
+  // Same bootstrap as the full builder, over the suffix window only: the
+  // sweep costs O(m_suffix log m_suffix), not a whole-timeline peel.
+  CoreTimeAdvancer advancer(g, k, suffix, nullptr, &a, pool);
+  const std::vector<Timestamp>& ct = advancer.core_times();
+
+  a.vct_emissions.clear();
+  {
+    // Initial rows at suffix.start: distinct endpoints of suffix-window
+    // edges, ascending — exactly the full builder's emission rule (a
+    // finite core time requires window neighbors, so no vertex is missed).
+    a.verts.clear();
+    for (const TemporalEdge& e : g.EdgesInWindow(suffix)) {
+      a.verts.push_back(e.u);
+      a.verts.push_back(e.v);
+    }
+    std::sort(a.verts.begin(), a.verts.end());
+    a.verts.erase(std::unique(a.verts.begin(), a.verts.end()), a.verts.end());
+    for (VertexId v : a.verts) {
+      if (ct[v] != kInfTime) {
+        a.vct_emissions.push_back({v, VctEntry{suffix.start, ct[v]}});
+      }
+    }
+  }
+  // Advance start times only through advance_end: rows past it belong to
+  // the band the caller reuses from the old slice instead.
+  for (Timestamp s = suffix.start; s < advance_end; ++s) {
+    advancer.Advance(s, &a.changed);
+    for (VertexId u : a.changed) {
+      a.vct_emissions.push_back({u, VctEntry{s + 1, ct[u]}});
+    }
+  }
+  return VertexCoreTimeIndex::FromEmissions(g.num_vertices(), suffix,
+                                            a.vct_emissions);
+}
+
 }  // namespace tkc

@@ -98,6 +98,23 @@ VctBuildResult BuildVctAndEcsWithStats(const TemporalGraph& g, uint32_t k,
                                        VctBuildArena* arena = nullptr,
                                        ThreadPool* pool = nullptr);
 
+/// The suffix entry point of PhcIndex::Rebuild's partial slice maintenance:
+/// computes the VCT restricted to start times [suffix.start, advance_end]
+/// with window ends up to suffix.end, skipping the ECS byproduct. Windows
+/// only look forward in time, so CT_ts(u) over [suffix.start, suffix.end]
+/// equals the full-range build's value for every ts >= suffix.start — the
+/// sweep simply bootstraps at suffix.start (paying only for the edges in
+/// the suffix window) and the advance stops at advance_end instead of
+/// running to the end of the timeline. The returned index carries `suffix`
+/// as its range but holds rows only for starts <= advance_end; it is the
+/// middle band StitchCoreTimeSuffix splices between reused prefix and tail
+/// rows. Rows are bit-identical to the corresponding band of a
+/// from-scratch build at any thread count.
+VertexCoreTimeIndex BuildVctSuffix(const TemporalGraph& g, uint32_t k,
+                                   Window suffix, Timestamp advance_end,
+                                   VctBuildArena* arena = nullptr,
+                                   ThreadPool* pool = nullptr);
+
 }  // namespace tkc
 
 #endif  // TKC_VCT_VCT_BUILDER_H_

@@ -1,6 +1,8 @@
 #include "vct/vct_index.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 #include "util/mem.h"
@@ -75,6 +77,76 @@ bool operator==(const VertexCoreTimeIndex& a, const VertexCoreTimeIndex& b) {
     if (!std::equal(ea.begin(), ea.end(), eb.begin(), eb.end())) return false;
   }
   return true;
+}
+
+VertexCoreTimeIndex StitchCoreTimeSuffix(const VertexCoreTimeIndex& base,
+                                         const VertexCoreTimeIndex& suffix,
+                                         Timestamp suffix_start,
+                                         Timestamp advance_end,
+                                         uint64_t* rows_reused) {
+  const Window range = base.range();
+  TKC_CHECK(suffix_start >= range.start && suffix_start <= advance_end &&
+            advance_end <= range.end);
+  TKC_CHECK_EQ(suffix.num_vertices(), base.num_vertices());
+  uint64_t reused = 0;
+  std::vector<std::pair<VertexId, VctEntry>> emissions;
+  emissions.reserve(base.size());
+  for (VertexId u = 0; u < base.num_vertices(); ++u) {
+    const std::span<const VctEntry> be = base.EntriesOf(u);
+    const std::span<const VctEntry> se = suffix.EntriesOf(u);
+    // Prefix: base rows before the recomputed band carry verbatim.
+    size_t i = 0;
+    Timestamp value = kInfTime;       // stitched value at the current start
+    Timestamp base_value = kInfTime;  // base's value at the same start
+    for (; i < be.size() && be[i].start < suffix_start; ++i) {
+      emissions.emplace_back(u, be[i]);
+      value = be[i].core_time;
+      ++reused;
+    }
+    base_value = value;
+    // Recomputed band. The builder's emission convention makes `se` the
+    // canonical rows of the new function on [suffix_start, advance_end]:
+    // first row at suffix_start iff the value there is finite (an empty
+    // list means "infinite throughout the band" — core times are
+    // non-decreasing in ts, so an infinite value at suffix_start never
+    // becomes finite later in the band). Only the row at suffix_start can
+    // collide with the carried prefix value; later rows are genuine
+    // breakpoints of the stitched function too.
+    if (se.empty()) {
+      if (value != kInfTime) {
+        emissions.emplace_back(u, VctEntry{suffix_start, kInfTime});
+        value = kInfTime;
+      }
+    } else {
+      TKC_DCHECK(se.front().start == suffix_start);
+      TKC_DCHECK(se.back().start <= advance_end);
+      for (size_t j = 0; j < se.size(); ++j) {
+        if (j == 0 && se[j].core_time == value) continue;  // no breakpoint
+        emissions.emplace_back(u, se[j]);
+      }
+      value = se.back().core_time;
+    }
+    // Tail: base's value at advance_end + 1 decides the seam row; base
+    // rows strictly after that start are breakpoints of the stitched
+    // function unchanged (their predecessor start also reads base's
+    // values).
+    if (advance_end < range.end) {
+      for (; i < be.size() && be[i].start <= advance_end + 1; ++i) {
+        base_value = be[i].core_time;
+      }
+      if (base_value != value) {
+        emissions.emplace_back(
+            u, VctEntry{static_cast<Timestamp>(advance_end + 1), base_value});
+      }
+      for (; i < be.size(); ++i) {
+        emissions.emplace_back(u, be[i]);
+        ++reused;
+      }
+    }
+  }
+  if (rows_reused != nullptr) *rows_reused += reused;
+  return VertexCoreTimeIndex::FromEmissions(base.num_vertices(), range,
+                                            emissions);
 }
 
 std::string VertexCoreTimeIndex::DebugString(VertexId u) const {

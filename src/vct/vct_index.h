@@ -81,6 +81,29 @@ class VertexCoreTimeIndex {
 /// breakpoints for every vertex. The incremental differential mode uses
 /// this to prove a pointer-reused slice equals a from-scratch rebuild.
 bool operator==(const VertexCoreTimeIndex& a, const VertexCoreTimeIndex& b);
+
+/// Splices a partially recomputed start-time band into an existing slice —
+/// the assembly step of PhcIndex::Rebuild's suffix maintenance. Produces
+/// the slice whose core-time function is
+///
+///   base's values   on [base.range().start, suffix_start)   (prefix rows),
+///   suffix's values on [suffix_start, advance_end]          (recomputed),
+///   base's values   on (advance_end, base.range().end]      (tail rows),
+///
+/// re-deriving the two seam breakpoints so the result is the canonical
+/// row list of that stitched function — bit-identical to what a
+/// from-scratch build emits whenever the caller has proven the true new
+/// function agrees with `base` outside [suffix_start, advance_end].
+///
+/// `suffix` must be a slice built over [suffix_start, base.range().end]
+/// whose rows stop at starts <= advance_end (BuildVctSuffix's contract).
+/// `rows_reused` (optional) accumulates the base rows copied verbatim —
+/// the prefix rows plus the tail rows the recomputation never touched.
+VertexCoreTimeIndex StitchCoreTimeSuffix(const VertexCoreTimeIndex& base,
+                                         const VertexCoreTimeIndex& suffix,
+                                         Timestamp suffix_start,
+                                         Timestamp advance_end,
+                                         uint64_t* rows_reused = nullptr);
 inline bool operator!=(const VertexCoreTimeIndex& a,
                        const VertexCoreTimeIndex& b) {
   return !(a == b);

@@ -5,7 +5,9 @@
 #include <future>
 #include <optional>
 #include <set>
+#include <span>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -54,14 +56,26 @@ struct PendingBatch {
 
 }  // namespace
 
-uint32_t DifferentialScenarioCount(uint32_t default_count) {
-  if (const char* env = std::getenv("TKC_DIFF_SCENARIOS")) {
-    char* end = nullptr;
-    long v = std::strtol(env, &end, 10);
-    if (end != nullptr && *end == '\0' && v > 0) {
-      return static_cast<uint32_t>(v);
-    }
+namespace {
+
+/// Positive-integer value of `name`, or 0 when unset/invalid.
+uint32_t PositiveEnv(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) return 0;
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+uint32_t DifferentialScenarioCount(uint32_t default_count,
+                                   const char* env_name) {
+  if (env_name != nullptr) {
+    if (uint32_t v = PositiveEnv(env_name)) return v;
   }
+  if (uint32_t v = PositiveEnv("TKC_DIFF_SCENARIOS")) return v;
   return default_count;
 }
 
@@ -173,12 +187,48 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
       if (!same) {
         ++report.mismatches;
         if (report.first_mismatch.empty()) {
+          // Identify the first offending slice for a reproducible report.
+          uint32_t bad_k = 0;
+          if (fresh.ok() && index->max_k() == fresh->max_k()) {
+            for (uint32_t k = 1; k <= fresh->max_k(); ++k) {
+              if (!(index->Slice(k) == fresh->Slice(k))) {
+                bad_k = k;
+                break;
+              }
+            }
+          }
           std::ostringstream out;
           out << "seed=" << config.seed << " threads=" << config.threads
               << " version=" << snap->version()
               << ": incrementally maintained index differs from a "
-                 "from-scratch build";
+                 "from-scratch build"
+              << (bad_k > 0 ? " at slice k=" + std::to_string(bad_k)
+                            : std::string(" (shape)"));
           report.first_mismatch = out.str();
+        }
+      }
+      // Emergence tables: carried or recomputed, each must equal a table
+      // freshly derived from the from-scratch slice.
+      if (fresh.ok()) {
+        for (uint32_t k = 1; k <= fresh->max_k(); ++k) {
+          const std::span<const Timestamp> table =
+              snap->engine().EmergenceTable(k);
+          const std::vector<Timestamp> expected =
+              QueryEngine::ComputeEmergenceTable(fresh->Slice(k));
+          ++report.tables_checked;
+          if (!std::equal(table.begin(), table.end(), expected.begin(),
+                          expected.end())) {
+            ++report.mismatches;
+            if (report.first_mismatch.empty()) {
+              std::ostringstream out;
+              out << "seed=" << config.seed << " threads=" << config.threads
+                  << " version=" << snap->version()
+                  << ": emergence table differs from a from-scratch table "
+                     "at k="
+                  << k;
+              report.first_mismatch = out.str();
+            }
+          }
         }
       }
     };
@@ -242,8 +292,30 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     report.swaps = live_stats.swaps;
     report.slices_reused = live_stats.update.slices_reused;
     report.slices_rebuilt = live_stats.update.slices_rebuilt;
+    report.suffix_rebuilds = live_stats.update.suffix_rebuilds;
+    report.rows_reused = live_stats.update.rows_reused;
     report.batches_coalesced = live_stats.update.batches_coalesced;
     report.cache_entries_carried = live_stats.update.cache_entries_carried;
+    report.emergence_tables_carried =
+        live_stats.update.emergence_tables_carried;
+    // Updater accounting invariants: every batch the updater picked up is
+    // applied xor failed, and coalescing never claims more riders than
+    // there were settled batches. Every update future was awaited above,
+    // so the counters are quiescent here.
+    const UpdateStats& u = live_stats.update;
+    const uint64_t settled = u.batches_applied + live_stats.failed_updates;
+    if (settled != u.batches_submitted || u.batches_coalesced > settled) {
+      ++report.mismatches;
+      if (report.first_mismatch.empty()) {
+        std::ostringstream out;
+        out << "seed=" << config.seed << " threads=" << config.threads
+            << ": update accounting broken: submitted="
+            << u.batches_submitted << " applied=" << u.batches_applied
+            << " failed=" << live_stats.failed_updates
+            << " coalesced=" << u.batches_coalesced;
+        report.first_mismatch = out.str();
+      }
+    }
   }  // engine destroyed: updater joined, current snapshot drained
 
   if (report.failed_updates > 0) {

@@ -33,10 +33,12 @@ struct DifferentialConfig {
   uint32_t max_edges_per_update = 14;
   /// Incremental-maintenance mode: force an admission index, await each
   /// ApplyUpdates before the next, and after every swap assert the
-  /// incrementally maintained PhcIndex (delta-aware Rebuild — reused
-  /// slices and all) is bit-identical, slice by slice, to a from-scratch
-  /// PhcIndex::Build on the swapped-in graph. Slice disagreements count
-  /// as mismatches.
+  /// incrementally maintained PhcIndex (delta-aware Rebuild — pointer-
+  /// reused and suffix-stitched slices alike) is bit-identical, slice by
+  /// slice, to a from-scratch PhcIndex::Build on the swapped-in graph, and
+  /// that every per-k core-emergence table (carried or recomputed) equals
+  /// one freshly derived from the from-scratch slice. Any disagreement
+  /// counts as a mismatch.
   bool incremental = false;
 };
 
@@ -50,20 +52,27 @@ struct DifferentialReport {
   uint64_t versions_served = 0;  ///< distinct snapshot versions in results
   uint64_t swaps = 0;            ///< snapshot swaps the engine performed
   uint64_t slices_checked = 0;   ///< incremental mode: slices compared
+  uint64_t tables_checked = 0;   ///< incremental mode: emergence tables
   uint64_t slices_reused = 0;    ///< updater slices carried by pointer
   uint64_t slices_rebuilt = 0;   ///< updater slices rebuilt
+  uint64_t suffix_rebuilds = 0;  ///< updater slices maintained partially
+  uint64_t rows_reused = 0;      ///< VCT rows carried across swaps
   uint64_t batches_coalesced = 0;
   uint64_t cache_entries_carried = 0;
+  uint64_t emergence_tables_carried = 0;
   std::string first_mismatch;
 };
 
 /// Runs one scenario end to end. Thread-safe to call concurrently.
 DifferentialReport RunDifferentialScenario(const DifferentialConfig& config);
 
-/// Scenario count for sweep tests: the TKC_DIFF_SCENARIOS environment
-/// variable when set to a positive integer (the CI sanitizer legs shrink
-/// it), else `default_count`.
-uint32_t DifferentialScenarioCount(uint32_t default_count);
+/// Scenario count for sweep tests: `env_name` (when given and set to a
+/// positive integer), else the TKC_DIFF_SCENARIOS environment variable
+/// (the CI sanitizer legs shrink it, the Release leg widens it), else
+/// `default_count`. The incremental sweep passes
+/// TKC_DIFF_INCREMENTAL_SCENARIOS so CI can widen it independently.
+uint32_t DifferentialScenarioCount(uint32_t default_count,
+                                   const char* env_name = nullptr);
 
 }  // namespace tkc
 

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <future>
+#include <span>
 #include <vector>
 
 #include "datasets/generators.h"
@@ -71,12 +72,16 @@ class DifferentialIncrementalTest : public ::testing::TestWithParam<int> {};
 TEST_P(DifferentialIncrementalTest, RebuiltIndexBitIdenticalPerSlice) {
   const int threads = GetParam();
   // Each swap costs an extra from-scratch index build, so sweep fewer
-  // scenarios than the main differential test.
-  const uint32_t scenarios =
-      DifferentialScenarioCount(std::max(4u, kDefaultScenarios / 2));
+  // scenarios than the main differential test by default; CI's Release leg
+  // widens this sweep independently via TKC_DIFF_INCREMENTAL_SCENARIOS.
+  const uint32_t scenarios = DifferentialScenarioCount(
+      std::max(4u, kDefaultScenarios / 2), "TKC_DIFF_INCREMENTAL_SCENARIOS");
   uint64_t total_slices = 0;
+  uint64_t total_tables = 0;
   uint64_t total_reused = 0;
   uint64_t total_rebuilt = 0;
+  uint64_t total_suffix = 0;
+  uint64_t total_rows_reused = 0;
   for (uint32_t s = 0; s < scenarios; ++s) {
     DifferentialConfig config;
     config.seed = 5000 + s;
@@ -87,14 +92,27 @@ TEST_P(DifferentialIncrementalTest, RebuiltIndexBitIdenticalPerSlice) {
     ASSERT_EQ(report.mismatches, 0u) << report.first_mismatch;
     EXPECT_GT(report.swaps, 0u);
     total_slices += report.slices_checked;
+    total_tables += report.tables_checked;
     total_reused += report.slices_reused;
     total_rebuilt += report.slices_rebuilt;
+    total_suffix += report.suffix_rebuilds;
+    total_rows_reused += report.rows_reused;
   }
   EXPECT_GT(total_slices, 0u);
+  EXPECT_GT(total_tables, 0u);
   EXPECT_GT(total_rebuilt, 0u);  // random deltas always dirty small k
+  if (scenarios >= 10) {
+    // Across a reasonable sweep, some delta lands late enough in some
+    // timeline that a dirty slice is maintained by suffix stitching (and
+    // carries rows) rather than rebuilt whole.
+    EXPECT_GT(total_suffix, 0u);
+    EXPECT_GT(total_rows_reused, 0u);
+  }
   RecordProperty("slices_checked", static_cast<int>(total_slices));
+  RecordProperty("tables_checked", static_cast<int>(total_tables));
   RecordProperty("slices_reused", static_cast<int>(total_reused));
   RecordProperty("slices_rebuilt", static_cast<int>(total_rebuilt));
+  RecordProperty("suffix_rebuilds", static_cast<int>(total_suffix));
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, DifferentialIncrementalTest,
@@ -268,6 +286,13 @@ TEST(LiveQueryEngineTest, CoalescedCycleFailureCountsEveryDroppedBatch) {
   EXPECT_EQ(stats.failed_updates, 3u);
   EXPECT_EQ(stats.swaps, 0u);
   EXPECT_EQ((*live)->version(), 0u);  // previous snapshot stays current
+  // No double-counting: the riders count once as failed and once as
+  // coalesced — never as applied — so the accounting invariants hold.
+  EXPECT_EQ(stats.update.batches_submitted, 3u);
+  EXPECT_EQ(stats.update.batches_applied, 0u);
+  EXPECT_EQ(stats.update.batches_coalesced, 2u);
+  EXPECT_EQ(stats.update.batches_applied + stats.failed_updates,
+            stats.update.batches_submitted);
 
   // The engine still serves, and a later clean update still applies.
   BatchResult result = (*live)->ServeBatch({Query{2, g.FullRange()}});
@@ -275,6 +300,8 @@ TEST(LiveQueryEngineTest, CoalescedCycleFailureCountsEveryDroppedBatch) {
   EXPECT_TRUE((*live)->ApplyUpdates({{0, 1, 500}}).get().ok());
   EXPECT_EQ((*live)->version(), 1u);
   EXPECT_EQ((*live)->stats().failed_updates, 3u);
+  EXPECT_EQ((*live)->stats().update.batches_applied, 1u);
+  EXPECT_EQ((*live)->stats().update.batches_submitted, 4u);
 }
 
 TEST(LiveQueryEngineTest, SmallDeltaReusesSlicesAndCarriesCache) {
@@ -331,14 +358,28 @@ TEST(LiveQueryEngineTest, SmallDeltaReusesSlicesAndCarriesCache) {
   UpdateStats update = (*live)->update_stats();
   EXPECT_GT(update.slices_reused, 0u);
   EXPECT_LT(update.slices_rebuilt, max_k);  // strictly fewer than max_k
-  EXPECT_EQ(update.slices_reused + update.slices_rebuilt, max_k);
+  // Every slice is accounted once: carried whole, maintained by suffix
+  // stitching, or rebuilt from scratch.
+  EXPECT_EQ(update.slices_reused + update.suffix_rebuilds +
+                update.slices_rebuilt,
+            max_k);
   EXPECT_EQ(update.incremental_swaps, 1u);
   EXPECT_GT(update.cache_entries_carried, 0u);
+  // Reused slices alone already carry rows; the reused k>2 slices hold
+  // most of the index.
+  EXPECT_GT(update.rows_reused, 0u);
+  EXPECT_LE(update.rows_reused, update.rows_total);
+  // Exactly the pointer-shared slices skip their emergence sweep on the
+  // successor engine.
+  EXPECT_EQ(update.emergence_tables_carried, update.slices_reused);
 
   const GraphSnapshot::SwapStats& swap = after->swap_stats();
   EXPECT_EQ(swap.delta_edges, 1u);
   EXPECT_EQ(swap.slices_reused, update.slices_reused);
   EXPECT_EQ(swap.slices_rebuilt, update.slices_rebuilt);
+  EXPECT_EQ(swap.suffix_rebuilds, update.suffix_rebuilds);
+  EXPECT_EQ(swap.rows_reused, update.rows_reused);
+  EXPECT_EQ(swap.emergence_tables_carried, update.emergence_tables_carried);
   EXPECT_EQ(swap.cache_entries_carried, update.cache_entries_carried);
 
   // Reused slices are shared by pointer; every slice — reused or rebuilt —
@@ -418,6 +459,139 @@ TEST(LiveQueryEngineTest, CacheCarriesAcrossSwapWithoutAdmissionIndex) {
   const ServeStats engine_after = after->engine().stats();
   EXPECT_EQ(engine_after.cache_hits, engine_before.cache_hits + 1);
   EXPECT_EQ(engine_after.executed, engine_before.executed);
+}
+
+TEST(LiveQueryEngineTest, LateDeltaMaintainsDirtySlicesBySuffix) {
+  // A delta at the *last* existing timestamp dirties slices k <= bound,
+  // but every core time below that timestamp is provably pinned — so the
+  // dirty slices must be maintained by suffix stitching (rows carried),
+  // not rebuilt whole, and the result must still be bit-identical to a
+  // from-scratch build, emergence tables included.
+  TemporalGraph dense = GenerateUniformRandom(20, 400, 12, 13);
+  const VertexId p = dense.num_vertices();
+  const VertexId q = p + 1;
+  auto based = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(1)}, {q, 1, dense.RawTimestamp(2)}});
+  ASSERT_TRUE(based.ok());
+  TemporalGraph base = std::move(based->graph);
+  const Timestamp last = base.num_timestamps();
+
+  ThreadPool pool(4);
+  LiveEngineOptions options;
+  options.engine.pool = &pool;
+  options.engine.build_index = true;
+  auto live = LiveQueryEngine::Create(base, options);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  ASSERT_TRUE((*live)
+                  ->ApplyUpdates(std::vector<RawTemporalEdge>{
+                      {p, q, base.RawTimestamp(last)}})
+                  .get()
+                  .ok());
+
+  UpdateStats update = (*live)->update_stats();
+  EXPECT_GT(update.suffix_rebuilds, 0u);
+  // Only the delta-dirtied slices (k <= bound 2) may need any rebuilding,
+  // and at least one of them is maintained partially. (A slice can still
+  // rebuild whole — e.g. k=1 when some vertex's first edge sits at the
+  // last timestamp, making its entire start band dirty.)
+  EXPECT_LE(update.suffix_rebuilds + update.slices_rebuilt, 2u);
+  EXPECT_GT(update.rows_reused, 0u);
+  EXPECT_EQ(update.incremental_swaps, 1u);
+  // Suffix-maintained slices carry most of their rows: the delta sits at
+  // the last timestamp, so only the final start band recomputes.
+  EXPECT_GT(update.rows_reused * 2, update.rows_total);
+
+  std::shared_ptr<const GraphSnapshot> after = (*live)->snapshot();
+  const PhcIndex* incremental = after->engine().index();
+  ASSERT_NE(incremental, nullptr);
+  PhcBuildOptions build;
+  build.pool = &pool;
+  auto fresh =
+      PhcIndex::Build(after->graph(), after->graph().FullRange(), build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*incremental == *fresh);
+  for (uint32_t k = 1; k <= fresh->max_k(); ++k) {
+    const std::vector<Timestamp> expected =
+        QueryEngine::ComputeEmergenceTable(fresh->Slice(k));
+    const std::span<const Timestamp> table = after->engine().EmergenceTable(k);
+    ASSERT_TRUE(std::equal(table.begin(), table.end(), expected.begin(),
+                           expected.end()))
+        << "emergence table differs at k=" << k;
+  }
+}
+
+TEST(LiveQueryEngineTest, ShutdownWhilePausedFailsQueuedBatches) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  LiveEngineOptions options;
+  auto live = LiveQueryEngine::Create(g, options);
+  ASSERT_TRUE(live.ok());
+
+  // Hold the gate, queue three batches, then shut down: the batches were
+  // promised "not yet" — shutdown must release them with a failure, not
+  // apply them behind the caller's back and not hang the updater.
+  (*live)->PauseUpdates();
+  std::vector<std::future<Status>> futures;
+  futures.push_back((*live)->ApplyUpdates({{0, 1, 500}}));
+  futures.push_back((*live)->ApplyUpdates({{2, 3, 501}}));
+  futures.push_back((*live)->ApplyUpdates({{4, 5, 502}}));
+  (*live)->Shutdown();
+  for (auto& f : futures) {
+    Status status = f.get();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  }
+
+  LiveStats stats = (*live)->stats();
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_EQ(stats.failed_updates, 3u);
+  EXPECT_EQ(stats.update.batches_submitted, 3u);
+  EXPECT_EQ(stats.update.batches_applied, 0u);
+  EXPECT_EQ((*live)->version(), 0u);
+
+  // Post-shutdown submissions fail fast (and never reach the counters);
+  // serving stays available; a second Shutdown is a no-op.
+  Status late = (*live)->ApplyUpdates({{0, 1, 503}}).get();
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*live)->stats().update.batches_submitted, 3u);
+  BatchResult result = (*live)->ServeBatch({Query{2, g.FullRange()}});
+  EXPECT_TRUE(result.outcomes[0].status.ok());
+  (*live)->Shutdown();
+}
+
+TEST(LiveQueryEngineTest, DestructionWhilePausedReleasesQueuedBatches) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  std::vector<std::future<Status>> futures;
+  {
+    auto live = LiveQueryEngine::Create(g, LiveEngineOptions{});
+    ASSERT_TRUE(live.ok());
+    (*live)->PauseUpdates();
+    futures.push_back((*live)->ApplyUpdates({{0, 1, 500}}));
+    futures.push_back((*live)->ApplyUpdates({{2, 3, 501}}));
+  }  // destroyed with the gate held: batches must resolve, with an error
+  for (auto& f : futures) {
+    Status status = f.get();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(LiveQueryEngineTest, ShutdownWithoutPauseAppliesQueuedBatches) {
+  // The contrast case: shutting down with the gate open still applies
+  // whatever was queued — only a held pause converts queued into failed.
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  auto live = LiveQueryEngine::Create(g, LiveEngineOptions{});
+  ASSERT_TRUE(live.ok());
+  std::vector<std::future<Status>> futures;
+  futures.push_back((*live)->ApplyUpdates({{0, 1, 500}}));
+  futures.push_back((*live)->ApplyUpdates({{2, 3, 501}}));
+  (*live)->Shutdown();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ((*live)->version(), 2u);
+  LiveStats stats = (*live)->stats();
+  EXPECT_EQ(stats.update.batches_applied, 2u);
+  EXPECT_EQ(stats.update.batches_submitted, 2u);
+  EXPECT_EQ(stats.failed_updates, 0u);
 }
 
 TEST(LiveQueryEngineTest, FailedUpdateKeepsServingOldSnapshot) {

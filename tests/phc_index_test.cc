@@ -8,6 +8,7 @@
 #include "datasets/generators.h"
 #include "graph/core_decomposition.h"
 #include "graph/window_peeler.h"
+#include "util/rng.h"
 #include "vct/vct_builder.h"
 
 namespace tkc {
@@ -155,7 +156,13 @@ TEST(PhcRebuildTest, SmallDeltaReusesSlicesByPointer) {
                                    build, &stats);
   ASSERT_TRUE(rebuilt.ok());
   EXPECT_EQ(stats.clean_above_k, 2u);
-  EXPECT_EQ(stats.slices_rebuilt, 2u);  // k = 1, 2
+  // The dirty slices (k = 1, 2) are maintained, not pointer-reused — since
+  // the delta sits at one interior timestamp, they go through the suffix
+  // path (recompute the band, carry prefix/tail rows) rather than a whole
+  // rebuild.
+  EXPECT_EQ(stats.suffix_rebuilds + stats.slices_rebuilt, 2u);
+  EXPECT_EQ(stats.suffix_rebuilds, 2u);
+  EXPECT_GT(stats.rows_reused, 0u);
   EXPECT_EQ(stats.slices_reused, old_index->max_k() - 2);
   for (uint32_t k = 1; k <= rebuilt->max_k(); ++k) {
     const bool shared =
@@ -210,6 +217,149 @@ TEST(PhcRebuildTest, NewTimestampForcesFullRebuild) {
   EXPECT_FALSE(stats.reuse_eligible());
   EXPECT_EQ(stats.slices_reused, 0u);
   EXPECT_EQ(stats.slices_rebuilt, rebuilt->max_k());
+}
+
+TEST(PhcRebuildTest, LateDeltaMaintainsDirtySlicesBySuffix) {
+  // A pendant-to-pendant delta at the *last* timestamp: slices k <= 2 are
+  // dirty by the core bound, but every core time below that timestamp is
+  // pinned, so they must be maintained by recomputing only the trailing
+  // start band — carrying the prefix rows — and still be bit-identical to
+  // a from-scratch build.
+  TemporalGraph dense = GenerateUniformRandom(18, 300, 10, 21);
+  const VertexId p = dense.num_vertices(), q = p + 1;
+  auto based = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(1)}, {q, 1, dense.RawTimestamp(2)}});
+  ASSERT_TRUE(based.ok());
+  TemporalGraph base = std::move(based->graph);
+
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(base, base.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+
+  const Timestamp last = base.num_timestamps();
+  auto update = base.AppendEdges(
+      std::vector<RawTemporalEdge>{{p, q, base.RawTimestamp(last)}});
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->delta.timestamps_preserved);
+  ASSERT_EQ(update->delta.TimeExtent(), (Window{last, last}));
+
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_GT(stats.suffix_rebuilds, 0u);
+  EXPECT_GT(stats.rows_reused, 0u);
+  EXPECT_EQ(stats.slices_reused + stats.suffix_rebuilds + stats.slices_rebuilt,
+            rebuilt->max_k());
+  auto fresh =
+      PhcIndex::Build(update->graph, update->graph.FullRange(), build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*rebuilt == *fresh);
+  EXPECT_EQ(stats.rows_total, fresh->size());
+  // Suffix-maintained slices are new objects (never aliased into the old
+  // index), and reused ones are the exact old objects.
+  for (uint32_t k = 1; k <= rebuilt->max_k(); ++k) {
+    if (k > update->delta.max_core_bound) {
+      EXPECT_EQ(rebuilt->SliceShared(k), old_index->SliceShared(k)) << k;
+    }
+  }
+}
+
+TEST(PhcRebuildTest, MidTimelineDeltaReusesPrefixAndTailRows) {
+  // A delta in the middle of the timeline: the dirty band is bounded on
+  // both sides, so a suffix-maintained slice reuses prefix rows *and* the
+  // rows past the delta's max time (the advance stops there).
+  TemporalGraph dense = GenerateUniformRandom(18, 300, 12, 21);
+  const VertexId p = dense.num_vertices(), q = p + 1;
+  auto based = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(1)}, {q, 1, dense.RawTimestamp(2)}});
+  ASSERT_TRUE(based.ok());
+  TemporalGraph base = std::move(based->graph);
+
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(base, base.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  const Timestamp mid = base.num_timestamps() / 2;
+  auto update = base.AppendEdges(
+      std::vector<RawTemporalEdge>{{p, q, base.RawTimestamp(mid)}});
+  ASSERT_TRUE(update.ok());
+  ASSERT_EQ(update->delta.TimeExtent(), (Window{mid, mid}));
+
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_GT(stats.suffix_rebuilds, 0u);
+  EXPECT_GT(stats.rows_reused, 0u);
+  auto fresh =
+      PhcIndex::Build(update->graph, update->graph.FullRange(), build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*rebuilt == *fresh);
+}
+
+TEST(PhcRebuildTest, BoundaryTimestampAppendsMatchBuild) {
+  // Sentinel-adjacent deltas: edges landing exactly on the first and last
+  // compacted timestamps (the edge spans the time-offset table brackets
+  // with its sentinel rows). Both must keep the reuse proof sound.
+  TemporalGraph g = GenerateUniformRandom(16, 140, 12, 5);
+  PhcRebuildStats stats;
+  ExpectRebuildMatchesBuild(g, {{0, 1, g.RawTimestamp(1)}}, 0, &stats);
+  EXPECT_TRUE(stats.reuse_eligible());
+  ExpectRebuildMatchesBuild(
+      g, {{2, 3, g.RawTimestamp(g.num_timestamps())}}, 0, &stats);
+  EXPECT_TRUE(stats.reuse_eligible());
+  // Both boundaries in one delta: the extent spans the whole timeline —
+  // still bit-identical.
+  ExpectRebuildMatchesBuild(
+      g,
+      {{0, 5, g.RawTimestamp(1)}, {1, 6, g.RawTimestamp(g.num_timestamps())}},
+      0, &stats);
+}
+
+TEST(PhcRebuildTest, MultigraphParallelAppendMatchesBuild) {
+  // A dedup-off multigraph: appended exact duplicates survive ingestion
+  // and count in the delta, but they add no distinct neighbor — the core
+  // bound must not move, slice reuse stays sound, and the rebuilt index
+  // matches a from-scratch build on the multigraph.
+  TemporalGraphBuilder builder;
+  builder.SetDeduplicateExact(false);
+  Rng rng(99);
+  for (int i = 0; i < 120; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(10));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(10));
+    if (u == v) continue;
+    builder.AddEdge(u, v, 1 + rng.NextBounded(8));
+  }
+  builder.AddEdge(10, 0, 3);  // a pendant to append parallel edges onto
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  TemporalGraph g = std::move(built).value();
+
+  // Parallel duplicates of the pendant edge at an existing raw time: the
+  // pendant's distinct degree stays 1.
+  std::vector<RawTemporalEdge> dupes = {{10, 0, 3}, {0, 10, 3}};
+  auto update = g.AppendEdges(dupes);
+  ASSERT_TRUE(update.ok());
+  ASSERT_EQ(update->delta.edges_appended, 2u);
+  EXPECT_EQ(update->delta.max_core_bound, 1u);
+  EXPECT_TRUE(update->delta.timestamps_preserved);
+
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(g, g.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(stats.reuse_eligible());
+  EXPECT_EQ(stats.clean_above_k, 1u);
+  auto fresh =
+      PhcIndex::Build(update->graph, update->graph.FullRange(), build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*rebuilt == *fresh);
+  for (uint32_t k = 2; k <= rebuilt->max_k(); ++k) {
+    EXPECT_EQ(rebuilt->SliceShared(k), old_index->SliceShared(k)) << k;
+  }
 }
 
 TEST(PhcRebuildTest, MatchesBuildAcrossDeltaShapes) {

@@ -337,6 +337,84 @@ TEST(TemporalGraphAppendTest, MultigraphKeepsParallelDuplicatesAcrossAppend) {
   EXPECT_EQ(more->delta.edges_appended, 1u);  // and it counts in the delta
 }
 
+TEST(TemporalGraphAppendTest, ParallelEdgesDoNotInflateCoreBound) {
+  // max_core_bound is a *distinct-neighbor* degree bound. On a multigraph
+  // (dedup off), parallel edges — including exact duplicates — pile up
+  // temporal degree without adding neighbors, and must not loosen the
+  // bound the serving layer's slice-reuse proof leans on.
+  TemporalGraphBuilder builder;
+  builder.SetDeduplicateExact(false);
+  builder.AddEdge(0, 1, 10);
+  builder.AddEdge(0, 1, 20);
+  builder.AddEdge(0, 1, 30);
+  builder.AddEdge(1, 2, 20);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+
+  // Three more parallel (0,1) edges at existing raw times: vertex 0 ends
+  // with temporal degree 6 but distinct degree 1.
+  auto appended = g->AppendEdges(
+      std::vector<RawTemporalEdge>{{0, 1, 10}, {1, 0, 20}, {0, 1, 30}});
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->delta.edges_appended, 3u);
+  EXPECT_TRUE(appended->delta.timestamps_preserved);
+  EXPECT_TRUE(appended->delta.vertices_preserved);
+  EXPECT_EQ(appended->graph.TemporalDegree(0), 6u);
+  EXPECT_EQ(appended->delta.max_core_bound, 1u)
+      << "parallel edges inflated the distinct-endpoint degree";
+
+  // A genuinely new neighbor does move the bound: (0,2) makes both
+  // endpoints distinct-degree 2.
+  auto widened = g->AppendEdges(std::vector<RawTemporalEdge>{{0, 2, 20}});
+  ASSERT_TRUE(widened.ok());
+  EXPECT_EQ(widened->delta.max_core_bound, 2u);
+}
+
+TEST(TemporalGraphAppendTest, TimelineBoundaryAppendsReportExactExtent) {
+  // Appends that touch only the first or last compacted timestamp — the
+  // sentinel-adjacent rows of the time-offset table — must report the
+  // exact one-point extent the suffix-maintenance proof narrows to.
+  TemporalGraph g = GenerateUniformRandom(12, 80, 9, 5);
+  const Timestamp last = g.num_timestamps();
+  auto free_pair_at = [&](Timestamp t) -> RawTemporalEdge {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+        if (!g.ContainsEdge(u, v, g.RawTimestamp(t))) {
+          return RawTemporalEdge{u, v, g.RawTimestamp(t)};
+        }
+      }
+    }
+    ADD_FAILURE() << "no free pair at t=" << t;
+    return RawTemporalEdge{};
+  };
+
+  auto at_first =
+      g.AppendEdges(std::vector<RawTemporalEdge>{free_pair_at(1)});
+  ASSERT_TRUE(at_first.ok());
+  ASSERT_EQ(at_first->delta.edges_appended, 1u);
+  EXPECT_TRUE(at_first->delta.timestamps_preserved);
+  EXPECT_EQ(at_first->delta.min_time, 1u);
+  EXPECT_EQ(at_first->delta.max_time, 1u);
+  EXPECT_EQ(at_first->delta.TimeExtent(), (Window{1, 1}));
+
+  auto at_last =
+      g.AppendEdges(std::vector<RawTemporalEdge>{free_pair_at(last)});
+  ASSERT_TRUE(at_last.ok());
+  ASSERT_EQ(at_last->delta.edges_appended, 1u);
+  EXPECT_TRUE(at_last->delta.timestamps_preserved);
+  EXPECT_EQ(at_last->delta.TimeExtent(), (Window{last, last}));
+  // The appended edge landed in the last timestamp's edge span.
+  auto [lo, hi] = at_last->graph.EdgeIdRangeAtTime(last);
+  EXPECT_EQ(hi - lo, g.EdgesAtTime(last).size() + 1);
+
+  // An empty delta reports the invalid (0,0) extent.
+  auto dup = g.AppendEdges(std::vector<RawTemporalEdge>{
+      {g.edge(0).u, g.edge(0).v, g.RawTimestamp(g.edge(0).t)}});
+  ASSERT_TRUE(dup.ok());
+  ASSERT_TRUE(dup->delta.empty());
+  EXPECT_FALSE(dup->delta.TimeExtent().Valid());
+}
+
 TEST(TemporalGraphAppendTest, ChainedAppendsEqualOneShotBuild) {
   // initial + batch1 + batch2 must equal building everything at once —
   // the property the live-serving differential harness replays against.

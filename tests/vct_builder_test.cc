@@ -98,6 +98,42 @@ INSTANTIATE_TEST_SUITE_P(
         BuilderCase{10, 80, 40, 2, 11}, BuilderCase{25, 150, 30, 1, 12},
         BuilderCase{40, 300, 50, 4, 13}, BuilderCase{40, 300, 8, 4, 14}));
 
+// The suffix entry point's defining property: for ANY band
+// [suffix_start, advance_end], recomputing that band with BuildVctSuffix
+// and stitching it back into the full slice must reproduce the full slice
+// exactly — on an unchanged graph, the band computes the same values the
+// full build did, so the stitch is a pure identity round-trip through both
+// seams. This is the mechanical backbone of PhcIndex::Rebuild's partial
+// maintenance (there the band additionally bounds where a delta can act).
+TEST_P(VctBuilderEquivalenceTest, SuffixBandStitchRoundTrips) {
+  const BuilderCase& c = GetParam();
+  TemporalGraph g = GenerateUniformRandom(c.n, c.m, c.T, c.seed);
+  const Window full = g.FullRange();
+  const VertexCoreTimeIndex reference = BuildVctAndEcs(g, c.k, full).vct;
+  const Timestamp tmax = full.end;
+  VctBuildArena arena;
+  const std::vector<std::pair<Timestamp, Timestamp>> bands = {
+      {1, tmax},                               // whole range
+      {1, std::max<Timestamp>(1, tmax / 2)},   // prefix band, tail reused
+      {std::max<Timestamp>(1, tmax / 2), tmax},  // suffix band
+      {std::max<Timestamp>(1, tmax / 3),
+       std::max<Timestamp>(1, (2 * tmax) / 3)},  // interior band
+      {tmax, tmax},                              // single last start
+  };
+  for (const auto& [s, a] : bands) {
+    if (!(s >= 1 && s <= a && a <= tmax)) continue;
+    const VertexCoreTimeIndex band =
+        BuildVctSuffix(g, c.k, Window{s, tmax}, a, &arena);
+    uint64_t reused = 0;
+    const VertexCoreTimeIndex stitched =
+        StitchCoreTimeSuffix(reference, band, s, a, &reused);
+    ExpectSameVct(stitched, reference,
+                  "band [" + std::to_string(s) + "," + std::to_string(a) +
+                      "]");
+    EXPECT_LE(reused, reference.size());
+  }
+}
+
 // Monotonicity and consistency properties of the produced index.
 class VctPropertyTest : public ::testing::TestWithParam<BuilderCase> {};
 

@@ -64,6 +64,75 @@ TEST(VctIndexTest, MemoryUsageScalesWithEntries) {
   EXPECT_GE(idx.MemoryUsageBytes(), 4 * sizeof(VctEntry));
 }
 
+TEST(VctIndexStitchTest, IdenticalSuffixReproducesBase) {
+  // Stitching a suffix that agrees with the base must reproduce the base
+  // row-for-row (the seam row collapses), counting the prefix rows reused.
+  VertexCoreTimeIndex base = MakeIndex();  // range {1,8}
+  std::vector<std::pair<VertexId, VctEntry>> band = {
+      {0, {3, 5}}, {0, {6, kInfTime}}, {2, {3, 7}}};
+  VertexCoreTimeIndex suffix =
+      VertexCoreTimeIndex::FromEmissions(3, Window{3, 8}, band);
+  uint64_t reused = 0;
+  VertexCoreTimeIndex out = StitchCoreTimeSuffix(base, suffix, 3, 8, &reused);
+  EXPECT_TRUE(out == base);
+  EXPECT_EQ(reused, 2u);  // vertex 0's [1,3] and vertex 2's [1,7]
+}
+
+TEST(VctIndexStitchTest, ChangedBandEmitsSeamBreakpoint) {
+  VertexCoreTimeIndex base = MakeIndex();
+  // Vertex 2's recomputed value from start 3 on differs from its carried
+  // prefix value (7 -> 9): the stitcher must emit the seam breakpoint.
+  // Vertex 0's band agrees with base.
+  std::vector<std::pair<VertexId, VctEntry>> band = {
+      {0, {3, 5}}, {0, {6, kInfTime}}, {2, {3, 9}}};
+  VertexCoreTimeIndex suffix =
+      VertexCoreTimeIndex::FromEmissions(3, Window{3, 8}, band);
+  VertexCoreTimeIndex out = StitchCoreTimeSuffix(base, suffix, 3, 8);
+  EXPECT_EQ(out.CoreTimeAt(2, 2), 7u);  // prefix row untouched
+  EXPECT_EQ(out.CoreTimeAt(2, 3), 9u);  // recomputed band
+  ASSERT_EQ(out.EntriesOf(2).size(), 2u);
+  EXPECT_EQ(out.EntriesOf(2)[1], (VctEntry{3, 9}));
+}
+
+TEST(VctIndexStitchTest, EmptyBandRowBecomesInfinity) {
+  // A vertex with a finite carried value but no suffix rows is infinite
+  // throughout the band: the stitcher must synthesize the [s, inf) row.
+  VertexCoreTimeIndex base = MakeIndex();
+  VertexCoreTimeIndex suffix = VertexCoreTimeIndex::FromEmissions(
+      3, Window{2, 8}, std::vector<std::pair<VertexId, VctEntry>>{});
+  VertexCoreTimeIndex out = StitchCoreTimeSuffix(base, suffix, 2, 8);
+  ASSERT_EQ(out.EntriesOf(0).size(), 2u);
+  EXPECT_EQ(out.EntriesOf(0)[0], (VctEntry{1, 3}));
+  EXPECT_EQ(out.EntriesOf(0)[1], (VctEntry{2, kInfTime}));
+  EXPECT_EQ(out.EntriesOf(1).size(), 0u);  // inf stays inf: no row at all
+}
+
+TEST(VctIndexStitchTest, TailRowsCarryPastAdvanceEnd) {
+  // advance_end < range.end: base rows after the band carry verbatim, and
+  // the seam at advance_end + 1 re-derives from base's value there.
+  VertexCoreTimeIndex base = MakeIndex();
+  // Band [2,4]: vertex 0's value is 4 there (changed from 3/5); vertex
+  // 2's band agrees with its base value.
+  std::vector<std::pair<VertexId, VctEntry>> band = {{0, {2, 4}}, {2, {2, 7}}};
+  VertexCoreTimeIndex suffix =
+      VertexCoreTimeIndex::FromEmissions(3, Window{2, 8}, band);
+  uint64_t reused = 0;
+  VertexCoreTimeIndex out = StitchCoreTimeSuffix(base, suffix, 2, 4, &reused);
+  // Vertex 0: [1,3] prefix, [2,4] band, seam at 5 back to base's value 5,
+  // then base's [6,inf] tail row.
+  ASSERT_EQ(out.EntriesOf(0).size(), 4u);
+  EXPECT_EQ(out.EntriesOf(0)[0], (VctEntry{1, 3}));
+  EXPECT_EQ(out.EntriesOf(0)[1], (VctEntry{2, 4}));
+  EXPECT_EQ(out.EntriesOf(0)[2], (VctEntry{5, 5}));
+  EXPECT_EQ(out.EntriesOf(0)[3], (VctEntry{6, kInfTime}));
+  // Vertex 2: the band value equals the carried 7, so no seam row on
+  // either side — the single base row survives alone.
+  ASSERT_EQ(out.EntriesOf(2).size(), 1u);
+  EXPECT_EQ(out.EntriesOf(2)[0], (VctEntry{1, 7}));
+  // Reused: vertex 0's [1,3] + [6,inf] and vertex 2's [1,7].
+  EXPECT_EQ(reused, 3u);
+}
+
 TEST(VctIndexTest, InterleavedEmissionsAcrossVertices) {
   // Emissions interleave vertices (as the builder produces them per
   // transition); CSR assembly must group them correctly.

@@ -11,7 +11,10 @@ regresses beyond the threshold:
   * higher-is-better metrics (default: qps, speedup) fail when
       current < baseline / threshold;
   * a record with "identical": false in the current run always fails — the
-    benchmarks self-verify bit-identity against their serial reference.
+    benchmarks self-verify bit-identity against their serial reference;
+  * any non-finite numeric value (NaN / Infinity) anywhere in the current
+    run always fails — a NaN metric compares false against every
+    threshold, which would silently defeat the gate.
 
 Records only present on one side are reported as warnings, never failures,
 so benches can grow new configurations without breaking the gate.
@@ -29,16 +32,44 @@ Usage:
 
 import argparse
 import json
+import math
 import shutil
 import sys
 
 
 def load_records(path):
     with open(path, "r", encoding="utf-8") as f:
-        records = json.load(f)
+        # parse_constant catches the NaN/Infinity/-Infinity literals that
+        # Python's json module would otherwise happily read as floats.
+        bad_constants = []
+        records = json.load(f, parse_constant=lambda c: bad_constants.append(c))
+        if bad_constants:
+            raise ValueError(
+                f"{path}: non-finite JSON constants {sorted(set(bad_constants))}"
+                f" — a benchmark emitted NaN/Infinity"
+            )
     if not isinstance(records, list):
         raise ValueError(f"{path}: expected a JSON array of records")
     return records
+
+
+def non_finite_failures(records, path, key_fields):
+    """Every non-finite numeric field in `records`, as failure strings.
+
+    A NaN metric compares false against every threshold, so without this
+    check it would silently pass the gate.
+    """
+    failures = []
+    for record in records:
+        for field, value in record.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)) and not math.isfinite(value):
+                failures.append(
+                    f"{path}: {fmt_key(key_fields, record_key(record, key_fields))}: "
+                    f"non-finite metric {field}={value}"
+                )
+    return failures
 
 
 def record_key(record, key_fields):
@@ -114,14 +145,28 @@ def main():
     def selected(record):
         return all(str(record.get(f)) == v for f, v in only.items())
 
+    try:
+        baseline_records = load_records(args.baseline)
+        current_records = load_records(args.current)
+    except json.JSONDecodeError as e:
+        # Must precede ValueError (its base class): e.g. glibc renders NaN
+        # as bare "nan", which is not JSON at all.
+        print(f"error: malformed bench JSON (non-finite value?): {e}")
+        return 1
+    except ValueError as e:
+        print(f"error: {e}")
+        return 1
     baseline = index_records(
-        [r for r in load_records(args.baseline) if selected(r)], key_fields,
+        [r for r in baseline_records if selected(r)], key_fields,
         args.baseline)
     current = index_records(
-        [r for r in load_records(args.current) if selected(r)], key_fields,
+        [r for r in current_records if selected(r)], key_fields,
         args.current)
 
     failures = []
+    failures += non_finite_failures(baseline_records, args.baseline,
+                                    key_fields)
+    failures += non_finite_failures(current_records, args.current, key_fields)
     compared = 0
     for key, cur in current.items():
         if cur.get("identical") is False:
