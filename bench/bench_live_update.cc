@@ -30,7 +30,14 @@
 //     Self-verifies that suffix maintenance fired (no dirty slice
 //     rebuilt whole), that rows were reused, and that the final index
 //     *and its per-k emergence tables* are bit-identical to from-scratch
-//     builds.
+//     builds;
+//   * overload (threads >= 2 only — a 1-thread pool dispatches inline, so
+//     its queue cannot saturate) — open-loop deadline'd submissions
+//     against a 2-slot request queue: reports shed_ratio and the p99
+//     time-to-verdict, and self-verifies that submission never blocks
+//     past the caller's deadline, that every batch gets exactly one
+//     verdict (served / shed / expired), and that every non-explicit
+//     outcome is bit-identical to its pinned version's reference.
 //
 // Ratios emitted into the JSON guard their zero-denominator cases
 // explicitly (0.0 plus the raw counts and an incremental_swaps field
@@ -55,10 +62,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <map>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -111,6 +120,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(flags.GetInt("reps", smoke ? 1 : 3));
   const std::string out_path =
       flags.GetString("out", "BENCH_live_update.json");
+  // Overload phase: open-loop submission count and the per-batch deadline.
+  const double overload_deadline_seconds = 0.05;
 
   SyntheticSpec graph_spec;
   graph_spec.name = "live";
@@ -256,7 +267,7 @@ int main(int argc, char** argv) {
   TextTable table;
   table.SetHeader({"Threads", "idle q/s", "live q/s", "live/idle",
                    "updates/s", "rebuild s", "delta u/s", "reuse",
-                   "sfx u/s", "row reuse", "identical"});
+                   "sfx u/s", "row reuse", "shed", "p99 ms", "identical"});
   JsonRecords records;
   bool all_identical = true;
   double idle_qps_1thread = 0;
@@ -313,6 +324,8 @@ int main(int argc, char** argv) {
     uint64_t sfx_slices_suffix = 0, sfx_rows_reused = 0, sfx_rows_total = 0;
     uint64_t sfx_incremental_swaps = 0, sfx_emergence_carried = 0;
     double rebuild_seconds = 0, swap_seconds = 0;
+    double best_overload_p99 = -1, ov_max_submit = 0;
+    uint64_t ov_submitted = 0, ov_shed = 0, ov_expired = 0, ov_served = 0;
     bool identical = true;
     for (int rep = 0; rep < reps; ++rep) {
       // --- queries_idle: no swaps in flight. --------------------------
@@ -469,6 +482,94 @@ int main(int argc, char** argv) {
           sfx_emergence_carried = ustats.emergence_tables_carried;
         }
       }
+
+      // --- overload: open-loop deadline'd submissions, tiny queue. ------
+      if (threads >= 2) {
+        LiveEngineOptions overload_options = options;
+        overload_options.engine.async_queue_capacity = 2;
+        auto live = LiveQueryEngine::Create(base, overload_options);
+        if (!live.ok()) return 1;
+        const uint32_t submissions = rounds * 4;
+        // Sized so Deliver never blocks: the consumer below is for
+        // timestamping, not backpressure.
+        BatchCompletionQueue cq(submissions + 1);
+        std::vector<double> submit_at(submissions, -1.0);
+        std::vector<double> verdict_at(submissions, -1.0);
+        std::vector<BatchResult> delivered(submissions);
+        WallTimer timer;
+        std::thread consumer([&] {
+          for (uint32_t i = 0; i < submissions; ++i) {
+            BatchResult result;
+            if (!cq.Next(&result)) break;
+            verdict_at[result.tag] = timer.ElapsedSeconds();
+            delivered[result.tag] = std::move(result);
+          }
+        });
+        double max_submit = 0;
+        for (uint32_t i = 0; i < submissions; ++i) {
+          submit_at[i] = timer.ElapsedSeconds();
+          (*live)->SubmitAsync(
+              queries, &cq, i,
+              Deadline::AfterSeconds(overload_deadline_seconds));
+          max_submit =
+              std::max(max_submit, timer.ElapsedSeconds() - submit_at[i]);
+        }
+        consumer.join();  // every batch delivers exactly one verdict
+
+        uint64_t shed = 0, expired = 0, served = 0;
+        bool all_delivered = true;
+        std::vector<double> verdicts;
+        verdicts.reserve(submissions);
+        for (uint32_t i = 0; i < submissions; ++i) {
+          if (verdict_at[i] < 0) {
+            all_delivered = false;
+            continue;
+          }
+          verdicts.push_back(verdict_at[i] - submit_at[i]);
+          const BatchResult& result = delivered[i];
+          bool any_real = false, any_shed = false;
+          for (size_t qi = 0; qi < result.outcomes.size(); ++qi) {
+            const StatusCode code = result.outcomes[qi].status.code();
+            if (code == StatusCode::kResourceExhausted) {
+              any_shed = true;
+              continue;
+            }
+            if (code == StatusCode::kTimeout) continue;
+            any_real = true;
+            // No updates run in this phase, so every real answer pins
+            // version 0 and must match the base-graph reference.
+            identical = identical &&
+                        SameResults(reference_of(result.snapshot_version, qi),
+                                    result.outcomes[qi]);
+          }
+          if (any_real) {
+            ++served;
+          } else if (any_shed) {
+            ++shed;
+          } else {
+            ++expired;
+          }
+        }
+        identical = identical && all_delivered;
+        // The shed policy's core guarantee: a saturated queue answers
+        // within the caller's deadline instead of blocking on capacity.
+        identical = identical && max_submit <= overload_deadline_seconds;
+        identical = identical && shed + expired + served == submissions;
+        std::sort(verdicts.begin(), verdicts.end());
+        const double p99 =
+            verdicts.empty()
+                ? 0.0
+                : verdicts[static_cast<size_t>(0.99 * (verdicts.size() - 1) +
+                                               0.5)];
+        if (best_overload_p99 < 0 || p99 < best_overload_p99) {
+          best_overload_p99 = p99;
+          ov_submitted = submissions;
+          ov_shed = shed;
+          ov_expired = expired;
+          ov_served = served;
+        }
+        ov_max_submit = std::max(ov_max_submit, max_submit);
+      }
     }
     all_identical = all_identical && identical;
 
@@ -513,6 +614,9 @@ int main(int argc, char** argv) {
                                                : 0;
     double overlap_ratio = idle_qps > 0 ? live_qps / idle_qps : 0;
 
+    const double shed_ratio = safe_ratio(ov_shed, ov_submitted);
+    const double expired_ratio = safe_ratio(ov_expired, ov_submitted);
+
     char ratio_cell[32];
     std::snprintf(ratio_cell, sizeof(ratio_cell), "%.2f", overlap_ratio);
     char reuse_cell[32];
@@ -520,22 +624,37 @@ int main(int argc, char** argv) {
     char row_reuse_cell[32];
     std::snprintf(row_reuse_cell, sizeof(row_reuse_cell), "%.3f",
                   suffix_row_reuse);
+    char shed_cell[32];
+    char p99_cell[32];
+    if (best_overload_p99 >= 0) {
+      std::snprintf(shed_cell, sizeof(shed_cell), "%.2f", shed_ratio);
+      std::snprintf(p99_cell, sizeof(p99_cell), "%.1f",
+                    best_overload_p99 * 1000.0);
+    } else {
+      std::strcpy(shed_cell, "-");
+      std::strcpy(p99_cell, "-");
+    }
     table.AddRow({TextTable::Cell(static_cast<uint64_t>(threads)),
                   TextTable::Cell(idle_qps, 1), TextTable::Cell(live_qps, 1),
                   ratio_cell, TextTable::Cell(updates_per_sec, 2),
                   TextTable::Cell(rebuild_seconds, 4),
                   TextTable::Cell(small_updates_per_sec, 2), reuse_cell,
                   TextTable::Cell(suffix_updates_per_sec, 2), row_reuse_cell,
-                  identical ? "yes" : "NO"});
+                  shed_cell, p99_cell, identical ? "yes" : "NO"});
 
-    for (int mode = 0; mode < 5; ++mode) {
+    for (int mode = 0; mode < 6; ++mode) {
+      // The overload phase needs real pool workers (inline dispatch cannot
+      // saturate a queue): no record at 1 thread, so the regression gate's
+      // baseline never carries one either.
+      if (mode == 5 && best_overload_p99 < 0) continue;
       records.BeginRecord();
       records.Add("bench", std::string("live_update"));
       records.Add("mode", std::string(mode == 0   ? "queries_idle"
                                       : mode == 1 ? "queries_during_updates"
                                       : mode == 2 ? "updates"
                                       : mode == 3 ? "small_delta_updates"
-                                                  : "suffix_delta_updates"));
+                                      : mode == 4 ? "suffix_delta_updates"
+                                                  : "overload"));
       records.Add("vertices", static_cast<uint64_t>(vertices));
       records.Add("edges", static_cast<uint64_t>(edges));
       records.Add("timestamps", static_cast<uint64_t>(timestamps));
@@ -571,7 +690,7 @@ int main(int argc, char** argv) {
         records.Add("rows_reused", small_rows_reused);
         records.Add("rows_total", small_rows_total);
         records.Add("row_reuse_ratio", small_row_reuse);
-      } else {
+      } else if (mode == 4) {
         records.Add("seconds", best_suffix);
         records.Add("updates_per_sec", suffix_updates_per_sec);
         records.Add("delta_events", static_cast<uint64_t>(delta_events));
@@ -584,6 +703,16 @@ int main(int argc, char** argv) {
         records.Add("rows_total", sfx_rows_total);
         records.Add("row_reuse_ratio", suffix_row_reuse);
         records.Add("emergence_tables_carried", sfx_emergence_carried);
+      } else {
+        records.Add("submissions", ov_submitted);
+        records.Add("deadline_ms", overload_deadline_seconds * 1000.0);
+        records.Add("batches_served", ov_served);
+        records.Add("batches_shed", ov_shed);
+        records.Add("batches_expired", ov_expired);
+        records.Add("shed_ratio", shed_ratio);
+        records.Add("expired_ratio", expired_ratio);
+        records.Add("deadline_p99_ms", best_overload_p99 * 1000.0);
+        records.Add("max_submit_ms", ov_max_submit * 1000.0);
       }
       records.Add("identical", identical);
     }

@@ -1,11 +1,14 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "vct/vct_builder.h"
 
 namespace tkc {
@@ -103,6 +106,7 @@ class QueryEngine::ArenaLease {
 struct QueryEngine::AsyncBatch {
   std::vector<Query> queries;
   double limit = 0;
+  Deadline deadline;  ///< unlimited unless the submission carried one
   std::function<void(BatchResult&&)> done;
   /// Keeps the engine's owner (e.g. the pinned GraphSnapshot) alive while
   /// any task of this batch may still touch the engine.
@@ -114,6 +118,7 @@ struct QueryEngine::AsyncBatch {
 struct QueryEngine::AsyncBatchState {
   std::vector<Query> queries;
   double limit = 0;
+  Deadline deadline;
   std::function<void(BatchResult&&)> done;
   std::shared_ptr<const void> lifetime;
   std::vector<RunOutcome> outcomes;
@@ -267,8 +272,18 @@ bool QueryEngine::VertexInCore(VertexId u, Window window, uint32_t k) const {
   return replica.VertexInCore(u, window, k);
 }
 
-RunOutcome QueryEngine::ServeOne(const Query& query, double limit_seconds) {
+RunOutcome QueryEngine::ServeOne(const Query& query, double limit_seconds,
+                                 const Deadline& deadline) {
   RunOutcome out;
+  // Expiry precedes the cache: a dead deadline must not even pay (or be
+  // masked by) a lookup — the caller asked for an answer by a time that has
+  // already passed, and Timeout is that answer on every path.
+  if (deadline.Expired()) {
+    out.status = Status::Timeout("deadline expired before serving");
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.queries_served;
+    return out;
+  }
   if (cache_->capacity() > 0) {
     std::lock_guard<std::mutex> lock(*mu_);
     if (cache_->Lookup(query, &out)) {
@@ -276,12 +291,19 @@ RunOutcome QueryEngine::ServeOne(const Query& query, double limit_seconds) {
       return out;
     }
   }
-  return ExecuteUncached(query, limit_seconds);
+  return ExecuteUncached(query, limit_seconds, deadline);
 }
 
 RunOutcome QueryEngine::ExecuteUncached(const Query& query,
-                                        double limit_seconds) {
+                                        double limit_seconds,
+                                        const Deadline& batch_deadline) {
   RunOutcome out;
+  if (batch_deadline.Expired()) {
+    out.status = Status::Timeout("batch deadline expired");
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.queries_served;
+    return out;
+  }
 
   // Admission: a structurally valid in-span query whose range provably
   // contains no k-core gets the pipeline's exact empty outcome for free.
@@ -299,9 +321,11 @@ RunOutcome QueryEngine::ExecuteUncached(const Query& query,
     return out;
   }
 
-  Deadline deadline = limit_seconds > 0
-                          ? Deadline::AfterSeconds(limit_seconds)
-                          : Deadline();
+  Deadline deadline =
+      limit_seconds > 0
+          ? Deadline::Earlier(Deadline::AfterSeconds(limit_seconds),
+                              batch_deadline)
+          : batch_deadline;
   ArenaLease lease(this, options_.reuse_arenas &&
                              UsesBuildArena(options_.algorithm));
   out = RunAlgorithm(options_.algorithm, *graph_, query, deadline,
@@ -328,9 +352,51 @@ RunOutcome QueryEngine::Serve(const Query& query,
   return ServeOne(query, per_query_limit_seconds);
 }
 
+RunOutcome QueryEngine::ServeWithDeadline(const Query& query,
+                                          const Deadline& deadline) {
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.batches;
+    if (deadline.Expired()) ++stats_.deadlines_expired;
+  }
+  return ServeOne(query, options_.per_query_limit_seconds, deadline);
+}
+
 std::vector<RunOutcome> QueryEngine::ServeBatch(
     const std::vector<Query>& queries) {
   return ServeBatch(queries, options_.per_query_limit_seconds);
+}
+
+std::vector<RunOutcome> QueryEngine::ServeBatch(
+    const std::vector<Query>& queries, const Deadline& deadline) {
+  if (deadline.Expired()) {
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      ++stats_.batches;
+      ++stats_.deadlines_expired;
+      stats_.queries_served += queries.size();
+    }
+    std::vector<RunOutcome> outcomes(queries.size());
+    for (RunOutcome& out : outcomes) {
+      out.status = Status::Timeout("batch deadline expired");
+    }
+    return outcomes;
+  }
+
+  std::vector<RunOutcome> outcomes(queries.size());
+  const BatchPlan plan = PreScanBatch(queries, &outcomes);
+  auto run_leader = [&](size_t g) {
+    outcomes[plan.leaders[g]] = ExecuteUncached(
+        queries[plan.leaders[g]], options_.per_query_limit_seconds, deadline);
+  };
+  if (pool_->num_threads() > 1 && plan.leaders.size() > 1) {
+    pool_->ParallelFor(plan.leaders.size(),
+                       [&](size_t g, int /*worker*/) { run_leader(g); });
+  } else {
+    for (size_t g = 0; g < plan.leaders.size(); ++g) run_leader(g);
+  }
+  FanOutFollowers(plan, &outcomes);
+  return outcomes;
 }
 
 QueryEngine::BatchPlan QueryEngine::PreScanBatch(
@@ -403,20 +469,33 @@ std::vector<RunOutcome> QueryEngine::ServeBatch(
 // --- async submission ------------------------------------------------------
 
 std::future<BatchResult> QueryEngine::SubmitAsync(std::vector<Query> queries) {
+  return SubmitAsync(std::move(queries), Deadline());
+}
+
+std::future<BatchResult> QueryEngine::SubmitAsync(std::vector<Query> queries,
+                                                  const Deadline& deadline) {
   auto promise = std::make_shared<std::promise<BatchResult>>();
   std::future<BatchResult> future = promise->get_future();
-  SubmitAsyncWithCallback(std::move(queries), [promise](BatchResult&& result) {
-    promise->set_value(std::move(result));
-  });
+  SubmitAsyncWithCallback(std::move(queries), deadline,
+                          [promise](BatchResult&& result) {
+                            promise->set_value(std::move(result));
+                          });
   return future;
 }
 
 void QueryEngine::SubmitAsync(std::vector<Query> queries,
                               BatchCompletionQueue* cq, uint64_t tag) {
-  SubmitAsyncWithCallback(std::move(queries), [cq, tag](BatchResult&& result) {
-    result.tag = tag;
-    cq->Deliver(std::move(result));
-  });
+  SubmitAsync(std::move(queries), cq, tag, Deadline());
+}
+
+void QueryEngine::SubmitAsync(std::vector<Query> queries,
+                              BatchCompletionQueue* cq, uint64_t tag,
+                              const Deadline& deadline) {
+  SubmitAsyncWithCallback(std::move(queries), deadline,
+                          [cq, tag](BatchResult&& result) {
+                            result.tag = tag;
+                            cq->Deliver(std::move(result));
+                          });
 }
 
 void QueryEngine::SetLifetimeGuard(std::weak_ptr<const void> guard) {
@@ -426,9 +505,27 @@ void QueryEngine::SetLifetimeGuard(std::weak_ptr<const void> guard) {
 void QueryEngine::SubmitAsyncWithCallback(
     std::vector<Query> queries, std::function<void(BatchResult&&)> on_done,
     std::shared_ptr<const void> lifetime) {
+  SubmitAsyncWithCallback(std::move(queries), Deadline(), std::move(on_done),
+                          std::move(lifetime));
+}
+
+void QueryEngine::CompleteAsyncBatch(AsyncBatch&& batch,
+                                     const Status& status) {
+  BatchResult result;
+  result.outcomes.resize(batch.queries.size());
+  for (RunOutcome& out : result.outcomes) out.status = status;
+  batch.done(std::move(result));
+  FinishInflight();
+}
+
+void QueryEngine::SubmitAsyncWithCallback(
+    std::vector<Query> queries, const Deadline& deadline,
+    std::function<void(BatchResult&&)> on_done,
+    std::shared_ptr<const void> lifetime) {
   AsyncBatch batch;
   batch.queries = std::move(queries);
   batch.limit = options_.per_query_limit_seconds;
+  batch.deadline = deadline;
   batch.done = std::move(on_done);
   batch.lifetime = std::move(lifetime);
   {
@@ -439,10 +536,66 @@ void QueryEngine::SubmitAsyncWithCallback(
     std::lock_guard<std::mutex> lock(*mu_);
     ++stats_.async_batches;
   }
-  // The queue never closes while the engine lives, so Push cannot fail; it
-  // blocks while the queue is at capacity (producer backpressure).
-  async_->queue.Push(std::move(batch));
-  ScheduleDispatcher();
+
+  if (deadline.unlimited()) {
+    // The queue never closes while the engine lives, so Push cannot fail;
+    // it blocks while the queue is at capacity (producer backpressure).
+    async_->queue.Push(std::move(batch));
+    ScheduleDispatcher();
+    return;
+  }
+
+  // Deadline-carrying submissions never block: an already-dead batch is
+  // answered right here, and a full queue runs the eviction contest — the
+  // batch with the least remaining deadline (queued or incoming) is shed
+  // with ResourceExhausted so the submitter returns in bounded time.
+  if (deadline.Expired()) {
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      ++stats_.deadlines_expired;
+    }
+    CompleteAsyncBatch(std::move(batch),
+                       Status::Timeout("deadline expired before submission"));
+    return;
+  }
+  AsyncBatch evicted;
+  const PushOutcome outcome = async_->queue.PushOrEvict(
+      &batch,
+      [](const AsyncBatch& a, const AsyncBatch& b) {
+        return a.deadline.ExpiresBefore(b.deadline);
+      },
+      &evicted);
+  switch (outcome) {
+    case PushOutcome::kPushed:
+      ScheduleDispatcher();
+      break;
+    case PushOutcome::kPushedEvicted: {
+      {
+        std::lock_guard<std::mutex> lock(*mu_);
+        ++stats_.batches_shed;
+      }
+      CompleteAsyncBatch(std::move(evicted),
+                         Status::ResourceExhausted(
+                             "request queue full: evicted by a submission "
+                             "with more remaining deadline"));
+      ScheduleDispatcher();
+      break;
+    }
+    case PushOutcome::kRejectedIncoming: {
+      {
+        std::lock_guard<std::mutex> lock(*mu_);
+        ++stats_.batches_shed;
+      }
+      CompleteAsyncBatch(std::move(batch),
+                         Status::ResourceExhausted(
+                             "request queue full: least remaining deadline"));
+      break;
+    }
+    case PushOutcome::kClosed:
+      CompleteAsyncBatch(std::move(batch),
+                         Status::FailedPrecondition("engine shutting down"));
+      break;
+  }
 }
 
 void QueryEngine::ScheduleDispatcher() {
@@ -481,9 +634,22 @@ void QueryEngine::DispatchAsyncBatches() {
 }
 
 void QueryEngine::ProcessAsyncBatch(AsyncBatch batch) {
+  // A batch whose deadline died in the queue is dropped here, before the
+  // pre-scan: executing it would spend pool time on an answer the caller
+  // has already given up on.
+  if (batch.deadline.Expired()) {
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      ++stats_.deadlines_expired;
+    }
+    CompleteAsyncBatch(std::move(batch),
+                       Status::Timeout("deadline expired before dispatch"));
+    return;
+  }
   auto state = std::make_shared<AsyncBatchState>();
   state->queries = std::move(batch.queries);
   state->limit = batch.limit;
+  state->deadline = batch.deadline;
   state->done = std::move(batch.done);
   state->lifetime = std::move(batch.lifetime);
   state->outcomes.resize(state->queries.size());
@@ -500,8 +666,14 @@ void QueryEngine::ProcessAsyncBatch(AsyncBatch batch) {
                          std::memory_order_relaxed);
   for (size_t g = 0; g < state->plan.leaders.size(); ++g) {
     pool_->Submit([this, state, g] {
+      if (FaultFires(kFaultDispatchSlowWorker)) {
+        // A stalled worker: long enough to expire tight deadlines behind
+        // it, short enough to keep fault-mode runs fast.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
       const size_t i = state->plan.leaders[g];
-      state->outcomes[i] = ExecuteUncached(state->queries[i], state->limit);
+      state->outcomes[i] =
+          ExecuteUncached(state->queries[i], state->limit, state->deadline);
       if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         FinalizeAsyncBatch(state);
       }

@@ -2,6 +2,7 @@
 #define TKC_SERVE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -14,6 +15,7 @@
 #include "util/mpsc_queue.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 #include "vct/phc_index.h"
 #include "workload/query_workload.h"
 
@@ -49,9 +51,19 @@
 ///    pool-resident dispatcher drains the queue and fans each batch's
 ///    distinct misses out as individual pool tasks, so clients keep
 ///    issuing while earlier batches run and no pool worker ever blocks on
-///    a batch barrier. A full request queue blocks the submitter
-///    (backpressure). On a 1-thread pool the whole path degenerates to
-///    synchronous inline execution, trivially deterministic.
+///    a batch barrier. An unlimited-deadline submission blocks on a full
+///    request queue (legacy backpressure). On a 1-thread pool the whole
+///    path degenerates to synchronous inline execution, trivially
+///    deterministic.
+///  * **Deadline-aware admission & shedding.** Every submission may carry a
+///    Deadline. An already-expired batch is dropped (every outcome
+///    `Status::Timeout`) at submission or dispatch instead of executing,
+///    and a finite-deadline submission never blocks on a full request
+///    queue: the queued batch with the least remaining deadline is shed
+///    with `Status::ResourceExhausted` — either a queued batch is evicted
+///    to make room, or the incoming batch itself loses the contest — so
+///    callers always get an answer in bounded time. Unlimited-deadline
+///    batches are never evicted.
 ///
 /// Determinism contract: the *result* fields of a served outcome (status
 /// code, num_cores, result_size_edges, vct_size, ecs_size) are bit-identical
@@ -162,6 +174,10 @@ class BatchCompletionQueue {
  public:
   explicit BatchCompletionQueue(size_t capacity = 1024) : queue_(capacity) {}
 
+  /// Destruction shuts down first, so a queue dying under a slow consumer
+  /// cannot be freed while an engine-side Deliver still touches it.
+  ~BatchCompletionQueue() { Shutdown(); }
+
   /// Blocks for the next finished batch; false once Shutdown() was called
   /// and every delivered batch has been popped.
   bool Next(BatchResult* out) { return queue_.Pop(out); }
@@ -169,17 +185,38 @@ class BatchCompletionQueue {
   /// Non-blocking variant; false when nothing is ready right now.
   bool TryNext(BatchResult* out) { return queue_.TryPop(out); }
 
-  /// Wakes blocked consumers once in-flight deliveries drain. Call only
-  /// after the submitting engines are done delivering (e.g. DrainAsync).
-  void Shutdown() { queue_.Close(); }
+  /// Unblocks every Deliver stuck on a full queue (its result is dropped),
+  /// waits for in-flight deliveries to leave the queue, then wakes blocked
+  /// consumers once the delivered backlog drains. After Shutdown returns no
+  /// engine-side Deliver touches this object, so destroying it is safe even
+  /// if a consumer stalled while batches were still completing. Idempotent.
+  void Shutdown() {
+    queue_.Close();
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return delivering_ == 0; });
+  }
 
   size_t pending() const { return queue_.size(); }
 
-  /// Engine-side delivery (blocks while the queue is full).
-  void Deliver(BatchResult result) { queue_.Push(std::move(result)); }
+  /// Engine-side delivery (blocks while the queue is full; unblocked — with
+  /// the result dropped — by Shutdown()).
+  void Deliver(BatchResult result) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++delivering_;
+    }
+    queue_.Push(std::move(result));
+    std::lock_guard<std::mutex> lock(mu_);
+    // Notify under the mutex: a Shutdown() waiter may destroy this object
+    // the instant it observes delivering_ == 0.
+    if (--delivering_ == 0) idle_.notify_all();
+  }
 
  private:
   BoundedMpscQueue<BatchResult> queue_;
+  std::mutex mu_;
+  std::condition_variable idle_;
+  size_t delivering_ = 0;
 };
 
 /// Monotone counters describing everything an engine has served.
@@ -193,6 +230,14 @@ struct ServeStats {
   uint64_t batch_dedup_hits = 0;  ///< served as in-batch duplicates
   uint64_t executed = 0;          ///< ran the full algorithm
   uint64_t async_batches = 0;     ///< batches that arrived via SubmitAsync
+  /// Batches shed with ResourceExhausted by the full-queue eviction contest
+  /// (the evicted queued batch or the rejected incoming one, one per event).
+  uint64_t batches_shed = 0;
+  /// Submissions dropped whole with Timeout because their deadline had
+  /// already expired (at submission, at dispatch, or at a deadline-carrying
+  /// Serve entry point). A deadline expiring mid-execution surfaces as a
+  /// Timeout outcome but is not counted here.
+  uint64_t deadlines_expired = 0;
 };
 
 class QueryEngine {
@@ -215,6 +260,12 @@ class QueryEngine {
   /// overriding options.per_query_limit_seconds.
   RunOutcome Serve(const Query& query, double per_query_limit_seconds);
 
+  /// As Serve, bounded by an absolute deadline: an already-expired deadline
+  /// returns `Status::Timeout` immediately — before the cache or the
+  /// admission index is touched — and an unexpired one caps the execution
+  /// (combined with options.per_query_limit_seconds, whichever is earlier).
+  RunOutcome ServeWithDeadline(const Query& query, const Deadline& deadline);
+
   /// Serves a batch: cache hits are answered inline in one pre-scan,
   /// duplicate queries collapse to a single execution (dedup_batches), and
   /// only the distinct misses shard over the pool. outcome[i] answers
@@ -223,6 +274,12 @@ class QueryEngine {
   std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries);
   std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries,
                                      double per_query_limit_seconds);
+
+  /// As ServeBatch, bounded by an absolute deadline: expired at entry, the
+  /// whole batch returns `Status::Timeout` outcomes without executing;
+  /// expiring mid-batch, the not-yet-run leaders return Timeout outcomes.
+  std::vector<RunOutcome> ServeBatch(const std::vector<Query>& queries,
+                                     const Deadline& deadline);
 
   // --- async submission --------------------------------------------------
   //
@@ -237,19 +294,33 @@ class QueryEngine {
   /// complete in any order (later batches overlap earlier ones).
   std::future<BatchResult> SubmitAsync(std::vector<Query> queries);
 
+  /// Deadline-carrying flavor: never blocks on a full queue (see the shed
+  /// policy in the file comment). The future always settles — with served
+  /// outcomes, all-`Timeout` outcomes (deadline expired before execution),
+  /// or all-`ResourceExhausted` outcomes (shed by the eviction contest).
+  std::future<BatchResult> SubmitAsync(std::vector<Query> queries,
+                                       const Deadline& deadline);
+
   /// As above, delivering the finished result (stamped with `tag`) to `cq`
   /// instead of a future. `cq` must outlive the delivery (DrainAsync
   /// before destroying it).
   void SubmitAsync(std::vector<Query> queries, BatchCompletionQueue* cq,
                    uint64_t tag);
+  void SubmitAsync(std::vector<Query> queries, BatchCompletionQueue* cq,
+                   uint64_t tag, const Deadline& deadline);
 
-  /// The primitive under both flavors: `on_done` runs exactly once, on a
-  /// pool thread (inline on a 1-thread pool), when the batch completes.
+  /// The primitive under both flavors: `on_done` runs exactly once — on a
+  /// pool thread, inline on a 1-thread pool, or on the submitter's thread
+  /// when the batch is dropped at submission — when the batch completes.
   /// The live-update layer (serve/snapshot.h) uses it to stamp snapshot
   /// versions; it passes the snapshot pin as `lifetime` so the batch's
   /// tasks keep the snapshot (and this engine) alive until they are done
   /// with it.
   void SubmitAsyncWithCallback(std::vector<Query> queries,
+                               std::function<void(BatchResult&&)> on_done,
+                               std::shared_ptr<const void> lifetime = nullptr);
+  void SubmitAsyncWithCallback(std::vector<Query> queries,
+                               const Deadline& deadline,
                                std::function<void(BatchResult&&)> on_done,
                                std::shared_ptr<const void> lifetime = nullptr);
 
@@ -332,11 +403,15 @@ class QueryEngine {
   Status BuildAdmissionIndex();
   /// Derives emergence tables and read-path replicas from a built index.
   void InstallAdmissionIndex(PhcIndex index);
-  RunOutcome ServeOne(const Query& query, double limit_seconds);
+  RunOutcome ServeOne(const Query& query, double limit_seconds,
+                      const Deadline& deadline = Deadline());
 
   /// The post-cache-miss path: admission check, algorithm execution, cache
-  /// insert, counter updates.
-  RunOutcome ExecuteUncached(const Query& query, double limit_seconds);
+  /// insert, counter updates. `batch_deadline` caps the execution together
+  /// with `limit_seconds` (whichever is earlier); expired on entry, the
+  /// query returns a Timeout outcome without running.
+  RunOutcome ExecuteUncached(const Query& query, double limit_seconds,
+                             const Deadline& batch_deadline = Deadline());
 
   /// Checks an arena out of the free list (allocating only when every
   /// existing arena is in flight) and returns it on destruction.
@@ -364,6 +439,9 @@ class QueryEngine {
   void ProcessAsyncBatch(AsyncBatch batch);
   void FinalizeAsyncBatch(const std::shared_ptr<AsyncBatchState>& state);
   void FinishInflight();
+  /// Settles a dropped batch: every outcome gets `status`, the completion
+  /// callback runs, and the batch's inflight ticket is released.
+  void CompleteAsyncBatch(AsyncBatch&& batch, const Status& status);
 
   const TemporalGraph* graph_ = nullptr;
   QueryEngineOptions options_;

@@ -1,13 +1,48 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <utility>
 
+#include "util/fault_injection.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace tkc {
+
+namespace {
+
+/// Failures worth retrying: environmental/transient categories where a later
+/// attempt can genuinely succeed. A deterministic rejection (InvalidArgument,
+/// FailedPrecondition, ...) reproduces on every attempt, so retrying it only
+/// delays the inevitable — and would stall the FIFO behind it.
+bool IsTransientForRetry(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+    case StatusCode::kCorruption:
+    case StatusCode::kTimeout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "Healthy";
+    case HealthState::kDegraded:
+      return "Degraded";
+    case HealthState::kUpdatesFailed:
+      return "UpdatesFailed";
+  }
+  return "Unknown";
+}
 
 StatusOr<std::shared_ptr<GraphSnapshot>> GraphSnapshot::CreateImpl(
     TemporalGraph graph, uint64_t version, const QueryEngineOptions& options) {
@@ -124,6 +159,7 @@ LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
     rebuild_engine_options_.preloaded_index = nullptr;
     rebuild_engine_options_.build_index = true;
   }
+  jitter_stream_ = SplitMix64(options.retry_jitter_seed);
   all_snapshots_.push_back(std::move(initial));
 }
 
@@ -181,16 +217,31 @@ BatchResult LiveQueryEngine::ServeBatch(const std::vector<Query>& queries) {
   return result;
 }
 
+BatchResult LiveQueryEngine::ServeBatch(const std::vector<Query>& queries,
+                                        const Deadline& deadline) {
+  std::shared_ptr<const GraphSnapshot> pin = snapshot();
+  BatchResult result;
+  result.outcomes = pin->engine().ServeBatch(queries, deadline);
+  result.snapshot_version = pin->version();
+  return result;
+}
+
 std::future<BatchResult> LiveQueryEngine::SubmitAsync(
     std::vector<Query> queries) {
+  return SubmitAsync(std::move(queries), Deadline());
+}
+
+std::future<BatchResult> LiveQueryEngine::SubmitAsync(
+    std::vector<Query> queries, const Deadline& deadline) {
   auto promise = std::make_shared<std::promise<BatchResult>>();
   std::future<BatchResult> future = promise->get_future();
   std::shared_ptr<const GraphSnapshot> pin = snapshot();
   // The callback owns the pin: the snapshot (graph, engine, index) cannot
   // die before the batch's result is delivered, no matter how many swaps
-  // happen in between.
+  // happen in between. Dropped batches (Timeout/ResourceExhausted) settle
+  // through the same callback, so they too carry the pinned version.
   pin->engine().SubmitAsyncWithCallback(
-      std::move(queries),
+      std::move(queries), deadline,
       [pin, promise](BatchResult&& result) {
         result.snapshot_version = pin->version();
         promise->set_value(std::move(result));
@@ -201,9 +252,15 @@ std::future<BatchResult> LiveQueryEngine::SubmitAsync(
 
 void LiveQueryEngine::SubmitAsync(std::vector<Query> queries,
                                   BatchCompletionQueue* cq, uint64_t tag) {
+  SubmitAsync(std::move(queries), cq, tag, Deadline());
+}
+
+void LiveQueryEngine::SubmitAsync(std::vector<Query> queries,
+                                  BatchCompletionQueue* cq, uint64_t tag,
+                                  const Deadline& deadline) {
   std::shared_ptr<const GraphSnapshot> pin = snapshot();
   pin->engine().SubmitAsyncWithCallback(
-      std::move(queries),
+      std::move(queries), deadline,
       [pin, cq, tag](BatchResult&& result) {
         result.snapshot_version = pin->version();
         result.tag = tag;
@@ -296,24 +353,18 @@ void LiveQueryEngine::UpdaterLoop() {
     WallTimer rebuild_timer;
     // Rebuild off-thread: serving continues on the current snapshot while
     // this thread (and, inside PhcIndex::Rebuild, the serving pool) builds
-    // the successor.
+    // the successor. Transient failures retry with capped backoff inside
+    // RebuildWithRetry; the last good snapshot keeps serving throughout.
     std::shared_ptr<const GraphSnapshot> base;
     {
       std::lock_guard<std::mutex> lock(snapshot_mu_);
       base = current_;
     }
-    auto update = base->graph().AppendEdges(edges);
-    Status status = update.ok() ? Status::OK() : update.status();
     std::shared_ptr<const GraphSnapshot> next;
-    if (status.ok()) {
-      // Version advances by the whole group: version N stays "initial
-      // graph + update batches 1..N" even when swaps coalesce.
-      auto built = GraphSnapshot::CreateSuccessor(
-          *base, std::move(update).value(), base->version() + group.size(),
-          rebuild_engine_options_);
-      status = built.ok() ? Status::OK() : built.status();
-      if (built.ok()) next = std::move(built).value();
-    }
+    // Version advances by the whole group: version N stays "initial
+    // graph + update batches 1..N" even when swaps coalesce.
+    Status status = RebuildWithRetry(base, edges,
+                                     base->version() + group.size(), &next);
     const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
 
     double swap_seconds = 0;
@@ -374,6 +425,88 @@ void LiveQueryEngine::UpdaterLoop() {
     group.clear();
     request = UpdateRequest();  // release the edges/promise promptly
   }
+}
+
+Status LiveQueryEngine::RebuildWithRetry(
+    const std::shared_ptr<const GraphSnapshot>& base,
+    const std::vector<RawTemporalEdge>& edges, uint64_t next_version,
+    std::shared_ptr<const GraphSnapshot>* next) {
+  const int max_attempts = std::max(1, options_.max_rebuild_attempts);
+  double backoff_ms = std::max(0.0, options_.retry_backoff_initial_ms);
+  const double backoff_cap =
+      std::max(backoff_ms, options_.retry_backoff_max_ms);
+  Status status;
+  bool degraded = false;
+  WallTimer degraded_timer;
+  uint64_t retries = 0;
+  for (int attempt = 1;; ++attempt) {
+    auto update = base->graph().AppendEdges(edges);
+    status = update.ok() ? Status::OK() : update.status();
+    if (status.ok() && FaultFires(kFaultRebuildFail)) {
+      status = Status::Internal("injected rebuild failure (rebuild.fail)");
+    }
+    if (status.ok()) {
+      auto built = GraphSnapshot::CreateSuccessor(
+          *base, std::move(update).value(), next_version,
+          rebuild_engine_options_);
+      status = built.ok() ? Status::OK() : built.status();
+      if (built.ok()) *next = std::move(built).value();
+    }
+    if (status.ok() || !IsTransientForRetry(status) ||
+        attempt >= max_attempts) {
+      break;
+    }
+    if (!degraded) {
+      degraded = true;
+      degraded_timer.Restart();
+      SetHealth(HealthState::kDegraded);
+    }
+    ++retries;
+    // Capped exponential backoff with seeded jitter in [0.5, 1.0): repeated
+    // failures back off but never in lockstep with anything else seeded
+    // differently. Shutdown (pause_override_) interrupts the wait — the
+    // cycle then fails with the error it was retrying instead of holding
+    // the teardown hostage for the remaining backoff.
+    jitter_stream_ = SplitMix64(jitter_stream_);
+    const double unit = static_cast<double>(jitter_stream_ >> 11) * 0x1.0p-53;
+    const double wait_ms = backoff_ms * (0.5 + 0.5 * unit);
+    backoff_ms = std::min(backoff_ms * 2.0, backoff_cap);
+    bool shutting_down = false;
+    {
+      std::unique_lock<std::mutex> lock(pause_mu_);
+      shutting_down = pause_cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(wait_ms),
+          [this] { return pause_override_; });
+    }
+    if (shutting_down) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.update.rebuild_retries += retries;
+    if (degraded) {
+      stats_.update.degraded_ms += static_cast<uint64_t>(
+          degraded_timer.ElapsedSeconds() * 1000.0 + 0.5);
+    }
+  }
+  if (status.ok()) {
+    SetHealth(HealthState::kHealthy);
+  } else if (IsTransientForRetry(status)) {
+    // Retries exhausted (or shutdown cut them short). A deterministic
+    // rejection deliberately does NOT land here: bad input is the batch's
+    // problem, not the update machinery's.
+    SetHealth(HealthState::kUpdatesFailed);
+  }
+  return status;
+}
+
+void LiveQueryEngine::SetHealth(HealthState state) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  health_ = state;
+}
+
+HealthState LiveQueryEngine::health() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return health_;
 }
 
 LiveStats LiveQueryEngine::stats() const {

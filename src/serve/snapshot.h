@@ -104,7 +104,25 @@ struct UpdateStats {
   uint64_t cache_entries_carried = 0;
   /// Swap cycles that carried at least one slice (whole or suffix).
   uint64_t incremental_swaps = 0;
+  /// Rebuild attempts beyond each cycle's first (the retry/backoff path).
+  uint64_t rebuild_retries = 0;
+  /// Total milliseconds spent degraded: inside a cycle's retry loop, from
+  /// its first failed attempt until the cycle settled (either way).
+  uint64_t degraded_ms = 0;
 };
+
+/// The update path's coarse health, exposed by LiveQueryEngine::health().
+/// Serving is unaffected by all three states — queries keep answering from
+/// the last good snapshot; the state describes whether *updates* are
+/// landing.
+enum class HealthState {
+  kHealthy,        ///< last rebuild cycle succeeded (or none ran yet)
+  kDegraded,       ///< a rebuild cycle is mid-retry after transient failure
+  kUpdatesFailed,  ///< a cycle exhausted its retries; updates are failing
+};
+
+/// "Healthy" / "Degraded" / "UpdatesFailed".
+const char* HealthStateName(HealthState state);
 
 /// One immutable graph version with its serving engine. Always heap-owned
 /// via shared_ptr (Create returns one) so in-flight batches can pin it past
@@ -178,6 +196,21 @@ struct LiveEngineOptions {
   /// Bound of the update queue: at most this many ApplyUpdates batches
   /// wait for the updater thread; further calls block (backpressure).
   size_t update_queue_capacity = 64;
+
+  /// Rebuild attempts per cycle before the coalesced batches fail (>= 1;
+  /// values < 1 are clamped to 1). Only *transient* failures retry —
+  /// Internal/IOError/Corruption/Timeout; a deterministic rejection like
+  /// InvalidArgument fails the cycle immediately, every attempt would
+  /// reproduce it.
+  int max_rebuild_attempts = 3;
+
+  /// Capped exponential backoff between attempts: the n-th retry waits
+  /// roughly initial * 2^n ms (capped), scaled by a seeded jitter factor in
+  /// [0.5, 1.0) so repeated failures don't beat in lockstep with anything.
+  /// Shutdown interrupts the wait and fails the cycle with its last error.
+  double retry_backoff_initial_ms = 1.0;
+  double retry_backoff_max_ms = 100.0;
+  uint64_t retry_jitter_seed = 0;
 };
 
 /// Monotone counters and last-event gauges for the live layer.
@@ -228,15 +261,28 @@ class LiveQueryEngine {
   /// snapshot; the result's snapshot_version records which one.
   BatchResult ServeBatch(const std::vector<Query>& queries);
 
+  /// Deadline-bounded flavor (see QueryEngine::ServeBatch(queries,
+  /// deadline) for the Timeout semantics).
+  BatchResult ServeBatch(const std::vector<Query>& queries,
+                         const Deadline& deadline);
+
   /// Async submission against the pinned current snapshot; the future's
   /// BatchResult carries the pinned version. See
   /// QueryEngine::SubmitAsync for queueing/backpressure semantics.
   std::future<BatchResult> SubmitAsync(std::vector<Query> queries);
 
+  /// Deadline-carrying flavor: never blocks on a full request queue; the
+  /// future always settles with served, Timeout, or ResourceExhausted
+  /// outcomes (see QueryEngine::SubmitAsync(queries, deadline)).
+  std::future<BatchResult> SubmitAsync(std::vector<Query> queries,
+                                       const Deadline& deadline);
+
   /// Completion-queue flavor; the delivered result carries `tag` and the
   /// pinned version.
   void SubmitAsync(std::vector<Query> queries, BatchCompletionQueue* cq,
                    uint64_t tag);
+  void SubmitAsync(std::vector<Query> queries, BatchCompletionQueue* cq,
+                   uint64_t tag, const Deadline& deadline);
 
   /// Enqueues one batch of edges for ingestion. Returns immediately with a
   /// future that resolves once a snapshot containing this batch has been
@@ -274,6 +320,14 @@ class LiveQueryEngine {
   /// The delta-aware updater counters alone (== stats().update).
   UpdateStats update_stats() const;
 
+  /// Current update-path health. Transitions: kDegraded on a cycle's first
+  /// failed attempt, back to kHealthy when a cycle lands a snapshot,
+  /// kUpdatesFailed when a cycle exhausts its retries (a later successful
+  /// cycle restores kHealthy). A deterministic per-batch rejection
+  /// (InvalidArgument input) does not change health — the machinery is
+  /// fine, the input was not.
+  HealthState health() const;
+
  private:
   struct UpdateRequest {
     std::vector<RawTemporalEdge> edges;
@@ -284,8 +338,17 @@ class LiveQueryEngine {
                   const LiveEngineOptions& options);
 
   /// Updater thread body: pops update batches, coalesces whatever else is
-  /// queued, rebuilds once, swaps.
+  /// queued, rebuilds (with retry/backoff on transient failure), swaps.
   void UpdaterLoop();
+
+  /// One rebuild cycle's attempt loop: returns the final status, the built
+  /// successor on success, and accounts retries/degradation/health.
+  Status RebuildWithRetry(const std::shared_ptr<const GraphSnapshot>& base,
+                          const std::vector<RawTemporalEdge>& edges,
+                          uint64_t next_version,
+                          std::shared_ptr<const GraphSnapshot>* next);
+
+  void SetHealth(HealthState state);
 
   LiveEngineOptions options_;
   /// options_.engine minus preloaded_index: a preloaded admission index
@@ -305,6 +368,9 @@ class LiveQueryEngine {
 
   mutable std::mutex stats_mu_;
   LiveStats stats_;
+  HealthState health_ = HealthState::kHealthy;  ///< guarded by stats_mu_
+  /// Jitter stream of the retry backoff (updater thread only).
+  uint64_t jitter_stream_ = 0;
 
   /// Pause gate for the updater (PauseUpdates/ResumeUpdates); Shutdown
   /// forces it open so queued batches always settle — applied normally, or

@@ -1,0 +1,171 @@
+#include "util/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace tkc {
+
+namespace {
+
+/// One SplitMix64 step of the point's stream — small, seedable, and
+/// statistically fine for fault schedules (the same mixer rng.h seeds with).
+uint64_t StreamNext(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double StreamUnitDouble(uint64_t* state) {
+  return static_cast<double>(StreamNext(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::atomic<uint64_t> FaultRegistry::armed_points_{0};
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.armed) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.schedule = schedule;
+  // Offset the stream so two points armed with the same seed do not fire in
+  // lockstep.
+  state.stream = schedule.seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+  state.armed = true;
+  state.counters = FaultPointStats{};
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : points_) {
+    if (entry.second.armed) {
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  points_.clear();
+}
+
+FaultPointStats FaultRegistry::stats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return FaultPointStats{};
+  return it->second.counters;
+}
+
+bool FaultRegistry::FireSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return false;
+  PointState& state = it->second;
+  state.counters.hits++;
+  if (state.schedule.max_fires != 0 &&
+      state.counters.fires >= state.schedule.max_fires) {
+    return false;
+  }
+  bool fires = state.schedule.probability >= 1.0 ||
+               StreamUnitDouble(&state.stream) < state.schedule.probability;
+  if (fires) state.counters.fires++;
+  return fires;
+}
+
+Status FaultRegistry::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry missing '=': " + entry);
+    }
+    std::string point = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    FaultSchedule schedule;
+    // rest = probability[@seed[xmax_fires]]
+    size_t at = rest.find('@');
+    std::string prob_str =
+        (at == std::string::npos) ? rest : rest.substr(0, at);
+    try {
+      size_t consumed = 0;
+      schedule.probability = std::stod(prob_str, &consumed);
+      if (consumed != prob_str.size()) throw std::invalid_argument(prob_str);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad fault probability in: " + entry);
+    }
+    if (schedule.probability < 0.0 || schedule.probability > 1.0) {
+      return Status::InvalidArgument("fault probability outside [0,1]: " +
+                                     entry);
+    }
+    if (at != std::string::npos) {
+      std::string seed_part = rest.substr(at + 1);
+      size_t x = seed_part.find('x');
+      std::string seed_str =
+          (x == std::string::npos) ? seed_part : seed_part.substr(0, x);
+      try {
+        size_t consumed = 0;
+        schedule.seed = std::stoull(seed_str, &consumed);
+        if (consumed != seed_str.size()) throw std::invalid_argument(seed_str);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad fault seed in: " + entry);
+      }
+      if (x != std::string::npos) {
+        std::string fires_str = seed_part.substr(x + 1);
+        try {
+          size_t consumed = 0;
+          schedule.max_fires = std::stoull(fires_str, &consumed);
+          if (consumed != fires_str.size()) {
+            throw std::invalid_argument(fires_str);
+          }
+        } catch (const std::exception&) {
+          return Status::InvalidArgument("bad fault max_fires in: " + entry);
+        }
+      }
+    }
+    Arm(point, schedule);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Arms TKC_FAULTS before main() so any binary in the repo — tests, benches,
+/// tools — can be driven into failure paths without code changes. A bad spec
+/// aborts loudly rather than silently running fault-free.
+struct EnvArmer {
+  EnvArmer() {
+    const char* spec = std::getenv("TKC_FAULTS");
+    if (spec == nullptr || spec[0] == '\0') return;
+    Status status = FaultRegistry::Global().ArmFromSpec(spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "TKC_FAULTS: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+};
+const EnvArmer env_armer;
+
+}  // namespace
+
+}  // namespace tkc

@@ -1,0 +1,139 @@
+#ifndef TKC_UTIL_FAULT_INJECTION_H_
+#define TKC_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+/// \file fault_injection.h
+/// A process-wide registry of named fault-injection points, armed by
+/// deterministic seeded schedules. The robustness layer's failure paths
+/// (rebuild retries, queue shedding, corrupt-load handling) are unreachable
+/// under a healthy run; this is the lever that deliberately provokes them,
+/// reproducibly, so the differential harness can assert its invariants
+/// *under* failure instead of merely around it.
+///
+/// Design points:
+///
+///  * **Named points.** Instrumented code calls `FaultFires("point.name")`
+///    at the spot where a fault would originate; the call returns true when
+///    the armed schedule says this hit fails. The canonical points are the
+///    kFault* constants below.
+///  * **Seeded schedules.** A schedule is (probability, seed, max_fires):
+///    each hit draws from a per-point SplitMix64 stream, so a given seed
+///    yields the same fire/no-fire sequence for the same hit order. Thread
+///    interleavings may reorder hits; the invariants the harness checks
+///    hold for *any* fire pattern, so schedules only need determinism per
+///    stream, not per interleaving.
+///  * **Near-zero cost disarmed.** `FaultFires` is one relaxed atomic load
+///    when nothing is armed — safe to leave in production paths.
+///  * **Env arming.** `TKC_FAULTS="rebuild.fail=0.3@7,queue.full=0.05@11x3"`
+///    arms points at process start: `point=probability[@seed[xmax_fires]]`,
+///    comma-separated. Programmatic arming (tests, the differential
+///    harness) goes through ScopedFault / FaultRegistry::Arm.
+///
+/// This is test/ops machinery, not a chaos monkey: points fire only where
+/// the code explicitly asks, and every provoked failure must still surface
+/// as an explicit Status on the caller's API.
+
+namespace tkc {
+
+// Canonical injection-point names (the instrumented sites).
+inline constexpr char kFaultRebuildFail[] = "rebuild.fail";
+inline constexpr char kFaultQueueFull[] = "queue.full";
+inline constexpr char kFaultDispatchSlowWorker[] = "dispatch.slow_worker";
+inline constexpr char kFaultIndexIoCorruptLoad[] = "index_io.corrupt_load";
+
+/// One point's arming: fire each hit with `probability`, drawn from a
+/// deterministic stream seeded by `seed`; stop firing after `max_fires`
+/// fires (0 = unlimited). probability 1.0 + max_fires N = "fail exactly the
+/// first N hits", the fully deterministic shape the unit tests use.
+struct FaultSchedule {
+  double probability = 1.0;
+  uint64_t seed = 0;
+  uint64_t max_fires = 0;
+};
+
+/// Cumulative per-point observation counters.
+struct FaultPointStats {
+  uint64_t hits = 0;   ///< times instrumented code consulted the point
+  uint64_t fires = 0;  ///< hits on which the fault fired
+};
+
+class FaultRegistry {
+ public:
+  /// The process-wide registry. TKC_FAULTS (when set) is parsed and armed
+  /// before main() runs.
+  static FaultRegistry& Global();
+
+  /// Arms (or re-arms, resetting the stream and counters) one point.
+  void Arm(const std::string& point, FaultSchedule schedule);
+
+  /// Disarms one point; its hit/fire counters survive until re-armed.
+  void Disarm(const std::string& point);
+
+  /// Disarms everything and drops all counters.
+  void DisarmAll();
+
+  /// Counters of `point` (zeros when never armed).
+  FaultPointStats stats(const std::string& point) const;
+
+  /// Parses and arms a TKC_FAULTS-syntax spec:
+  /// "point=prob[@seed[xmax_fires]]" entries, comma-separated.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Hot-path implementation detail — call FaultFires() instead.
+  bool FireSlow(const char* point);
+
+  static std::atomic<uint64_t> armed_points_;  // owned by FaultFires()
+
+ private:
+  struct PointState {
+    FaultSchedule schedule;
+    uint64_t stream = 0;  ///< SplitMix64 state, advanced per hit
+    bool armed = false;
+    FaultPointStats counters;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+/// The instrumented-code entry point: true iff `point` is armed and its
+/// schedule fires on this hit. One relaxed atomic load when nothing at all
+/// is armed.
+inline bool FaultFires(const char* point) {
+  if (FaultRegistry::armed_points_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return FaultRegistry::Global().FireSlow(point);
+}
+
+/// RAII arming for tests and the differential harness: arms on
+/// construction, disarms (that point only) on scope exit.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSchedule schedule)
+      : point_(std::move(point)) {
+    FaultRegistry::Global().Arm(point_, schedule);
+  }
+  ~ScopedFault() { FaultRegistry::Global().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  FaultPointStats stats() const {
+    return FaultRegistry::Global().stats(point_);
+  }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_FAULT_INJECTION_H_

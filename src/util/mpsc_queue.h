@@ -1,11 +1,15 @@
 #ifndef TKC_UTIL_MPSC_QUEUE_H_
 #define TKC_UTIL_MPSC_QUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <utility>
+
+#include "util/fault_injection.h"
+#include "util/timer.h"
 
 /// \file mpsc_queue.h
 /// A bounded blocking FIFO for the serving layer's request/completion
@@ -26,6 +30,15 @@
 /// the implementation is safe for multiple consumers too.
 
 namespace tkc {
+
+/// Result of PushOrEvict: what happened to the incoming item, and whether a
+/// queued item was displaced to make room for it.
+enum class PushOutcome {
+  kPushed,            ///< enqueued; nothing evicted
+  kPushedEvicted,     ///< enqueued after evicting a queued item into *evicted
+  kRejectedIncoming,  ///< queue full and the incoming item lost the contest
+  kClosed,            ///< queue closed; nothing enqueued
+};
 
 template <typename T>
 class BoundedMpscQueue {
@@ -52,11 +65,76 @@ class BoundedMpscQueue {
   bool TryPush(T item) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_ || FaultFires(kFaultQueueFull))
+        return false;
       items_.push_back(std::move(item));
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Blocks until there is room, but no later than `deadline`; true iff
+  /// enqueued. An unlimited deadline degenerates to Push(). Returns false
+  /// without enqueueing when the deadline passes or the queue closes — the
+  /// bounded-latency submission primitive the serving layer's shed path
+  /// builds on.
+  bool PushUntil(T item, const Deadline& deadline) {
+    if (deadline.unlimited()) return Push(std::move(item));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (FaultFires(kFaultQueueFull)) return false;  // simulated full-forever
+    bool room = not_full_.wait_until(lock, deadline.time_point(), [this] {
+      return closed_ || items_.size() < capacity_;
+    });
+    if (!room || closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// PushUntil with a relative timeout in seconds (≤ 0 means "right now").
+  bool TryPushFor(T item, double seconds) {
+    return PushUntil(std::move(item),
+                     Deadline::AfterSeconds(std::max(seconds, 0.0)));
+  }
+
+  /// Never-blocking push with an eviction contest. If there is room,
+  /// `*item` is enqueued (kPushed). If the queue is full, the queued item
+  /// that orders first under `less` — for the serving layer, the batch
+  /// with the least remaining deadline — is compared against the incoming
+  /// item: the loser of the contest is shed. Either the queued minimum
+  /// moves into `*evicted` and the incoming item takes its slot
+  /// (kPushedEvicted), or the incoming item loses (kRejectedIncoming).
+  /// `*item` is consumed only on kPushed/kPushedEvicted; on rejection (and
+  /// on kClosed) the caller still owns it intact — that is what lets the
+  /// caller fail the loser's future instead of losing it. One lock
+  /// acquisition, so the full/evict decision is atomic with the enqueue.
+  ///
+  /// The armed `queue.full` fault simulates a full queue by rejecting the
+  /// incoming item without evicting — the conservative shed.
+  template <typename Less>
+  PushOutcome PushOrEvict(T* item, Less less, T* evicted) {
+    PushOutcome outcome;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return PushOutcome::kClosed;
+      if (FaultFires(kFaultQueueFull)) return PushOutcome::kRejectedIncoming;
+      if (items_.size() < capacity_) {
+        items_.push_back(std::move(*item));
+        outcome = PushOutcome::kPushed;
+      } else {
+        auto min_it = std::min_element(items_.begin(), items_.end(), less);
+        if (!less(*min_it, *item)) return PushOutcome::kRejectedIncoming;
+        // The incoming item takes the loser's slot in place: the contest is
+        // on deadlines, not arrival order, and a stable queue keeps the
+        // remaining items' latency profile intact.
+        *evicted = std::move(*min_it);
+        *min_it = std::move(*item);
+        outcome = PushOutcome::kPushedEvicted;
+      }
+    }
+    not_empty_.notify_one();
+    return outcome;
   }
 
   /// Blocks until an item is available (or the queue closes and drains);

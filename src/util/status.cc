@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

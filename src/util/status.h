@@ -24,6 +24,7 @@ enum class StatusCode {
   kIOError,
   kCorruption,
   kTimeout,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 /// \file timer.h
 /// Wall-clock timing and cooperative deadlines. Long-running algorithms
@@ -59,6 +60,33 @@ class Deadline {
   }
 
   bool unlimited() const { return unlimited_; }
+
+  /// Seconds until expiry: negative once expired, +infinity when unlimited.
+  double RemainingSeconds() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+  /// Strict "expires earlier than": an unlimited deadline never expires
+  /// before anything, and every finite deadline expires before an
+  /// unlimited one. The serving layer's shed policy uses this as its
+  /// least-remaining-deadline order.
+  bool ExpiresBefore(const Deadline& other) const {
+    if (unlimited_) return false;
+    if (other.unlimited_) return true;
+    return deadline_ < other.deadline_;
+  }
+
+  /// The earlier of two deadlines (either may be unlimited).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    return b.ExpiresBefore(a) ? b : a;
+  }
+
+  /// The raw expiry instant; meaningful only when !unlimited(). Exposed so
+  /// queues can wait_until a caller's deadline.
+  std::chrono::steady_clock::time_point time_point() const {
+    return deadline_;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

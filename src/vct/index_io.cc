@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fault_injection.h"
+
 namespace tkc {
 
 namespace {
@@ -68,6 +70,17 @@ Status ReadFile(const std::string& path, std::string* out) {
   if (in.bad()) return Status::IOError("read failure on '" + path + "'");
   *out = buf.str();
   return Status::OK();
+}
+
+/// The `index_io.corrupt_load` fault: drops the file's trailing byte before
+/// parsing, as if the read raced a torn write. Truncation (rather than a
+/// flipped payload byte) guarantees the parsers *detect* it — every format
+/// here is length-prefixed, so a missing byte always parses as Corruption
+/// instead of silently producing a valid-but-different index.
+void MaybeCorruptLoadedBytes(std::string* bytes) {
+  if (!bytes->empty() && FaultFires(kFaultIndexIoCorruptLoad)) {
+    bytes->pop_back();
+  }
 }
 
 Status WriteFile(const std::string& path, const std::string& bytes) {
@@ -293,6 +306,7 @@ Status SaveVctIndex(const VertexCoreTimeIndex& index,
 StatusOr<VertexCoreTimeIndex> LoadVctIndex(const std::string& path) {
   std::string bytes;
   TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  MaybeCorruptLoadedBytes(&bytes);
   return DeserializeVctIndex(bytes);
 }
 
@@ -303,6 +317,7 @@ Status SaveEcs(const EdgeCoreWindowSkyline& ecs, const std::string& path) {
 StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path) {
   std::string bytes;
   TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  MaybeCorruptLoadedBytes(&bytes);
   return DeserializeEcs(bytes);
 }
 
@@ -313,6 +328,7 @@ Status SavePhcIndex(const PhcIndex& index, const std::string& path) {
 StatusOr<PhcIndex> LoadPhcIndex(const std::string& path) {
   std::string bytes;
   TKC_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  MaybeCorruptLoadedBytes(&bytes);
   return DeserializePhcIndex(bytes);
 }
 

@@ -1,6 +1,7 @@
 #include "tests/differential_harness.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <optional>
@@ -13,8 +14,11 @@
 
 #include "datasets/generators.h"
 #include "serve/snapshot.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
+#include "vct/index_io.h"
 #include "workload/query_workload.h"
 
 namespace tkc {
@@ -53,6 +57,15 @@ struct PendingBatch {
   std::optional<BatchResult> result;               // sync flavor (immediate)
   bool via_completion_queue = false;               // result arrives tagged
 };
+
+/// The statuses a fault-mode outcome may carry instead of an oracle-exact
+/// answer: an explicit, caller-visible verdict. Anything else must match
+/// the oracle bit for bit.
+bool IsExplicitVerdict(StatusCode code) {
+  return code == StatusCode::kTimeout ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kFailedPrecondition;
+}
 
 }  // namespace
 
@@ -145,8 +158,37 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
   // so there must be an index to maintain.
   if (config.incremental) options.engine.build_index = true;
 
+  // Fault mode: arm the injection points with scenario-seeded schedules and
+  // switch the updater's retry/backoff on. rebuild.fail at 0.4 against 3
+  // attempts means most cycles land after a retry or two while a few
+  // exhaust and fail their group — both paths stay exercised.
+  std::optional<ScopedFault> rebuild_fault;
+  std::optional<ScopedFault> queue_fault;
+  std::optional<ScopedFault> slow_fault;
+  if (config.faults) {
+    options.max_rebuild_attempts = 3;
+    options.retry_backoff_initial_ms = 0.2;
+    options.retry_backoff_max_ms = 2.0;
+    options.retry_jitter_seed = config.seed;
+    rebuild_fault.emplace(kFaultRebuildFail,
+                          FaultSchedule{0.4, config.seed * 31 + 1, 0});
+    queue_fault.emplace(kFaultQueueFull,
+                        FaultSchedule{0.15, config.seed * 31 + 2, 0});
+    slow_fault.emplace(kFaultDispatchSlowWorker,
+                       FaultSchedule{0.05, config.seed * 31 + 3, 0});
+  }
+  auto pick_deadline = [&]() {
+    if (!config.faults) return Deadline();
+    const double roll = rng.NextDouble();
+    if (roll < 0.55) return Deadline();                    // unlimited
+    if (roll < 0.80) return Deadline::AfterSeconds(30.0);  // generous
+    if (roll < 0.90) return Deadline::AfterSeconds(-1.0);  // already expired
+    return Deadline::AfterSeconds(0.002);                  // racing the work
+  };
+
   std::vector<PendingBatch> batches;
   std::vector<std::future<Status>> update_futures;
+  std::vector<bool> update_applied(updates.size(), false);
   BatchCompletionQueue completions(64);
   size_t cq_submissions = 0;
   {
@@ -162,12 +204,14 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     // Incremental mode: await the swap, then prove the incrementally
     // maintained index (reused slices included) is bit-identical — slice
     // by slice — to building from scratch on the swapped-in graph.
-    auto apply_and_verify = [&](const std::vector<RawTemporalEdge>& batch) {
+    auto apply_and_verify = [&](const std::vector<RawTemporalEdge>& batch,
+                                size_t batch_index) {
       Status status = live.ApplyUpdates(batch).get();
       if (!status.ok()) {
         ++report.failed_updates;
         return;
       }
+      update_applied[batch_index] = true;
       std::shared_ptr<const GraphSnapshot> snap = live.snapshot();
       const PhcIndex* index = snap->engine().index();
       if (index == nullptr) {
@@ -232,11 +276,11 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
         }
       }
     };
-    auto apply_update = [&](const std::vector<RawTemporalEdge>& batch) {
+    auto apply_update = [&](size_t index) {
       if (config.incremental) {
-        apply_and_verify(batch);
+        apply_and_verify(updates[index], index);
       } else {
-        update_futures.push_back(live.ApplyUpdates(batch));
+        update_futures.push_back(live.ApplyUpdates(updates[index]));
       }
     };
 
@@ -252,27 +296,32 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     for (uint32_t b = 0; b < config.num_query_batches; ++b) {
       PendingBatch pending;
       pending.queries = make_batch();
+      // The legacy entry points delegate to the deadline flavors with an
+      // unlimited deadline, so routing everything through the deadline
+      // overloads keeps the non-fault sweeps on the same code path.
+      const Deadline deadline = pick_deadline();
       switch (b % 3) {
         case 0:
-          pending.future = live.SubmitAsync(pending.queries);
+          pending.future = live.SubmitAsync(pending.queries, deadline);
           break;
         case 1:
-          live.SubmitAsync(pending.queries, &completions, batches.size());
+          live.SubmitAsync(pending.queries, &completions, batches.size(),
+                           deadline);
           pending.via_completion_queue = true;
           ++cq_submissions;
           break;
         case 2:
-          pending.result = live.ServeBatch(pending.queries);
+          pending.result = live.ServeBatch(pending.queries, deadline);
           break;
       }
       batches.push_back(std::move(pending));
       if ((b + 1) % batches_per_update == 0 && next_update < updates.size()) {
-        apply_update(updates[next_update]);
+        apply_update(next_update);
         ++next_update;
       }
     }
     while (next_update < updates.size()) {
-      apply_update(updates[next_update]);
+      apply_update(next_update);
       ++next_update;
     }
 
@@ -285,8 +334,25 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
       if (!completions.Next(&result)) break;
       batches[result.tag].result = std::move(result);
     }
-    for (std::future<Status>& f : update_futures) {
-      if (!f.get().ok()) ++report.failed_updates;
+    for (size_t i = 0; i < update_futures.size(); ++i) {
+      Status status = update_futures[i].get();
+      if (status.ok()) {
+        update_applied[i] = true;
+      } else {
+        ++report.failed_updates;
+        // Fault mode tolerates injected failures, but only ones announced
+        // with an explicit status (the injected transient surfaces as
+        // Internal once retries exhaust).
+        if (config.faults && !IsExplicitVerdict(status.code()) &&
+            status.code() != StatusCode::kInternal) {
+          ++report.mismatches;
+          if (report.first_mismatch.empty()) {
+            report.first_mismatch =
+                "failed update carries a non-explicit status: " +
+                status.ToString();
+          }
+        }
+      }
     }
     const LiveStats live_stats = live.stats();
     report.swaps = live_stats.swaps;
@@ -298,6 +364,8 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     report.cache_entries_carried = live_stats.update.cache_entries_carried;
     report.emergence_tables_carried =
         live_stats.update.emergence_tables_carried;
+    report.rebuild_retries = live_stats.update.rebuild_retries;
+    report.updates_applied = live_stats.update.batches_applied;
     // Updater accounting invariants: every batch the updater picked up is
     // applied xor failed, and coalescing never claims more riders than
     // there were settled batches. Every update future was awaited above,
@@ -318,16 +386,20 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     }
   }  // engine destroyed: updater joined, current snapshot drained
 
-  if (report.failed_updates > 0) {
+  if (!config.faults && report.failed_updates > 0) {
     report.first_mismatch = "an ApplyUpdates batch failed";
     return report;
   }
 
   // --- Replay the version chain and compare against the oracle. ---------
+  // Version V is the initial graph plus the first V *applied* batches in
+  // submission order: a failed (fault mode: injected) cycle advances no
+  // version, so its batches are skipped in the replay.
   std::vector<TemporalGraph> chain;
   chain.push_back(initial);
-  for (const auto& batch : updates) {
-    auto next = chain.back().AppendEdges(batch);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    if (!update_applied[i]) continue;
+    auto next = chain.back().AppendEdges(updates[i]);
     if (!next.ok()) {
       report.mismatches = 1;
       report.first_mismatch =
@@ -358,6 +430,13 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     versions.insert(result.snapshot_version);
     const TemporalGraph& graph = chain[result.snapshot_version];
     for (size_t i = 0; i < pending.queries.size(); ++i) {
+      // Fault mode: an explicit verdict (shed, expired, shutdown) is a
+      // legitimate terminal answer — everything else must be oracle-exact.
+      if (config.faults &&
+          IsExplicitVerdict(result.outcomes[i].status.code())) {
+        ++report.explicit_outcomes;
+        continue;
+      }
       RunOutcome oracle =
           RunAlgorithm(AlgorithmKind::kNaive, graph, pending.queries[i]);
       ++report.queries_checked;
@@ -372,6 +451,43 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     }
   }
   report.versions_served = versions.size();
+
+  if (config.faults) {
+    // Index save/load round trip under index_io.corrupt_load: the armed
+    // load sees truncated bytes and must surface Status::Corruption — not
+    // crash, not silently parse — and the next load (the schedule is a
+    // single fire) must round-trip the index bit-identically.
+    auto index = PhcIndex::Build(chain.back(), chain.back().FullRange(),
+                                 PhcBuildOptions{});
+    const std::string path = "tkc_fault_roundtrip_" +
+                             std::to_string(config.seed) + "_" +
+                             std::to_string(config.threads) + ".phc";
+    if (index.ok() && SavePhcIndex(*index, path).ok()) {
+      {
+        ScopedFault corrupt(kFaultIndexIoCorruptLoad,
+                            FaultSchedule{1.0, config.seed, 1});
+        auto corrupted = LoadPhcIndex(path);
+        if (corrupted.ok() ||
+            corrupted.status().code() != StatusCode::kCorruption) {
+          ++report.mismatches;
+          if (report.first_mismatch.empty()) {
+            report.first_mismatch =
+                "corrupt_load: truncated index load did not report "
+                "Corruption";
+          }
+        }
+      }
+      auto reloaded = LoadPhcIndex(path);
+      if (!reloaded.ok() || !(*reloaded == *index)) {
+        ++report.mismatches;
+        if (report.first_mismatch.empty()) {
+          report.first_mismatch =
+              "corrupt_load: clean reload did not round-trip the index";
+        }
+      }
+      std::remove(path.c_str());
+    }
+  }
   return report;
 }
 

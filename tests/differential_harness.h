@@ -40,6 +40,23 @@ struct DifferentialConfig {
   /// one freshly derived from the from-scratch slice. Any disagreement
   /// counts as a mismatch.
   bool incremental = false;
+  /// Fault mode: arm every fault point (`rebuild.fail`, `queue.full`,
+  /// `dispatch.slow_worker`) with schedules derived from `seed`, attach
+  /// seeded deadlines (unlimited / generous / already-expired / racing) to
+  /// every query submission, and run the updater with retry/backoff on.
+  /// The oracle contract weakens per query, not per scenario: every
+  /// submitted batch must still terminate, and each delivered outcome must
+  /// be either oracle-exact against the graph version the engine pinned or
+  /// carry an explicit Timeout / ResourceExhausted / FailedPrecondition
+  /// status. Failed updates are expected (injected) and are not scenario
+  /// failures, but must carry an explicit status, and the updater's
+  /// `applied + failed == submitted` accounting must still balance. The
+  /// mode ends with an index save/load round trip under
+  /// `index_io.corrupt_load`: the truncated load must surface
+  /// Status::Corruption, the next load must round-trip bit-identically.
+  /// Arms process-global fault points: do not run fault-mode scenarios
+  /// concurrently. Mutually exclusive with `incremental`.
+  bool faults = false;
 };
 
 /// What one scenario observed. `mismatches == 0` and `failed_updates == 0`
@@ -60,6 +77,9 @@ struct DifferentialReport {
   uint64_t batches_coalesced = 0;
   uint64_t cache_entries_carried = 0;
   uint64_t emergence_tables_carried = 0;
+  uint64_t explicit_outcomes = 0;  ///< fault mode: skip-oracled statuses
+  uint64_t rebuild_retries = 0;    ///< fault mode: updater retry attempts
+  uint64_t updates_applied = 0;    ///< update batches that landed a swap
   std::string first_mismatch;
 };
 

@@ -17,6 +17,7 @@
 
 #include "datasets/generators.h"
 #include "serve/snapshot.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 #include "vct/index_io.h"
 
@@ -592,6 +593,87 @@ TEST(LiveQueryEngineTest, ShutdownWithoutPauseAppliesQueuedBatches) {
   EXPECT_EQ(stats.update.batches_applied, 2u);
   EXPECT_EQ(stats.update.batches_submitted, 2u);
   EXPECT_EQ(stats.failed_updates, 0u);
+}
+
+TEST(LiveQueryEngineTest, TransientRebuildFailureRetriesAndRecovers) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  LiveEngineOptions options;
+  options.max_rebuild_attempts = 3;
+  options.retry_backoff_initial_ms = 2.0;
+  options.retry_backoff_max_ms = 10.0;
+  options.retry_jitter_seed = 17;
+  auto live = LiveQueryEngine::Create(g, options);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ((*live)->health(), HealthState::kHealthy);
+
+  // The first two rebuild attempts fail with an injected transient error;
+  // the third lands. The batch's future must report success — the retries
+  // are invisible to the submitter except through the counters.
+  ScopedFault fault(kFaultRebuildFail, FaultSchedule{1.0, 7, 2});
+  ASSERT_TRUE((*live)->ApplyUpdates({{0, 1, 500}}).get().ok());
+
+  EXPECT_EQ((*live)->health(), HealthState::kHealthy);
+  EXPECT_EQ((*live)->version(), 1u);
+  UpdateStats update = (*live)->update_stats();
+  EXPECT_EQ(update.rebuild_retries, 2u);
+  // Two backoff waits of >= 1ms each sit inside the degraded window.
+  EXPECT_GE(update.degraded_ms, 1u);
+  EXPECT_EQ((*live)->stats().swaps, 1u);
+  EXPECT_EQ((*live)->stats().failed_updates, 0u);
+  BatchResult result = (*live)->ServeBatch({Query{2, g.FullRange()}});
+  EXPECT_TRUE(result.outcomes[0].status.ok());
+  EXPECT_EQ(result.snapshot_version, 1u);
+}
+
+TEST(LiveQueryEngineTest, ExhaustedRetriesFailTheBatchAndMarkUnhealthy) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  LiveEngineOptions options;
+  options.max_rebuild_attempts = 2;
+  options.retry_backoff_initial_ms = 0.5;
+  options.retry_backoff_max_ms = 2.0;
+  auto live = LiveQueryEngine::Create(g, options);
+  ASSERT_TRUE(live.ok());
+
+  {
+    // Every attempt fails: the cycle exhausts its retries, the batch's
+    // future carries the transient error, and health degrades to
+    // kUpdatesFailed — while the old snapshot keeps serving.
+    ScopedFault fault(kFaultRebuildFail, FaultSchedule{1.0, 7, 0});
+    Status status = (*live)->ApplyUpdates({{0, 1, 500}}).get();
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ((*live)->health(), HealthState::kUpdatesFailed);
+  EXPECT_EQ((*live)->version(), 0u);
+  UpdateStats update = (*live)->update_stats();
+  EXPECT_EQ(update.rebuild_retries, 1u);  // attempts - 1
+  EXPECT_EQ((*live)->stats().failed_updates, 1u);
+  BatchResult result = (*live)->ServeBatch({Query{2, g.FullRange()}});
+  EXPECT_TRUE(result.outcomes[0].status.ok());
+  EXPECT_EQ(result.snapshot_version, 0u);  // last good snapshot
+
+  // The fault is gone (scope exit): the next update lands and the engine
+  // reports healthy again — kUpdatesFailed is not sticky.
+  ASSERT_TRUE((*live)->ApplyUpdates({{2, 3, 501}}).get().ok());
+  EXPECT_EQ((*live)->health(), HealthState::kHealthy);
+  EXPECT_EQ((*live)->version(), 1u);
+}
+
+TEST(LiveQueryEngineTest, DeterministicFailureDoesNotRetry) {
+  TemporalGraph g = GenerateUniformRandom(16, 120, 10, 9);
+  LiveEngineOptions options;
+  options.max_rebuild_attempts = 5;  // would retry if misclassified
+  auto live = LiveQueryEngine::Create(g, options);
+  ASSERT_TRUE(live.ok());
+
+  // A poisoned batch fails validation deterministically: retrying cannot
+  // help, so the cycle must fail immediately — zero retries — and a caller
+  // input error must not flip the engine's health.
+  Status status = (*live)->ApplyUpdates({{kInvalidVertex, 2, 500}}).get();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*live)->update_stats().rebuild_retries, 0u);
+  EXPECT_EQ((*live)->health(), HealthState::kHealthy);
+  ASSERT_TRUE((*live)->ApplyUpdates({{0, 1, 500}}).get().ok());
+  EXPECT_EQ((*live)->version(), 1u);
 }
 
 TEST(LiveQueryEngineTest, FailedUpdateKeepsServingOldSnapshot) {

@@ -1,0 +1,100 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tkc {
+namespace {
+
+TEST(FaultInjectionTest, DisarmedPointNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(FaultFires("never.armed"));
+  }
+  EXPECT_EQ(FaultRegistry::Global().stats("never.armed").hits, 0u);
+}
+
+TEST(FaultInjectionTest, ProbabilityOneAlwaysFires) {
+  ScopedFault fault("test.always", FaultSchedule{1.0, 0, 0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FaultFires("test.always"));
+  }
+  EXPECT_EQ(fault.stats().hits, 10u);
+  EXPECT_EQ(fault.stats().fires, 10u);
+}
+
+TEST(FaultInjectionTest, ProbabilityZeroNeverFires) {
+  ScopedFault fault("test.never", FaultSchedule{0.0, 0, 0});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(FaultFires("test.never"));
+  }
+  EXPECT_EQ(fault.stats().hits, 10u);
+  EXPECT_EQ(fault.stats().fires, 0u);
+}
+
+TEST(FaultInjectionTest, MaxFiresCapsTheSchedule) {
+  ScopedFault fault("test.capped", FaultSchedule{1.0, 0, 2});
+  EXPECT_TRUE(FaultFires("test.capped"));
+  EXPECT_TRUE(FaultFires("test.capped"));
+  EXPECT_FALSE(FaultFires("test.capped"));  // cap reached
+  EXPECT_FALSE(FaultFires("test.capped"));
+  EXPECT_EQ(fault.stats().hits, 4u);
+  EXPECT_EQ(fault.stats().fires, 2u);
+}
+
+TEST(FaultInjectionTest, SeededScheduleIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    ScopedFault fault("test.seeded", FaultSchedule{0.5, seed, 0});
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(FaultFires("test.seeded"));
+    return pattern;
+  };
+  EXPECT_EQ(run(7), run(7));       // same seed, same fire pattern
+  EXPECT_NE(run(7), run(12345));   // astronomically unlikely to collide
+}
+
+TEST(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("test.scoped", FaultSchedule{1.0, 0, 0});
+    EXPECT_TRUE(FaultFires("test.scoped"));
+  }
+  EXPECT_FALSE(FaultFires("test.scoped"));
+}
+
+TEST(FaultInjectionTest, RearmResetsStreamAndCounters) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  registry.Arm("test.rearm", FaultSchedule{1.0, 0, 1});
+  EXPECT_TRUE(FaultFires("test.rearm"));
+  EXPECT_FALSE(FaultFires("test.rearm"));  // cap
+  registry.Arm("test.rearm", FaultSchedule{1.0, 0, 1});
+  EXPECT_TRUE(FaultFires("test.rearm"));  // counters reset with the re-arm
+  registry.Disarm("test.rearm");
+}
+
+TEST(FaultInjectionTest, ArmFromSpecParsesAllForms) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  ASSERT_TRUE(registry
+                  .ArmFromSpec("a.b=1.0,c.d=0.25@9,e.f=0.5@11x3")
+                  .ok());
+  EXPECT_TRUE(FaultFires("a.b"));
+  EXPECT_EQ(registry.stats("c.d").hits, 0u);  // armed, not yet hit
+  for (int i = 0; i < 20; ++i) FaultFires("e.f");
+  EXPECT_LE(registry.stats("e.f").fires, 3u);  // x3 cap respected
+  registry.Disarm("a.b");
+  registry.Disarm("c.d");
+  registry.Disarm("e.f");
+}
+
+TEST(FaultInjectionTest, ArmFromSpecRejectsGarbage) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  EXPECT_FALSE(registry.ArmFromSpec("no-equals-sign").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("p=notanumber").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("p=2.0").ok());      // probability > 1
+  EXPECT_FALSE(registry.ArmFromSpec("p=0.5@bad").ok());  // bad seed
+  EXPECT_FALSE(registry.ArmFromSpec("p=0.5@3xbad").ok());
+  EXPECT_FALSE(registry.ArmFromSpec("=0.5").ok());  // empty point name
+}
+
+}  // namespace
+}  // namespace tkc

@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/fault_injection.h"
+#include "util/timer.h"
+
 namespace tkc {
 namespace {
 
@@ -114,6 +117,134 @@ TEST(BoundedMpscQueueTest, ManyProducersOneConsumer) {
     last[p] = value % kPerProducer;
   }
   EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+TEST(BoundedMpscQueueTest, TryPushForSucceedsWhenRoomFreesUp) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread consumer([&] {
+    int out;
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, 1);
+  });
+  // Generous bound: the consumer pops "immediately", the deadline only has
+  // to outlast scheduling noise.
+  EXPECT_TRUE(queue.TryPushFor(2, 30.0));
+  consumer.join();
+  int out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedMpscQueueTest, TryPushForTimesOutOnFullQueue) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  EXPECT_FALSE(queue.TryPushFor(2, 0.01));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedMpscQueueTest, PushUntilExpiredDeadlineFailsFastWhenFull) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  EXPECT_FALSE(queue.PushUntil(2, Deadline::AfterSeconds(-1.0)));
+}
+
+TEST(BoundedMpscQueueTest, PushUntilUnlimitedDeadlineBlocksLikePush) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.PushUntil(2, Deadline()));  // blocks until a pop
+    second_pushed.store(true);
+  });
+  int out;
+  ASSERT_TRUE(queue.Pop(&out));
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedMpscQueueTest, CloseWakesProducerBlockedInPushUntil) {
+  BoundedMpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread producer([&] {
+    // Blocks on the full queue; Close must wake it well before the
+    // deadline, and the push must report failure.
+    EXPECT_FALSE(queue.PushUntil(2, Deadline::AfterSeconds(30.0)));
+  });
+  queue.Close();
+  producer.join();
+  int out;
+  EXPECT_TRUE(queue.Pop(&out));  // drain-then-fail still holds
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(BoundedMpscQueueTest, TryPushForOnZeroCapacityQueue) {
+  BoundedMpscQueue<int> queue(0);  // clamped to 1
+  EXPECT_TRUE(queue.TryPushFor(1, 0.01));
+  EXPECT_FALSE(queue.TryPushFor(2, 0.01));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPushFor(3, 0.01));
+}
+
+TEST(BoundedMpscQueueTest, PushOrEvictPushesWhenRoom) {
+  BoundedMpscQueue<int> queue(2);
+  auto less = [](int a, int b) { return a < b; };
+  int item = 5, evicted = -1;
+  EXPECT_EQ(queue.PushOrEvict(&item, less, &evicted), PushOutcome::kPushed);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedMpscQueueTest, PushOrEvictEvictsTheMinimum) {
+  BoundedMpscQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(3));
+  ASSERT_TRUE(queue.Push(7));
+  auto less = [](int a, int b) { return a < b; };
+  int item = 5, evicted = -1;
+  EXPECT_EQ(queue.PushOrEvict(&item, less, &evicted),
+            PushOutcome::kPushedEvicted);
+  EXPECT_EQ(evicted, 3);  // the queued minimum lost the contest
+  // The incoming item took the evicted slot in place (stable positions).
+  int out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 5);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedMpscQueueTest, PushOrEvictRejectsIncomingMinimum) {
+  BoundedMpscQueue<int> queue(2);
+  ASSERT_TRUE(queue.Push(3));
+  ASSERT_TRUE(queue.Push(7));
+  auto less = [](int a, int b) { return a < b; };
+  int item = 2, evicted = -1;
+  EXPECT_EQ(queue.PushOrEvict(&item, less, &evicted),
+            PushOutcome::kRejectedIncoming);
+  EXPECT_EQ(item, 2);  // rejection does not consume the incoming item
+  EXPECT_EQ(evicted, -1);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedMpscQueueTest, PushOrEvictOnClosedQueue) {
+  BoundedMpscQueue<int> queue(2);
+  queue.Close();
+  auto less = [](int a, int b) { return a < b; };
+  int item = 1, evicted = -1;
+  EXPECT_EQ(queue.PushOrEvict(&item, less, &evicted), PushOutcome::kClosed);
+}
+
+TEST(BoundedMpscQueueTest, QueueFullFaultSimulatesFullQueue) {
+  // probability 1, max_fires 1: exactly the first non-blocking push
+  // observes a "full" queue, the next succeeds.
+  ScopedFault fault(kFaultQueueFull, FaultSchedule{1.0, 42, 1});
+  BoundedMpscQueue<int> queue(4);
+  auto less = [](int a, int b) { return a < b; };
+  int item = 1, evicted = -1;
+  EXPECT_EQ(queue.PushOrEvict(&item, less, &evicted),
+            PushOutcome::kRejectedIncoming);
+  EXPECT_EQ(queue.PushOrEvict(&item, less, &evicted), PushOutcome::kPushed);
+  EXPECT_EQ(fault.stats().fires, 1u);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <future>
+#include <memory>
 #include <set>
 #include <thread>
 #include <vector>
@@ -442,6 +445,220 @@ TEST(QueryEngineOptionsTest, InvalidReplicaCountFails) {
   options.num_index_replicas = 0;
   auto engine = QueryEngine::Create(g, options);
   EXPECT_FALSE(engine.ok());
+}
+
+// --- robustness: deadlines, shedding, completion-queue shutdown ------------
+
+TEST(QueryEngineDeadlineTest, ExpiredDeadlineTimesOutWithoutTouchingIndex) {
+  TemporalGraph g = ServeGraph();
+  QueryEngineOptions options;
+  options.algorithm = AlgorithmKind::kCoreTime;
+  options.build_index = true;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  const Query query{2, Window{1, g.num_timestamps() / 2}};
+  const Deadline expired = Deadline::AfterSeconds(-1.0);
+
+  // Cache-miss path: nothing is cached yet, and the rejection must not
+  // consult the cache, the admission index, or the algorithm.
+  RunOutcome out = engine->ServeWithDeadline(query, expired);
+  EXPECT_EQ(out.status.code(), StatusCode::kTimeout);
+  ServeStats stats = engine->stats();
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);  // the cache was never even consulted
+  EXPECT_EQ(stats.index_rejections, 0u);
+  EXPECT_EQ(stats.deadlines_expired, 1u);
+
+  // Cache-hit path: serve it for real first, then the expired deadline must
+  // still answer Timeout without replaying the cached outcome.
+  RunOutcome real = engine->Serve(query);
+  ASSERT_TRUE(real.status.ok());
+  const uint64_t hits_before = engine->stats().cache_hits;
+  out = engine->ServeWithDeadline(query, expired);
+  EXPECT_EQ(out.status.code(), StatusCode::kTimeout);
+  stats = engine->stats();
+  EXPECT_EQ(stats.cache_hits, hits_before);  // no lookup happened
+  EXPECT_EQ(stats.deadlines_expired, 2u);
+
+  // Sanity: an unexpired deadline serves the real (cached) outcome.
+  out = engine->ServeWithDeadline(query, Deadline::AfterSeconds(30.0));
+  ASSERT_TRUE(out.status.ok());
+  ExpectSameResults(real, out, "unexpired deadline");
+}
+
+TEST(QueryEngineDeadlineTest, ServeBatchWithExpiredDeadlineAllTimeout) {
+  TemporalGraph g = ServeGraph();
+  GraphStats gstats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, gstats.kmax);
+  auto engine = QueryEngine::Create(g);
+  ASSERT_TRUE(engine.ok());
+  std::vector<RunOutcome> outcomes =
+      engine->ServeBatch(queries, Deadline::AfterSeconds(-1.0));
+  ASSERT_EQ(outcomes.size(), queries.size());
+  for (const RunOutcome& out : outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kTimeout);
+  }
+  EXPECT_EQ(engine->stats().executed, 0u);
+  EXPECT_EQ(engine->stats().deadlines_expired, 1u);
+}
+
+TEST(QueryEngineDeadlineTest, SubmitAsyncExpiredDeadlineSettlesWithTimeout) {
+  TemporalGraph g = ServeGraph();
+  GraphStats gstats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, gstats.kmax);
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  BatchResult result =
+      engine->SubmitAsync(queries, Deadline::AfterSeconds(-1.0)).get();
+  ASSERT_EQ(result.outcomes.size(), queries.size());
+  for (const RunOutcome& out : result.outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kTimeout);
+  }
+  EXPECT_EQ(engine->stats().deadlines_expired, 1u);
+  EXPECT_EQ(engine->stats().executed, 0u);
+}
+
+TEST(QueryEngineDeadlineTest, BatchExpiringInQueueIsDroppedAtDispatch) {
+  TemporalGraph g = ServeGraph();
+  GraphStats gstats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, gstats.kmax);
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  // Block every pool worker so the dispatcher cannot run until released;
+  // the batch's deadline dies while it sits in the request queue.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  for (int w = 0; w < 2; ++w) {
+    pool.Submit([gate] { gate.wait(); });
+  }
+  std::future<BatchResult> future =
+      engine->SubmitAsync(queries, Deadline::AfterSeconds(0.05));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  release.set_value();
+  BatchResult result = future.get();
+  for (const RunOutcome& out : result.outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kTimeout);
+  }
+  EXPECT_EQ(engine->stats().deadlines_expired, 1u);
+  EXPECT_EQ(engine->stats().executed, 0u);
+}
+
+TEST(QueryEngineShedTest, FullQueueShedsLeastRemainingDeadline) {
+  TemporalGraph g = ServeGraph();
+  GraphStats gstats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, gstats.kmax);
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.async_queue_capacity = 1;  // one queued batch, then the contest
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<RunOutcome> reference = engine->ServeBatch(queries);
+  engine->ClearCache();
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  for (int w = 0; w < 2; ++w) {
+    pool.Submit([gate] { gate.wait(); });
+  }
+  // A fills the queue; B (more remaining deadline) evicts it; C (least
+  // remaining of all) loses its own contest and is rejected. Throughout,
+  // no submission blocks — the pool is wedged until `release`.
+  std::future<BatchResult> a =
+      engine->SubmitAsync(queries, Deadline::AfterSeconds(5.0));
+  std::future<BatchResult> b =
+      engine->SubmitAsync(queries, Deadline::AfterSeconds(50.0));
+  std::future<BatchResult> c =
+      engine->SubmitAsync(queries, Deadline::AfterSeconds(0.5));
+  // A and C settle without the pool running at all.
+  BatchResult shed_a = a.get();
+  BatchResult shed_c = c.get();
+  for (const RunOutcome& out : shed_a.outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kResourceExhausted);
+  }
+  for (const RunOutcome& out : shed_c.outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kResourceExhausted);
+  }
+  release.set_value();
+  BatchResult served = b.get();
+  ASSERT_EQ(served.outcomes.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResults(reference[i], served.outcomes[i], "survivor");
+  }
+  ServeStats stats = engine->stats();
+  EXPECT_EQ(stats.batches_shed, 2u);
+  EXPECT_EQ(stats.async_batches, 3u);
+}
+
+TEST(QueryEngineShedTest, UnlimitedDeadlineBatchIsNeverEvicted) {
+  TemporalGraph g = ServeGraph();
+  GraphStats gstats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, gstats.kmax);
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.async_queue_capacity = 1;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  for (int w = 0; w < 2; ++w) {
+    pool.Submit([gate] { gate.wait(); });
+  }
+  std::future<BatchResult> unlimited = engine->SubmitAsync(queries);
+  std::future<BatchResult> finite =
+      engine->SubmitAsync(queries, Deadline::AfterSeconds(50.0));
+  BatchResult shed = finite.get();  // the finite batch loses to unlimited
+  for (const RunOutcome& out : shed.outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kResourceExhausted);
+  }
+  release.set_value();
+  BatchResult served = unlimited.get();
+  EXPECT_EQ(served.outcomes.size(), queries.size());
+  EXPECT_EQ(engine->stats().batches_shed, 1u);
+}
+
+TEST(BatchCompletionQueueTest, ShutdownUnblocksBlockedDeliver) {
+  auto cq = std::make_unique<BatchCompletionQueue>(1);
+  cq->Deliver(BatchResult{});  // fills the queue
+  std::thread delivering([&] {
+    cq->Deliver(BatchResult{});  // blocks on the full queue until Shutdown
+  });
+  // Bias toward the delivery genuinely blocking before Shutdown lands (both
+  // interleavings are valid; this makes the interesting one overwhelmingly
+  // likely).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cq->Shutdown();  // must unblock the stuck Deliver and wait it out
+  delivering.join();
+  cq.reset();  // destructor-while-delivering regression: safe after Shutdown
+}
+
+TEST(BatchCompletionQueueTest, ShutdownWithEngineStillDelivering) {
+  TemporalGraph g = ServeGraph();
+  GraphStats gstats = ComputeGraphStats(g);
+  std::vector<Query> queries = MixedQueries(g, gstats.kmax);
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  auto engine = QueryEngine::Create(g, options);
+  ASSERT_TRUE(engine.ok());
+  auto cq = std::make_unique<BatchCompletionQueue>(1);
+  // More finished batches than the queue holds, and no consumer: deliveries
+  // beyond the first wedge pool workers inside Deliver.
+  for (uint64_t tag = 0; tag < 4; ++tag) {
+    engine->SubmitAsync(queries, cq.get(), tag);
+  }
+  cq->Shutdown();        // unblocks any stuck Deliver (results dropped)
+  engine->DrainAsync();  // every batch settles; no Deliver can start later
+  cq.reset();            // and destroying the queue is now safe
 }
 
 }  // namespace
