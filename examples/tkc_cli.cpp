@@ -37,6 +37,19 @@
 //                               is applied as a snapshot swap while queries
 //                               are in flight, and every result reports the
 //                               graph version it was pinned to.
+//   --serve=PORT                network server mode: builds the graph and a
+//                               LiveQueryEngine, then serves the wire
+//                               protocol (net/server.h) on PORT (0 picks an
+//                               ephemeral port, printed at startup) until
+//                               stdin closes / Enter is pressed. Engine
+//                               flags (--threads --cache --index --algo
+//                               --limit) apply as usual.
+//   --connect=HOST:PORT         network client mode: connects a TkcClient,
+//                               sends the query batch --repeat times, and
+//                               prints per-round verdict summaries with the
+//                               snapshot version each batch was pinned to.
+//                               --limit=S becomes the wire deadline;
+//                               --stats fetches the server's counters.
 
 #include <algorithm>
 #include <cstdio>
@@ -53,6 +66,9 @@
 #include "datasets/registry.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire_format.h"
 #include "otcd/otcd.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
@@ -193,6 +209,136 @@ int RunLiveReplay(tkc::TemporalGraph graph,
   return failures == 0 ? 0 : 1;
 }
 
+// The --serve mode: a TkcServer over a LiveQueryEngine on `port`, running
+// until stdin closes (Enter, ^D, or the parent dropping the pipe). Returns
+// the process exit code.
+int RunServe(tkc::TemporalGraph graph,
+             const tkc::QueryEngineOptions& engine_options, int port) {
+  using namespace tkc;
+  if (port < 0 || port > 65535) {
+    std::fprintf(stderr, "serve: port %d out of range\n", port);
+    return 2;
+  }
+  LiveEngineOptions options;
+  options.engine = engine_options;
+  auto live = LiveQueryEngine::Create(std::move(graph), options);
+  if (!live.ok()) {
+    std::fprintf(stderr, "live engine: %s\n",
+                 live.status().ToString().c_str());
+    return 1;
+  }
+  net::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  auto server = net::TkcServer::Start(live->get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u — press Enter to stop\n",
+              (*server)->port());
+  std::fflush(stdout);
+  (void)std::getchar();  // EOF works too: serve-until-killed under a pipe
+  (*server)->Stop();
+  const net::ServerStats stats = (*server)->stats();
+  std::printf(
+      "server: %llu connections (%llu closed, %llu dropped), %llu requests, "
+      "%llu batches (%llu shed, %llu expired), %llu responses streamed, "
+      "%llu dropped, %llu KiB out\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_closed),
+      static_cast<unsigned long long>(stats.connections_dropped),
+      static_cast<unsigned long long>(stats.requests_received),
+      static_cast<unsigned long long>(stats.batches_submitted),
+      static_cast<unsigned long long>(stats.batches_shed),
+      static_cast<unsigned long long>(stats.deadlines_expired),
+      static_cast<unsigned long long>(stats.responses_streamed),
+      static_cast<unsigned long long>(stats.responses_dropped),
+      static_cast<unsigned long long>(stats.bytes_written / 1024));
+  return 0;
+}
+
+// The --connect mode: the generated query batch goes over the wire instead
+// of into a local engine. Returns the process exit code.
+int RunConnect(const std::string& target,
+               const std::vector<tkc::Query>& queries, int repeat,
+               double limit_seconds, bool want_stats) {
+  using namespace tkc;
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= target.size()) {
+    std::fprintf(stderr, "connect: expected HOST:PORT, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "connect: bad port in '%s'\n", target.c_str());
+    return 2;
+  }
+  auto client = net::TkcClient::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t deadline_ms =
+      limit_seconds > 0 ? static_cast<uint32_t>(limit_seconds * 1000) : 0;
+
+  int failures = 0;
+  WallTimer timer;
+  for (int r = 0; r < repeat; ++r) {
+    auto response = (*client)->Query(queries, deadline_ms);
+    if (!response.ok()) {
+      std::fprintf(stderr, "round %d: %s\n", r,
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t cores = 0, edges = 0;
+    for (const net::VerdictFrame& verdict : response->verdicts) {
+      const StatusCode code = net::StatusCodeFromWire(verdict.status_code);
+      if (code != StatusCode::kOk) {
+        std::fprintf(stderr, "round %d query %u: %s\n", r,
+                     verdict.query_index,
+                     Status(code, "wire verdict").ToString().c_str());
+        ++failures;
+        continue;
+      }
+      cores += verdict.num_cores;
+      edges += verdict.result_size_edges;
+    }
+    std::printf(
+        "round %2d: graph v%llu, %zu queries -> %llu cores, |R|=%llu\n", r,
+        static_cast<unsigned long long>(response->snapshot_version),
+        response->verdicts.size(), static_cast<unsigned long long>(cores),
+        static_cast<unsigned long long>(edges));
+  }
+  const double seconds = timer.ElapsedSeconds();
+  std::printf("%d round(s) in %.4fs (%.1f q/s over the wire)\n", repeat,
+              seconds,
+              seconds > 0 ? static_cast<double>(repeat) *
+                                static_cast<double>(queries.size()) / seconds
+                          : 0.0);
+  if (want_stats) {
+    auto stats = (*client)->FetchStats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "server: %llu connections, %llu requests, %llu batches (%llu shed, "
+        "%llu expired), %llu responses streamed, %llu dropped\n",
+        static_cast<unsigned long long>(stats->connections_accepted),
+        static_cast<unsigned long long>(stats->requests_received),
+        static_cast<unsigned long long>(stats->batches_submitted),
+        static_cast<unsigned long long>(stats->batches_shed),
+        static_cast<unsigned long long>(stats->deadlines_expired),
+        static_cast<unsigned long long>(stats->responses_streamed),
+        static_cast<unsigned long long>(stats->responses_dropped));
+  }
+  (*client)->Close();
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,6 +428,17 @@ int main(int argc, char** argv) {
   options.per_query_limit_seconds = flags.GetDouble("limit", 0);
 
   const int repeat = std::max<int>(1, flags.GetInt("repeat", 1));
+  if (flags.Has("serve")) {
+    return RunServe(std::move(graph), options,
+                    static_cast<int>(flags.GetInt("serve", 0)));
+  }
+  if (flags.Has("connect")) {
+    // The graph built above only seeded the workload; the server answers
+    // from its own copy (start both sides with the same dataset flags).
+    return RunConnect(flags.GetString("connect", ""), queries, repeat,
+                      flags.GetDouble("limit", 0),
+                      flags.GetBool("stats", false));
+  }
   if (flags.Has("updates")) {
     std::vector<std::vector<RawTemporalEdge>> events;
     if (!LoadUpdateBatches(flags.GetString("updates", ""), &events)) return 2;

@@ -1,0 +1,208 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tkc::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TkcClient>> TkcClient::Connect(
+    const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  std::unique_ptr<TkcClient> client(new TkcClient());
+  client->fd_ = fd;
+  return client;
+}
+
+TkcClient::~TkcClient() { Close(); }
+
+void TkcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TkcClient::FinishWrites() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status TkcClient::WriteAll(const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status TkcClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  return WriteAll(bytes.data(), bytes.size());
+}
+
+StatusOr<uint64_t> TkcClient::Send(const std::vector<tkc::Query>& queries,
+                                   uint32_t deadline_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  QueryRequestFrame request;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.queries = queries;
+  std::string wire;
+  AppendQueryRequest(request, &wire);
+  Status sent = WriteAll(wire.data(), wire.size());
+  if (!sent.ok()) return sent;
+  return request.request_id;
+}
+
+Status TkcClient::ReadFrame(Frame* frame) {
+  for (;;) {
+    switch (parser_.Next(frame)) {
+      case FrameParser::Result::kFrame:
+        return Status::OK();
+      case FrameParser::Result::kError:
+        return parser_.error();
+      case FrameParser::Result::kNeedMore:
+        break;
+    }
+    char buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status TkcClient::Route(Frame&& frame) {
+  switch (frame.type) {
+    case FrameType::kVerdict: {
+      ClientResponse& partial = partial_[frame.verdict.request_id];
+      partial.request_id = frame.verdict.request_id;
+      partial.verdicts.push_back(frame.verdict);
+      return Status::OK();
+    }
+    case FrameType::kBatchEnd: {
+      auto it = partial_.find(frame.batch_end.request_id);
+      const size_t have = it == partial_.end() ? 0 : it->second.verdicts.size();
+      if (have != frame.batch_end.num_queries) {
+        return Status::Internal(
+            "batch end for request " +
+            std::to_string(frame.batch_end.request_id) + " after " +
+            std::to_string(have) + " verdicts, expected " +
+            std::to_string(frame.batch_end.num_queries));
+      }
+      ClientResponse done = std::move(it->second);
+      partial_.erase(it);
+      done.snapshot_version = frame.batch_end.snapshot_version;
+      // The server streams verdicts in order, but the index is the truth.
+      std::sort(done.verdicts.begin(), done.verdicts.end(),
+                [](const VerdictFrame& a, const VerdictFrame& b) {
+                  return a.query_index < b.query_index;
+                });
+      ready_.emplace(done.request_id, std::move(done));
+      return Status::OK();
+    }
+    case FrameType::kStatsResponse:
+      stats_ready_[frame.stats_response_id] = frame.stats;
+      return Status::OK();
+    case FrameType::kError:
+      return Status(StatusCodeFromWire(frame.error.status_code),
+                    "server error: " + frame.error.message);
+    default:
+      return Status::Internal("server sent a client-only frame type");
+  }
+}
+
+StatusOr<ClientResponse> TkcClient::Wait(uint64_t request_id) {
+  if (fd_ < 0 && ready_.find(request_id) == ready_.end()) {
+    return Status::FailedPrecondition("client is closed");
+  }
+  for (;;) {
+    auto it = ready_.find(request_id);
+    if (it != ready_.end()) {
+      ClientResponse response = std::move(it->second);
+      ready_.erase(it);
+      return response;
+    }
+    Frame frame;
+    Status read = ReadFrame(&frame);
+    if (!read.ok()) return read;
+    Status routed = Route(std::move(frame));
+    if (!routed.ok()) return routed;
+  }
+}
+
+StatusOr<ClientResponse> TkcClient::Query(
+    const std::vector<tkc::Query>& queries, uint32_t deadline_ms) {
+  StatusOr<uint64_t> id = Send(queries, deadline_ms);
+  if (!id.ok()) return id.status();
+  return Wait(*id);
+}
+
+StatusOr<ServerStats> TkcClient::FetchStats() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  const uint64_t request_id = next_request_id_++;
+  std::string wire;
+  AppendStatsRequest(request_id, &wire);
+  Status sent = WriteAll(wire.data(), wire.size());
+  if (!sent.ok()) return sent;
+  for (;;) {
+    auto it = stats_ready_.find(request_id);
+    if (it != stats_ready_.end()) {
+      ServerStats stats = it->second;
+      stats_ready_.erase(it);
+      return stats;
+    }
+    Frame frame;
+    Status read = ReadFrame(&frame);
+    if (!read.ok()) return read;
+    Status routed = Route(std::move(frame));
+    if (!routed.ok()) return routed;
+  }
+}
+
+}  // namespace tkc::net

@@ -1,0 +1,105 @@
+#ifndef TKC_NET_CLIENT_H_
+#define TKC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire_format.h"
+#include "util/status.h"
+#include "workload/query_workload.h"
+
+/// \file client.h
+/// TkcClient: the blocking client side of the TKC wire protocol — the
+/// library under `tkc_cli --connect`, the network differential harness, and
+/// the wire benchmarks. One client owns one TCP connection; it is NOT
+/// thread-safe (use one client per submitting thread — the server happily
+/// multiplexes many connections).
+///
+/// The protocol allows pipelining: Send() any number of requests, then
+/// Wait() them in any order — responses for other requests encountered
+/// while waiting are buffered and handed out when their turn comes.
+
+namespace tkc::net {
+
+/// One fully reassembled response batch.
+struct ClientResponse {
+  uint64_t request_id = 0;
+  /// The graph version the batch was pinned to on the server.
+  uint64_t snapshot_version = 0;
+  /// verdicts[i] answers queries[i] of the request (reordered by
+  /// query_index if the wire ever interleaves, so the index is the truth).
+  std::vector<VerdictFrame> verdicts;
+};
+
+class TkcClient {
+ public:
+  /// Connects to a TkcServer (blocking socket). `host` is an IPv4 dotted
+  /// quad, e.g. "127.0.0.1".
+  static StatusOr<std::unique_ptr<TkcClient>> Connect(const std::string& host,
+                                                      uint16_t port);
+
+  ~TkcClient();
+  TkcClient(const TkcClient&) = delete;
+  TkcClient& operator=(const TkcClient&) = delete;
+
+  /// Sends one query request; returns the request id to Wait() on.
+  /// deadline_ms is the wire deadline budget (0 = unlimited); it starts
+  /// ticking when the *server* decodes the frame.
+  StatusOr<uint64_t> Send(const std::vector<Query>& queries,
+                          uint32_t deadline_ms = 0);
+
+  /// Blocks until the response for `request_id` is fully reassembled
+  /// (every verdict + the batch end). Returns the server's error status
+  /// when the stream carries a kError frame, and IOError when the
+  /// connection closes first.
+  StatusOr<ClientResponse> Wait(uint64_t request_id);
+
+  /// Send + Wait in one call.
+  StatusOr<ClientResponse> Query(const std::vector<Query>& queries,
+                                 uint32_t deadline_ms = 0);
+
+  /// Round-trips a kStatsRequest for the server's counters.
+  StatusOr<ServerStats> FetchStats();
+
+  /// Writes raw bytes onto the wire, bypassing the encoders — the fuzz and
+  /// abuse tests' hook for malformed frames and mid-frame disconnects.
+  Status SendRaw(const std::string& bytes);
+
+  /// Half-closes the write side (SHUT_WR): the server sees EOF, settles
+  /// what is in flight, and closes cleanly.
+  void FinishWrites();
+
+  /// Closes the socket (abrupt, from the server's point of view, if
+  /// responses are still in flight). Idempotent; the destructor calls it.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  TkcClient() = default;
+
+  Status WriteAll(const char* data, size_t len);
+  /// Blocks until one more frame is parsed off the wire.
+  Status ReadFrame(Frame* frame);
+  /// Routes one server frame into the reassembly state. A kError frame
+  /// becomes the returned status.
+  Status Route(Frame&& frame);
+
+  int fd_ = -1;
+  FrameParser parser_;
+  uint64_t next_request_id_ = 1;
+  /// Batches mid-reassembly (verdicts seen, batch end not yet).
+  std::map<uint64_t, ClientResponse> partial_;
+  /// Fully reassembled batches nobody has Wait()ed for yet.
+  std::map<uint64_t, ClientResponse> ready_;
+  /// Stats responses received (keyed by request id).
+  std::map<uint64_t, ServerStats> stats_ready_;
+};
+
+}  // namespace tkc::net
+
+#endif  // TKC_NET_CLIENT_H_

@@ -1,0 +1,181 @@
+#ifndef TKC_NET_SERVER_H_
+#define TKC_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/wire_format.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+/// \file server.h
+/// TkcServer: the network front end over LiveQueryEngine — the piece that
+/// turns the in-process serving stack into a service. Dependency-free
+/// (POSIX sockets + poll), speaking the length-prefixed binary protocol of
+/// net/wire_format.h.
+///
+/// Architecture (a poll-style listener with connection + worker management):
+///
+///  * **One event-loop thread** owns the listening socket, every
+///    connection, and all per-connection state. It polls for readability/
+///    writability, reassembles frames from arbitrary read chunks
+///    (FrameParser), and writes responses from per-connection outbound
+///    buffers — no thread per connection, no blocking I/O.
+///  * **Query execution never runs on the loop.** A decoded query request
+///    is submitted to the LiveQueryEngine's async path
+///    (SubmitAsync(queries, cq, tag)); the engine's pool executes it
+///    against the pinned snapshot. A dedicated **completion drainer
+///    thread** pops finished batches off the server's BatchCompletionQueue
+///    and hands them to the loop (self-pipe wakeup), which streams the
+///    per-query verdict frames back.
+///  * **Deadlines propagate end to end.** A request's deadline_ms becomes a
+///    Deadline at decode time and rides into SubmitAsync — a backed-up
+///    request queue sheds the least-remaining-deadline batch over the wire
+///    exactly as in-process (explicit ResourceExhausted / Timeout verdicts,
+///    never a silently missing answer).
+///  * **Slow readers are backpressured, not buffered without bound.** When
+///    a connection's outbound buffer exceeds max_outbound_bytes the loop
+///    stops reading new requests from it until the peer drains; half-open
+///    idle connections are reaped by idle_timeout_seconds.
+///  * **Abuse is survivable by construction.** A malformed frame poisons
+///    only its own connection: the server answers with one kError frame and
+///    closes. An abrupt disconnect with batches in flight never loses
+///    accounting — the verdicts complete and are counted responses_dropped.
+///
+/// Teardown contract: Stop() closes every connection, drains the engine's
+/// in-flight async batches (LiveQueryEngine::DrainAsync) while the drainer
+/// thread still consumes, then retires the completion queue — so after
+/// Stop() returns, no engine-side delivery can touch this object and every
+/// submitted batch is accounted (streamed, or dropped). The engine itself
+/// stays fully serviceable; the server never owns it.
+
+namespace tkc::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  ///< listen address (IPv4 dotted quad)
+  uint16_t port = 0;               ///< 0 = ephemeral; see TkcServer::port()
+  int listen_backlog = 64;
+  size_t max_connections = 64;  ///< beyond this, accepts are dropped
+
+  /// Framing limits handed to each connection's FrameParser.
+  uint32_t max_frame_payload_bytes = kMaxPayloadBytes;
+  uint32_t max_queries_per_request = kMaxQueriesPerRequest;
+
+  /// Outbound-buffer threshold per connection: above it the loop stops
+  /// reading new requests from that peer (slow-reader backpressure);
+  /// reading resumes once the buffer drains below half.
+  size_t max_outbound_bytes = 1u << 20;
+
+  /// Reap connections with no wire activity and nothing in flight after
+  /// this many seconds (half-open peers). <= 0 disables the sweep.
+  double idle_timeout_seconds = 0;
+
+  /// Bound of the completion queue between the engine and the drainer.
+  size_t completion_queue_capacity = 256;
+};
+
+class TkcServer {
+ public:
+  /// Binds, listens, and starts the loop + drainer threads. `engine` must
+  /// outlive this server (the server never owns it; many servers could
+  /// front one engine).
+  static StatusOr<std::unique_ptr<TkcServer>> Start(
+      LiveQueryEngine* engine, const ServerOptions& options = {});
+
+  /// Stop(), see the teardown contract above.
+  ~TkcServer();
+
+  TkcServer(const TkcServer&) = delete;
+  TkcServer& operator=(const TkcServer&) = delete;
+
+  /// Idempotent, safe to call concurrently. After it returns: every
+  /// connection is closed, every submitted batch is accounted, and no
+  /// engine-side delivery can touch this object again.
+  void Stop();
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Snapshot of the wire counters (also served over the wire as a
+  /// kStatsResponse frame).
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+  /// One submitted batch awaiting its engine verdicts.
+  struct PendingBatch {
+    uint64_t conn_serial = 0;
+    uint64_t request_id = 0;
+    uint32_t num_queries = 0;
+  };
+
+  TkcServer(LiveQueryEngine* engine, const ServerOptions& options);
+
+  Status Listen();
+  void Wake();
+  void EventLoop();
+  void DrainerLoop();
+
+  void AcceptNew();
+  void HandleReadable(Connection* conn);
+  /// Flushes the outbound buffer as far as the socket allows. Returns false
+  /// when the flush killed the connection (send error -> dropped).
+  bool HandleWritable(Connection* conn);
+  void ParseFrames(Connection* conn);
+  void HandleQueryRequest(Connection* conn, QueryRequestFrame request);
+  void HandleStatsRequest(Connection* conn, uint64_t request_id);
+  void HandleCompletion(BatchResult result);
+  /// Appends one kError frame and flags the connection to flush-then-drop.
+  void SendErrorAndClose(Connection* conn, uint64_t request_id,
+                         const Status& status);
+  /// Immediate close: protocol abuse, I/O error, overflow, timeout, stop.
+  void DropConnection(uint64_t serial);
+  /// Graceful close: peer EOF with everything settled.
+  void CloseConnection(uint64_t serial);
+  /// Closes connections that finished flushing (closing flag) or whose
+  /// peer half-closed with nothing left in flight.
+  void SweepFinished(std::chrono::steady_clock::time_point now);
+
+  LiveQueryEngine* live_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_rx_ = -1;
+  int wake_tx_ = -1;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  ///< serializes Stop(); never taken by the loop
+  bool stopped_ = false;
+
+  // Loop-thread-only state (no locking: only EventLoop touches these while
+  // the loop runs; Stop() touches them only after joining it).
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  std::map<uint64_t, PendingBatch> pending_;
+  uint64_t next_serial_ = 1;
+  uint64_t next_tag_ = 1;
+  /// net.write_stall fired this round: poll with a short timeout instead of
+  /// re-arming POLLOUT into a busy loop.
+  bool write_stalled_ = false;
+
+  BatchCompletionQueue cq_;
+  std::mutex completed_mu_;
+  std::deque<BatchResult> completed_;  ///< drainer -> loop handoff
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::thread loop_;
+  std::thread drainer_;
+};
+
+}  // namespace tkc::net
+
+#endif  // TKC_NET_SERVER_H_

@@ -1,0 +1,285 @@
+#include "net/wire_format.h"
+
+#include <cstring>
+
+namespace tkc::net {
+
+namespace {
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+void AppendHeader(FrameType type, uint32_t payload_len, std::string* out) {
+  out->append(reinterpret_cast<const char*>(kWireMagic), 4);
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(type));
+  PutU16(0, out);  // reserved
+  PutU32(payload_len, out);
+}
+
+/// A cursor over one frame's payload bytes for the fixed-size readers.
+struct PayloadReader {
+  const char* data;
+  size_t len;
+  size_t pos = 0;
+
+  bool HasBytes(size_t n) const { return len - pos >= n; }
+  uint32_t U32() {
+    uint32_t v = GetU32(data + pos);
+    pos += 4;
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = GetU64(data + pos);
+    pos += 8;
+    return v;
+  }
+};
+
+const uint64_t* StatsFieldsBegin(const ServerStats& stats) {
+  static_assert(sizeof(ServerStats) == kServerStatsCounters * sizeof(uint64_t),
+                "ServerStats gained a field: bump kServerStatsCounters and "
+                "keep appended fields at the end of the struct");
+  return &stats.connections_accepted;
+}
+
+uint64_t* StatsFieldsBegin(ServerStats& stats) {
+  return &stats.connections_accepted;
+}
+
+}  // namespace
+
+bool IsClientFrameType(FrameType type) {
+  return type == FrameType::kQueryRequest || type == FrameType::kStatsRequest;
+}
+
+void AppendQueryRequest(const QueryRequestFrame& frame, std::string* out) {
+  const uint32_t n = static_cast<uint32_t>(frame.queries.size());
+  AppendHeader(FrameType::kQueryRequest, 16 + 12 * n, out);
+  PutU64(frame.request_id, out);
+  PutU32(frame.deadline_ms, out);
+  PutU32(n, out);
+  for (const Query& q : frame.queries) {
+    PutU32(q.k, out);
+    PutU32(q.range.start, out);
+    PutU32(q.range.end, out);
+  }
+}
+
+void AppendVerdict(const VerdictFrame& frame, std::string* out) {
+  AppendHeader(FrameType::kVerdict, 48, out);
+  PutU64(frame.request_id, out);
+  PutU32(frame.query_index, out);
+  PutU32(frame.status_code, out);
+  PutU64(frame.num_cores, out);
+  PutU64(frame.result_size_edges, out);
+  PutU64(frame.vct_size, out);
+  PutU64(frame.ecs_size, out);
+}
+
+void AppendBatchEnd(const BatchEndFrame& frame, std::string* out) {
+  AppendHeader(FrameType::kBatchEnd, 20, out);
+  PutU64(frame.request_id, out);
+  PutU64(frame.snapshot_version, out);
+  PutU32(frame.num_queries, out);
+}
+
+void AppendStatsRequest(uint64_t request_id, std::string* out) {
+  AppendHeader(FrameType::kStatsRequest, 8, out);
+  PutU64(request_id, out);
+}
+
+void AppendStatsResponse(uint64_t request_id, const ServerStats& stats,
+                         std::string* out) {
+  AppendHeader(FrameType::kStatsResponse, 12 + 8 * kServerStatsCounters, out);
+  PutU64(request_id, out);
+  PutU32(kServerStatsCounters, out);
+  const uint64_t* fields = StatsFieldsBegin(stats);
+  for (uint32_t i = 0; i < kServerStatsCounters; ++i) PutU64(fields[i], out);
+}
+
+void AppendError(const ErrorFrame& frame, std::string* out) {
+  const uint32_t msg_len = static_cast<uint32_t>(frame.message.size());
+  AppendHeader(FrameType::kError, 16 + msg_len, out);
+  PutU64(frame.request_id, out);
+  PutU32(frame.status_code, out);
+  PutU32(msg_len, out);
+  out->append(frame.message);
+}
+
+uint32_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint32_t>(code);
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire) {
+  if (wire > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(wire);
+}
+
+FrameParser::Result FrameParser::Next(Frame* frame) {
+  if (!error_.ok()) return Result::kError;
+  // Compact once parsed-away bytes dominate, so the buffer never grows
+  // proportional to total traffic.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const char* base = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Result::kNeedMore;
+
+  if (std::memcmp(base, kWireMagic, 4) != 0) {
+    return Poison(Status::InvalidArgument("bad frame magic"));
+  }
+  const uint8_t version = static_cast<uint8_t>(base[4]);
+  if (version != kWireVersion) {
+    return Poison(Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version)));
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(base[5]);
+  if (raw_type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
+      raw_type > static_cast<uint8_t>(FrameType::kError)) {
+    return Poison(Status::InvalidArgument("unknown frame type " +
+                                          std::to_string(raw_type)));
+  }
+  if (GetU16(base + 6) != 0) {
+    return Poison(Status::InvalidArgument("nonzero reserved header bytes"));
+  }
+  const uint32_t payload_len = GetU32(base + 8);
+  if (payload_len > max_payload_bytes_) {
+    return Poison(Status::InvalidArgument(
+        "oversized frame payload (" + std::to_string(payload_len) + " > " +
+        std::to_string(max_payload_bytes_) + " bytes)"));
+  }
+  if (available < kFrameHeaderBytes + payload_len) return Result::kNeedMore;
+
+  PayloadReader in{base + kFrameHeaderBytes, payload_len};
+  *frame = Frame();
+  frame->type = static_cast<FrameType>(raw_type);
+  switch (frame->type) {
+    case FrameType::kQueryRequest: {
+      if (payload_len < 16) {
+        return Poison(Status::InvalidArgument("query request too short"));
+      }
+      frame->query_request.request_id = in.U64();
+      frame->query_request.deadline_ms = in.U32();
+      const uint32_t n = in.U32();
+      if (n == 0 || n > max_queries_) {
+        return Poison(Status::InvalidArgument(
+            "query count " + std::to_string(n) + " outside [1, " +
+            std::to_string(max_queries_) + "]"));
+      }
+      if (payload_len != 16 + 12ull * n) {
+        return Poison(
+            Status::InvalidArgument("query request length mismatch"));
+      }
+      frame->query_request.queries.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Query q;
+        q.k = in.U32();
+        q.range.start = in.U32();
+        q.range.end = in.U32();
+        frame->query_request.queries.push_back(q);
+      }
+      break;
+    }
+    case FrameType::kVerdict: {
+      if (payload_len != 48) {
+        return Poison(Status::InvalidArgument("verdict length mismatch"));
+      }
+      frame->verdict.request_id = in.U64();
+      frame->verdict.query_index = in.U32();
+      frame->verdict.status_code = in.U32();
+      frame->verdict.num_cores = in.U64();
+      frame->verdict.result_size_edges = in.U64();
+      frame->verdict.vct_size = in.U64();
+      frame->verdict.ecs_size = in.U64();
+      break;
+    }
+    case FrameType::kBatchEnd: {
+      if (payload_len != 20) {
+        return Poison(Status::InvalidArgument("batch end length mismatch"));
+      }
+      frame->batch_end.request_id = in.U64();
+      frame->batch_end.snapshot_version = in.U64();
+      frame->batch_end.num_queries = in.U32();
+      break;
+    }
+    case FrameType::kStatsRequest: {
+      if (payload_len != 8) {
+        return Poison(
+            Status::InvalidArgument("stats request length mismatch"));
+      }
+      frame->stats_request_id = in.U64();
+      break;
+    }
+    case FrameType::kStatsResponse: {
+      if (payload_len < 12) {
+        return Poison(Status::InvalidArgument("stats response too short"));
+      }
+      frame->stats_response_id = in.U64();
+      const uint32_t n = in.U32();
+      if (payload_len != 12 + 8ull * n) {
+        return Poison(
+            Status::InvalidArgument("stats response length mismatch"));
+      }
+      // Read the counters both sides know; a newer server's extras are
+      // skipped, an older server's missing tail stays zero.
+      uint64_t* fields = StatsFieldsBegin(frame->stats);
+      const uint32_t known =
+          n < kServerStatsCounters ? n : kServerStatsCounters;
+      for (uint32_t i = 0; i < known; ++i) fields[i] = in.U64();
+      break;
+    }
+    case FrameType::kError: {
+      if (payload_len < 16) {
+        return Poison(Status::InvalidArgument("error frame too short"));
+      }
+      frame->error.request_id = in.U64();
+      frame->error.status_code = in.U32();
+      const uint32_t msg_len = in.U32();
+      if (payload_len != 16 + static_cast<uint64_t>(msg_len)) {
+        return Poison(Status::InvalidArgument("error frame length mismatch"));
+      }
+      frame->error.message.assign(in.data + in.pos, msg_len);
+      break;
+    }
+  }
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return Result::kFrame;
+}
+
+}  // namespace tkc::net

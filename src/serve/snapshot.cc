@@ -182,26 +182,40 @@ void LiveQueryEngine::Shutdown() {
   // finishes, then see joinable() == false.
   std::lock_guard<std::mutex> join_lock(shutdown_mu_);
   if (updater_.joinable()) updater_.join();
+  // With the updater gone, quiesce the async serving path too: a caller
+  // shutting the engine down while a server still holds completion queues
+  // must be able to destroy those queues the moment this returns.
+  DrainAsync();
 }
 
-LiveQueryEngine::~LiveQueryEngine() {
-  Shutdown();
+void LiveQueryEngine::DrainAsync() {
   // Drain every snapshot that still exists, not just the current one: a
   // batch pinned to an older version may still be delivering (e.g. into a
   // caller's BatchCompletionQueue), and the caller must be able to destroy
-  // that queue right after this destructor returns. An expired weak_ptr
-  // means every pin is gone, which implies that snapshot has nothing in
-  // flight.
+  // that queue right after this returns. An expired weak_ptr means every
+  // pin is gone, which implies that snapshot has nothing in flight. The
+  // list is copied (and pruned), not cleared, so the call is repeatable —
+  // the destructor drains again after Shutdown already did.
   std::vector<std::weak_ptr<const GraphSnapshot>> snapshots;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshots.swap(all_snapshots_);
+    all_snapshots_.erase(
+        std::remove_if(all_snapshots_.begin(), all_snapshots_.end(),
+                       [](const std::weak_ptr<const GraphSnapshot>& w) {
+                         return w.expired();
+                       }),
+        all_snapshots_.end());
+    snapshots = all_snapshots_;
   }
   for (const auto& weak : snapshots) {
     if (std::shared_ptr<const GraphSnapshot> alive = weak.lock()) {
       alive->engine().DrainAsync();
     }
   }
+}
+
+LiveQueryEngine::~LiveQueryEngine() {
+  Shutdown();  // updater joined + async serving path drained (DrainAsync)
 }
 
 std::shared_ptr<const GraphSnapshot> LiveQueryEngine::snapshot() const {

@@ -303,17 +303,30 @@ class LiveQueryEngine {
   void PauseUpdates();
   void ResumeUpdates();
 
-  /// Shuts the update path down: no further ApplyUpdates batches are
-  /// accepted (they fail fast with FailedPrecondition), the updater thread
-  /// finishes its current cycle, settles the queue, and joins. Batches
-  /// already queued are applied as one final coalesced cycle — unless the
-  /// pause gate is held, in which case every queued batch is *released
-  /// with FailedPrecondition* instead: a held pause promised those batches
-  /// "not yet", and shutting down turns that into "never". Either way
-  /// every ApplyUpdates future resolves — nothing hangs on the dead
-  /// updater. Serving (ServeBatch / SubmitAsync / snapshot) stays
-  /// available. Idempotent; the destructor calls it first.
+  /// Shuts the update path down and quiesces the async serving path: no
+  /// further ApplyUpdates batches are accepted (they fail fast with
+  /// FailedPrecondition), the updater thread finishes its current cycle,
+  /// settles the queue, and joins. Batches already queued are applied as
+  /// one final coalesced cycle — unless the pause gate is held, in which
+  /// case every queued batch is *released with FailedPrecondition*
+  /// instead: a held pause promised those batches "not yet", and shutting
+  /// down turns that into "never". Either way every ApplyUpdates future
+  /// resolves — nothing hangs on the dead updater. Finally runs
+  /// DrainAsync() (see below), so Shutdown is safe to call while a network
+  /// front end still holds completion queues: once it returns, no
+  /// engine-side delivery will touch a caller-owned BatchCompletionQueue.
+  /// Serving (ServeBatch / SubmitAsync / snapshot) stays available.
+  /// Idempotent; the destructor calls it first.
   void Shutdown();
+
+  /// Blocks until every async batch accepted so far — against the current
+  /// snapshot *or any superseded one that is still alive* — has delivered
+  /// its result (future settled, or BatchCompletionQueue::Deliver
+  /// returned). The contract a server's teardown needs: after DrainAsync,
+  /// destroying a completion queue the engine was delivering into cannot
+  /// race a delivery. Does not block new submissions; callers wanting a
+  /// true quiesce stop submitting first. Idempotent, callable repeatedly.
+  void DrainAsync();
 
   LiveStats stats() const;
 

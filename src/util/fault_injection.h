@@ -47,6 +47,14 @@ inline constexpr char kFaultRebuildFail[] = "rebuild.fail";
 inline constexpr char kFaultQueueFull[] = "queue.full";
 inline constexpr char kFaultDispatchSlowWorker[] = "dispatch.slow_worker";
 inline constexpr char kFaultIndexIoCorruptLoad[] = "index_io.corrupt_load";
+/// Network front end (net/server.cc): a ready listener fails its accept();
+/// a readable connection delivers only one byte (exercises incremental
+/// frame reassembly); a writable connection pretends EAGAIN for one round.
+/// All three are verdict-neutral: they may never change a query's answer,
+/// only delay or drop the connection carrying it.
+inline constexpr char kFaultNetAcceptFail[] = "net.accept_fail";
+inline constexpr char kFaultNetReadShort[] = "net.read_short";
+inline constexpr char kFaultNetWriteStall[] = "net.write_stall";
 
 /// One point's arming: fire each hit with `probability`, drawn from a
 /// deterministic stream seeded by `seed`; stop firing after `max_fires`

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "datasets/generators.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/snapshot.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
@@ -56,7 +58,32 @@ struct PendingBatch {
   std::optional<std::future<BatchResult>> future;  // async-future flavor
   std::optional<BatchResult> result;               // sync flavor (immediate)
   bool via_completion_queue = false;               // result arrives tagged
+  int wire_client = -1;                            // net mode: client index
+  uint64_t wire_request_id = 0;                    // net mode: request id
 };
+
+/// Rebuilds the engine-shaped result a wire response carries: the verdict
+/// frame transports exactly the determinism-contract fields (status code,
+/// num_cores, result_size_edges, vct_size, ecs_size), which is everything
+/// SameResults compares against the oracle.
+BatchResult WireToBatchResult(const net::ClientResponse& response) {
+  BatchResult result;
+  result.snapshot_version = response.snapshot_version;
+  result.outcomes.reserve(response.verdicts.size());
+  for (const net::VerdictFrame& v : response.verdicts) {
+    RunOutcome outcome;
+    outcome.status = v.status_code == 0
+                         ? Status::OK()
+                         : Status(net::StatusCodeFromWire(v.status_code),
+                                  "wire verdict");
+    outcome.num_cores = v.num_cores;
+    outcome.result_size_edges = v.result_size_edges;
+    outcome.vct_size = v.vct_size;
+    outcome.ecs_size = v.ecs_size;
+    result.outcomes.push_back(outcome);
+  }
+  return result;
+}
 
 /// The statuses a fault-mode outcome may carry instead of an oracle-exact
 /// answer: an explicit, caller-visible verdict. Anything else must match
@@ -177,6 +204,14 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     slow_fault.emplace(kFaultDispatchSlowWorker,
                        FaultSchedule{0.05, config.seed * 31 + 3, 0});
   }
+  // Net mode: arm the short-read stressor — when it fires, the server's
+  // recv delivers one byte, so frames reassemble from arbitrary fragments.
+  // Verdict-neutral by contract: it may delay answers, never change them.
+  std::optional<ScopedFault> read_short_fault;
+  if (config.net) {
+    read_short_fault.emplace(kFaultNetReadShort,
+                             FaultSchedule{0.2, config.seed * 31 + 4, 0});
+  }
   auto pick_deadline = [&]() {
     if (!config.faults) return Deadline();
     const double roll = rng.NextDouble();
@@ -200,6 +235,35 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
       return report;
     }
     LiveQueryEngine& live = **live_or;
+
+    // Net mode: front the engine with a loopback server and a few client
+    // connections; query batches round-robin across them so one scenario
+    // exercises connection multiplexing, not just one stream.
+    std::unique_ptr<net::TkcServer> server;
+    std::vector<std::unique_ptr<net::TkcClient>> clients;
+    if (config.net) {
+      net::ServerOptions server_options;
+      server_options.completion_queue_capacity = 8;  // small: exercise flow
+      auto server_or = net::TkcServer::Start(&live, server_options);
+      if (!server_or.ok()) {
+        report.mismatches = 1;
+        report.first_mismatch =
+            "server start failed: " + server_or.status().ToString();
+        return report;
+      }
+      server = std::move(*server_or);
+      const size_t num_clients = 1 + config.seed % 3;
+      for (size_t c = 0; c < num_clients; ++c) {
+        auto client_or = net::TkcClient::Connect("127.0.0.1", server->port());
+        if (!client_or.ok()) {
+          report.mismatches = 1;
+          report.first_mismatch =
+              "client connect failed: " + client_or.status().ToString();
+          return report;
+        }
+        clients.push_back(std::move(*client_or));
+      }
+    }
 
     // Incremental mode: await the swap, then prove the incrementally
     // maintained index (reused slices included) is bit-identical — slice
@@ -300,19 +364,38 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
       // unlimited deadline, so routing everything through the deadline
       // overloads keeps the non-fault sweeps on the same code path.
       const Deadline deadline = pick_deadline();
-      switch (b % 3) {
-        case 0:
-          pending.future = live.SubmitAsync(pending.queries, deadline);
-          break;
-        case 1:
-          live.SubmitAsync(pending.queries, &completions, batches.size(),
-                           deadline);
-          pending.via_completion_queue = true;
-          ++cq_submissions;
-          break;
-        case 2:
-          pending.result = live.ServeBatch(pending.queries, deadline);
-          break;
+      if (config.net) {
+        // Mostly-unlimited wire deadlines, with an occasional 1 ms budget
+        // racing the work: the verdict is then either still oracle-exact
+        // or an explicit Timeout/ResourceExhausted — never silence.
+        const uint32_t deadline_ms = rng.NextBool(0.15) ? 1 : 0;
+        const int client = static_cast<int>(b % clients.size());
+        auto sent = clients[client]->Send(pending.queries, deadline_ms);
+        if (!sent.ok()) {
+          ++report.mismatches;
+          if (report.first_mismatch.empty()) {
+            report.first_mismatch =
+                "wire send failed: " + sent.status().ToString();
+          }
+        } else {
+          pending.wire_client = client;
+          pending.wire_request_id = *sent;
+        }
+      } else {
+        switch (b % 3) {
+          case 0:
+            pending.future = live.SubmitAsync(pending.queries, deadline);
+            break;
+          case 1:
+            live.SubmitAsync(pending.queries, &completions, batches.size(),
+                             deadline);
+            pending.via_completion_queue = true;
+            ++cq_submissions;
+            break;
+          case 2:
+            pending.result = live.ServeBatch(pending.queries, deadline);
+            break;
+        }
       }
       batches.push_back(std::move(pending));
       if ((b + 1) % batches_per_update == 0 && next_update < updates.size()) {
@@ -328,6 +411,20 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     // --- Collect every result. ------------------------------------------
     for (PendingBatch& pending : batches) {
       if (pending.future.has_value()) pending.result = pending.future->get();
+      if (pending.wire_client >= 0) {
+        auto response = clients[pending.wire_client]->Wait(
+            pending.wire_request_id);
+        if (!response.ok()) {
+          ++report.mismatches;
+          if (report.first_mismatch.empty()) {
+            report.first_mismatch =
+                "wire response failed: " + response.status().ToString();
+          }
+          continue;
+        }
+        pending.result = WireToBatchResult(*response);
+        ++report.wire_responses;
+      }
     }
     for (size_t i = 0; i < cq_submissions; ++i) {
       BatchResult result;
@@ -384,7 +481,40 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
         report.first_mismatch = out.str();
       }
     }
-  }  // engine destroyed: updater joined, current snapshot drained
+
+    // Net mode teardown: close every client, stop the server, then hold it
+    // to its quiesced counter invariants — every batch the wire submitted
+    // must be accounted, streamed or dropped, and every connection settled.
+    if (config.net) {
+      for (auto& client : clients) client->Close();
+      server->Stop();
+      const net::ServerStats wire = server->stats();
+      const bool balanced =
+          wire.batches_submitted == wire.batches_completed &&
+          wire.batches_completed ==
+              wire.responses_streamed + wire.responses_dropped &&
+          wire.connections_accepted ==
+              wire.connections_closed + wire.connections_dropped &&
+          wire.requests_received == wire.batches_submitted;
+      if (!balanced) {
+        ++report.mismatches;
+        if (report.first_mismatch.empty()) {
+          std::ostringstream out;
+          out << "seed=" << config.seed << " threads=" << config.threads
+              << ": server accounting broken: submitted="
+              << wire.batches_submitted
+              << " completed=" << wire.batches_completed
+              << " streamed=" << wire.responses_streamed
+              << " dropped=" << wire.responses_dropped
+              << " accepted=" << wire.connections_accepted
+              << " closed=" << wire.connections_closed
+              << " conn_dropped=" << wire.connections_dropped
+              << " requests=" << wire.requests_received;
+          report.first_mismatch = out.str();
+        }
+      }
+    }
+  }  // engine destroyed: updater joined, every snapshot's batches drained
 
   if (!config.faults && report.failed_updates > 0) {
     report.first_mismatch = "an ApplyUpdates batch failed";
@@ -430,9 +560,9 @@ DifferentialReport RunDifferentialScenario(const DifferentialConfig& config) {
     versions.insert(result.snapshot_version);
     const TemporalGraph& graph = chain[result.snapshot_version];
     for (size_t i = 0; i < pending.queries.size(); ++i) {
-      // Fault mode: an explicit verdict (shed, expired, shutdown) is a
+      // Fault/net mode: an explicit verdict (shed, expired, shutdown) is a
       // legitimate terminal answer — everything else must be oracle-exact.
-      if (config.faults &&
+      if ((config.faults || config.net) &&
           IsExplicitVerdict(result.outcomes[i].status.code())) {
         ++report.explicit_outcomes;
         continue;

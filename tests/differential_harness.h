@@ -57,6 +57,20 @@ struct DifferentialConfig {
   /// Arms process-global fault points: do not run fault-mode scenarios
   /// concurrently. Mutually exclusive with `incremental`.
   bool faults = false;
+  /// Network mode: front the LiveQueryEngine with a loopback TkcServer and
+  /// route every query batch through TkcClient connections — wire encode,
+  /// frame reassembly, completion streaming and all — while ApplyUpdates
+  /// snapshot swaps land concurrently, exactly as the in-process modes do.
+  /// Every wire verdict must be oracle-exact on the graph version the
+  /// server reports having pinned, or carry an explicit Timeout /
+  /// ResourceExhausted status (seeded wire deadlines race the work on
+  /// purpose; `net.read_short` is armed as a verdict-neutral stressor of
+  /// incremental frame reassembly). After the scenario the server's
+  /// counter invariants must balance: submitted == completed ==
+  /// streamed + dropped, accepted == closed + dropped. Arms a process-
+  /// global fault point: do not run net-mode scenarios concurrently.
+  /// Mutually exclusive with `incremental` and `faults`.
+  bool net = false;
 };
 
 /// What one scenario observed. `mismatches == 0` and `failed_updates == 0`
@@ -77,9 +91,10 @@ struct DifferentialReport {
   uint64_t batches_coalesced = 0;
   uint64_t cache_entries_carried = 0;
   uint64_t emergence_tables_carried = 0;
-  uint64_t explicit_outcomes = 0;  ///< fault mode: skip-oracled statuses
+  uint64_t explicit_outcomes = 0;  ///< fault/net mode: skip-oracled statuses
   uint64_t rebuild_retries = 0;    ///< fault mode: updater retry attempts
   uint64_t updates_applied = 0;    ///< update batches that landed a swap
+  uint64_t wire_responses = 0;     ///< net mode: batches answered over TCP
   std::string first_mismatch;
 };
 

@@ -1,0 +1,65 @@
+// The network-mode differential sweep: seeded scenarios drive query
+// batches through loopback TkcClient connections against a TkcServer over
+// the LiveQueryEngine — concurrently with ApplyUpdates snapshot swaps —
+// and every wire verdict must be oracle-exact on the graph version the
+// server pinned, or carry an explicit Timeout/ResourceExhausted status
+// (seeded 1 ms wire deadlines race the work on purpose; net.read_short is
+// armed so frames reassemble from one-byte reads). Server counter
+// invariants must balance after every scenario. Registered under the `net`
+// ctest label; TKC_NET_SCENARIOS overrides the per-thread-count scenario
+// count (CI sanitizer legs shrink it, the Release leg widens it).
+
+#include <gtest/gtest.h>
+
+#include "tests/differential_harness.h"
+
+namespace tkc {
+namespace {
+
+// Sanitizer/debug builds run each scenario ~20x slower; default small
+// there and let CI pin the count per leg via TKC_NET_SCENARIOS.
+#ifdef NDEBUG
+constexpr uint32_t kDefaultScenarios = 40;
+#else
+constexpr uint32_t kDefaultScenarios = 8;
+#endif
+
+class DifferentialNetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialNetTest, WireMatchesOracleAcrossSwaps) {
+  const int threads = GetParam();
+  const uint32_t scenarios =
+      DifferentialScenarioCount(kDefaultScenarios, "TKC_NET_SCENARIOS");
+  uint64_t total_queries = 0;
+  uint64_t total_wire = 0;
+  uint64_t total_swaps = 0;
+  uint64_t multi_version = 0;
+  for (uint32_t s = 0; s < scenarios; ++s) {
+    DifferentialConfig config;
+    config.seed = 7000 + s;
+    config.threads = threads;
+    config.net = true;
+    DifferentialReport report = RunDifferentialScenario(config);
+    ASSERT_EQ(report.mismatches, 0u) << report.first_mismatch;
+    ASSERT_EQ(report.failed_updates, 0u) << report.first_mismatch;
+    EXPECT_GT(report.wire_responses, 0u);
+    total_queries += report.queries_checked;
+    total_wire += report.wire_responses;
+    total_swaps += report.swaps;
+    if (report.versions_served > 1) ++multi_version;
+  }
+  // The sweep only means something if answers genuinely crossed the wire,
+  // swaps landed while they did, and batches hit different graph versions.
+  EXPECT_GT(total_queries, 0u);
+  EXPECT_GT(total_wire, 0u);
+  EXPECT_GT(total_swaps, 0u);
+  if (scenarios >= 10) EXPECT_GT(multi_version, 0u);
+  RecordProperty("queries_checked", static_cast<int>(total_queries));
+  RecordProperty("wire_responses", static_cast<int>(total_wire));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, DifferentialNetTest,
+                         ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,320 @@
+#include "net/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tkc {
+namespace {
+
+using net::Frame;
+using net::FrameParser;
+using net::FrameType;
+using net::ServerStats;
+
+std::vector<Query> SomeQueries() {
+  return {{3, {1, 9}}, {0, {2, 2}}, {7, {5, 3}}};  // invalid ones included:
+  // the protocol carries them verbatim, the engine judges them
+}
+
+TEST(WireFormatTest, QueryRequestRoundTrip) {
+  net::QueryRequestFrame request;
+  request.request_id = 0xdeadbeefcafe1234ull;
+  request.deadline_ms = 250;
+  request.queries = SomeQueries();
+  std::string wire;
+  AppendQueryRequest(request, &wire);
+  EXPECT_EQ(wire.size(),
+            net::kFrameHeaderBytes + 16 + 12 * request.queries.size());
+
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kQueryRequest);
+  EXPECT_EQ(frame.query_request.request_id, request.request_id);
+  EXPECT_EQ(frame.query_request.deadline_ms, 250u);
+  ASSERT_EQ(frame.query_request.queries.size(), request.queries.size());
+  for (size_t i = 0; i < request.queries.size(); ++i) {
+    EXPECT_EQ(frame.query_request.queries[i].k, request.queries[i].k);
+    EXPECT_EQ(frame.query_request.queries[i].range.start,
+              request.queries[i].range.start);
+    EXPECT_EQ(frame.query_request.queries[i].range.end,
+              request.queries[i].range.end);
+  }
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(WireFormatTest, VerdictAndBatchEndRoundTrip) {
+  net::VerdictFrame verdict;
+  verdict.request_id = 42;
+  verdict.query_index = 3;
+  verdict.status_code = net::StatusCodeToWire(StatusCode::kTimeout);
+  verdict.num_cores = 7;
+  verdict.result_size_edges = 1234567890123ull;
+  verdict.vct_size = 11;
+  verdict.ecs_size = 13;
+  net::BatchEndFrame end;
+  end.request_id = 42;
+  end.snapshot_version = 5;
+  end.num_queries = 4;
+
+  std::string wire;
+  AppendVerdict(verdict, &wire);
+  AppendBatchEnd(end, &wire);
+
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kVerdict);
+  EXPECT_EQ(frame.verdict.request_id, 42u);
+  EXPECT_EQ(frame.verdict.query_index, 3u);
+  EXPECT_EQ(net::StatusCodeFromWire(frame.verdict.status_code),
+            StatusCode::kTimeout);
+  EXPECT_EQ(frame.verdict.result_size_edges, 1234567890123ull);
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kBatchEnd);
+  EXPECT_EQ(frame.batch_end.snapshot_version, 5u);
+  EXPECT_EQ(frame.batch_end.num_queries, 4u);
+}
+
+TEST(WireFormatTest, StatsRoundTripAllCounters) {
+  ServerStats stats;
+  // Distinct values per counter so a swapped field order cannot pass.
+  uint64_t* fields = &stats.connections_accepted;
+  for (uint32_t i = 0; i < net::kServerStatsCounters; ++i) {
+    fields[i] = 1000 + i;
+  }
+  std::string wire;
+  AppendStatsResponse(9, stats, &wire);
+
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kStatsResponse);
+  EXPECT_EQ(frame.stats_response_id, 9u);
+  const uint64_t* parsed = &frame.stats.connections_accepted;
+  for (uint32_t i = 0; i < net::kServerStatsCounters; ++i) {
+    EXPECT_EQ(parsed[i], 1000 + i) << "counter " << i;
+  }
+}
+
+TEST(WireFormatTest, ErrorFrameRoundTrip) {
+  net::ErrorFrame error;
+  error.request_id = 0;
+  error.status_code = net::StatusCodeToWire(StatusCode::kInvalidArgument);
+  error.message = "bad frame magic";
+  std::string wire;
+  AppendError(error, &wire);
+
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kError);
+  EXPECT_EQ(net::StatusCodeFromWire(frame.error.status_code),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(frame.error.message, "bad frame magic");
+}
+
+TEST(WireFormatTest, ReassemblesFromSingleByteFeeds) {
+  net::QueryRequestFrame request;
+  request.request_id = 77;
+  request.queries = SomeQueries();
+  std::string wire;
+  AppendQueryRequest(request, &wire);
+  net::AppendStatsRequest(78, &wire);
+
+  FrameParser parser;
+  Frame frame;
+  size_t frames = 0;
+  for (char byte : wire) {
+    parser.Feed(&byte, 1);
+    while (parser.Next(&frame) == FrameParser::Result::kFrame) ++frames;
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(WireFormatTest, TruncatedFrameNeedsMoreNotError) {
+  net::QueryRequestFrame request;
+  request.request_id = 1;
+  request.queries = SomeQueries();
+  std::string wire;
+  AppendQueryRequest(request, &wire);
+
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size() - 1);
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kNeedMore);
+  parser.Feed(wire.data() + wire.size() - 1, 1);
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+}
+
+TEST(WireFormatTest, RejectsBadMagicVersionTypeReserved) {
+  std::string good;
+  net::AppendStatsRequest(1, &good);
+
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    FrameParser parser;
+    parser.Feed(bad.data(), bad.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+    EXPECT_EQ(parser.error().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::string bad = good;
+    bad[4] = 9;  // version
+    FrameParser parser;
+    parser.Feed(bad.data(), bad.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+  {
+    std::string bad = good;
+    bad[5] = 0;  // type below range
+    FrameParser parser;
+    parser.Feed(bad.data(), bad.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+  {
+    std::string bad = good;
+    bad[5] = 7;  // type above range
+    FrameParser parser;
+    parser.Feed(bad.data(), bad.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+  {
+    std::string bad = good;
+    bad[6] = 1;  // reserved must be zero
+    FrameParser parser;
+    parser.Feed(bad.data(), bad.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+}
+
+TEST(WireFormatTest, RejectsOversizedPayloadBeforeBuffering) {
+  // Header advertises a payload beyond the cap: the parser must poison on
+  // the header alone, not wait for (or allocate) a gigabyte of payload.
+  std::string wire;
+  net::AppendStatsRequest(1, &wire);
+  const uint32_t huge = net::kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  FrameParser parser;
+  parser.Feed(wire.data(), net::kFrameHeaderBytes);  // header only
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+}
+
+TEST(WireFormatTest, RejectsBadQueryCounts) {
+  // Zero queries.
+  net::QueryRequestFrame request;
+  request.request_id = 1;
+  request.queries = {{2, {1, 4}}};
+  std::string wire;
+  AppendQueryRequest(request, &wire);
+  std::string zero = wire;
+  zero[net::kFrameHeaderBytes + 12] = 0;  // num_queries -> 0
+  {
+    FrameParser parser;
+    parser.Feed(zero.data(), zero.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+  // Count disagreeing with the payload length.
+  std::string mismatched = wire;
+  mismatched[net::kFrameHeaderBytes + 12] = 3;
+  {
+    FrameParser parser;
+    parser.Feed(mismatched.data(), mismatched.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+  // Count above the per-request cap.
+  {
+    FrameParser parser(net::kMaxPayloadBytes, /*max_queries=*/1);
+    net::QueryRequestFrame two;
+    two.request_id = 2;
+    two.queries = {{2, {1, 4}}, {3, {2, 5}}};
+    std::string wire2;
+    AppendQueryRequest(two, &wire2);
+    parser.Feed(wire2.data(), wire2.size());
+    Frame frame;
+    EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  }
+}
+
+TEST(WireFormatTest, PoisonedParserStaysPoisoned) {
+  std::string bad;
+  net::AppendStatsRequest(1, &bad);
+  bad[0] = 'Z';
+  std::string good;
+  net::AppendStatsRequest(2, &good);
+
+  FrameParser parser;
+  parser.Feed(bad.data(), bad.size());
+  Frame frame;
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+  parser.Feed(good.data(), good.size());
+  // A framing error has no resync point: valid bytes after it change
+  // nothing.
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kError);
+}
+
+TEST(WireFormatTest, StatsResponseForwardCompatible) {
+  // A "newer server" appends one extra counter: the parser reads the ones
+  // it knows and skips the tail instead of failing.
+  ServerStats stats;
+  stats.connections_accepted = 3;
+  stats.bytes_written = 999;
+  std::string wire;
+  AppendStatsResponse(5, stats, &wire);
+  // Rewrite: bump counter count and append one extra u64 (payload grows 8).
+  const uint32_t n = net::kServerStatsCounters + 1;
+  const uint32_t payload = 12 + 8 * n;
+  for (int i = 0; i < 4; ++i) {
+    wire[8 + i] = static_cast<char>((payload >> (8 * i)) & 0xff);
+  }
+  wire[net::kFrameHeaderBytes + 8] = static_cast<char>(n & 0xff);
+  wire.append(8, '\x7f');
+
+  FrameParser parser;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(parser.Next(&frame), FrameParser::Result::kFrame);
+  EXPECT_EQ(frame.stats.connections_accepted, 3u);
+  EXPECT_EQ(frame.stats.bytes_written, 999u);
+  EXPECT_EQ(parser.Next(&frame), FrameParser::Result::kNeedMore);
+}
+
+TEST(WireFormatTest, StatusCodeWireMapping) {
+  for (uint32_t code = 0; code <= 9; ++code) {
+    EXPECT_EQ(net::StatusCodeToWire(net::StatusCodeFromWire(code)), code);
+  }
+  // Unknown wire values decode to kInternal, never silently OK.
+  EXPECT_EQ(net::StatusCodeFromWire(10), StatusCode::kInternal);
+  EXPECT_EQ(net::StatusCodeFromWire(0xffffffff), StatusCode::kInternal);
+}
+
+TEST(WireFormatTest, ClientFrameTypePredicate) {
+  EXPECT_TRUE(net::IsClientFrameType(FrameType::kQueryRequest));
+  EXPECT_TRUE(net::IsClientFrameType(FrameType::kStatsRequest));
+  EXPECT_FALSE(net::IsClientFrameType(FrameType::kVerdict));
+  EXPECT_FALSE(net::IsClientFrameType(FrameType::kBatchEnd));
+  EXPECT_FALSE(net::IsClientFrameType(FrameType::kStatsResponse));
+  EXPECT_FALSE(net::IsClientFrameType(FrameType::kError));
+}
+
+}  // namespace
+}  // namespace tkc
