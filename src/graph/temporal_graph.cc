@@ -1,6 +1,7 @@
 #include "graph/temporal_graph.h"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -245,15 +246,21 @@ StatusOr<GraphUpdate> TemporalGraph::AppendEdges(
   delta.vertices_preserved = update.graph.num_vertices() == num_vertices_;
   delta.min_time = kInfTime;
   delta.max_time = 0;
+  delta.effective_edges.reserve(effective.size());
   for (const RawTemporalEdge& e : effective) {
     delta.touched_vertices.push_back(e.u);
     delta.touched_vertices.push_back(e.v);
     // Every effective raw time exists in the new timeline by construction,
     // so the floor lookup is an exact match.
     const Timestamp t = update.graph.CompactTimestampFloor(e.raw_time);
+    delta.effective_edges.push_back(TemporalEdge{e.u, e.v, t});
     delta.min_time = std::min(delta.min_time, t);
     delta.max_time = std::max(delta.max_time, t);
   }
+  std::sort(delta.effective_edges.begin(), delta.effective_edges.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              return std::tie(a.t, a.u, a.v) < std::tie(b.t, b.u, b.v);
+            });
   std::sort(delta.touched_vertices.begin(), delta.touched_vertices.end());
   delta.touched_vertices.erase(
       std::unique(delta.touched_vertices.begin(),

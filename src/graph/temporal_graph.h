@@ -39,6 +39,17 @@ struct RawTemporalEdge {
   uint64_t raw_time = 0;
 };
 
+/// One undirected temporal edge. Endpoints are normalized so u < v.
+struct TemporalEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Timestamp t = 0;
+
+  friend bool operator==(const TemporalEdge& a, const TemporalEdge& b) {
+    return a.u == b.u && a.v == b.v && a.t == b.t;
+  }
+};
+
 /// What one TemporalGraph::AppendEdges call actually changed, expressed in
 /// the *new* graph's coordinates. The serving layer's delta-aware rebuilds
 /// (PhcIndex::Rebuild, cross-snapshot cache carry-over) consume this to
@@ -55,6 +66,14 @@ struct EdgeDelta {
 
   /// Distinct endpoints of the effective edges, ascending.
   std::vector<VertexId> touched_vertices;
+
+  /// The effective edges themselves, normalized (u < v) and expressed in
+  /// the *new* graph's compacted timeline, sorted by (t, u, v). The
+  /// per-slice band-tightening proof in PhcIndex::Rebuild needs the
+  /// endpoint *pairing* (which two vertices an appended edge connects, and
+  /// when) — touched_vertices alone cannot say whether both endpoints of
+  /// one edge can reach degree k inside a candidate window.
+  std::vector<TemporalEdge> effective_edges;
 
   /// Compacted-time extent [min_time, max_time] of the effective edges in
   /// the *new* graph's timeline; both 0 when the delta is empty.
@@ -96,17 +115,6 @@ struct EdgeDelta {
 };
 
 struct GraphUpdate;  // defined after TemporalGraph below
-
-/// One undirected temporal edge. Endpoints are normalized so u < v.
-struct TemporalEdge {
-  VertexId u = 0;
-  VertexId v = 0;
-  Timestamp t = 0;
-
-  friend bool operator==(const TemporalEdge& a, const TemporalEdge& b) {
-    return a.u == b.u && a.v == b.v && a.t == b.t;
-  }
-};
 
 /// One entry of a vertex's time-sorted adjacency list.
 struct AdjEntry {

@@ -116,4 +116,133 @@ void QueryCache::Clear() {
   tombstones_ = 0;
 }
 
+StripedQueryCache::StripedQueryCache(size_t capacity, size_t stripes)
+    : capacity_(capacity) {
+  // A stripe with a zero budget could never hold anything (and would break
+  // the "total capacity preserved" contract), so the stripe count is
+  // capped by the capacity. Capacity 0 keeps one inert stripe so the
+  // accessors stay total.
+  size_t count = stripes == 0 ? 1 : stripes;
+  if (capacity_ > 0 && count > capacity_) count = capacity_;
+  if (capacity_ == 0) count = 1;
+  stripes_.reserve(count);
+  const size_t base = capacity_ / count;
+  const size_t remainder = capacity_ % count;
+  for (size_t i = 0; i < count; ++i) {
+    stripes_.push_back(
+        std::make_unique<Stripe>(base + (i < remainder ? 1 : 0)));
+  }
+}
+
+bool StripedQueryCache::Lookup(const Query& query, RunOutcome* out) {
+  Stripe& stripe = *stripes_[StripeOf(QueryCacheKey{query.k, query.range})];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.cache.Lookup(query, out);
+}
+
+void StripedQueryCache::Insert(const Query& query, const RunOutcome& outcome) {
+  if (capacity_ == 0) return;
+  Stripe& stripe = *stripes_[StripeOf(QueryCacheKey{query.k, query.range})];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.cache.Insert(query, outcome);
+}
+
+void StripedQueryCache::InsertTombstone(const Query& query) {
+  if (capacity_ == 0) return;
+  Stripe& stripe = *stripes_[StripeOf(QueryCacheKey{query.k, query.range})];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.cache.InsertTombstone(query);
+}
+
+void StripedQueryCache::Clear() {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->cache.Clear();
+  }
+}
+
+std::vector<QueryCacheEntry> StripedQueryCache::ExportLruToMru(
+    QueryCache::KeyPredicate keep, uint32_t keep_arg) const {
+  std::vector<QueryCacheEntry> entries;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    std::vector<QueryCacheEntry> part =
+        stripe->cache.ExportLruToMru(keep, keep_arg);
+    entries.insert(entries.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  return entries;
+}
+
+size_t StripedQueryCache::ImportEntries(std::vector<QueryCacheEntry> entries) {
+  if (capacity_ == 0) return 0;
+  // Route first, then import stripe by stripe: each stripe sees its
+  // entries in the exported order, so per-stripe recency replays intact.
+  std::vector<std::vector<QueryCacheEntry>> routed(stripes_.size());
+  for (QueryCacheEntry& entry : entries) {
+    routed[StripeOf(entry.key)].push_back(std::move(entry));
+  }
+  size_t resident = 0;
+  for (size_t i = 0; i < stripes_.size(); ++i) {
+    if (routed[i].empty()) continue;
+    std::lock_guard<std::mutex> lock(stripes_[i]->mu);
+    resident += stripes_[i]->cache.ImportEntries(std::move(routed[i]));
+  }
+  return resident;
+}
+
+size_t StripedQueryCache::size() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->cache.size();
+  }
+  return total;
+}
+
+size_t StripedQueryCache::tombstones() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->cache.tombstones();
+  }
+  return total;
+}
+
+size_t StripedQueryCache::weight_used() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->cache.weight_used();
+  }
+  return total;
+}
+
+uint64_t StripedQueryCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->cache.hits();
+  }
+  return total;
+}
+
+uint64_t StripedQueryCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->cache.misses();
+  }
+  return total;
+}
+
+uint64_t StripedQueryCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->cache.evictions();
+  }
+  return total;
+}
+
 }  // namespace tkc

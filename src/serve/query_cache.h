@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -151,6 +153,83 @@ class QueryCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+};
+
+/// Hash-striped concurrent cache: N independently-locked QueryCache
+/// stripes, keyed by QueryCacheKeyHasher(k, range) — the serving layer's
+/// de-contended memo. Concurrent lookups and inserts on different stripes
+/// never serialize against each other; the old single-mutex arrangement
+/// funneled every cache touch of every worker through one lock.
+///
+/// Semantics relative to one QueryCache of the same capacity:
+///  * `capacity` keeps its meaning — total full outcomes across all
+///    stripes; the weight budget is split evenly per stripe (remainder
+///    round-robin), so total weight_capacity() is identical and
+///    weight_used() can never exceed it. Capacity 0 disables caching.
+///  * A given key always lands on the same stripe, so lookup/insert/
+///    tombstone-upgrade semantics per key are exactly QueryCache's.
+///  * Eviction is per-stripe LRU — an approximation of the global LRU
+///    order whose victims may differ, never the budget.
+///  * Counters (hits/misses/evictions/size/weight) are exact per stripe
+///    and summed on read; a snapshot taken under concurrency may tear
+///    *across* stripes but each stripe's contribution is coherent, and
+///    quiescent reads are exact.
+///
+/// The number of stripes is capped by the capacity (a stripe with a zero
+/// budget could never hold anything) and clamped to at least 1.
+class StripedQueryCache {
+ public:
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit StripedQueryCache(size_t capacity,
+                             size_t stripes = kDefaultStripes);
+
+  /// True iff caching is enabled (capacity > 0) — the cheap guard serving
+  /// paths check before paying a stripe lock.
+  bool enabled() const { return capacity_ > 0; }
+
+  bool Lookup(const Query& query, RunOutcome* out);
+  void Insert(const Query& query, const RunOutcome& outcome);
+  void InsertTombstone(const Query& query);
+  void Clear();
+
+  /// Per-stripe LRU-to-MRU exports, concatenated in stripe order. Global
+  /// recency across stripes is not tracked; re-importing preserves each
+  /// stripe's relative recency, which is what carry-over needs.
+  std::vector<QueryCacheEntry> ExportLruToMru(
+      QueryCache::KeyPredicate keep = nullptr, uint32_t keep_arg = 0) const;
+
+  /// Routes each entry to its stripe and imports per stripe in order;
+  /// returns the total number of imported entries still resident.
+  size_t ImportEntries(std::vector<QueryCacheEntry> entries);
+
+  size_t capacity() const { return capacity_; }
+  size_t num_stripes() const { return stripes_.size(); }
+  size_t size() const;
+  size_t tombstones() const;
+  size_t weight_used() const;
+  size_t weight_capacity() const {
+    return capacity_ * QueryCache::kOutcomeWeight;
+  }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  /// One stripe: its lock and its share of the budget. Heap-allocated so
+  /// the mutex address is stable and stripes do not false-share.
+  struct Stripe {
+    explicit Stripe(size_t cap) : cache(cap) {}
+    mutable std::mutex mu;
+    QueryCache cache;
+  };
+
+  size_t StripeOf(const QueryCacheKey& key) const {
+    return QueryCacheKeyHasher{}(key) % stripes_.size();
+  }
+
+  size_t capacity_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace tkc

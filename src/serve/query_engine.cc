@@ -69,6 +69,72 @@ std::vector<Timestamp> ComputeEmergence(const VertexCoreTimeIndex& slice) {
   return emergence;
 }
 
+/// Recomputes emergence[rel] for starts in [first, last] from `slice`,
+/// leaving every entry outside the band untouched: the incremental
+/// maintenance path for suffix-stitched slices, where the stitch contract
+/// guarantees all per-(vertex, start) values outside the band carried over
+/// unchanged — and a table entry is a pure min over those values. Same
+/// multiset sweep as ComputeEmergence, seeded with each vertex's covering
+/// value at `first` and fed only the breakpoints inside the band.
+void RecomputeEmergenceBand(const VertexCoreTimeIndex& slice, Timestamp first,
+                            Timestamp last, std::vector<Timestamp>* table) {
+  const Window range = slice.range();
+  const size_t lo = static_cast<size_t>(first - range.start);
+  const size_t band = static_cast<size_t>(last - first) + 1;
+  constexpr Timestamp kNoPrev = kInfTime;
+  std::vector<std::vector<std::pair<Timestamp, Timestamp>>> buckets(band);
+  std::multiset<Timestamp> live;
+  for (VertexId u = 0; u < slice.num_vertices(); ++u) {
+    const std::span<const VctEntry> rows = slice.EntriesOf(u);
+    // The entry covering `first` (last one with start <= first) seeds the
+    // sweep; later breakpoints inside the band replace it as usual.
+    auto it = std::upper_bound(
+        rows.begin(), rows.end(), first,
+        [](Timestamp t, const VctEntry& e) { return t < e.start; });
+    Timestamp prev = kNoPrev;
+    if (it != rows.begin()) prev = std::prev(it)->core_time;
+    if (prev != kNoPrev) live.insert(prev);
+    for (; it != rows.end() && it->start <= last; ++it) {
+      buckets[it->start - first].emplace_back(prev, it->core_time);
+      prev = it->core_time;
+    }
+  }
+  for (size_t rel = 0; rel < band; ++rel) {
+    for (const auto& [old_value, new_value] : buckets[rel]) {
+      if (old_value != kNoPrev) {
+        auto it = live.find(old_value);
+        if (it != live.end()) live.erase(it);
+      }
+      live.insert(new_value);
+    }
+    (*table)[lo + rel] = live.empty() ? kInfTime : *live.begin();
+  }
+}
+
+}  // namespace
+
+/// Relaxed-atomic counters behind ServeStats: every hot-path bump is a
+/// lock-free fetch_add; stats() materializes the plain struct. Cache
+/// hit/miss/eviction counts live in the striped cache itself.
+struct QueryEngine::AtomicServeStats {
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> queries_served{0};
+  std::atomic<uint64_t> index_rejections{0};
+  std::atomic<uint64_t> batch_dedup_hits{0};
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> async_batches{0};
+  std::atomic<uint64_t> batches_shed{0};
+  std::atomic<uint64_t> deadlines_expired{0};
+};
+
+namespace {
+
+/// All ServeStats counters are independent monotone event counts; relaxed
+/// ordering is enough for each to read as a consistent prefix.
+inline void Bump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 // Checks an arena out of the engine's free list for the duration of one
@@ -79,7 +145,7 @@ class QueryEngine::ArenaLease {
  public:
   ArenaLease(QueryEngine* engine, bool wanted) : engine_(engine) {
     if (!wanted) return;
-    std::lock_guard<std::mutex> lock(*engine_->mu_);
+    std::lock_guard<std::mutex> lock(*engine_->arena_mu_);
     if (!engine_->free_arenas_.empty()) {
       arena_ = std::move(engine_->free_arenas_.back());
       engine_->free_arenas_.pop_back();
@@ -90,7 +156,7 @@ class QueryEngine::ArenaLease {
 
   ~ArenaLease() {
     if (arena_ == nullptr) return;
-    std::lock_guard<std::mutex> lock(*engine_->mu_);
+    std::lock_guard<std::mutex> lock(*engine_->arena_mu_);
     engine_->free_arenas_.push_back(std::move(arena_));
   }
 
@@ -146,8 +212,12 @@ QueryEngine::QueryEngine(const TemporalGraph& g,
       options_(options),
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::Shared()),
       replica_rr_(std::make_unique<std::atomic<uint64_t>>(0)),
-      mu_(std::make_unique<std::mutex>()),
-      cache_(std::make_unique<QueryCache>(options.cache_capacity)),
+      cache_(std::make_unique<StripedQueryCache>(
+          options.cache_capacity, options.cache_stripes > 0
+                                      ? options.cache_stripes
+                                      : StripedQueryCache::kDefaultStripes)),
+      arena_mu_(std::make_unique<std::mutex>()),
+      stats_(std::make_unique<AtomicServeStats>()),
       async_(std::make_unique<AsyncState>(options.async_queue_capacity)) {}
 
 QueryEngine::~QueryEngine() {
@@ -196,7 +266,8 @@ Status QueryEngine::BuildAdmissionIndex() {
   }
   PhcBuildOptions build;
   build.max_k = options_.index_max_k;
-  build.pool = pool_;
+  build.pool =
+      options_.index_build_pool != nullptr ? options_.index_build_pool : pool_;
   auto index = PhcIndex::Build(*graph_, graph_->FullRange(), build);
   if (!index.ok()) return index.status();
   // Only a complete index proves "k > max_k" globally empty.
@@ -215,17 +286,41 @@ void QueryEngine::InstallAdmissionIndex(PhcIndex index) {
   const PhcIndex* source_index =
       source != nullptr && !source->replicas_.empty() ? &source->replicas_[0]
                                                       : nullptr;
+  // Suffix-stitched slices get the incremental path: copy the source's
+  // table and re-sweep only the recomputed band. Everything outside the
+  // band is provably unchanged (the stitch carried those values), so the
+  // result is bit-identical to a full sweep — the differential harness
+  // proves every table against a from-scratch computation.
+  auto band_of = [&](uint32_t k) -> const PhcRebuildStats::SuffixBand* {
+    if (options_.emergence_bands == nullptr) return nullptr;
+    for (const PhcRebuildStats::SuffixBand& band : *options_.emergence_bands) {
+      if (band.k == k) return &band;
+    }
+    return nullptr;
+  };
+  const size_t span = static_cast<size_t>(index.range().Length());
   emergence_.reserve(index.max_k());
   for (uint32_t k = 1; k <= index.max_k(); ++k) {
+    const PhcRebuildStats::SuffixBand* band = band_of(k);
     if (source_index != nullptr && k <= source_index->max_k() &&
         source_index->SliceShared(k) == index.SliceShared(k)) {
       emergence_.push_back(source->emergence_[k - 1]);
       ++emergence_tables_carried_;
+    } else if (band != nullptr && source_index != nullptr &&
+               k <= source_index->max_k() &&
+               source_index->range() == index.range() &&
+               source->emergence_[k - 1].size() == span) {
+      std::vector<Timestamp> table = source->emergence_[k - 1];
+      RecomputeEmergenceBand(index.Slice(k), band->first_dirty,
+                             band->last_dirty, &table);
+      emergence_.push_back(std::move(table));
+      ++emergence_tables_stitched_;
     } else {
       emergence_.push_back(ComputeEmergence(index.Slice(k)));
     }
   }
   options_.emergence_source = nullptr;  // never read again; do not dangle
+  options_.emergence_bands = nullptr;
   replicas_.reserve(options_.num_index_replicas);
   for (int r = 1; r < options_.num_index_replicas; ++r) {
     // Shallow copies: replicas alias the shared slice storage (see the
@@ -280,16 +375,12 @@ RunOutcome QueryEngine::ServeOne(const Query& query, double limit_seconds,
   // already passed, and Timeout is that answer on every path.
   if (deadline.Expired()) {
     out.status = Status::Timeout("deadline expired before serving");
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.queries_served;
+    Bump(stats_->queries_served);
     return out;
   }
-  if (cache_->capacity() > 0) {
-    std::lock_guard<std::mutex> lock(*mu_);
-    if (cache_->Lookup(query, &out)) {
-      ++stats_.queries_served;
-      return out;
-    }
+  if (cache_->enabled() && cache_->Lookup(query, &out)) {
+    Bump(stats_->queries_served);
+    return out;
   }
   return ExecuteUncached(query, limit_seconds, deadline);
 }
@@ -300,8 +391,7 @@ RunOutcome QueryEngine::ExecuteUncached(const Query& query,
   RunOutcome out;
   if (batch_deadline.Expired()) {
     out.status = Status::Timeout("batch deadline expired");
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.queries_served;
+    Bump(stats_->queries_served);
     return out;
   }
 
@@ -312,9 +402,8 @@ RunOutcome QueryEngine::ExecuteUncached(const Query& query,
   if (in_span && !MayContainCore(query.k, query.range)) {
     out = RunOutcome{};
     out.status = Status::OK();
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.queries_served;
-    ++stats_.index_rejections;
+    Bump(stats_->queries_served);
+    Bump(stats_->index_rejections);
     // Provable emptiness is remembered as a tombstone: 1/16th of a full
     // LRU slot, replayed as this exact outcome on a hit.
     cache_->InsertTombstone(query);
@@ -330,12 +419,9 @@ RunOutcome QueryEngine::ExecuteUncached(const Query& query,
                              UsesBuildArena(options_.algorithm));
   out = RunAlgorithm(options_.algorithm, *graph_, query, deadline,
                      lease.get());
-  {
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.queries_served;
-    ++stats_.executed;
-    if (out.status.ok()) cache_->Insert(query, out);
-  }
+  Bump(stats_->queries_served);
+  Bump(stats_->executed);
+  if (out.status.ok()) cache_->Insert(query, out);
   return out;
 }
 
@@ -345,20 +431,14 @@ RunOutcome QueryEngine::Serve(const Query& query) {
 
 RunOutcome QueryEngine::Serve(const Query& query,
                               double per_query_limit_seconds) {
-  {
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.batches;
-  }
+  Bump(stats_->batches);
   return ServeOne(query, per_query_limit_seconds);
 }
 
 RunOutcome QueryEngine::ServeWithDeadline(const Query& query,
                                           const Deadline& deadline) {
-  {
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.batches;
-    if (deadline.Expired()) ++stats_.deadlines_expired;
-  }
+  Bump(stats_->batches);
+  if (deadline.Expired()) Bump(stats_->deadlines_expired);
   return ServeOne(query, options_.per_query_limit_seconds, deadline);
 }
 
@@ -370,12 +450,9 @@ std::vector<RunOutcome> QueryEngine::ServeBatch(
 std::vector<RunOutcome> QueryEngine::ServeBatch(
     const std::vector<Query>& queries, const Deadline& deadline) {
   if (deadline.Expired()) {
-    {
-      std::lock_guard<std::mutex> lock(*mu_);
-      ++stats_.batches;
-      ++stats_.deadlines_expired;
-      stats_.queries_served += queries.size();
-    }
+    Bump(stats_->batches);
+    Bump(stats_->deadlines_expired);
+    Bump(stats_->queries_served, queries.size());
     std::vector<RunOutcome> outcomes(queries.size());
     for (RunOutcome& out : outcomes) {
       out.status = Status::Timeout("batch deadline expired");
@@ -401,16 +478,17 @@ std::vector<RunOutcome> QueryEngine::ServeBatch(
 
 QueryEngine::BatchPlan QueryEngine::PreScanBatch(
     const std::vector<Query>& queries, std::vector<RunOutcome>* outcomes) {
-  // One lock: answer cache hits inline (no fan-out cost for hit-heavy
-  // workloads) and group the misses by (k, range) so each distinct query
-  // executes at most once per batch (dedup_batches).
+  // Answer cache hits inline (no fan-out cost for hit-heavy workloads) and
+  // group the misses by (k, range) so each distinct query executes at most
+  // once per batch (dedup_batches). Each hit pays only its own stripe's
+  // lock; the grouping map is batch-local, so no engine-wide lock is held
+  // across the scan.
   BatchPlan plan;
   std::unordered_map<QueryCacheKey, size_t, QueryCacheKeyHasher> group_of;
-  std::lock_guard<std::mutex> lock(*mu_);
-  ++stats_.batches;
+  Bump(stats_->batches);
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (cache_->capacity() > 0 && cache_->Lookup(queries[i], &(*outcomes)[i])) {
-      ++stats_.queries_served;
+    if (cache_->enabled() && cache_->Lookup(queries[i], &(*outcomes)[i])) {
+      Bump(stats_->queries_served);
       continue;
     }
     if (options_.dedup_batches) {
@@ -437,11 +515,12 @@ void QueryEngine::FanOutFollowers(const BatchPlan& plan,
     }
   }
   if (any_followers) {
-    std::lock_guard<std::mutex> lock(*mu_);
+    uint64_t copied = 0;
     for (size_t g = 0; g < plan.leaders.size(); ++g) {
-      stats_.batch_dedup_hits += plan.followers[g].size();
-      stats_.queries_served += plan.followers[g].size();
+      copied += plan.followers[g].size();
     }
+    Bump(stats_->batch_dedup_hits, copied);
+    Bump(stats_->queries_served, copied);
   }
 }
 
@@ -532,10 +611,7 @@ void QueryEngine::SubmitAsyncWithCallback(
     std::lock_guard<std::mutex> lock(async_->mu);
     ++async_->inflight;
   }
-  {
-    std::lock_guard<std::mutex> lock(*mu_);
-    ++stats_.async_batches;
-  }
+  Bump(stats_->async_batches);
 
   if (deadline.unlimited()) {
     // The queue never closes while the engine lives, so Push cannot fail;
@@ -550,10 +626,7 @@ void QueryEngine::SubmitAsyncWithCallback(
   // batch with the least remaining deadline (queued or incoming) is shed
   // with ResourceExhausted so the submitter returns in bounded time.
   if (deadline.Expired()) {
-    {
-      std::lock_guard<std::mutex> lock(*mu_);
-      ++stats_.deadlines_expired;
-    }
+    Bump(stats_->deadlines_expired);
     CompleteAsyncBatch(std::move(batch),
                        Status::Timeout("deadline expired before submission"));
     return;
@@ -570,10 +643,7 @@ void QueryEngine::SubmitAsyncWithCallback(
       ScheduleDispatcher();
       break;
     case PushOutcome::kPushedEvicted: {
-      {
-        std::lock_guard<std::mutex> lock(*mu_);
-        ++stats_.batches_shed;
-      }
+      Bump(stats_->batches_shed);
       CompleteAsyncBatch(std::move(evicted),
                          Status::ResourceExhausted(
                              "request queue full: evicted by a submission "
@@ -582,10 +652,7 @@ void QueryEngine::SubmitAsyncWithCallback(
       break;
     }
     case PushOutcome::kRejectedIncoming: {
-      {
-        std::lock_guard<std::mutex> lock(*mu_);
-        ++stats_.batches_shed;
-      }
+      Bump(stats_->batches_shed);
       CompleteAsyncBatch(std::move(batch),
                          Status::ResourceExhausted(
                              "request queue full: least remaining deadline"));
@@ -638,10 +705,7 @@ void QueryEngine::ProcessAsyncBatch(AsyncBatch batch) {
   // pre-scan: executing it would spend pool time on an answer the caller
   // has already given up on.
   if (batch.deadline.Expired()) {
-    {
-      std::lock_guard<std::mutex> lock(*mu_);
-      ++stats_.deadlines_expired;
-    }
+    Bump(stats_->deadlines_expired);
     CompleteAsyncBatch(std::move(batch),
                        Status::Timeout("deadline expired before dispatch"));
     return;
@@ -706,36 +770,42 @@ void QueryEngine::DrainAsync() {
 }
 
 ServeStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  ServeStats snapshot = stats_;
+  // Each counter is an independent relaxed atomic; a snapshot taken under
+  // concurrency may tear across counters (never within one), and quiescent
+  // reads are exact — the same contract as the striped cache's totals.
+  ServeStats snapshot;
+  snapshot.batches = stats_->batches.load(std::memory_order_relaxed);
+  snapshot.queries_served =
+      stats_->queries_served.load(std::memory_order_relaxed);
+  snapshot.index_rejections =
+      stats_->index_rejections.load(std::memory_order_relaxed);
+  snapshot.batch_dedup_hits =
+      stats_->batch_dedup_hits.load(std::memory_order_relaxed);
+  snapshot.executed = stats_->executed.load(std::memory_order_relaxed);
+  snapshot.async_batches =
+      stats_->async_batches.load(std::memory_order_relaxed);
+  snapshot.batches_shed =
+      stats_->batches_shed.load(std::memory_order_relaxed);
+  snapshot.deadlines_expired =
+      stats_->deadlines_expired.load(std::memory_order_relaxed);
   snapshot.cache_hits = cache_->hits();
   snapshot.cache_misses = cache_->misses();
   snapshot.cache_evictions = cache_->evictions();
   return snapshot;
 }
 
-void QueryEngine::ClearCache() {
-  std::lock_guard<std::mutex> lock(*mu_);
-  cache_->Clear();
-}
+void QueryEngine::ClearCache() { cache_->Clear(); }
 
 uint64_t QueryEngine::CarryOverCacheFrom(const QueryEngine& prev,
                                          uint32_t clean_above_k) {
-  if (options_.cache_capacity == 0 || prev.options_.cache_capacity == 0) {
-    return 0;
-  }
-  std::vector<QueryCacheEntry> entries;
-  {
-    // prev may still be serving in-flight batches pinned to its snapshot;
-    // its lock is held only for the copy-out, and the filter runs before
-    // payloads are copied so the lock is held proportionally to what
-    // actually carries.
-    std::lock_guard<std::mutex> lock(*prev.mu_);
-    entries = prev.cache_->ExportLruToMru(
-        [](const QueryCacheKey& key, uint32_t bound) { return key.k > bound; },
-        clean_above_k);
-  }
-  std::lock_guard<std::mutex> lock(*mu_);
+  if (!cache_->enabled() || !prev.cache_->enabled()) return 0;
+  // prev may still be serving in-flight batches pinned to its snapshot;
+  // the export locks one stripe at a time, and the filter runs before
+  // payloads are copied so each stripe's lock is held proportionally to
+  // what actually carries.
+  std::vector<QueryCacheEntry> entries = prev.cache_->ExportLruToMru(
+      [](const QueryCacheKey& key, uint32_t bound) { return key.k > bound; },
+      clean_above_k);
   return cache_->ImportEntries(std::move(entries));
 }
 

@@ -44,7 +44,11 @@
 ///  * **Memoization.** Completed outcomes are stored in a bounded LRU
 ///    (serve/query_cache.h) keyed by (k, range), so repeated-query
 ///    workloads are served at lookup cost; admission rejections are stored
-///    as compact tombstones (1/16th of a full slot).
+///    as compact tombstones (1/16th of a full slot). The LRU is
+///    hash-striped (StripedQueryCache): concurrent workers touching
+///    different keys never serialize on a single cache lock, and every
+///    serve counter is a relaxed atomic aggregated on read — the only
+///    engine-wide mutex left on the hot path guards the arena free list.
 ///  * **Async submission.** SubmitAsync enqueues a batch on a bounded MPSC
 ///    request queue and returns immediately with a std::future (or routes
 ///    the finished BatchResult to a caller-owned BatchCompletionQueue): a
@@ -88,8 +92,22 @@ struct QueryEngineOptions {
   /// 1-thread pool serves batches serially on the calling thread.
   ThreadPool* pool = nullptr;
 
+  /// Pool the construction-time PHC index build (or the live layer's
+  /// delta-aware Rebuild) fans out over; nullptr falls back to `pool`.
+  /// The live-update layer points this at a dedicated update pool so a
+  /// rebuild never steals the serving pool's workers out from under
+  /// in-flight batches — the contention that collapsed during-update
+  /// throughput at low thread counts.
+  ThreadPool* index_build_pool = nullptr;
+
   /// LRU capacity of the (k, range) -> outcome memo; 0 disables caching.
   size_t cache_capacity = 1024;
+
+  /// Lock stripes of the query cache (see StripedQueryCache): concurrent
+  /// batches touching different stripes never serialize on the memo. 0
+  /// takes the default; 1 degenerates to a single globally-LRU cache —
+  /// exact single-lock semantics for tests and measurement.
+  size_t cache_stripes = 0;
 
   /// Recycle VctBuildArena scratch across queries (zero steady-state
   /// allocation). Off, every query builds with fresh scratch — the mode the
@@ -151,6 +169,15 @@ struct QueryEngineOptions {
   /// pointer stop paying the emergence sweep again. Only read during
   /// Create; must outlive it.
   const QueryEngine* emergence_source = nullptr;
+
+  /// Recomputed start bands of the preloaded index's suffix-stitched
+  /// slices (PhcRebuildStats::suffix_bands from the *same* Rebuild that
+  /// produced preloaded_index against emergence_source's index). For each
+  /// banded slice the engine copies the source's emergence table and
+  /// re-sweeps only the band — everything outside it is provably
+  /// unchanged — instead of paying the full per-k sweep. Requires
+  /// emergence_source; only read during Create; must outlive it.
+  const std::vector<PhcRebuildStats::SuffixBand>* emergence_bands = nullptr;
 };
 
 /// The completed answer to one asynchronously submitted batch.
@@ -349,10 +376,10 @@ class QueryEngine {
   /// engine's memo with `prev`'s entries whose k the caller has proven
   /// unaffected by the graph delta separating the two engines' graphs —
   /// entries with k > clean_above_k carry (0 carries everything; see
-  /// PhcRebuildStats::clean_above_k). Relative recency is preserved.
-  /// Returns the number of entries carried; 0 when either cache is
-  /// disabled. Call before this engine starts serving (it locks both
-  /// caches, prev's first).
+  /// PhcRebuildStats::clean_above_k). Per-stripe relative recency is
+  /// preserved. Returns the number of entries carried; 0 when either cache
+  /// is disabled. Call before this engine starts serving (it locks each
+  /// cache stripe in turn, prev's first).
   uint64_t CarryOverCacheFrom(const QueryEngine& prev,
                               uint32_t clean_above_k);
 
@@ -385,6 +412,13 @@ class QueryEngine {
   /// instead of recomputed (0 without a source or an index).
   uint64_t emergence_tables_carried() const {
     return emergence_tables_carried_;
+  }
+
+  /// Emergence tables maintained incrementally at construction — copied
+  /// from the source and re-swept only over the suffix-stitched band
+  /// (options.emergence_bands) instead of the full per-k sweep.
+  uint64_t emergence_tables_stitched() const {
+    return emergence_tables_stitched_;
   }
 
   AlgorithmKind algorithm() const { return options_.algorithm; }
@@ -455,13 +489,20 @@ class QueryEngine {
   /// none). Non-decreasing in ts.
   std::vector<std::vector<Timestamp>> emergence_;
   uint64_t emergence_tables_carried_ = 0;
+  uint64_t emergence_tables_stitched_ = 0;
   mutable std::unique_ptr<std::atomic<uint64_t>> replica_rr_;
 
-  /// Serving state (mutex-guarded).
-  std::unique_ptr<std::mutex> mu_;
-  std::unique_ptr<QueryCache> cache_;
+  /// Relaxed-atomic mirrors of ServeStats, bumped lock-free on the hot
+  /// path and aggregated by stats(). Monotone counters need no ordering —
+  /// a reader sees some interleaving-consistent prefix of each.
+  struct AtomicServeStats;
+
+  /// Serving state. The cache stripes its own locks; the only engine-wide
+  /// mutex left guards the arena free list (a short push/pop).
+  std::unique_ptr<StripedQueryCache> cache_;
+  std::unique_ptr<std::mutex> arena_mu_;
   std::vector<std::unique_ptr<VctBuildArena>> free_arenas_;
-  ServeStats stats_;
+  std::unique_ptr<AtomicServeStats> stats_;
 
   /// Async submission state (request queue, dispatcher flag, drain cv).
   std::unique_ptr<AsyncState> async_;

@@ -96,8 +96,12 @@ StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::CreateSuccessor(
   if (want_index) {
     PhcBuildOptions build;
     build.max_k = options.index_max_k;
-    build.pool =
-        options.pool != nullptr ? options.pool : &ThreadPool::Shared();
+    // The rebuild fans out over the dedicated update pool when the live
+    // layer provides one — never the serving pool, whose workers belong to
+    // in-flight query batches.
+    build.pool = options.index_build_pool != nullptr ? options.index_build_pool
+                 : options.pool != nullptr          ? options.pool
+                                                    : &ThreadPool::Shared();
     auto index = PhcIndex::Rebuild(*base_index, update.graph, update.delta,
                                    build, &rebuild_stats);
     if (!index.ok()) return index.status();
@@ -106,8 +110,11 @@ StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::CreateSuccessor(
     successor_options.build_index = true;
     // Slices Rebuild carried by pointer have provably identical emergence
     // tables; let the successor's engine copy them from the base engine
-    // instead of re-running the emergence sweep per reused slice.
+    // instead of re-running the emergence sweep per reused slice — and
+    // suffix-stitched slices copy the base table and re-sweep only their
+    // recomputed start band (rebuild_stats outlives CreateImpl below).
     successor_options.emergence_source = &base.engine();
+    successor_options.emergence_bands = &rebuild_stats.suffix_bands;
   }
 
   auto snapshot =
@@ -123,6 +130,8 @@ StatusOr<std::shared_ptr<const GraphSnapshot>> GraphSnapshot::CreateSuccessor(
   swap.rows_total = rebuild_stats.rows_total;
   swap.emergence_tables_carried =
       (*snapshot)->engine().emergence_tables_carried();
+  swap.emergence_tables_stitched =
+      (*snapshot)->engine().emergence_tables_stitched();
   // Cross-snapshot cache carry-over: entries whose k lies strictly above
   // the delta's proof boundary answer identically on the new graph, so the
   // successor starts warm for exactly that region. Gated on the delta
@@ -159,6 +168,28 @@ LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
     rebuild_engine_options_.preloaded_index = nullptr;
     rebuild_engine_options_.build_index = true;
   }
+  // De-contention: rebuilds fan out over a pool that shares no worker with
+  // the serving pool, so a swap in progress costs queries nothing but
+  // memory bandwidth.
+  ThreadPool* update_pool = options_.update_pool;
+  if (update_pool == nullptr) {
+    const ThreadPool* serve_pool = options_.engine.pool != nullptr
+                                       ? options_.engine.pool
+                                       : &ThreadPool::Shared();
+    // Default size: the serving pool's width, capped at the physical core
+    // count — rebuild slices beyond real cores buy no parallelism, they
+    // only oversubscribe the machine against the serving threads.
+    size_t threads = options_.update_pool_threads;
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = static_cast<size_t>(serve_pool->num_threads());
+      if (hw > 0 && threads > hw) threads = hw;
+    }
+    owned_update_pool_ =
+        std::make_unique<ThreadPool>(static_cast<int>(threads));
+    update_pool = owned_update_pool_.get();
+  }
+  rebuild_engine_options_.index_build_pool = update_pool;
   jitter_stream_ = SplitMix64(options.retry_jitter_seed);
   all_snapshots_.push_back(std::move(initial));
 }
@@ -198,7 +229,7 @@ void LiveQueryEngine::DrainAsync() {
   // the destructor drains again after Shutdown already did.
   std::vector<std::weak_ptr<const GraphSnapshot>> snapshots;
   {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    std::lock_guard<std::mutex> lock(snapshots_mu_);
     all_snapshots_.erase(
         std::remove_if(all_snapshots_.begin(), all_snapshots_.end(),
                        [](const std::weak_ptr<const GraphSnapshot>& w) {
@@ -219,8 +250,9 @@ LiveQueryEngine::~LiveQueryEngine() {
 }
 
 std::shared_ptr<const GraphSnapshot> LiveQueryEngine::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
-  return current_;
+  // Lock-free pin: an atomic shared_ptr load. Readers never serialize
+  // against each other or against the updater's publishing store.
+  return current_.load(std::memory_order_acquire);
 }
 
 BatchResult LiveQueryEngine::ServeBatch(const std::vector<Query>& queries) {
@@ -369,11 +401,8 @@ void LiveQueryEngine::UpdaterLoop() {
     // this thread (and, inside PhcIndex::Rebuild, the serving pool) builds
     // the successor. Transient failures retry with capped backoff inside
     // RebuildWithRetry; the last good snapshot keeps serving throughout.
-    std::shared_ptr<const GraphSnapshot> base;
-    {
-      std::lock_guard<std::mutex> lock(snapshot_mu_);
-      base = current_;
-    }
+    std::shared_ptr<const GraphSnapshot> base =
+        current_.load(std::memory_order_acquire);
     std::shared_ptr<const GraphSnapshot> next;
     // Version advances by the whole group: version N stays "initial
     // graph + update batches 1..N" even when swaps coalesce.
@@ -384,14 +413,14 @@ void LiveQueryEngine::UpdaterLoop() {
     double swap_seconds = 0;
     if (status.ok()) {
       WallTimer swap_timer;
+      // The swap is one atomic shared_ptr store: queries pin before or
+      // after, never mid-swap (no torn reads), and never wait on it.
+      current_.store(next, std::memory_order_release);
       {
-        // The swap is one shared_ptr assignment under a micro-lock:
-        // queries pin before or after, never mid-swap (no torn reads).
-        std::lock_guard<std::mutex> lock(snapshot_mu_);
-        current_ = next;
         // Track the new version for destructor-time draining; expired
         // entries (snapshots whose last pin is gone) are pruned here so
         // the list stays proportional to snapshots actually alive.
+        std::lock_guard<std::mutex> lock(snapshots_mu_);
         all_snapshots_.erase(
             std::remove_if(all_snapshots_.begin(), all_snapshots_.end(),
                            [](const std::weak_ptr<const GraphSnapshot>& w) {
@@ -425,6 +454,8 @@ void LiveQueryEngine::UpdaterLoop() {
         stats_.update.rows_total += swap.rows_total;
         stats_.update.emergence_tables_carried +=
             swap.emergence_tables_carried;
+        stats_.update.emergence_tables_stitched +=
+            swap.emergence_tables_stitched;
         stats_.update.cache_entries_carried += swap.cache_entries_carried;
         if (swap.slices_reused > 0 || swap.suffix_rebuilds > 0) {
           ++stats_.update.incremental_swaps;

@@ -34,9 +34,11 @@
 ///    answer against exactly one graph version, even if any number of
 ///    swaps land while the batch is in flight.
 ///  * ApplyUpdates never blocks serving: a dedicated updater thread builds
-///    the successor snapshot off to the side and then swaps one shared_ptr
-///    under a micro-lock. Old snapshots die when their last pinned batch
-///    completes.
+///    the successor snapshot off to the side — its index rebuild fanned
+///    over a dedicated update pool, never the serving pool — and then
+///    publishes it with one atomic shared_ptr store; pinning the current
+///    snapshot is a lock-free atomic load. Old snapshots die when their
+///    last pinned batch completes.
 ///  * Update batches are applied strictly FIFO (a bounded MPSC queue feeds
 ///    the updater thread). Under swap pressure the updater *coalesces*:
 ///    each rebuild cycle drains every batch queued at that moment, applies
@@ -100,6 +102,10 @@ struct UpdateStats {
   /// Per-k core-emergence tables copied from the predecessor engine
   /// instead of recomputed (pointer-shared slices only).
   uint64_t emergence_tables_carried = 0;
+  /// Per-k core-emergence tables maintained incrementally for
+  /// suffix-stitched slices: the predecessor's table copied, only the
+  /// recomputed start band re-swept.
+  uint64_t emergence_tables_stitched = 0;
   /// Query-cache entries carried across swaps instead of recomputing.
   uint64_t cache_entries_carried = 0;
   /// Swap cycles that carried at least one slice (whole or suffix).
@@ -139,6 +145,7 @@ class GraphSnapshot {
     uint64_t rows_reused = 0;       ///< VCT rows carried from the base index
     uint64_t rows_total = 0;        ///< VCT rows across this version's index
     uint64_t emergence_tables_carried = 0;  ///< emergence sweeps skipped
+    uint64_t emergence_tables_stitched = 0;  ///< emergence sweeps band-only
     uint64_t cache_entries_carried = 0;  ///< memo entries seeded from the base
   };
 
@@ -192,6 +199,21 @@ struct LiveEngineOptions {
   /// Per-snapshot engine configuration (algorithm, pool, cache, admission
   /// index, async queue bound). Applied to every rebuilt snapshot.
   QueryEngineOptions engine;
+
+  /// Pool the updater's graph+index rebuilds fan out over. Deliberately
+  /// NOT the serving pool: a rebuild sliced over the serving pool starves
+  /// in-flight query batches for its whole duration (at 2 serving threads
+  /// the one background worker is shared by the async dispatcher, batch
+  /// leaders, and rebuild slices — during-update throughput collapsed to
+  /// ~2% of idle). nullptr makes the live engine own a dedicated pool of
+  /// update_pool_threads; a caller-provided pool must outlive the engine.
+  ThreadPool* update_pool = nullptr;
+
+  /// Size of the internally-owned update pool when update_pool is null; 0
+  /// matches the serving pool's thread count capped at the hardware core
+  /// count (extra rebuild threads past real cores would only oversubscribe
+  /// the machine against serving).
+  size_t update_pool_threads = 0;
 
   /// Bound of the update queue: at most this many ApplyUpdates batches
   /// wait for the updater thread; further calls block (backpressure).
@@ -371,13 +393,26 @@ class LiveQueryEngine {
   /// an index to rebuild from).
   QueryEngineOptions rebuild_engine_options_;
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const GraphSnapshot> current_;
+  /// The serving hot path's only shared word: snapshot() is a lock-free
+  /// atomic load (readers never serialize against each other or the
+  /// updater's swap), the updater's swap an atomic store. libstdc++ backs
+  /// atomic<shared_ptr> with a small internal spinlock, but the critical
+  /// section is a refcount bump — nanoseconds — against the old
+  /// arrangement's mutex held across every pin.
+  std::atomic<std::shared_ptr<const GraphSnapshot>> current_;
+  /// Guards all_snapshots_ (bookkeeping only — never on the serve path).
+  mutable std::mutex snapshots_mu_;
   /// Every version ever swapped in that may still be alive, so the
   /// destructor can drain batches pinned to superseded snapshots (their
   /// completion-queue deliveries must finish before the caller tears the
   /// queue down). Expired entries are pruned on each swap.
   std::vector<std::weak_ptr<const GraphSnapshot>> all_snapshots_;
+
+  /// Internally-owned dedicated update pool (LiveEngineOptions::update_pool
+  /// null); rebuild_engine_options_.index_build_pool points at it (or at
+  /// the caller's update_pool) so PhcIndex::Rebuild never touches the
+  /// serving pool.
+  std::unique_ptr<ThreadPool> owned_update_pool_;
 
   mutable std::mutex stats_mu_;
   LiveStats stats_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,102 @@ std::shared_ptr<const VertexCoreTimeIndex> BuildSlice(const TemporalGraph& g,
       BuildVctAndEcs(g, k, range, arena, pool).vct);
 }
 
+/// The per-slice endpoint-connectivity proof behind band tightening: for a
+/// start ts, E(ts) = the earliest window end te at which *any* delta edge
+/// can sit inside the k-core of the new graph's window [ts, te]. An
+/// appended edge (a, b, t) inside that core needs t in [ts, te] and both
+/// endpoints at windowed distinct-neighbor degree >= k — each endpoint's
+/// earliest qualifying end A(w, ts) is read off one pass over w's
+/// time-sorted adjacency slice. Appends only grow k-cores (core times only
+/// decrease), and a window whose k-core changed must contain a delta edge
+/// with both endpoints in the new core, so a row (u, ts) with old value c
+/// is provably pinned whenever c <= E(ts). E is non-decreasing in ts
+/// (every term is), which is what lets a per-row check stand in for a
+/// per-(vertex, start) sweep.
+///
+/// Evaluations are memoized per distinct start and budgeted: past
+/// kScanBudget adjacency entries, further starts conservatively report
+/// "impact possible immediately" (E = 0), degrading to the untightened
+/// band instead of burning rebuild time on a huge delta.
+class DeltaImpactOracle {
+ public:
+  DeltaImpactOracle(const TemporalGraph& g, const EdgeDelta& delta)
+      : g_(g),
+        delta_(delta),
+        range_end_(g.FullRange().end),
+        stamp_(g.num_vertices(), 0),
+        endpoint_end_(g.num_vertices(), 0),
+        endpoint_stamp_(g.num_vertices(), 0) {}
+
+  /// Retargets the oracle at slice `k`, dropping the per-start memo (the
+  /// stamp arrays survive — epochs only ever grow). One oracle thus serves
+  /// every dirty slice of a Rebuild without reallocating.
+  void Reset(uint32_t k) {
+    k_ = k;
+    memo_.clear();
+    ++epoch_;
+  }
+
+  /// E(ts), memoized. 0 means "cannot prune anything at this start"
+  /// (budget exhausted); kInfTime means no delta edge can affect any
+  /// window starting at ts.
+  Timestamp EarliestImpactEnd(Timestamp ts) {
+    auto [it, inserted] = memo_.try_emplace(ts, 0);
+    if (!inserted) return it->second;
+    if (budget_ <= 0) return it->second = 0;
+    Timestamp best = kInfTime;
+    ++epoch_;
+    // Edges are sorted by time: once an edge's own time reaches the best
+    // end found so far, no later edge can improve it (its te >= t).
+    for (const TemporalEdge& e : delta_.effective_edges) {
+      if (e.t < ts) continue;
+      if (e.t >= best) break;
+      const Timestamp need = std::max(
+          e.t, std::max(EndpointEnd(e.u, ts), EndpointEnd(e.v, ts)));
+      best = std::min(best, need);
+      if (budget_ <= 0) return it->second = 0;
+    }
+    return it->second = best;
+  }
+
+ private:
+  /// A(w, ts): the time at which w's k-th distinct neighbor (in the new
+  /// graph) first appears within [ts, range end], kInfTime when fewer than
+  /// k distinct neighbors exist there. Memoized per (ts) via epoch stamps.
+  Timestamp EndpointEnd(VertexId w, Timestamp ts) {
+    if (endpoint_stamp_[w] == epoch_) return endpoint_end_[w];
+    endpoint_stamp_[w] = epoch_;
+    ++scan_id_;  // fresh distinct-neighbor marks for this scan alone
+    uint32_t distinct = 0;
+    Timestamp end = kInfTime;
+    const auto window = g_.NeighborsInWindow(w, Window{ts, range_end_});
+    budget_ -= static_cast<int64_t>(window.size());
+    for (const AdjEntry& a : window) {  // sorted by (time, neighbor)
+      if (stamp_[a.neighbor] == scan_id_) continue;
+      stamp_[a.neighbor] = scan_id_;
+      if (++distinct >= k_) {
+        end = a.time;
+        break;
+      }
+    }
+    return endpoint_end_[w] = end;
+  }
+
+  static constexpr int64_t kScanBudget = 1 << 22;  // adjacency entries
+
+  const TemporalGraph& g_;
+  const EdgeDelta& delta_;
+  uint32_t k_ = 0;
+  const Timestamp range_end_;
+  int64_t budget_ = kScanBudget;
+  uint32_t epoch_ = 0;
+  uint32_t scan_id_ = 0;
+  std::vector<uint32_t> stamp_;          ///< distinct-neighbor marks
+  std::vector<Timestamp> endpoint_end_;  ///< A(w, ts) memo for this epoch
+  std::vector<uint32_t> endpoint_stamp_;
+  std::unordered_map<Timestamp, Timestamp> memo_;
+};
+
 /// Earliest start time at which slice `k` of the old index could disagree
 /// with the new graph's slice, for an *eligible* append delta (timeline and
 /// vertex pool preserved). kInfTime means no (vertex, start) pair can
@@ -42,15 +140,31 @@ std::shared_ptr<const VertexCoreTimeIndex> BuildSlice(const TemporalGraph& g,
 /// entering the new graph's full-range k-core, and any gain shows at the
 /// first start (k-cores grow with the window) — hence the core-number
 /// check decides between "clean" and "dirty from the very first start".
+///
+/// On top of that global bound, `oracle` (when non-null) prunes rows the
+/// delta-endpoint connectivity proof pins: a row whose old value c
+/// satisfies c <= E(start) cannot change, because every window [start,
+/// te < c] provably contains no delta edge whose endpoints both reach
+/// degree k. Old values strictly increase per vertex while E is
+/// non-decreasing, so the first surviving row is the vertex's first dirty
+/// start. Sets `*tightened` when the pruning raised the slice's band start
+/// past the untightened bound (or emptied the band).
 Timestamp FirstDirtyStart(const VertexCoreTimeIndex& old_slice,
                           const EdgeDelta& delta,
                           const std::vector<uint32_t>& new_core_numbers,
-                          uint32_t k, Window range) {
+                          uint32_t k, Window range, DeltaImpactOracle* oracle,
+                          bool* tightened) {
   Timestamp first = kInfTime;
+  Timestamp untightened = kInfTime;
   for (VertexId u = 0; u < old_slice.num_vertices(); ++u) {
     const std::span<const VctEntry> rows = old_slice.EntriesOf(u);
     if (rows.empty()) {
-      if (new_core_numbers[u] >= k) return range.start;
+      if (new_core_numbers[u] >= k) {
+        // A first-time member's new row appears at the very first start;
+        // no endpoint proof can pin it.
+        if (tightened != nullptr) *tightened = false;
+        return range.start;
+      }
       continue;
     }
     auto it = std::lower_bound(
@@ -58,9 +172,18 @@ Timestamp FirstDirtyStart(const VertexCoreTimeIndex& old_slice,
         [](const VctEntry& e, Timestamp t) { return e.core_time < t; });
     if (it == rows.end()) continue;  // every old value is below min_time
     if (it->start > delta.max_time) continue;  // band opens past the delta
-    first = std::min(first, it->start);
-    if (first == range.start) return first;  // cannot get lower
+    untightened = std::min(untightened, it->start);
+    for (; it != rows.end() && it->start <= delta.max_time; ++it) {
+      if (it->start >= first) break;  // a later row cannot lower the band
+      if (oracle == nullptr ||
+          it->core_time > oracle->EarliestImpactEnd(it->start)) {
+        first = std::min(first, it->start);
+        break;
+      }
+    }
+    if (first == range.start) break;  // cannot get lower
   }
+  if (tightened != nullptr) *tightened = first != untightened;
   return first;
 }
 
@@ -173,6 +296,16 @@ StatusOr<PhcIndex> PhcIndex::Rebuild(const PhcIndex& old_index,
   std::vector<uint32_t> full;
   std::vector<SuffixTask> partial;
   full.reserve(kmax);
+  // The endpoint-connectivity oracle is only as good as the delta's edge
+  // list: a delta assembled by hand (or from an older serialization) may
+  // carry counts without edges, in which case tightening silently stands
+  // down to the global band.
+  const bool tighten =
+      local.reuse_eligible() &&
+      delta.effective_edges.size() == delta.edges_appended &&
+      !delta.effective_edges.empty();
+  std::optional<DeltaImpactOracle> oracle;
+  if (tighten) oracle.emplace(g, delta);
   for (uint32_t k = 1; k <= kmax; ++k) {
     if (!local.reuse_eligible() || k > old_index.max_k()) {
       full.push_back(k);
@@ -186,8 +319,12 @@ StatusOr<PhcIndex> PhcIndex::Rebuild(const PhcIndex& old_index,
     }
     // Dirty by the core bound — but the delta's time extent may still pin
     // most (or all) of the slice's rows.
+    if (oracle.has_value()) oracle->Reset(k);
+    bool tightened = false;
     const Timestamp first_dirty = FirstDirtyStart(
-        old_index.Slice(k), delta, cores.core_numbers, k, range);
+        old_index.Slice(k), delta, cores.core_numbers, k, range,
+        oracle.has_value() ? &*oracle : nullptr, &tightened);
+    if (tightened) ++local.bands_tightened;
     if (first_dirty == kInfTime) {
       index.slices_[k - 1] = old_index.slices_[k - 1];  // provably clean
       ++local.slices_reused;
@@ -196,6 +333,8 @@ StatusOr<PhcIndex> PhcIndex::Rebuild(const PhcIndex& old_index,
       full.push_back(k);  // the dirty band is the whole slice
     } else {
       partial.push_back(SuffixTask{k, first_dirty});
+      local.suffix_bands.push_back(
+          PhcRebuildStats::SuffixBand{k, first_dirty, delta.max_time});
     }
   }
   local.slices_rebuilt = static_cast<uint32_t>(full.size());

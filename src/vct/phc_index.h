@@ -49,6 +49,17 @@ struct PhcRebuildStats {
   /// "No slice (or cached outcome) is provably clean."
   static constexpr uint32_t kNothingClean = 0xffffffffu;
 
+  /// The recomputed start band of one suffix-maintained slice: rows with
+  /// start in [first_dirty, last_dirty] were recomputed, every other
+  /// (vertex, start) value provably carried over unchanged. The serving
+  /// layer consumes these to maintain the per-k emergence tables
+  /// incrementally — only band entries need the sweep re-run.
+  struct SuffixBand {
+    uint32_t k = 0;
+    Timestamp first_dirty = 0;
+    Timestamp last_dirty = 0;
+  };
+
   /// Slices of the old index reused by pointer.
   uint32_t slices_reused = 0;
   /// Slices (re)built from scratch over the new graph.
@@ -57,6 +68,14 @@ struct PhcRebuildStats {
   /// could have touched was recomputed (BuildVctSuffix), the untouched
   /// prefix/tail rows carried over (StitchCoreTimeSuffix).
   uint32_t suffix_rebuilds = 0;
+  /// One entry per suffix-maintained slice, ascending k (suffix_rebuilds
+  /// entries in total).
+  std::vector<SuffixBand> suffix_bands;
+  /// Slices whose recompute band shrank below (or closed entirely against)
+  /// the global [first value >= delta.min_time, delta.max_time] bound
+  /// because the per-vertex impact proof showed the delta edges cannot
+  /// reach degree k early enough inside the candidate windows.
+  uint32_t bands_tightened = 0;
   /// VCT rows carried from the old index: every row of a pointer-reused
   /// slice plus the prefix/tail rows of suffix-maintained slices.
   uint64_t rows_reused = 0;
@@ -118,6 +137,19 @@ class PhcIndex {
   /// spliced back between the untouched prefix/tail rows
   /// (StitchCoreTimeSuffix); a slice whose band is empty is reused whole
   /// even though k <= max_core_bound.
+  ///
+  /// The per-vertex band is additionally *tightened* by delta-endpoint
+  /// connectivity: appends only grow windows' k-cores, so a row (u, ts)
+  /// with old value c changes only if some window [ts, te < c] gains a
+  /// k-core member — which requires a delta edge (a, b, t) with both
+  /// endpoints inside the new window's k-core, hence t >= ts, te >= t, and
+  /// each endpoint reaching distinct-neighbor degree >= k within [ts, te].
+  /// The earliest such te over all delta edges, E(ts) — non-decreasing in
+  /// ts — prunes every row with c <= E(ts), often shrinking the recompute
+  /// band well below the global bound (or closing it) when the appended
+  /// edges land in sparse neighborhoods. Exact, not heuristic: the
+  /// differential harness proves the stitched slices bit-identical to
+  /// from-scratch builds.
   static StatusOr<PhcIndex> Rebuild(const PhcIndex& old_index,
                                     const TemporalGraph& g,
                                     const EdgeDelta& delta,

@@ -297,6 +297,50 @@ TEST(PhcRebuildTest, MidTimelineDeltaReusesPrefixAndTailRows) {
   EXPECT_TRUE(*rebuilt == *fresh);
 }
 
+TEST(PhcRebuildTest, EndpointConnectivityTightensDirtyBands) {
+  // Two satellites, each wired to the dense core by exactly two early
+  // edges, joined by a delta edge late in the timeline. The delta's core
+  // bound is 3 (each endpoint's distinct degree), so the global rule
+  // dirties k = 1..3 — but the k=2 slice is provably *unchanged*: a new
+  // 2-core around the delta edge needs each endpoint's second distinct
+  // neighbor inside the window, which for window starts past the early
+  // wiring never happens before the old core times anyway. The
+  // endpoint-connectivity oracle must prove that and shrink (or empty)
+  // the k=2 band where the global bound could not.
+  TemporalGraph dense = GenerateUniformRandom(18, 260, 12, 33);
+  const VertexId p = dense.num_vertices(), q = p + 1;
+  auto based = dense.AppendEdges(std::vector<RawTemporalEdge>{
+      {p, 0, dense.RawTimestamp(2)},
+      {p, 1, dense.RawTimestamp(2)},
+      {q, 2, dense.RawTimestamp(3)},
+      {q, 3, dense.RawTimestamp(3)}});
+  ASSERT_TRUE(based.ok());
+  TemporalGraph base = std::move(based->graph);
+
+  auto update = base.AppendEdges(
+      std::vector<RawTemporalEdge>{{p, q, base.RawTimestamp(8)}});
+  ASSERT_TRUE(update.ok());
+  ASSERT_TRUE(update->delta.timestamps_preserved);
+  ASSERT_TRUE(update->delta.vertices_preserved);
+  ASSERT_EQ(update->delta.TimeExtent(), (Window{8, 8}));
+  ASSERT_EQ(update->delta.max_core_bound, 3u);
+
+  PhcBuildOptions build;
+  auto old_index = PhcIndex::Build(base, base.FullRange(), build);
+  ASSERT_TRUE(old_index.ok());
+  PhcRebuildStats stats;
+  auto rebuilt = PhcIndex::Rebuild(*old_index, update->graph, update->delta,
+                                   build, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_GE(stats.bands_tightened, 1u);
+  // Tightening must never cost correctness: still bit-identical to a
+  // from-scratch build on the new graph.
+  auto fresh =
+      PhcIndex::Build(update->graph, update->graph.FullRange(), build);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(*rebuilt == *fresh);
+}
+
 TEST(PhcRebuildTest, BoundaryTimestampAppendsMatchBuild) {
   // Sentinel-adjacent deltas: edges landing exactly on the first and last
   // compacted timestamps (the edge spans the time-offset table brackets

@@ -1,0 +1,253 @@
+// Striped-cache semantics and concurrency tests (serve/query_cache.h).
+//
+// The StripedQueryCache is the serving hot path's de-contended memo; its
+// contract is "one QueryCache of the same capacity, minus global LRU
+// order". These tests pin that contract from three sides:
+//
+//  * a single-stripe striped cache replays a seeded op tape bit-identically
+//    against a plain QueryCache (hits, misses, evictions, payloads);
+//  * a multi-stripe cache preserves the aggregate capacity semantics — the
+//    summed weight budget, the per-key tombstone-upgrade rules — even
+//    though eviction victims may differ from global LRU;
+//  * a seeded multi-thread stress hammers lookup/insert/tombstone/clear
+//    concurrently and then checks the accounting balances exactly: every
+//    lookup is counted once as a hit or a miss, every hit returned the
+//    payload its key demands, and the weight budget never overflows.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/query_cache.h"
+#include "util/rng.h"
+
+namespace tkc {
+namespace {
+
+Query Q(uint32_t k, Timestamp start, Timestamp end) {
+  return Query{k, Window{start, end}};
+}
+
+// Payload as a pure function of the key, so any thread can validate any
+// hit without knowing who inserted the entry.
+RunOutcome OutcomeFor(const Query& query) {
+  RunOutcome out;
+  out.status = Status::OK();
+  out.num_cores = query.k * 1000ull + query.range.start;
+  out.result_size_edges = query.range.end;
+  return out;
+}
+
+// The key space of the stress test: small enough that keys recur (hits and
+// tombstone upgrades happen), large enough to spread across stripes.
+Query KeyOf(uint64_t id) {
+  const uint32_t k = static_cast<uint32_t>(1 + id % 12);
+  const Timestamp start = static_cast<Timestamp>(1 + (id / 12) % 8);
+  return Q(k, start, start + 4);
+}
+
+TEST(StripedCacheTest, SingleStripeMatchesPlainCacheExactly) {
+  // One stripe = one lock = the legacy semantics; a seeded op tape must
+  // produce identical observable state on both implementations.
+  constexpr size_t kCapacity = 6;
+  QueryCache plain(kCapacity);
+  StripedQueryCache striped(kCapacity, 1);
+  ASSERT_EQ(striped.num_stripes(), 1u);
+
+  Rng rng(20260807);
+  for (int op = 0; op < 4000; ++op) {
+    const Query query = KeyOf(rng.NextBounded(96));
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        RunOutcome a, b;
+        EXPECT_EQ(plain.Lookup(query, &a), striped.Lookup(query, &b));
+        EXPECT_EQ(a.num_cores, b.num_cores);
+        EXPECT_EQ(a.result_size_edges, b.result_size_edges);
+        break;
+      }
+      case 1:
+        plain.Insert(query, OutcomeFor(query));
+        striped.Insert(query, OutcomeFor(query));
+        break;
+      case 2:
+        plain.InsertTombstone(query);
+        striped.InsertTombstone(query);
+        break;
+      default:
+        if (rng.NextBounded(64) == 0) {  // rare full clears
+          plain.Clear();
+          striped.Clear();
+        }
+        break;
+    }
+    ASSERT_EQ(plain.size(), striped.size());
+    ASSERT_EQ(plain.weight_used(), striped.weight_used());
+    ASSERT_EQ(plain.tombstones(), striped.tombstones());
+    ASSERT_EQ(plain.hits(), striped.hits());
+    ASSERT_EQ(plain.misses(), striped.misses());
+    ASSERT_EQ(plain.evictions(), striped.evictions());
+  }
+}
+
+TEST(StripedCacheTest, StripeCountCappedByCapacity) {
+  // A stripe with zero budget could never hold anything; the constructor
+  // caps the stripe count so every stripe owns at least one outcome slot.
+  StripedQueryCache small(3, 16);
+  EXPECT_EQ(small.num_stripes(), 3u);
+  EXPECT_EQ(small.capacity(), 3u);
+  EXPECT_EQ(small.weight_capacity(), 3 * QueryCache::kOutcomeWeight);
+
+  StripedQueryCache disabled(0, 16);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_EQ(disabled.weight_capacity(), 0u);
+  RunOutcome out;
+  disabled.Insert(Q(1, 1, 2), OutcomeFor(Q(1, 1, 2)));
+  EXPECT_FALSE(disabled.Lookup(Q(1, 1, 2), &out));
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(StripedCacheTest, AggregateCapacityMatchesSingleLockCache) {
+  // Overfill a multi-stripe cache and a plain cache with the same entry
+  // stream: the budget totals must agree even though the eviction victims
+  // (per-stripe LRU vs global LRU) may not.
+  constexpr size_t kCapacity = 8;
+  QueryCache plain(kCapacity);
+  StripedQueryCache striped(kCapacity, 4);
+  ASSERT_EQ(striped.num_stripes(), 4u);
+  ASSERT_EQ(striped.weight_capacity(), plain.weight_capacity());
+
+  for (uint64_t id = 0; id < 64; ++id) {
+    const Query query = KeyOf(id);
+    plain.Insert(query, OutcomeFor(query));
+    striped.Insert(query, OutcomeFor(query));
+    EXPECT_LE(striped.weight_used(), striped.weight_capacity());
+  }
+  // Both caches are full to their (identical) budget: with full outcomes
+  // only, that pins the entry count too.
+  EXPECT_EQ(plain.weight_used(), plain.weight_capacity());
+  EXPECT_EQ(striped.weight_used(), striped.weight_capacity());
+  EXPECT_EQ(striped.size(), plain.size());
+
+  // Tombstones cost 1 unit on both sides; an upgrade to a full outcome
+  // re-prices the same key identically.
+  QueryCache plain_t(2);
+  StripedQueryCache striped_t(2, 2);
+  const Query tq = Q(40, 1, 3);
+  plain_t.InsertTombstone(tq);
+  striped_t.InsertTombstone(tq);
+  EXPECT_EQ(striped_t.weight_used(), plain_t.weight_used());
+  EXPECT_EQ(striped_t.tombstones(), 1u);
+  plain_t.Insert(tq, OutcomeFor(tq));
+  striped_t.Insert(tq, OutcomeFor(tq));
+  EXPECT_EQ(striped_t.weight_used(), plain_t.weight_used());
+  EXPECT_EQ(striped_t.tombstones(), 0u);
+}
+
+TEST(StripedCacheTest, ExportImportCarriesEntriesAcrossCaches) {
+  // Capacities are generous on purpose: the budget is split per stripe, so
+  // a skewed hash routing of 7 entries must still fit the unluckiest
+  // stripe (7 full outcomes <= 32/4 = 8 slots) for the carry to be total.
+  StripedQueryCache source(32, 4);
+  for (uint64_t id = 0; id < 6; ++id) {
+    source.Insert(KeyOf(id), OutcomeFor(KeyOf(id)));
+  }
+  source.InsertTombstone(Q(50, 2, 9));
+  ASSERT_EQ(source.size(), 7u);
+
+  StripedQueryCache target(32, 2);  // different stripe count on purpose
+  const size_t imported = target.ImportEntries(source.ExportLruToMru());
+  EXPECT_EQ(imported, 7u);
+  EXPECT_EQ(target.size(), source.size());
+  EXPECT_EQ(target.tombstones(), 1u);
+  for (uint64_t id = 0; id < 6; ++id) {
+    RunOutcome out;
+    ASSERT_TRUE(target.Lookup(KeyOf(id), &out));
+    EXPECT_EQ(out.num_cores, OutcomeFor(KeyOf(id)).num_cores);
+  }
+  RunOutcome out;
+  EXPECT_TRUE(target.Lookup(Q(50, 2, 9), &out));
+  EXPECT_EQ(out.num_cores, 0u);  // tombstone replays the empty outcome
+}
+
+TEST(StripedCacheTest, ConcurrentStressAccountingBalances) {
+  // Seeded multi-thread stress: 8 threads hammer one cache with a mix of
+  // lookups, inserts, tombstones, and (thread 0 only) rare clears. The
+  // per-key payload is a pure function of the key, so every hit is
+  // verifiable by the thread that sees it; afterwards the global counters
+  // must balance against the per-thread tallies exactly — the property the
+  // old engine-wide mutex guaranteed and the stripes must preserve.
+  constexpr size_t kCapacity = 24;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 6000;
+  StripedQueryCache cache(kCapacity, StripedQueryCache::kDefaultStripes);
+
+  std::vector<uint64_t> lookups(kThreads, 0);
+  std::vector<uint64_t> bad_hits(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x5eed + static_cast<uint64_t>(t));
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const Query query = KeyOf(rng.NextBounded(96));
+        switch (rng.NextBounded(4)) {
+          case 0:
+          case 1: {
+            RunOutcome out;
+            ++lookups[t];
+            if (cache.Lookup(query, &out)) {
+              const RunOutcome want = OutcomeFor(query);
+              // A tombstone hit replays the canonical empty outcome; any
+              // other payload must be exactly what this key stores.
+              const bool tombstone_hit =
+                  out.num_cores == 0 && out.result_size_edges == 0;
+              if (!tombstone_hit && (out.num_cores != want.num_cores ||
+                                     out.result_size_edges !=
+                                         want.result_size_edges)) {
+                ++bad_hits[t];
+              }
+            }
+            break;
+          }
+          case 2:
+            cache.Insert(query, OutcomeFor(query));
+            break;
+          default:
+            cache.InsertTombstone(query);
+            if (t == 0 && rng.NextBounded(512) == 0) cache.Clear();
+            break;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  uint64_t total_lookups = 0, total_bad = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    total_lookups += lookups[t];
+    total_bad += bad_hits[t];
+  }
+  EXPECT_EQ(total_bad, 0u);
+  // Every lookup was counted exactly once, as a hit or a miss — Clear
+  // preserves the counters, so the identity holds across clears too.
+  EXPECT_EQ(cache.hits() + cache.misses(), total_lookups);
+  EXPECT_LE(cache.weight_used(), cache.weight_capacity());
+  EXPECT_LE(cache.size(), cache.weight_used());  // every entry weighs >= 1
+  EXPECT_LE(cache.tombstones(), cache.size());
+
+  // Quiescent aggregate checks: re-derive weight from an export and match.
+  const std::vector<QueryCacheEntry> entries = cache.ExportLruToMru();
+  EXPECT_EQ(entries.size(), cache.size());
+  size_t weight = 0, tombstones = 0;
+  for (const QueryCacheEntry& entry : entries) {
+    weight += entry.outcome.has_value() ? QueryCache::kOutcomeWeight : 1;
+    if (!entry.outcome.has_value()) ++tombstones;
+  }
+  EXPECT_EQ(weight, cache.weight_used());
+  EXPECT_EQ(tombstones, cache.tombstones());
+}
+
+}  // namespace
+}  // namespace tkc

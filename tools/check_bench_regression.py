@@ -93,6 +93,14 @@ def fmt_key(key_fields, key):
     return " ".join(f"{f}={v}" for f, v in zip(key_fields, key))
 
 
+def fmt_delta(baseline_value, current_value):
+    """Signed percent change of current vs baseline, e.g. '+12.3%'."""
+    if baseline_value == 0:
+        return "n/a"
+    pct = (current_value - baseline_value) / abs(baseline_value) * 100.0
+    return f"{pct:+.1f}%"
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True)
@@ -192,7 +200,7 @@ def main():
                 )
             print(
                 f"{fmt_key(key_fields, key)}: {metric} "
-                f"{b:.6g} -> {c:.6g} [{verdict}]"
+                f"{b:.6g} -> {c:.6g} ({fmt_delta(b, c)}) [{verdict}]"
             )
         for metric in higher_metrics:
             if metric not in base or metric not in cur:
@@ -208,7 +216,7 @@ def main():
                 )
             print(
                 f"{fmt_key(key_fields, key)}: {metric} "
-                f"{b:.6g} -> {c:.6g} [{verdict}]"
+                f"{b:.6g} -> {c:.6g} ({fmt_delta(b, c)}) [{verdict}]"
             )
     for key in baseline:
         if key not in current:
