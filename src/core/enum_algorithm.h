@@ -40,9 +40,9 @@ struct EnumStats {
 
 /// Runs Algorithm 5 over a previously built skyline, streaming each distinct
 /// temporal k-core into `sink`. Returns Timeout if `deadline` expires.
-Status EnumerateFromEcs(const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
-                        EnumStats* stats = nullptr,
-                        const Deadline& deadline = Deadline());
+[[nodiscard]] Status EnumerateFromEcs(
+    const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
+    EnumStats* stats = nullptr, const Deadline& deadline = Deadline());
 
 }  // namespace tkc
 

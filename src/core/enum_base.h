@@ -41,11 +41,10 @@ struct EnumBaseStats {
 
 /// Runs Algorithm 3 over a previously built skyline. `g` must be the graph
 /// the skyline was built from (it supplies edge timestamps for TTIs).
-Status EnumerateFromEcsBase(const TemporalGraph& g,
-                            const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
-                            EnumBaseDedup dedup = EnumBaseDedup::kStoreFullCores,
-                            EnumBaseStats* stats = nullptr,
-                            const Deadline& deadline = Deadline());
+[[nodiscard]] Status EnumerateFromEcsBase(
+    const TemporalGraph& g, const EdgeCoreWindowSkyline& ecs, CoreSink* sink,
+    EnumBaseDedup dedup = EnumBaseDedup::kStoreFullCores,
+    EnumBaseStats* stats = nullptr, const Deadline& deadline = Deadline());
 
 }  // namespace tkc
 

@@ -19,8 +19,9 @@ namespace tkc {
 
 /// Enumerates all distinct temporal k-cores of `g` within `range` by brute
 /// force. Returns InvalidArgument for k < 1 or a range outside the graph.
-Status EnumerateNaive(const TemporalGraph& g, uint32_t k, Window range,
-                      CoreSink* sink, const Deadline& deadline = Deadline());
+[[nodiscard]] Status EnumerateNaive(
+    const TemporalGraph& g, uint32_t k, Window range, CoreSink* sink,
+    const Deadline& deadline = Deadline());
 
 }  // namespace tkc
 

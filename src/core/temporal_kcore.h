@@ -82,13 +82,14 @@ struct QueryStats {
 /// inside the graph's compacted time span. Exposed so other execution
 /// paths (the CoreTime-only measurement kind, the serving layer) validate
 /// identically instead of drifting from the pipeline.
-Status ValidateQueryInputs(const TemporalGraph& g, uint32_t k, Window range);
+[[nodiscard]] Status ValidateQueryInputs(const TemporalGraph& g, uint32_t k,
+                                         Window range);
 
 /// Runs the time-range k-core query. Validates inputs (k >= 1, range inside
 /// the graph's compacted time span) and streams results into `sink`.
-Status RunTemporalKCoreQuery(const TemporalGraph& g, uint32_t k, Window range,
-                             CoreSink* sink, const QueryOptions& options = {},
-                             QueryStats* stats = nullptr);
+[[nodiscard]] Status RunTemporalKCoreQuery(
+    const TemporalGraph& g, uint32_t k, Window range, CoreSink* sink,
+    const QueryOptions& options = {}, QueryStats* stats = nullptr);
 
 /// Human-readable name of an enumeration method ("Enum", "EnumBase", ...).
 const char* EnumMethodName(EnumMethod method);

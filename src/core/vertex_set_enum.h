@@ -93,7 +93,7 @@ class VertexSetDedupSink : public CoreSink {
 /// Convenience: runs the full pipeline (CoreTime + Enum) and collects all
 /// distinct temporal k-core vertex sets of windows within `range`.
 /// Declared here, defined in vertex_set_enum.cc.
-StatusOr<std::vector<VertexSetResult>> EnumerateVertexSets(
+[[nodiscard]] StatusOr<std::vector<VertexSetResult>> EnumerateVertexSets(
     const TemporalGraph& g, uint32_t k, Window range);
 
 }  // namespace tkc

@@ -28,11 +28,11 @@ namespace tkc {
 std::vector<SyntheticSpec> TableIIISpecs(double scale = 1.0);
 
 /// Returns the spec for one dataset by short name ("CM", "WT", ...).
-StatusOr<SyntheticSpec> SpecByName(const std::string& name,
+[[nodiscard]] StatusOr<SyntheticSpec> SpecByName(const std::string& name,
                                    double scale = 1.0);
 
 /// Generates the dataset by short name.
-StatusOr<TemporalGraph> GenerateByName(const std::string& name,
+[[nodiscard]] StatusOr<TemporalGraph> GenerateByName(const std::string& name,
                                        double scale = 1.0);
 
 /// The four datasets the paper's parameter sweeps use (Figures 7, 8, 10,

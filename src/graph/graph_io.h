@@ -24,15 +24,16 @@ struct SnapLoadOptions {
 };
 
 /// Parses a SNAP-format temporal edge list from a string.
-StatusOr<TemporalGraph> ParseSnapText(const std::string& text,
+[[nodiscard]] StatusOr<TemporalGraph> ParseSnapText(const std::string& text,
                                       const SnapLoadOptions& options = {});
 
 /// Loads a SNAP-format temporal edge list from a file.
-StatusOr<TemporalGraph> LoadSnapFile(const std::string& path,
+[[nodiscard]] StatusOr<TemporalGraph> LoadSnapFile(const std::string& path,
                                      const SnapLoadOptions& options = {});
 
 /// Writes `g` in SNAP format (raw timestamps) to `path`.
-Status SaveSnapFile(const TemporalGraph& g, const std::string& path);
+[[nodiscard]] Status SaveSnapFile(const TemporalGraph& g,
+                                  const std::string& path);
 
 /// Serializes `g` to SNAP text (raw timestamps).
 std::string ToSnapText(const TemporalGraph& g);

@@ -29,17 +29,18 @@ struct ExtractedGraph {
 /// freshly compacted timestamps. Queries on the extract over its full range
 /// are equivalent to queries on the source over `window` (tested).
 /// Fails when the window contains no edges.
-StatusOr<ExtractedGraph> ExtractWindow(const TemporalGraph& g, Window window);
+[[nodiscard]] StatusOr<ExtractedGraph> ExtractWindow(const TemporalGraph& g,
+                                                     Window window);
 
 /// Induces on a vertex subset: keeps edges with BOTH endpoints in
 /// `vertices`, relabels vertices densely in sorted order. Fails when the
 /// induced graph has no edges.
-StatusOr<ExtractedGraph> InduceOnVertices(const TemporalGraph& g,
+[[nodiscard]] StatusOr<ExtractedGraph> InduceOnVertices(const TemporalGraph& g,
                                           std::span<const VertexId> vertices);
 
 /// Relabels vertices densely, dropping isolated ids (useful after loading
 /// SNAP files with sparse id spaces). Always succeeds on non-empty graphs.
-StatusOr<ExtractedGraph> CompactVertexIds(const TemporalGraph& g);
+[[nodiscard]] StatusOr<ExtractedGraph> CompactVertexIds(const TemporalGraph& g);
 
 }  // namespace tkc
 

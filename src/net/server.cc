@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/fault_injection.h"
+#include "util/mutex.h"
 
 namespace tkc::net {
 
@@ -135,7 +136,7 @@ void TkcServer::DrainerLoop() {
   BatchResult result;
   while (cq_.Next(&result)) {
     {
-      std::lock_guard<std::mutex> lock(completed_mu_);
+      MutexLock lock(completed_mu_);
       completed_.push_back(std::move(result));
     }
     Wake();
@@ -182,7 +183,7 @@ void TkcServer::EventLoop() {
     for (;;) {
       BatchResult result;
       {
-        std::lock_guard<std::mutex> lock(completed_mu_);
+        MutexLock lock(completed_mu_);
         if (completed_.empty()) break;
         result = std::move(completed_.front());
         completed_.pop_front();
@@ -230,32 +231,32 @@ void TkcServer::AcceptNew() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (errno != EAGAIN && errno != EWOULDBLOCK) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.accept_failures;
       }
       return;
     }
     if (FaultFires(kFaultNetAcceptFail)) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.accept_failures;
       continue;
     }
     if (!SetNonBlocking(fd).ok()) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.accept_failures;
       continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
     }
     if (conns_.size() >= options_.max_connections) {
       ::close(fd);
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.connections_dropped;
       continue;
     }
@@ -275,7 +276,7 @@ void TkcServer::HandleReadable(Connection* conn) {
     const ssize_t n = ::recv(conn->fd, buf, want, 0);
     if (n > 0) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         stats_.bytes_read += static_cast<uint64_t>(n);
       }
       conn->last_active = Now();
@@ -307,7 +308,7 @@ void TkcServer::ParseFrames(Connection* conn) {
     if (result == FrameParser::Result::kNeedMore) return;
     if (result == FrameParser::Result::kError) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.frames_rejected;
       }
       SendErrorAndClose(conn, 0, conn->parser.error());
@@ -315,7 +316,7 @@ void TkcServer::ParseFrames(Connection* conn) {
     }
     if (!IsClientFrameType(frame.type)) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.frames_rejected;
       }
       SendErrorAndClose(
@@ -324,7 +325,7 @@ void TkcServer::ParseFrames(Connection* conn) {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.frames_parsed;
     }
     if (frame.type == FrameType::kQueryRequest) {
@@ -338,7 +339,7 @@ void TkcServer::ParseFrames(Connection* conn) {
 void TkcServer::HandleQueryRequest(Connection* conn,
                                    QueryRequestFrame request) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.requests_received;
     ++stats_.batches_submitted;
   }
@@ -359,7 +360,7 @@ void TkcServer::HandleQueryRequest(Connection* conn,
 void TkcServer::HandleStatsRequest(Connection* conn, uint64_t request_id) {
   ServerStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.stats_requests;
     snapshot = stats_;
   }
@@ -380,7 +381,7 @@ void TkcServer::HandleCompletion(BatchResult result) {
     all_timeout &= outcome.status.code() == StatusCode::kTimeout;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.batches_completed;
     if (all_shed) ++stats_.batches_shed;
     if (all_timeout) ++stats_.deadlines_expired;
@@ -393,7 +394,7 @@ void TkcServer::HandleCompletion(BatchResult result) {
   if (conn_it == conns_.end() || conn_it->second->closing) {
     // The peer is gone (abrupt disconnect with batches in flight) or being
     // torn down for protocol abuse: the verdicts are accounted, not sent.
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.responses_dropped;
     return;
   }
@@ -416,7 +417,7 @@ void TkcServer::HandleCompletion(BatchResult result) {
   end.num_queries = static_cast<uint32_t>(result.outcomes.size());
   AppendBatchEnd(end, &conn->outbuf);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.responses_streamed;
   }
   if (conn->unsent() > options_.max_outbound_bytes) conn->read_paused = true;
@@ -439,7 +440,7 @@ bool TkcServer::HandleWritable(Connection* conn) {
                MSG_NOSIGNAL);
     if (n > 0) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         stats_.bytes_written += static_cast<uint64_t>(n);
       }
       conn->out_off += static_cast<size_t>(n);
@@ -470,7 +471,7 @@ void TkcServer::SendErrorAndClose(Connection* conn, uint64_t request_id,
   error.message = status.message();
   AppendError(error, &conn->outbuf);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.errors_sent;
   }
   conn->closing = true;
@@ -482,7 +483,7 @@ void TkcServer::DropConnection(uint64_t serial) {
   if (it == conns_.end()) return;
   ::close(it->second->fd);
   conns_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.connections_dropped;
 }
 
@@ -491,7 +492,7 @@ void TkcServer::CloseConnection(uint64_t serial) {
   if (it == conns_.end()) return;
   ::close(it->second->fd);
   conns_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.connections_closed;
 }
 
@@ -520,7 +521,7 @@ void TkcServer::SweepFinished(std::chrono::steady_clock::time_point now) {
 }
 
 void TkcServer::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
   Wake();
@@ -537,11 +538,11 @@ void TkcServer::Stop() {
   // Every submitted batch ends accounted (completed + dropped).
   std::deque<BatchResult> leftovers;
   {
-    std::lock_guard<std::mutex> lock(completed_mu_);
+    MutexLock lock(completed_mu_);
     leftovers.swap(completed_);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     for (const BatchResult& result : leftovers) {
       if (pending_.erase(result.tag) > 0) {
         ++stats_.batches_completed;
@@ -563,7 +564,7 @@ void TkcServer::Stop() {
 }
 
 ServerStats TkcServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 

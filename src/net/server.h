@@ -7,14 +7,15 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "net/wire_format.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 /// \file server.h
 /// TkcServer: the network front end over LiveQueryEngine — the piece that
@@ -87,7 +88,7 @@ class TkcServer {
   /// Binds, listens, and starts the loop + drainer threads. `engine` must
   /// outlive this server (the server never owns it; many servers could
   /// front one engine).
-  static StatusOr<std::unique_ptr<TkcServer>> Start(
+  [[nodiscard]] static StatusOr<std::unique_ptr<TkcServer>> Start(
       LiveQueryEngine* engine, const ServerOptions& options = {});
 
   /// Stop(), see the teardown contract above.
@@ -99,14 +100,14 @@ class TkcServer {
   /// Idempotent, safe to call concurrently. After it returns: every
   /// connection is closed, every submitted batch is accounted, and no
   /// engine-side delivery can touch this object again.
-  void Stop();
+  void Stop() TKC_EXCLUDES(stop_mu_, completed_mu_, stats_mu_);
 
   /// The bound port (the ephemeral one when options.port was 0).
   uint16_t port() const { return port_; }
 
   /// Snapshot of the wire counters (also served over the wire as a
   /// kStatsResponse frame).
-  ServerStats stats() const;
+  ServerStats stats() const TKC_EXCLUDES(stats_mu_);
 
  private:
   struct Connection;
@@ -121,28 +122,31 @@ class TkcServer {
 
   Status Listen();
   void Wake();
-  void EventLoop();
-  void DrainerLoop();
+  void EventLoop() TKC_EXCLUDES(completed_mu_, stats_mu_);
+  void DrainerLoop() TKC_EXCLUDES(completed_mu_);
 
-  void AcceptNew();
-  void HandleReadable(Connection* conn);
+  void AcceptNew() TKC_EXCLUDES(stats_mu_);
+  void HandleReadable(Connection* conn) TKC_EXCLUDES(stats_mu_);
   /// Flushes the outbound buffer as far as the socket allows. Returns false
   /// when the flush killed the connection (send error -> dropped).
-  bool HandleWritable(Connection* conn);
-  void ParseFrames(Connection* conn);
-  void HandleQueryRequest(Connection* conn, QueryRequestFrame request);
-  void HandleStatsRequest(Connection* conn, uint64_t request_id);
-  void HandleCompletion(BatchResult result);
+  bool HandleWritable(Connection* conn) TKC_EXCLUDES(stats_mu_);
+  void ParseFrames(Connection* conn) TKC_EXCLUDES(stats_mu_);
+  void HandleQueryRequest(Connection* conn, QueryRequestFrame request)
+      TKC_EXCLUDES(stats_mu_);
+  void HandleStatsRequest(Connection* conn, uint64_t request_id)
+      TKC_EXCLUDES(stats_mu_);
+  void HandleCompletion(BatchResult result) TKC_EXCLUDES(stats_mu_);
   /// Appends one kError frame and flags the connection to flush-then-drop.
   void SendErrorAndClose(Connection* conn, uint64_t request_id,
-                         const Status& status);
+                         const Status& status) TKC_EXCLUDES(stats_mu_);
   /// Immediate close: protocol abuse, I/O error, overflow, timeout, stop.
-  void DropConnection(uint64_t serial);
+  void DropConnection(uint64_t serial) TKC_EXCLUDES(stats_mu_);
   /// Graceful close: peer EOF with everything settled.
-  void CloseConnection(uint64_t serial);
+  void CloseConnection(uint64_t serial) TKC_EXCLUDES(stats_mu_);
   /// Closes connections that finished flushing (closing flag) or whose
   /// peer half-closed with nothing left in flight.
-  void SweepFinished(std::chrono::steady_clock::time_point now);
+  void SweepFinished(std::chrono::steady_clock::time_point now)
+      TKC_EXCLUDES(stats_mu_);
 
   LiveQueryEngine* live_;
   ServerOptions options_;
@@ -152,11 +156,15 @@ class TkcServer {
   int wake_tx_ = -1;
 
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mu_;  ///< serializes Stop(); never taken by the loop
-  bool stopped_ = false;
+  Mutex stop_mu_;  ///< serializes Stop(); never taken by the loop
+  bool stopped_ TKC_GUARDED_BY(stop_mu_) = false;
 
-  // Loop-thread-only state (no locking: only EventLoop touches these while
-  // the loop runs; Stop() touches them only after joining it).
+  // Loop-thread-only state — deliberately NOT annotated: the discipline is
+  // thread confinement, not a lock. Only EventLoop (one thread) touches
+  // these while the loop runs; Stop() touches them only after joining that
+  // thread, so the join is the synchronization edge. Thread-safety
+  // analysis has no capability for "owned by thread T"; inventing a mutex
+  // just to satisfy it would add a lock the design exists to avoid.
   std::map<uint64_t, std::unique_ptr<Connection>> conns_;
   std::map<uint64_t, PendingBatch> pending_;
   uint64_t next_serial_ = 1;
@@ -166,11 +174,12 @@ class TkcServer {
   bool write_stalled_ = false;
 
   BatchCompletionQueue cq_;
-  std::mutex completed_mu_;
-  std::deque<BatchResult> completed_;  ///< drainer -> loop handoff
+  Mutex completed_mu_;
+  /// drainer -> loop handoff
+  std::deque<BatchResult> completed_ TKC_GUARDED_BY(completed_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  mutable Mutex stats_mu_;
+  ServerStats stats_ TKC_GUARDED_BY(stats_mu_);
 
   std::thread loop_;
   std::thread drainer_;

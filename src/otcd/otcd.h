@@ -59,7 +59,7 @@ struct OtcdStats {
 
 /// Enumerates all distinct temporal k-cores of `g` within `range` with the
 /// OTCD baseline, streaming into `sink`.
-Status RunOtcd(const TemporalGraph& g, uint32_t k, Window range,
+[[nodiscard]] Status RunOtcd(const TemporalGraph& g, uint32_t k, Window range,
                CoreSink* sink, const OtcdOptions& options = {},
                OtcdStats* stats = nullptr);
 

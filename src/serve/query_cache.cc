@@ -135,28 +135,32 @@ StripedQueryCache::StripedQueryCache(size_t capacity, size_t stripes)
 }
 
 bool StripedQueryCache::Lookup(const Query& query, RunOutcome* out) {
-  Stripe& stripe = *stripes_[StripeOf(QueryCacheKey{query.k, query.range})];
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.cache.Lookup(query, out);
+  Stripe* stripe =
+      stripes_[StripeOf(QueryCacheKey{query.k, query.range})].get();
+  MutexLock lock(stripe->mu);
+  return stripe->cache.Lookup(query, out);
 }
 
 void StripedQueryCache::Insert(const Query& query, const RunOutcome& outcome) {
   if (capacity_ == 0) return;
-  Stripe& stripe = *stripes_[StripeOf(QueryCacheKey{query.k, query.range})];
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.cache.Insert(query, outcome);
+  Stripe* stripe =
+      stripes_[StripeOf(QueryCacheKey{query.k, query.range})].get();
+  MutexLock lock(stripe->mu);
+  stripe->cache.Insert(query, outcome);
 }
 
 void StripedQueryCache::InsertTombstone(const Query& query) {
   if (capacity_ == 0) return;
-  Stripe& stripe = *stripes_[StripeOf(QueryCacheKey{query.k, query.range})];
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.cache.InsertTombstone(query);
+  Stripe* stripe =
+      stripes_[StripeOf(QueryCacheKey{query.k, query.range})].get();
+  MutexLock lock(stripe->mu);
+  stripe->cache.InsertTombstone(query);
 }
 
 void StripedQueryCache::Clear() {
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     stripe->cache.Clear();
   }
 }
@@ -164,8 +168,9 @@ void StripedQueryCache::Clear() {
 std::vector<QueryCacheEntry> StripedQueryCache::ExportLruToMru(
     QueryCache::KeyPredicate keep, uint32_t keep_arg) const {
   std::vector<QueryCacheEntry> entries;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     std::vector<QueryCacheEntry> part =
         stripe->cache.ExportLruToMru(keep, keep_arg);
     entries.insert(entries.end(), std::make_move_iterator(part.begin()),
@@ -185,16 +190,18 @@ size_t StripedQueryCache::ImportEntries(std::vector<QueryCacheEntry> entries) {
   size_t resident = 0;
   for (size_t i = 0; i < stripes_.size(); ++i) {
     if (routed[i].empty()) continue;
-    std::lock_guard<std::mutex> lock(stripes_[i]->mu);
-    resident += stripes_[i]->cache.ImportEntries(std::move(routed[i]));
+    Stripe* stripe = stripes_[i].get();
+    MutexLock lock(stripe->mu);
+    resident += stripe->cache.ImportEntries(std::move(routed[i]));
   }
   return resident;
 }
 
 size_t StripedQueryCache::size() const {
   size_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     total += stripe->cache.size();
   }
   return total;
@@ -202,8 +209,9 @@ size_t StripedQueryCache::size() const {
 
 size_t StripedQueryCache::tombstones() const {
   size_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     total += stripe->cache.tombstones();
   }
   return total;
@@ -211,8 +219,9 @@ size_t StripedQueryCache::tombstones() const {
 
 size_t StripedQueryCache::weight_used() const {
   size_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     total += stripe->cache.weight_used();
   }
   return total;
@@ -220,8 +229,9 @@ size_t StripedQueryCache::weight_used() const {
 
 uint64_t StripedQueryCache::hits() const {
   uint64_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     total += stripe->cache.hits();
   }
   return total;
@@ -229,8 +239,9 @@ uint64_t StripedQueryCache::hits() const {
 
 uint64_t StripedQueryCache::misses() const {
   uint64_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     total += stripe->cache.misses();
   }
   return total;
@@ -238,8 +249,9 @@ uint64_t StripedQueryCache::misses() const {
 
 uint64_t StripedQueryCache::evictions() const {
   uint64_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+  for (const auto& entry : stripes_) {
+    Stripe* stripe = entry.get();
+    MutexLock lock(stripe->mu);
     total += stripe->cache.evictions();
   }
   return total;

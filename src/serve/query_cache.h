@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "workload/query_workload.h"
 
 /// \file query_cache.h
@@ -217,11 +218,14 @@ class StripedQueryCache {
 
  private:
   /// One stripe: its lock and its share of the budget. Heap-allocated so
-  /// the mutex address is stable and stripes do not false-share.
+  /// the mutex address is stable and stripes do not false-share. The
+  /// unsynchronized QueryCache is reachable only through this struct, and
+  /// the guard annotation makes every access prove it holds `mu` —
+  /// the per-stripe locking contract the comments used to carry.
   struct Stripe {
     explicit Stripe(size_t cap) : cache(cap) {}
-    mutable std::mutex mu;
-    QueryCache cache;
+    mutable Mutex mu;
+    QueryCache cache TKC_GUARDED_BY(mu);
   };
 
   size_t StripeOf(const QueryCacheKey& key) const {

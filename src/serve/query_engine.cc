@@ -1,14 +1,13 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
-#include <chrono>
-#include <condition_variable>
 #include <set>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "vct/vct_builder.h"
 
 namespace tkc {
@@ -137,18 +136,26 @@ inline void Bump(std::atomic<uint64_t>& counter, uint64_t n = 1) {
 
 }  // namespace
 
+/// The arena free list and the mutex guarding it, heap-allocated as one
+/// object so the mutex address survives engine moves and the analysis sees
+/// a single `pool->mu` / `pool->free_list` guard relation.
+struct QueryEngine::ArenaPool {
+  Mutex mu;
+  std::vector<std::unique_ptr<VctBuildArena>> free_list TKC_GUARDED_BY(mu);
+};
+
 // Checks an arena out of the engine's free list for the duration of one
 // query execution. Allocates a fresh arena only when every pooled one is in
 // flight, so the list grows to the peak concurrency and then serving reuses
 // scratch forever.
 class QueryEngine::ArenaLease {
  public:
-  ArenaLease(QueryEngine* engine, bool wanted) : engine_(engine) {
+  ArenaLease(QueryEngine* engine, bool wanted) : pool_(engine->arenas_.get()) {
     if (!wanted) return;
-    std::lock_guard<std::mutex> lock(*engine_->arena_mu_);
-    if (!engine_->free_arenas_.empty()) {
-      arena_ = std::move(engine_->free_arenas_.back());
-      engine_->free_arenas_.pop_back();
+    MutexLock lock(pool_->mu);
+    if (!pool_->free_list.empty()) {
+      arena_ = std::move(pool_->free_list.back());
+      pool_->free_list.pop_back();
     } else {
       arena_ = std::make_unique<VctBuildArena>();
     }
@@ -156,14 +163,14 @@ class QueryEngine::ArenaLease {
 
   ~ArenaLease() {
     if (arena_ == nullptr) return;
-    std::lock_guard<std::mutex> lock(*engine_->arena_mu_);
-    engine_->free_arenas_.push_back(std::move(arena_));
+    MutexLock lock(pool_->mu);
+    pool_->free_list.push_back(std::move(arena_));
   }
 
   VctBuildArena* get() const { return arena_.get(); }
 
  private:
-  QueryEngine* engine_;
+  ArenaPool* pool_;
   std::unique_ptr<VctBuildArena> arena_;
 };
 
@@ -201,9 +208,9 @@ struct QueryEngine::AsyncState {
 
   BoundedMpscQueue<AsyncBatch> queue;
   std::atomic<bool> dispatcher_scheduled{false};
-  std::mutex mu;
-  std::condition_variable drained;
-  uint64_t inflight = 0;
+  Mutex mu;
+  CondVar drained;
+  uint64_t inflight TKC_GUARDED_BY(mu) = 0;
 };
 
 QueryEngine::QueryEngine(const TemporalGraph& g,
@@ -216,7 +223,7 @@ QueryEngine::QueryEngine(const TemporalGraph& g,
           options.cache_capacity, options.cache_stripes > 0
                                       ? options.cache_stripes
                                       : StripedQueryCache::kDefaultStripes)),
-      arena_mu_(std::make_unique<std::mutex>()),
+      arenas_(std::make_unique<ArenaPool>()),
       stats_(std::make_unique<AtomicServeStats>()),
       async_(std::make_unique<AsyncState>(options.async_queue_capacity)) {}
 
@@ -361,6 +368,8 @@ std::vector<Timestamp> QueryEngine::ComputeEmergenceTable(
 
 bool QueryEngine::VertexInCore(VertexId u, Window window, uint32_t k) const {
   if (replicas_.empty()) return false;
+  // Relaxed: the round-robin only spreads load; any interleaving of slot
+  // numbers is correct (replicas are identical read-only state).
   const uint64_t slot =
       replica_rr_->fetch_add(1, std::memory_order_relaxed);
   const PhcIndex& replica = replicas_[slot % replicas_.size()];
@@ -608,8 +617,9 @@ void QueryEngine::SubmitAsyncWithCallback(
   batch.done = std::move(on_done);
   batch.lifetime = std::move(lifetime);
   {
-    std::lock_guard<std::mutex> lock(async_->mu);
-    ++async_->inflight;
+    AsyncState* async = async_.get();
+    MutexLock lock(async->mu);
+    ++async->inflight;
   }
   Bump(stats_->async_batches);
 
@@ -668,8 +678,9 @@ void QueryEngine::SubmitAsyncWithCallback(
 void QueryEngine::ScheduleDispatcher() {
   if (async_->dispatcher_scheduled.exchange(true)) return;
   {
-    std::lock_guard<std::mutex> lock(async_->mu);
-    ++async_->inflight;  // the dispatcher's own ticket
+    AsyncState* async = async_.get();
+    MutexLock lock(async->mu);
+    ++async->inflight;  // the dispatcher's own ticket
   }
   // The dispatcher pins the engine's owner for its whole run and releases
   // its ticket before dropping the pin, so an owner whose last reference
@@ -726,15 +737,16 @@ void QueryEngine::ProcessAsyncBatch(AsyncBatch batch) {
   // batch barrier, and leaders of different batches interleave freely. The
   // last leader to finish finalizes — possibly while the dispatcher is
   // already processing the next queued batch.
+  //
+  // Relaxed: this store happens-before every leader task via the pool's
+  // queue mutex; the cross-leader ordering lives in the acq_rel fetch_sub.
   state->remaining.store(state->plan.leaders.size(),
                          std::memory_order_relaxed);
   for (size_t g = 0; g < state->plan.leaders.size(); ++g) {
     pool_->Submit([this, state, g] {
-      if (FaultFires(kFaultDispatchSlowWorker)) {
-        // A stalled worker: long enough to expire tight deadlines behind
-        // it, short enough to keep fault-mode runs fast.
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      }
+      // A stalled worker (when the fault is armed): long enough to expire
+      // tight deadlines behind it, short enough to keep fault runs fast.
+      FaultStallIfArmed(kFaultDispatchSlowWorker, 20);
       const size_t i = state->plan.leaders[g];
       state->outcomes[i] =
           ExecuteUncached(state->queries[i], state->limit, state->deadline);
@@ -755,39 +767,39 @@ void QueryEngine::FinalizeAsyncBatch(
 }
 
 void QueryEngine::FinishInflight() {
-  std::lock_guard<std::mutex> lock(async_->mu);
-  if (--async_->inflight == 0) {
+  AsyncState* async = async_.get();
+  MutexLock lock(async->mu);
+  if (--async->inflight == 0) {
     // Notify while still holding the mutex: a DrainAsync waiter may
     // destroy the engine the instant it observes inflight == 0, and an
     // unlocked notify would then touch a freed condition variable.
-    async_->drained.notify_all();
+    async->drained.NotifyAll();
   }
 }
 
 void QueryEngine::DrainAsync() {
-  std::unique_lock<std::mutex> lock(async_->mu);
-  async_->drained.wait(lock, [this] { return async_->inflight == 0; });
+  AsyncState* async = async_.get();
+  MutexLock lock(async->mu);
+  while (async->inflight != 0) async->drained.Wait(async->mu);
 }
 
 ServeStats QueryEngine::stats() const {
   // Each counter is an independent relaxed atomic; a snapshot taken under
   // concurrency may tear across counters (never within one), and quiescent
   // reads are exact — the same contract as the striped cache's totals.
+  // Relaxed: monotone event counts, no cross-counter ordering promised.
+  auto read = [](const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
   ServeStats snapshot;
-  snapshot.batches = stats_->batches.load(std::memory_order_relaxed);
-  snapshot.queries_served =
-      stats_->queries_served.load(std::memory_order_relaxed);
-  snapshot.index_rejections =
-      stats_->index_rejections.load(std::memory_order_relaxed);
-  snapshot.batch_dedup_hits =
-      stats_->batch_dedup_hits.load(std::memory_order_relaxed);
-  snapshot.executed = stats_->executed.load(std::memory_order_relaxed);
-  snapshot.async_batches =
-      stats_->async_batches.load(std::memory_order_relaxed);
-  snapshot.batches_shed =
-      stats_->batches_shed.load(std::memory_order_relaxed);
-  snapshot.deadlines_expired =
-      stats_->deadlines_expired.load(std::memory_order_relaxed);
+  snapshot.batches = read(stats_->batches);
+  snapshot.queries_served = read(stats_->queries_served);
+  snapshot.index_rejections = read(stats_->index_rejections);
+  snapshot.batch_dedup_hits = read(stats_->batch_dedup_hits);
+  snapshot.executed = read(stats_->executed);
+  snapshot.async_batches = read(stats_->async_batches);
+  snapshot.batches_shed = read(stats_->batches_shed);
+  snapshot.deadlines_expired = read(stats_->deadlines_expired);
   snapshot.cache_hits = cache_->hits();
   snapshot.cache_misses = cache_->misses();
   snapshot.cache_evictions = cache_->evictions();

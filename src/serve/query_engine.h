@@ -2,18 +2,18 @@
 #define TKC_SERVE_QUERY_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "serve/query_cache.h"
 #include "util/mpsc_queue.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "vct/phc_index.h"
@@ -217,33 +217,35 @@ class BatchCompletionQueue {
   /// consumers once the delivered backlog drains. After Shutdown returns no
   /// engine-side Deliver touches this object, so destroying it is safe even
   /// if a consumer stalled while batches were still completing. Idempotent.
-  void Shutdown() {
+  void Shutdown() TKC_EXCLUDES(mu_) {
     queue_.Close();
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return delivering_ == 0; });
+    MutexLock lock(mu_);
+    while (delivering_ != 0) idle_.Wait(mu_);
   }
 
   size_t pending() const { return queue_.size(); }
 
   /// Engine-side delivery (blocks while the queue is full; unblocked — with
-  /// the result dropped — by Shutdown()).
-  void Deliver(BatchResult result) {
+  /// the result dropped — by Shutdown()). Two scoped acquisitions bracket
+  /// the potentially-blocking Push, which must not run under the mutex (it
+  /// would deadlock Shutdown's wait against a full queue).
+  void Deliver(BatchResult result) TKC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++delivering_;
     }
     queue_.Push(std::move(result));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Notify under the mutex: a Shutdown() waiter may destroy this object
     // the instant it observes delivering_ == 0.
-    if (--delivering_ == 0) idle_.notify_all();
+    if (--delivering_ == 0) idle_.NotifyAll();
   }
 
  private:
   BoundedMpscQueue<BatchResult> queue_;
-  std::mutex mu_;
-  std::condition_variable idle_;
-  size_t delivering_ = 0;
+  Mutex mu_;
+  CondVar idle_;
+  size_t delivering_ TKC_GUARDED_BY(mu_) = 0;
 };
 
 /// Monotone counters describing everything an engine has served.
@@ -271,8 +273,8 @@ class QueryEngine {
  public:
   /// Validates options and builds the serving state. `g` must outlive the
   /// engine and must not be mutated while it serves.
-  static StatusOr<QueryEngine> Create(const TemporalGraph& g,
-                                      const QueryEngineOptions& options = {});
+  [[nodiscard]] static StatusOr<QueryEngine> Create(
+      const TemporalGraph& g, const QueryEngineOptions& options = {});
 
   ~QueryEngine();
   QueryEngine(QueryEngine&&) noexcept;
@@ -434,7 +436,7 @@ class QueryEngine {
 
   QueryEngine(const TemporalGraph& g, const QueryEngineOptions& options);
 
-  Status BuildAdmissionIndex();
+  [[nodiscard]] Status BuildAdmissionIndex();
   /// Derives emergence tables and read-path replicas from a built index.
   void InstallAdmissionIndex(PhcIndex index);
   RunOutcome ServeOne(const Query& query, double limit_seconds,
@@ -498,10 +500,14 @@ class QueryEngine {
   struct AtomicServeStats;
 
   /// Serving state. The cache stripes its own locks; the only engine-wide
-  /// mutex left guards the arena free list (a short push/pop).
+  /// mutex left guards the arena free list (a short push/pop). The list
+  /// lives with its mutex in one heap struct (ArenaPool, defined in
+  /// query_engine.cc) so the mutex address is stable across engine moves
+  /// and the guard relation is a single annotated object for the
+  /// thread-safety analysis.
   std::unique_ptr<StripedQueryCache> cache_;
-  std::unique_ptr<std::mutex> arena_mu_;
-  std::vector<std::unique_ptr<VctBuildArena>> free_arenas_;
+  struct ArenaPool;
+  std::unique_ptr<ArenaPool> arenas_;
   std::unique_ptr<AtomicServeStats> stats_;
 
   /// Async submission state (request queue, dispatcher flag, drain cv).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -191,6 +192,10 @@ LiveQueryEngine::LiveQueryEngine(std::shared_ptr<const GraphSnapshot> initial,
   }
   rebuild_engine_options_.index_build_pool = update_pool;
   jitter_stream_ = SplitMix64(options.retry_jitter_seed);
+  // The updater thread is already running (started in the init list); no
+  // batch can reach it before Create returns, but take the guard anyway so
+  // the "all_snapshots_ under snapshots_mu_" invariant has no carve-out.
+  MutexLock lock(snapshots_mu_);
   all_snapshots_.push_back(std::move(initial));
 }
 
@@ -200,18 +205,18 @@ void LiveQueryEngine::Shutdown() {
     // If the gate was genuinely held, the queued batches were promised
     // "not yet" — release them with a failure instead of applying them
     // behind the caller's back.
-    std::lock_guard<std::mutex> lock(pause_mu_);
+    MutexLock lock(pause_mu_);
     pause_override_ = true;
     if (paused_) abandon_queued_ = true;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
   update_queue_.Close();  // queued batches still settle, then the loop exits
   // Serialize the join: concurrent Shutdown() calls must not race the
   // joinable()/join() pair (the loser would join an already-joined thread
   // and throw). The updater never takes this mutex, so holding it across
   // the join cannot deadlock; late callers block until the first join
   // finishes, then see joinable() == false.
-  std::lock_guard<std::mutex> join_lock(shutdown_mu_);
+  MutexLock join_lock(shutdown_mu_);
   if (updater_.joinable()) updater_.join();
   // With the updater gone, quiesce the async serving path too: a caller
   // shutting the engine down while a server still holds completion queues
@@ -229,7 +234,7 @@ void LiveQueryEngine::DrainAsync() {
   // the destructor drains again after Shutdown already did.
   std::vector<std::weak_ptr<const GraphSnapshot>> snapshots;
   {
-    std::lock_guard<std::mutex> lock(snapshots_mu_);
+    MutexLock lock(snapshots_mu_);
     all_snapshots_.erase(
         std::remove_if(all_snapshots_.begin(), all_snapshots_.end(),
                        [](const std::weak_ptr<const GraphSnapshot>& w) {
@@ -332,16 +337,16 @@ std::future<Status> LiveQueryEngine::ApplyUpdates(
 }
 
 void LiveQueryEngine::PauseUpdates() {
-  std::lock_guard<std::mutex> lock(pause_mu_);
+  MutexLock lock(pause_mu_);
   paused_ = true;
 }
 
 void LiveQueryEngine::ResumeUpdates() {
   {
-    std::lock_guard<std::mutex> lock(pause_mu_);
+    MutexLock lock(pause_mu_);
     paused_ = false;
   }
-  pause_cv_.notify_all();
+  pause_cv_.NotifyAll();
 }
 
 void LiveQueryEngine::UpdaterLoop() {
@@ -351,9 +356,11 @@ void LiveQueryEngine::UpdaterLoop() {
     {
       // Pause gate: batches queued while held accumulate and coalesce
       // into the cycle below once resumed (or once Shutdown forces the
-      // gate open).
-      std::unique_lock<std::mutex> lock(pause_mu_);
-      pause_cv_.wait(lock, [this] { return !paused_ || pause_override_; });
+      // gate open). The predicate loop is written out so the analysis sees
+      // the whole wait under pause_mu_ (a predicate lambda would be checked
+      // as a separate, capability-blind function).
+      MutexLock lock(pause_mu_);
+      while (paused_ && !pause_override_) pause_cv_.Wait(pause_mu_);
       abandon = abandon_queued_;
     }
     // Coalesce: one rebuild cycle absorbs every batch queued right now —
@@ -369,7 +376,7 @@ void LiveQueryEngine::UpdaterLoop() {
       // status instead of applying them during teardown — and never leave
       // a future unresolved.
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         stats_.update.batches_submitted += group.size();
         stats_.failed_updates += group.size();
       }
@@ -420,7 +427,7 @@ void LiveQueryEngine::UpdaterLoop() {
         // Track the new version for destructor-time draining; expired
         // entries (snapshots whose last pin is gone) are pruned here so
         // the list stays proportional to snapshots actually alive.
-        std::lock_guard<std::mutex> lock(snapshots_mu_);
+        MutexLock lock(snapshots_mu_);
         all_snapshots_.erase(
             std::remove_if(all_snapshots_.begin(), all_snapshots_.end(),
                            [](const std::weak_ptr<const GraphSnapshot>& w) {
@@ -433,7 +440,7 @@ void LiveQueryEngine::UpdaterLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.update.batches_submitted += group.size();
       // Riders saved a cycle whether this one succeeded or failed; a
       // failed cycle must not double-charge them (they count once in
@@ -518,15 +525,26 @@ Status LiveQueryEngine::RebuildWithRetry(
     backoff_ms = std::min(backoff_ms * 2.0, backoff_cap);
     bool shutting_down = false;
     {
-      std::unique_lock<std::mutex> lock(pause_mu_);
-      shutting_down = pause_cv_.wait_for(
-          lock, std::chrono::duration<double, std::milli>(wait_ms),
-          [this] { return pause_override_; });
+      // Deadline computed once, then an explicit predicate loop against it:
+      // equivalent to wait_for(lock, wait_ms, pred) but in a shape the
+      // analysis can follow (no capability-blind predicate lambda).
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(wait_ms));
+      MutexLock lock(pause_mu_);
+      while (!pause_override_) {
+        if (pause_cv_.WaitUntil(pause_mu_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      shutting_down = pause_override_;
     }
     if (shutting_down) break;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     stats_.update.rebuild_retries += retries;
     if (degraded) {
       stats_.update.degraded_ms += static_cast<uint64_t>(
@@ -545,22 +563,22 @@ Status LiveQueryEngine::RebuildWithRetry(
 }
 
 void LiveQueryEngine::SetHealth(HealthState state) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   health_ = state;
 }
 
 HealthState LiveQueryEngine::health() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return health_;
 }
 
 LiveStats LiveQueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 UpdateStats LiveQueryEngine::update_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_.update;
 }
 

@@ -2,11 +2,9 @@
 #define TKC_SERVE_SNAPSHOT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -14,7 +12,9 @@
 #include "graph/temporal_graph.h"
 #include "serve/query_engine.h"
 #include "util/mpsc_queue.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "vct/phc_index.h"
 
 /// \file snapshot.h
@@ -151,7 +151,7 @@ class GraphSnapshot {
 
   /// Builds a snapshot owning `graph` and an engine configured by
   /// `options` (options.pool etc. apply per snapshot).
-  static StatusOr<std::shared_ptr<const GraphSnapshot>> Create(
+  [[nodiscard]] static StatusOr<std::shared_ptr<const GraphSnapshot>> Create(
       TemporalGraph graph, uint64_t version,
       const QueryEngineOptions& options);
 
@@ -161,7 +161,8 @@ class GraphSnapshot {
   /// pointer) and the successor's query cache is seeded with base's
   /// provably still-valid entries; otherwise this is Create plus
   /// bookkeeping. swap_stats() records what was reused.
-  static StatusOr<std::shared_ptr<const GraphSnapshot>> CreateSuccessor(
+  [[nodiscard]] static StatusOr<std::shared_ptr<const GraphSnapshot>>
+  CreateSuccessor(
       const GraphSnapshot& base, GraphUpdate update, uint64_t version,
       const QueryEngineOptions& options);
 
@@ -256,7 +257,7 @@ class LiveQueryEngine {
   /// Stands up version 0 from `initial_graph` and starts the updater
   /// thread. The pool in options.engine (shared pool when null) must
   /// outlive the engine.
-  static StatusOr<std::unique_ptr<LiveQueryEngine>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<LiveQueryEngine>> Create(
       TemporalGraph initial_graph, const LiveEngineOptions& options = {});
 
   /// Runs Shutdown() (see below — in particular, destroying an engine
@@ -322,8 +323,8 @@ class LiveQueryEngine {
   /// cycle once ResumeUpdates is called. Operational control for planned
   /// ingest bursts — and the deterministic handle the coalescing tests
   /// drive. Idempotent.
-  void PauseUpdates();
-  void ResumeUpdates();
+  void PauseUpdates() TKC_EXCLUDES(pause_mu_);
+  void ResumeUpdates() TKC_EXCLUDES(pause_mu_);
 
   /// Shuts the update path down and quiesces the async serving path: no
   /// further ApplyUpdates batches are accepted (they fail fast with
@@ -339,7 +340,7 @@ class LiveQueryEngine {
   /// engine-side delivery will touch a caller-owned BatchCompletionQueue.
   /// Serving (ServeBatch / SubmitAsync / snapshot) stays available.
   /// Idempotent; the destructor calls it first.
-  void Shutdown();
+  void Shutdown() TKC_EXCLUDES(pause_mu_, shutdown_mu_);
 
   /// Blocks until every async batch accepted so far — against the current
   /// snapshot *or any superseded one that is still alive* — has delivered
@@ -348,12 +349,12 @@ class LiveQueryEngine {
   /// destroying a completion queue the engine was delivering into cannot
   /// race a delivery. Does not block new submissions; callers wanting a
   /// true quiesce stop submitting first. Idempotent, callable repeatedly.
-  void DrainAsync();
+  void DrainAsync() TKC_EXCLUDES(snapshots_mu_);
 
-  LiveStats stats() const;
+  LiveStats stats() const TKC_EXCLUDES(stats_mu_);
 
   /// The delta-aware updater counters alone (== stats().update).
-  UpdateStats update_stats() const;
+  UpdateStats update_stats() const TKC_EXCLUDES(stats_mu_);
 
   /// Current update-path health. Transitions: kDegraded on a cycle's first
   /// failed attempt, back to kHealthy when a cycle lands a snapshot,
@@ -361,7 +362,7 @@ class LiveQueryEngine {
   /// cycle restores kHealthy). A deterministic per-batch rejection
   /// (InvalidArgument input) does not change health — the machinery is
   /// fine, the input was not.
-  HealthState health() const;
+  HealthState health() const TKC_EXCLUDES(stats_mu_);
 
  private:
   struct UpdateRequest {
@@ -374,16 +375,17 @@ class LiveQueryEngine {
 
   /// Updater thread body: pops update batches, coalesces whatever else is
   /// queued, rebuilds (with retry/backoff on transient failure), swaps.
-  void UpdaterLoop();
+  void UpdaterLoop() TKC_EXCLUDES(pause_mu_, stats_mu_, snapshots_mu_);
 
   /// One rebuild cycle's attempt loop: returns the final status, the built
   /// successor on success, and accounts retries/degradation/health.
   Status RebuildWithRetry(const std::shared_ptr<const GraphSnapshot>& base,
                           const std::vector<RawTemporalEdge>& edges,
                           uint64_t next_version,
-                          std::shared_ptr<const GraphSnapshot>* next);
+                          std::shared_ptr<const GraphSnapshot>* next)
+      TKC_EXCLUDES(pause_mu_, stats_mu_);
 
-  void SetHealth(HealthState state);
+  void SetHealth(HealthState state) TKC_EXCLUDES(stats_mu_);
 
   LiveEngineOptions options_;
   /// options_.engine minus preloaded_index: a preloaded admission index
@@ -401,12 +403,13 @@ class LiveQueryEngine {
   /// arrangement's mutex held across every pin.
   std::atomic<std::shared_ptr<const GraphSnapshot>> current_;
   /// Guards all_snapshots_ (bookkeeping only — never on the serve path).
-  mutable std::mutex snapshots_mu_;
+  mutable Mutex snapshots_mu_;
   /// Every version ever swapped in that may still be alive, so the
   /// destructor can drain batches pinned to superseded snapshots (their
   /// completion-queue deliveries must finish before the caller tears the
   /// queue down). Expired entries are pruned on each swap.
-  std::vector<std::weak_ptr<const GraphSnapshot>> all_snapshots_;
+  std::vector<std::weak_ptr<const GraphSnapshot>> all_snapshots_
+      TKC_GUARDED_BY(snapshots_mu_);
 
   /// Internally-owned dedicated update pool (LiveEngineOptions::update_pool
   /// null); rebuild_engine_options_.index_build_pool points at it (or at
@@ -414,32 +417,36 @@ class LiveQueryEngine {
   /// serving pool.
   std::unique_ptr<ThreadPool> owned_update_pool_;
 
-  mutable std::mutex stats_mu_;
-  LiveStats stats_;
-  HealthState health_ = HealthState::kHealthy;  ///< guarded by stats_mu_
-  /// Jitter stream of the retry backoff (updater thread only).
+  mutable Mutex stats_mu_;
+  LiveStats stats_ TKC_GUARDED_BY(stats_mu_);
+  HealthState health_ TKC_GUARDED_BY(stats_mu_) = HealthState::kHealthy;
+  /// Jitter stream of the retry backoff (updater thread only — written in
+  /// the constructor before the thread starts, then touched exclusively by
+  /// RebuildWithRetry on the updater thread; no lock to annotate).
   uint64_t jitter_stream_ = 0;
 
   /// Pause gate for the updater (PauseUpdates/ResumeUpdates); Shutdown
   /// forces it open so queued batches always settle — applied normally, or
   /// released with a failure status when shutdown caught the gate held
   /// (abandon_queued_).
-  std::mutex pause_mu_;
-  std::condition_variable pause_cv_;
-  bool paused_ = false;
-  bool pause_override_ = false;
-  bool abandon_queued_ = false;
+  Mutex pause_mu_;
+  CondVar pause_cv_;
+  bool paused_ TKC_GUARDED_BY(pause_mu_) = false;
+  bool pause_override_ TKC_GUARDED_BY(pause_mu_) = false;
+  bool abandon_queued_ TKC_GUARDED_BY(pause_mu_) = false;
   /// Serializes Shutdown's join of the updater thread (Shutdown is
   /// idempotent AND safe to call concurrently). Never taken by the
   /// updater itself.
-  std::mutex shutdown_mu_;
+  Mutex shutdown_mu_;
 
   /// FIFO of pending update batches feeding the updater thread. The
   /// updater is a dedicated thread (not a pool task) so the rebuild's
   /// PhcIndex::Build/Rebuild genuinely fans out over the serving pool
   /// instead of degrading to an inline loop inside a pool worker.
   BoundedMpscQueue<UpdateRequest> update_queue_;
-  std::thread updater_;
+  /// Started in the constructor; joined exactly once, under shutdown_mu_
+  /// (the guard is what makes concurrent Shutdown calls safe).
+  std::thread updater_ TKC_GUARDED_BY(shutdown_mu_);
 };
 
 }  // namespace tkc

@@ -1,9 +1,12 @@
 #include "util/fault_injection.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
+#include <thread>
+
+#include "util/mutex.h"
 
 namespace tkc {
 
@@ -32,9 +35,11 @@ FaultRegistry& FaultRegistry::Global() {
 }
 
 void FaultRegistry::Arm(const std::string& point, FaultSchedule schedule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PointState& state = points_[point];
   if (!state.armed) {
+    // Relaxed: the count is only an is-anything-armed hint (see FaultFires);
+    // the point's actual state is published by mu_.
     armed_points_.fetch_add(1, std::memory_order_relaxed);
   }
   state.schedule = schedule;
@@ -46,17 +51,19 @@ void FaultRegistry::Arm(const std::string& point, FaultSchedule schedule) {
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end() || !it->second.armed) return;
   it->second.armed = false;
+  // Relaxed: is-anything-armed hint only; see Arm().
   armed_points_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FaultRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& entry : points_) {
     if (entry.second.armed) {
+      // Relaxed: is-anything-armed hint only; see Arm().
       armed_points_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
@@ -64,14 +71,14 @@ void FaultRegistry::DisarmAll() {
 }
 
 FaultPointStats FaultRegistry::stats(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return FaultPointStats{};
   return it->second.counters;
 }
 
 bool FaultRegistry::FireSlow(const char* point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end() || !it->second.armed) return false;
   PointState& state = it->second;
@@ -84,6 +91,12 @@ bool FaultRegistry::FireSlow(const char* point) {
                StreamUnitDouble(&state.stream) < state.schedule.probability;
   if (fires) state.counters.fires++;
   return fires;
+}
+
+void FaultStallIfArmed(const char* point, int milliseconds) {
+  if (FaultFires(point)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(milliseconds));
+  }
 }
 
 Status FaultRegistry::ArmFromSpec(const std::string& spec) {

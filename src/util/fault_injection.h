@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 /// \file fault_injection.h
 /// A process-wide registry of named fault-injection points, armed by
@@ -79,23 +80,24 @@ class FaultRegistry {
   static FaultRegistry& Global();
 
   /// Arms (or re-arms, resetting the stream and counters) one point.
-  void Arm(const std::string& point, FaultSchedule schedule);
+  void Arm(const std::string& point, FaultSchedule schedule)
+      TKC_EXCLUDES(mu_);
 
   /// Disarms one point; its hit/fire counters survive until re-armed.
-  void Disarm(const std::string& point);
+  void Disarm(const std::string& point) TKC_EXCLUDES(mu_);
 
   /// Disarms everything and drops all counters.
-  void DisarmAll();
+  void DisarmAll() TKC_EXCLUDES(mu_);
 
   /// Counters of `point` (zeros when never armed).
-  FaultPointStats stats(const std::string& point) const;
+  FaultPointStats stats(const std::string& point) const TKC_EXCLUDES(mu_);
 
   /// Parses and arms a TKC_FAULTS-syntax spec:
   /// "point=prob[@seed[xmax_fires]]" entries, comma-separated.
-  Status ArmFromSpec(const std::string& spec);
+  [[nodiscard]] Status ArmFromSpec(const std::string& spec) TKC_EXCLUDES(mu_);
 
   /// Hot-path implementation detail — call FaultFires() instead.
-  bool FireSlow(const char* point);
+  bool FireSlow(const char* point) TKC_EXCLUDES(mu_);
 
   static std::atomic<uint64_t> armed_points_;  // owned by FaultFires()
 
@@ -107,19 +109,27 @@ class FaultRegistry {
     FaultPointStats counters;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, PointState> points_;
+  mutable Mutex mu_;
+  std::map<std::string, PointState> points_ TKC_GUARDED_BY(mu_);
 };
 
 /// The instrumented-code entry point: true iff `point` is armed and its
 /// schedule fires on this hit. One relaxed atomic load when nothing at all
 /// is armed.
 inline bool FaultFires(const char* point) {
+  // Relaxed: a pure emptiness hint — arming happens-before any hit that
+  // must observe it via the registry mutex on the slow path.
   if (FaultRegistry::armed_points_.load(std::memory_order_relaxed) == 0) {
     return false;
   }
   return FaultRegistry::Global().FireSlow(point);
 }
+
+/// Sleeps `milliseconds` iff `point` is armed and fires on this hit — the
+/// injected-stall primitive (e.g. `dispatch.slow_worker`). Lives here so
+/// instrumented code outside util/ never calls std::this_thread::sleep_for
+/// directly (tools/lint_invariants.py bans it outside util/bench/tests).
+void FaultStallIfArmed(const char* point, int milliseconds);
 
 /// RAII arming for tests and the differential harness: arms on
 /// construction, disarms (that point only) on scope exit.

@@ -2,13 +2,13 @@
 #define TKC_UTIL_MPSC_QUEUE_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 /// \file mpsc_queue.h
@@ -25,6 +25,13 @@
 ///  * **Mutex-based on purpose.** Queue operations bracket work that is
 ///    orders of magnitude heavier (a k-core query, an index rebuild);
 ///    a lock-free ring would optimize the wrong layer.
+///
+/// Lock discipline is machine-checked: `items_`/`closed_` are
+/// TKC_GUARDED_BY(mu_) and every entry point is annotated, so clang's
+/// -Wthread-safety proves no access escapes the mutex. Waits are explicit
+/// predicate loops (see util/mutex.h for why), and every notify happens
+/// after the lock scope closes so a woken thread never collides with the
+/// notifier still holding the mutex.
 ///
 /// The name states the intended role (multi-producer, single-consumer);
 /// the implementation is safe for multiple consumers too.
@@ -50,26 +57,26 @@ class BoundedMpscQueue {
   BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
 
   /// Blocks until there is room (or the queue closes); true iff enqueued.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T item) TKC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Enqueues only if there is room right now; never blocks.
-  bool TryPush(T item) {
+  bool TryPush(T item) TKC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_ || FaultFires(kFaultQueueFull))
         return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -78,22 +85,30 @@ class BoundedMpscQueue {
   /// without enqueueing when the deadline passes or the queue closes — the
   /// bounded-latency submission primitive the serving layer's shed path
   /// builds on.
-  bool PushUntil(T item, const Deadline& deadline) {
+  bool PushUntil(T item, const Deadline& deadline) TKC_EXCLUDES(mu_) {
     if (deadline.unlimited()) return Push(std::move(item));
-    std::unique_lock<std::mutex> lock(mu_);
-    if (FaultFires(kFaultQueueFull)) return false;  // simulated full-forever
-    bool room = not_full_.wait_until(lock, deadline.time_point(), [this] {
-      return closed_ || items_.size() < capacity_;
-    });
-    if (!room || closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    {
+      MutexLock lock(mu_);
+      if (FaultFires(kFaultQueueFull)) return false;  // simulated full-forever
+      for (;;) {
+        if (closed_) return false;
+        if (items_.size() < capacity_) break;
+        if (not_full_.WaitUntil(mu_, deadline.time_point()) ==
+            std::cv_status::timeout) {
+          // One final predicate check under the lock: the deadline and a
+          // slot opening can race, and the slot wins ties.
+          if (closed_ || items_.size() >= capacity_) return false;
+          break;
+        }
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// PushUntil with a relative timeout in seconds (≤ 0 means "right now").
-  bool TryPushFor(T item, double seconds) {
+  bool TryPushFor(T item, double seconds) TKC_EXCLUDES(mu_) {
     return PushUntil(std::move(item),
                      Deadline::AfterSeconds(std::max(seconds, 0.0)));
   }
@@ -113,10 +128,10 @@ class BoundedMpscQueue {
   /// The armed `queue.full` fault simulates a full queue by rejecting the
   /// incoming item without evicting — the conservative shed.
   template <typename Less>
-  PushOutcome PushOrEvict(T* item, Less less, T* evicted) {
+  PushOutcome PushOrEvict(T* item, Less less, T* evicted) TKC_EXCLUDES(mu_) {
     PushOutcome outcome;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return PushOutcome::kClosed;
       if (FaultFires(kFaultQueueFull)) return PushOutcome::kRejectedIncoming;
       if (items_.size() < capacity_) {
@@ -133,53 +148,54 @@ class BoundedMpscQueue {
         outcome = PushOutcome::kPushedEvicted;
       }
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return outcome;
   }
 
   /// Blocks until an item is available (or the queue closes and drains);
   /// true iff `*out` received an item.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;  // closed and fully drained
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool Pop(T* out) TKC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      if (items_.empty()) return false;  // closed and fully drained
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Dequeues only if an item is available right now; never blocks.
-  bool TryPop(T* out) {
+  bool TryPop(T* out) TKC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return false;
       *out = std::move(items_.front());
       items_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Rejects future pushes and wakes every waiter. Items already queued
   /// remain poppable (drain-then-fail semantics). Idempotent.
-  void Close() {
+  void Close() TKC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const TKC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const TKC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
@@ -187,11 +203,11 @@ class BoundedMpscQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ TKC_GUARDED_BY(mu_);
+  bool closed_ TKC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tkc

@@ -1,0 +1,103 @@
+#ifndef TKC_UTIL_MUTEX_H_
+#define TKC_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+/// \file mutex.h
+/// Annotated mutex/condvar wrappers for Clang's thread-safety analysis.
+///
+/// libstdc++'s `std::mutex` carries no capability attributes, so
+/// `-Wthread-safety` cannot see a `std::lock_guard` acquire it — every
+/// guarded-field proof would fail. `tkc::Mutex` is the same
+/// `std::mutex` underneath but declares itself a capability, and
+/// `tkc::MutexLock` is the scoped acquisition the analysis understands.
+/// This is the only file in src/ allowed to name `std::mutex`,
+/// `std::condition_variable`, or the std lock guards directly
+/// (tools/lint_invariants.py enforces it).
+///
+/// `CondVar` wraps `std::condition_variable` (not `_any`: no extra
+/// internal mutex, same footprint as before the wrappers) and exposes
+/// un-templated waits annotated TKC_REQUIRES(mu). There are deliberately
+/// no predicate-taking overloads: a lambda body is analyzed as a separate
+/// function that cannot see the caller's held capability, so guarded
+/// reads inside wait predicates would all need suppressions. Callers
+/// write the standard explicit loop instead:
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.Wait(mu_);
+
+namespace tkc {
+
+/// A std::mutex the thread-safety analysis can track as a capability.
+class TKC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TKC_ACQUIRE() { mu_.lock(); }
+  void Unlock() TKC_RELEASE() { mu_.unlock(); }
+  bool TryLock() TKC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for `Mutex`; the annotated analogue of std::lock_guard.
+class TKC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TKC_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  ~MutexLock() TKC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with `Mutex`. Waits atomically release the
+/// mutex and reacquire it before returning, exactly like
+/// std::condition_variable; from the analysis's viewpoint the capability
+/// is held across the call (TKC_REQUIRES), which matches the caller's
+/// contract on both edges.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) TKC_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back without unlocking.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Returns std::cv_status::timeout once `deadline` passes. Spurious
+  /// wakeups happen; callers loop on their predicate either way.
+  std::cv_status WaitUntil(Mutex& mu,
+                           std::chrono::steady_clock::time_point deadline)
+      TKC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_MUTEX_H_

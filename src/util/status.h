@@ -32,7 +32,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// The result of an operation: either OK or a code plus message.
-class Status {
+/// Class-level [[nodiscard]]: any expression producing a Status that is
+/// then ignored is a warning (an error under -Werror) — a dropped failure
+/// is a silent one. Use `(void)expr;` plus a comment in the rare spot where
+/// discarding is genuinely correct.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -91,8 +95,10 @@ class Status {
 };
 
 /// Either a value of type T or a non-OK Status explaining why there is none.
+/// [[nodiscard]] for the same reason as Status: losing the error loses the
+/// value too.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value: `return MyThing{...};`.
   StatusOr(T value) : status_(), value_(std::move(value)), has_value_(true) {}

@@ -1,0 +1,83 @@
+#ifndef TKC_UTIL_THREAD_ANNOTATIONS_H_
+#define TKC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Macros for Clang's thread-safety analysis (-Wthread-safety), following
+/// the attribute vocabulary documented at
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. Under any other
+/// compiler every macro expands to nothing, so gcc builds see plain C++.
+///
+/// The analysis is a compile-time proof system: fields declare which
+/// capability (mutex) guards them, functions declare which capabilities
+/// they acquire/release/require, and clang rejects any access pattern the
+/// declarations don't justify. The CI `static-analysis` job builds all of
+/// src/ with `-Wthread-safety -Werror`, and a negative-compile ctest
+/// proves the macros have not silently compiled away under clang.
+///
+/// Policy (see README "Static analysis & correctness tooling"): every new
+/// mutex member must be a `tkc::Mutex` (util/mutex.h) — the annotated
+/// wrapper the analysis can see through — and must guard at least one
+/// field via TKC_GUARDED_BY, or carry an explicit
+/// `// lint: standalone-mutex(<name>): <reason>` waiver for
+/// tools/lint_invariants.py.
+
+#if defined(__clang__)
+#define TKC_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TKC_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability (lockable) the analysis tracks.
+#define TKC_CAPABILITY(x) TKC_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define TKC_SCOPED_CAPABILITY TKC_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Field is readable/writable only while holding `x`.
+#define TKC_GUARDED_BY(x) TKC_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define TKC_PT_GUARDED_BY(x) TKC_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities exclusively on entry; they are
+/// still held on exit.
+#define TKC_REQUIRES(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on exit.
+#define TKC_ACQUIRE(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define TKC_RELEASE(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `result`.
+#define TKC_TRY_ACQUIRE(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities on entry (the function
+/// acquires them internally; annotating callers with this catches
+/// self-deadlock at compile time).
+#define TKC_EXCLUDES(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-acquisition order between two mutex members.
+#define TKC_ACQUIRED_AFTER(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#define TKC_ACQUIRED_BEFORE(...) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned object.
+#define TKC_RETURN_CAPABILITY(x) \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Repo policy is
+/// to refactor to a provable shape instead; every use must carry a
+/// comment arguing why the analysis cannot express the pattern.
+#define TKC_NO_THREAD_SAFETY_ANALYSIS \
+  TKC_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // TKC_UTIL_THREAD_ANNOTATIONS_H_

@@ -49,10 +49,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -61,8 +61,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -73,10 +73,10 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
@@ -102,25 +102,32 @@ struct ForState {
 
   const size_t num_items;
   const std::function<void(size_t, int)>& body;
+  // Claim counter and id dispenser: independent monotone counters with no
+  // ordering relationship to the items' data (the body's own effects are
+  // published by done_cv's mutex at the join), so relaxed is enough.
   std::atomic<size_t> next{0};
   std::atomic<int> next_worker_id{0};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int runners_exited = 0;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar done_cv;
+  int runners_exited TKC_GUARDED_BY(mu) = 0;
+  std::exception_ptr error TKC_GUARDED_BY(mu);
 
-  void RunClaimLoop() {
+  void RunClaimLoop() TKC_EXCLUDES(mu) {
+    // Relaxed: worker ids only need uniqueness, not ordering.
     const int worker = next_worker_id.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
+      // Relaxed: iteration claims only need uniqueness; see `next` above.
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_items) break;
       try {
         body(i, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!error) error = std::current_exception();
         // Poison the claim counter so remaining iterations are abandoned.
+        // Relaxed: stragglers may claim a few extra indices before they
+        // observe the poison; they just fail the bound check and exit.
         next.store(num_items, std::memory_order_relaxed);
         break;
       }
@@ -145,20 +152,26 @@ void ThreadPool::ParallelFor(size_t n,
   const size_t spawned = std::min(workers_.size(), n);
   for (size_t r = 0; r < spawned; ++r) {
     Enqueue([state] {
-      state->RunClaimLoop();
+      ForState* s = state.get();
+      s->RunClaimLoop();
       {
-        std::lock_guard<std::mutex> lock(state->mu);
-        ++state->runners_exited;
+        MutexLock lock(s->mu);
+        ++s->runners_exited;
       }
-      state->done_cv.notify_one();
+      s->done_cv.NotifyOne();
     });
   }
-  state->RunClaimLoop();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] {
-    return state->runners_exited == static_cast<int>(spawned);
-  });
-  if (state->error) std::rethrow_exception(state->error);
+  ForState* s = state.get();
+  s->RunClaimLoop();
+  std::exception_ptr error;
+  {
+    MutexLock lock(s->mu);
+    while (s->runners_exited != static_cast<int>(spawned)) {
+      s->done_cv.Wait(s->mu);
+    }
+    error = s->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -1,14 +1,15 @@
 #ifndef TKC_UTIL_THREAD_POOL_H_
 #define TKC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 /// \file thread_pool.h
 /// A fixed-size worker pool for the library's embarrassingly parallel loops
@@ -71,13 +72,15 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
-  void Enqueue(std::function<void()> fn);
+  void WorkerLoop() TKC_EXCLUDES(mu_);
+  void Enqueue(std::function<void()> fn) TKC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ TKC_GUARDED_BY(mu_);
+  bool stop_ TKC_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, read-only afterwards (num_threads(),
+  // Submit's inline fallback, the destructor's join) — no guard needed.
   std::vector<std::thread> workers_;
 };
 

@@ -24,13 +24,15 @@ namespace tkc {
 std::string SerializeVctIndex(const VertexCoreTimeIndex& index);
 
 /// Parses a VCT index; Corruption on any structural violation.
-StatusOr<VertexCoreTimeIndex> DeserializeVctIndex(const std::string& bytes);
+[[nodiscard]] StatusOr<VertexCoreTimeIndex> DeserializeVctIndex(
+    const std::string& bytes);
 
 /// Serializes an ECS to a byte string.
 std::string SerializeEcs(const EdgeCoreWindowSkyline& ecs);
 
 /// Parses an ECS; Corruption on any structural violation.
-StatusOr<EdgeCoreWindowSkyline> DeserializeEcs(const std::string& bytes);
+[[nodiscard]] StatusOr<EdgeCoreWindowSkyline> DeserializeEcs(
+    const std::string& bytes);
 
 /// Serializes a full multi-k PHC index ("TKCP" container: header +
 /// length-prefixed per-slice VCT blocks) — the admission index a
@@ -40,15 +42,19 @@ std::string SerializePhcIndex(const PhcIndex& index);
 
 /// Parses a PHC index; Corruption on any structural violation (including
 /// per-slice VCT violations and cross-slice range mismatches).
-StatusOr<PhcIndex> DeserializePhcIndex(const std::string& bytes);
+[[nodiscard]] StatusOr<PhcIndex> DeserializePhcIndex(const std::string& bytes);
 
 /// File convenience wrappers.
-Status SaveVctIndex(const VertexCoreTimeIndex& index, const std::string& path);
-StatusOr<VertexCoreTimeIndex> LoadVctIndex(const std::string& path);
-Status SaveEcs(const EdgeCoreWindowSkyline& ecs, const std::string& path);
-StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path);
-Status SavePhcIndex(const PhcIndex& index, const std::string& path);
-StatusOr<PhcIndex> LoadPhcIndex(const std::string& path);
+[[nodiscard]] Status SaveVctIndex(const VertexCoreTimeIndex& index,
+                                  const std::string& path);
+[[nodiscard]] StatusOr<VertexCoreTimeIndex> LoadVctIndex(
+    const std::string& path);
+[[nodiscard]] Status SaveEcs(const EdgeCoreWindowSkyline& ecs,
+                             const std::string& path);
+[[nodiscard]] StatusOr<EdgeCoreWindowSkyline> LoadEcs(const std::string& path);
+[[nodiscard]] Status SavePhcIndex(const PhcIndex& index,
+                                  const std::string& path);
+[[nodiscard]] StatusOr<PhcIndex> LoadPhcIndex(const std::string& path);
 
 }  // namespace tkc
 

@@ -43,9 +43,8 @@ struct WorkloadSpec {
 /// maximum core number (computed by the caller once per dataset). Fails
 /// only when no k-core-containing range of the requested length exists
 /// after max_attempts draws per query.
-StatusOr<std::vector<Query>> GenerateQueries(const TemporalGraph& g,
-                                             uint32_t kmax,
-                                             const WorkloadSpec& spec);
+[[nodiscard]] StatusOr<std::vector<Query>> GenerateQueries(
+    const TemporalGraph& g, uint32_t kmax, const WorkloadSpec& spec);
 
 /// k derived from kmax and a fraction, floored at 2 (k=1 cores are just
 /// connected edges and not interesting for the evaluation).

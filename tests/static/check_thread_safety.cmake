@@ -1,0 +1,59 @@
+# Negative-compile proof that clang's thread-safety analysis is live.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) as:
+#   cmake -DCXX=<compiler> -DCXX_ID=<GNU|Clang|...>
+#         -DFIXTURE_DIR=<tests/static> -DINCLUDE_DIR=<src>
+#         -P check_thread_safety.cmake
+#
+# Expectations by compiler:
+#   * Clang: thread_safety_control.cc compiles with -Wthread-safety -Werror
+#     and thread_safety_violation.cc does NOT — the seeded GUARDED_BY
+#     violation is rejected, proving the flag and the macros both work.
+#   * Anything else (gcc here): both files compile — the TKC_* macros must
+#     expand to nothing off-clang, so a violation is invisible.
+
+foreach(var CXX CXX_ID FIXTURE_DIR INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_thread_safety.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(base_flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+if(CXX_ID STREQUAL "Clang" OR CXX_ID STREQUAL "AppleClang")
+  list(APPEND base_flags -Wthread-safety -Werror)
+endif()
+
+function(try_syntax source result_var)
+  execute_process(
+    COMMAND ${CXX} ${base_flags} ${FIXTURE_DIR}/${source}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(${result_var} ${rc} PARENT_SCOPE)
+  set(${result_var}_output "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+try_syntax(thread_safety_control.cc control_rc)
+if(NOT control_rc EQUAL 0)
+  message(FATAL_ERROR
+          "control fixture failed to compile (it must always compile):\n"
+          "${control_rc_output}")
+endif()
+
+try_syntax(thread_safety_violation.cc violation_rc)
+if(CXX_ID STREQUAL "Clang" OR CXX_ID STREQUAL "AppleClang")
+  if(violation_rc EQUAL 0)
+    message(FATAL_ERROR
+            "clang accepted the seeded GUARDED_BY violation — thread-safety "
+            "analysis is not live (flag dropped or macros broken)")
+  endif()
+  message(STATUS "clang rejected the seeded violation (analysis is live)")
+else()
+  if(NOT violation_rc EQUAL 0)
+    message(FATAL_ERROR
+            "non-clang compiler rejected the violation fixture — the TKC_* "
+            "macros must be no-ops off clang:\n${violation_rc_output}")
+  endif()
+  message(STATUS
+          "${CXX_ID} compiled both fixtures (annotations are no-ops here)")
+endif()

@@ -1,0 +1,35 @@
+// Control fixture for the negative-compile thread-safety test: the same
+// shape as thread_safety_violation.cc with the lock held correctly. Must
+// compile under every compiler — under clang with -Wthread-safety -Werror
+// (proving the annotations describe a consistent protocol), and under
+// non-clang compilers (proving the TKC_* macros expand to nothing there).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) TKC_EXCLUDES(mu_) {
+    tkc::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() TKC_EXCLUDES(mu_) {
+    tkc::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  tkc::Mutex mu_;
+  int balance_ TKC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

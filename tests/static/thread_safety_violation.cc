@@ -1,0 +1,35 @@
+// Violation fixture for the negative-compile thread-safety test: touches a
+// TKC_GUARDED_BY field without holding its mutex. Under clang with
+// -Wthread-safety -Werror this file MUST fail to compile — that failure is
+// the proof the analysis is actually live in the build (an accidentally
+// disabled flag or a macro regression would let it slip through, and the
+// ctest would fail). Under non-clang compilers it must compile: the TKC_*
+// macros are no-ops there by design.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  // Seeded bug: writes balance_ with mu_ not held.
+  void Deposit(int amount) { balance_ += amount; }
+
+  int balance() TKC_EXCLUDES(mu_) {
+    tkc::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  tkc::Mutex mu_;
+  int balance_ TKC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() == 1 ? 0 : 1;
+}

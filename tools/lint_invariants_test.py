@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_invariants.py: one passing and one failing
+fixture per rule, run against a synthetic source tree so the test never
+depends on the real repo's contents."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_invariants  # noqa: E402
+
+
+class LintInvariantsTest(unittest.TestCase):
+    def lint(self, rel_path, content):
+        """Writes one file into a temp tree and returns its violations as
+        (rule, line) pairs."""
+        with tempfile.TemporaryDirectory() as root:
+            path = os.path.join(root, rel_path)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+            violations = []
+            lint_invariants.check_file(path, rel_path, violations)
+            return [(rule, line) for (_, line, rule, _) in violations]
+
+    def rules(self, rel_path, content):
+        return {rule for (rule, _) in self.lint(rel_path, content)}
+
+    # --- mutex-types --------------------------------------------------------
+
+    def test_std_mutex_banned_outside_util_mutex(self):
+        self.assertIn("mutex-types",
+                      self.rules("serve/foo.h", "std::mutex mu_;\n"))
+
+    def test_std_lock_guard_banned(self):
+        self.assertIn(
+            "mutex-types",
+            self.rules("serve/foo.cc",
+                       "void F() { std::lock_guard<std::mutex> l(mu_); }\n"))
+
+    def test_util_mutex_h_may_use_std_mutex(self):
+        self.assertEqual(set(),
+                         self.rules("util/mutex.h", "std::mutex mu_;\n"))
+
+    def test_std_mutex_in_comment_is_fine(self):
+        self.assertEqual(
+            set(), self.rules("serve/foo.h", "// not std::mutex anymore\n"))
+
+    # --- mutex-annotated ----------------------------------------------------
+
+    def test_unreferenced_mutex_member_flagged(self):
+        self.assertIn("mutex-annotated",
+                      self.rules("serve/foo.h", "mutable Mutex mu_;\n"))
+
+    def test_guarded_by_reference_satisfies(self):
+        src = "mutable Mutex mu_;\nint x_ TKC_GUARDED_BY(mu_);\n"
+        self.assertEqual(set(), self.rules("serve/foo.h", src))
+
+    def test_excludes_reference_satisfies(self):
+        src = "void F() TKC_EXCLUDES(mu_);\nMutex mu_;\n"
+        self.assertEqual(set(), self.rules("serve/foo.h", src))
+
+    def test_waiver_comment_satisfies(self):
+        src = ("// lint: standalone-mutex(mu_): guards an external "
+               "resource, not a member\nMutex mu_;\n")
+        self.assertEqual(set(), self.rules("serve/foo.h", src))
+
+    def test_waiver_for_other_name_does_not_satisfy(self):
+        src = "// lint: standalone-mutex(other_): reason\nMutex mu_;\n"
+        self.assertIn("mutex-annotated", self.rules("serve/foo.h", src))
+
+    # --- nodiscard ----------------------------------------------------------
+
+    def test_status_decl_without_nodiscard_flagged(self):
+        self.assertIn("nodiscard",
+                      self.rules("vct/foo.h", "Status Save(int x);\n"))
+
+    def test_statusor_decl_without_nodiscard_flagged(self):
+        self.assertIn(
+            "nodiscard",
+            self.rules("vct/foo.h", "StatusOr<Index> Load(int x);\n"))
+
+    def test_nodiscard_decl_passes(self):
+        self.assertEqual(
+            set(),
+            self.rules("vct/foo.h", "[[nodiscard]] Status Save(int x);\n"))
+
+    def test_cc_files_not_checked_for_nodiscard(self):
+        # Definitions repeat the header's declaration; the attribute lives
+        # on the declaration only.
+        self.assertEqual(set(),
+                         self.rules("vct/foo.cc", "Status Save(int x) {\n"))
+
+    def test_status_h_exempt(self):
+        self.assertEqual(
+            set(), self.rules("util/status.h", "Status ToStatus(int x);\n"))
+
+    # --- sleep-for ----------------------------------------------------------
+
+    def test_sleep_for_banned_outside_util(self):
+        src = "void F() { std::this_thread::sleep_for(ms); }\n"
+        self.assertIn("sleep-for", self.rules("serve/foo.cc", src))
+
+    def test_sleep_for_allowed_in_util(self):
+        src = "void F() { std::this_thread::sleep_for(ms); }\n"
+        self.assertEqual(set(), self.rules("util/foo.cc", src))
+
+    # --- relaxed-comment ----------------------------------------------------
+
+    def test_uncommented_relaxed_flagged(self):
+        src = "x.load(std::memory_order_relaxed);\n"
+        self.assertIn("relaxed-comment", self.rules("serve/foo.cc", src))
+
+    def test_same_line_comment_satisfies(self):
+        src = "x.load(std::memory_order_relaxed);  // Relaxed: hint only\n"
+        self.assertEqual(set(), self.rules("serve/foo.cc", src))
+
+    def test_preceding_comment_within_window_satisfies(self):
+        src = ("// Relaxed: monotone counter, no ordering promised.\n"
+               "x.fetch_add(1, std::memory_order_relaxed);\n")
+        self.assertEqual(set(), self.rules("serve/foo.cc", src))
+
+    def test_comment_outside_window_does_not_satisfy(self):
+        src = ("// Relaxed: too far away.\n" + "int a;\n" * 5 +
+               "x.load(std::memory_order_relaxed);\n")
+        self.assertIn("relaxed-comment", self.rules("serve/foo.cc", src))
+
+    # --- reporting ----------------------------------------------------------
+
+    def test_violation_carries_line_number(self):
+        src = "int a;\nstd::mutex mu_;\n"
+        self.assertIn(("mutex-types", 2), self.lint("serve/foo.h", src))
+
+
+if __name__ == "__main__":
+    unittest.main()
